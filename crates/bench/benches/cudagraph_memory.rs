@@ -1,0 +1,28 @@
+//! Table 5 benchmark: planning the CUDAGraph pool under the three capture modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlt_gpusim::{GpuType, LlmCostModel};
+use tlt_model::ModelSpec;
+use tlt_rollout::{default_batch_buckets, CaptureMode, CudaGraphPool, SdStrategy};
+
+fn bench_capture_planning(c: &mut Criterion) {
+    let cost = LlmCostModel::new(ModelSpec::llama3_8b(), GpuType::H100.spec(), 4);
+    let drafter = cost.model.eagle_drafter();
+    let strategies = SdStrategy::default_set();
+    let buckets = default_batch_buckets();
+    let mut group = c.benchmark_group("table5_cudagraph_pool");
+    group.sample_size(20);
+    for (name, mode) in [
+        ("single", CaptureMode::SingleStrategy),
+        ("vanilla_multi", CaptureMode::VanillaMultiStrategy),
+        ("bucketed", CaptureMode::Bucketed),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| CudaGraphPool::plan(mode, &strategies, &buckets, &cost, &drafter).total_memory_gb())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capture_planning);
+criterion_main!(benches);

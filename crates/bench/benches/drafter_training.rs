@@ -1,0 +1,74 @@
+//! Drafter-side benchmarks: one spot-training iteration (Figure 15 / Table 7 path),
+//! checkpointing modes (Figure 17a) and sequence packing (Figure 17b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tlt_draft::{
+    pack_sequences, CheckpointMode, CheckpointStore, DraftModel, DrafterTrainer, FeatureSource,
+    TrainerConfig, TrainingSample,
+};
+use tlt_model::{ModelConfig, TinyLm};
+use tlt_workload::LengthDistribution;
+
+fn samples(target: &TinyLm, n: usize) -> Vec<TrainingSample> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            let len = 16 + (i % 4) * 4;
+            let tokens: Vec<u32> = (0..len)
+                .map(|_| rng.gen_range(0..target.config.vocab_size as u32))
+                .collect();
+            TrainingSample::from_rollout(target, FeatureSource::LastLayer, &tokens, len - 4, 0, i as u64)
+        })
+        .collect()
+}
+
+fn bench_train_iteration(c: &mut Criterion) {
+    let target = TinyLm::new(ModelConfig::tiny(), 1);
+    let data = samples(&target, 4);
+    let refs: Vec<&TrainingSample> = data.iter().collect();
+    let mut group = c.benchmark_group("drafter_training");
+    group.sample_size(10);
+    group.bench_function("eagle_iteration", |b| {
+        let mut trainer = DrafterTrainer::new(&target, TrainerConfig::default(), 2);
+        b.iter(|| trainer.train_iteration(&target, &refs))
+    });
+    group.finish();
+}
+
+fn bench_checkpointing(c: &mut Criterion) {
+    let target = TinyLm::new(ModelConfig::tiny(), 1);
+    let drafter = DraftModel::new(&target, FeatureSource::LastLayer, 3);
+    let mut group = c.benchmark_group("fig17a_checkpointing");
+    group.sample_size(10);
+    for mode in CheckpointMode::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &mode| {
+            let mut store = CheckpointStore::new();
+            b.iter(|| {
+                let report = store.checkpoint(mode, &drafter, &target);
+                store.wait_for_pending();
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let lengths = LengthDistribution::LongTailMixture {
+        mu: 5.5,
+        sigma: 1.0,
+        truncation_mass: 0.05,
+        max_len: 4096,
+    }
+    .sample_many(512, &mut rng);
+    let mut group = c.benchmark_group("fig17b_packing");
+    group.sample_size(20);
+    group.bench_function("pack_512_sequences", |b| b.iter(|| pack_sequences(&lengths, 4096)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_iteration, bench_checkpointing, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! End-to-end training-step benchmarks (Figure 11 / Table 3): simulated RL step time
+//! of VeRL vs TLT on the reduced-scale configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tlt::{run_experiment, SystemKind};
+use tlt_bench::setups::{e2e_config, paper_testbed, Scale};
+use tlt_model::ModelSpec;
+
+fn bench_e2e_systems(c: &mut Criterion) {
+    let config = e2e_config(ModelSpec::qwen2_5_7b(), paper_testbed(), Scale::Quick);
+    let mut group = c.benchmark_group("fig11_e2e_step");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for system in [SystemKind::Verl, SystemKind::TltBase, SystemKind::Tlt] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.name()),
+            &system,
+            |b, &system| b.iter(|| run_experiment(system, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e_systems);
+criterion_main!(benches);

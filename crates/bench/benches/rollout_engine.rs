@@ -1,0 +1,59 @@
+//! Benchmarks of the timing-level rollout engine: the Figure 14 case study (adaptive
+//! SD on 128 long-tail requests) and the Table 2 single-request throughput study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlt_bench::setups::{adaptive_acceptance, eagle_drafter_of, qwen32b_h100_tp4, qwen7b_on};
+use tlt_gpusim::GpuType;
+use tlt_rollout::{
+    simulate_rollout, single_request_throughput, SdManagerConfig, SdMode, SdStrategy,
+    SimRolloutConfig,
+};
+use tlt_workload::LengthDistribution;
+
+fn longtail_lengths(n: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(14);
+    LengthDistribution::LongTailMixture { mu: 6.5, sigma: 0.8, truncation_mass: 0.03, max_len: 8192 }
+        .sample_many(n, &mut rng)
+}
+
+fn bench_fig14_case_study(c: &mut Criterion) {
+    let cost = qwen32b_h100_tp4();
+    let lengths = longtail_lengths(128);
+    let mut group = c.benchmark_group("fig14_rollout");
+    group.sample_size(10);
+    group.bench_function("baseline_no_sd", |b| {
+        b.iter(|| simulate_rollout(&SimRolloutConfig::vanilla(cost.clone()), &lengths))
+    });
+    group.bench_function("adaptive_sd", |b| {
+        b.iter(|| {
+            simulate_rollout(
+                &SimRolloutConfig::vanilla(cost.clone()).with_sd_mode(SdMode::Adaptive {
+                    config: SdManagerConfig::default(),
+                }),
+                &lengths,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2_gpu_types(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_gpu_throughput");
+    group.sample_size(10);
+    let strategy = SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 48 };
+    for gpu in [GpuType::H100, GpuType::A100, GpuType::Rtx3090] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{gpu:?}")), &gpu, |b, &gpu| {
+            let cost = qwen7b_on(gpu);
+            let drafter = eagle_drafter_of(&cost);
+            b.iter(|| {
+                single_request_throughput(&cost, &drafter, &adaptive_acceptance(), strategy, 256, 2048)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_case_study, bench_table2_gpu_types);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks regenerating the SD hyperparameter sweeps: Figure 13 (draft depth x
+//! tokens-to-verify), Table 1 (topK) and Table 4 (batch size x tokens-to-verify).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlt_bench::setups::{adaptive_acceptance, eagle_drafter_of, qwen32b_h100_tp4};
+use tlt_rollout::{fixed_batch_speedup, SdStrategy};
+
+fn bench_depth_sweep(c: &mut Criterion) {
+    let cost = qwen32b_h100_tp4();
+    let drafter = eagle_drafter_of(&cost);
+    let acceptance = adaptive_acceptance();
+    let mut group = c.benchmark_group("fig13_depth_sweep");
+    group.sample_size(10);
+    for depth in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let strategy = SdStrategy { draft_depth: depth, top_k: 8, tokens_to_verify: 64 };
+                fixed_batch_speedup(&cost, &drafter, &acceptance, 1, strategy, 4096)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    let cost = qwen32b_h100_tp4();
+    let drafter = eagle_drafter_of(&cost);
+    let acceptance = adaptive_acceptance();
+    let mut group = c.benchmark_group("table4_batch_sweep");
+    group.sample_size(10);
+    for batch in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let strategy = SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 48 };
+                fixed_batch_speedup(&cost, &drafter, &acceptance, batch, strategy, 4096)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth_sweep, bench_batch_sweep);
+criterion_main!(benches);

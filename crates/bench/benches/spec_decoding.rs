@@ -1,0 +1,43 @@
+//! Token-level speculative decoding benchmarks: vanilla vs speculative generation on
+//! the tiny-model substrate (the mechanism behind every SD result in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlt_draft::{DraftModel, FeatureSource};
+use tlt_model::{ModelConfig, SamplingParams, TinyLm};
+use tlt_rollout::{speculative_generate, vanilla_generate, SdStrategy, SpecDrafter};
+
+fn bench_generation(c: &mut Criterion) {
+    let target = TinyLm::new(ModelConfig::tiny(), 11);
+    let drafter = DraftModel::new(&target, FeatureSource::LastLayer, 12);
+    let prompt = [1u32, 5, 9, 2];
+    let params = SamplingParams::greedy();
+    let mut group = c.benchmark_group("token_level_generation");
+    group.sample_size(10);
+    group.bench_function("vanilla_64_tokens", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            vanilla_generate(&target, &prompt, 64, params, None, &mut rng)
+        })
+    });
+    group.bench_function("speculative_64_tokens", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            speculative_generate(
+                &target,
+                &SpecDrafter::Learned(&drafter),
+                &prompt,
+                64,
+                SdStrategy::default(),
+                params,
+                None,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # tlt-bench
+//!
+//! Benchmark harness for the TLT reproduction: shared experiment setups, a small
+//! text-table reporter, and the `experiments` binary that regenerates every table and
+//! figure of the paper's evaluation section (run
+//! `cargo run -p tlt-bench --release --bin experiments -- all`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod setups;
+
+pub use report::Table;

@@ -1,0 +1,322 @@
+//! Centralized worker coordinator.
+//!
+//! The coordinator tracks every worker's state, promotes idle workers to drafter
+//! training once the idle count crosses a threshold (leader-election pattern: the
+//! first eligible worker sets up the session, later idle workers join), and halts
+//! training immediately when rollout completes or new rollout work arrives.
+
+use crate::bus::{CoordinatorCommand, MessageBus};
+use crate::worker::{WorkerEvent, WorkerState};
+use serde::{Deserialize, Serialize};
+
+/// Coordinator policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorConfig {
+    /// Minimum number of idle workers before a training session is launched
+    /// (the paper launches opportunistically once idle workers exceed a threshold).
+    pub min_idle_for_training: usize,
+    /// Whether spot training is enabled at all (disabled for the VeRL-like baseline).
+    pub spot_training_enabled: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            min_idle_for_training: 1,
+            spot_training_enabled: true,
+        }
+    }
+}
+
+/// A drafter-training session spanning one or more workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSession {
+    /// Worker elected as the session leader (sets up the session).
+    pub leader: usize,
+    /// All participating workers (leader included).
+    pub members: Vec<usize>,
+    /// Simulated time the session started.
+    pub started_at_s: f64,
+}
+
+/// Aggregate statistics of coordinator activity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    /// Number of training sessions launched.
+    pub sessions_started: u64,
+    /// Number of sessions preempted by rollout work.
+    pub sessions_preempted: u64,
+    /// Number of workers promoted to training over the run.
+    pub workers_promoted: u64,
+    /// Total state-transition events processed.
+    pub events_processed: u64,
+}
+
+/// The centralized coordinator (runs on "rank 0").
+#[derive(Debug)]
+pub struct Coordinator {
+    config: CoordinatorConfig,
+    states: Vec<WorkerState>,
+    active_requests: Vec<usize>,
+    session: Option<TrainingSession>,
+    stats: CoordinatorStats,
+}
+
+impl Coordinator {
+    /// Creates a coordinator for `num_workers` workers, all initially BUSY.
+    pub fn new(num_workers: usize, config: CoordinatorConfig) -> Self {
+        Coordinator {
+            config,
+            states: vec![WorkerState::Busy; num_workers],
+            active_requests: vec![0; num_workers],
+            session: None,
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// Number of managed workers.
+    pub fn num_workers(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Current state of a worker.
+    pub fn worker_state(&self, worker: usize) -> WorkerState {
+        self.states[worker]
+    }
+
+    /// Workers currently in the given state.
+    pub fn workers_in_state(&self, state: WorkerState) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == state).then_some(i))
+            .collect()
+    }
+
+    /// The active training session, if any.
+    pub fn training_session(&self) -> Option<&TrainingSession> {
+        self.session.as_ref()
+    }
+
+    /// Coordinator statistics.
+    pub fn stats(&self) -> CoordinatorStats {
+        self.stats
+    }
+
+    /// Processes a single worker event and returns the commands the coordinator
+    /// decides to issue (they are also applied to the internal state).
+    pub fn handle_event(&mut self, event: WorkerEvent, now_s: f64) -> Vec<(usize, CoordinatorCommand)> {
+        self.stats.events_processed += 1;
+        match event {
+            WorkerEvent::ActiveRequests { worker, running } => {
+                if worker < self.active_requests.len() {
+                    self.active_requests[worker] = running;
+                }
+                Vec::new()
+            }
+            WorkerEvent::StateChanged { worker, state, at: _ } => {
+                if worker >= self.states.len() {
+                    return Vec::new();
+                }
+                let prev = self.states[worker];
+                if !prev.can_transition_to(state) {
+                    // Protocol violation: ignore but keep serving (robustness).
+                    return Vec::new();
+                }
+                self.states[worker] = state;
+                match state {
+                    WorkerState::Idle => self.maybe_start_or_join_training(worker, now_s),
+                    WorkerState::Busy => Vec::new(),
+                    WorkerState::Training => Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn maybe_start_or_join_training(&mut self, _worker: usize, now_s: f64) -> Vec<(usize, CoordinatorCommand)> {
+        if !self.config.spot_training_enabled {
+            return Vec::new();
+        }
+        let idle = self.workers_in_state(WorkerState::Idle);
+        let mut commands = Vec::new();
+        match self.session.as_mut() {
+            Some(session) => {
+                // Later idle workers join the existing session.
+                for &w in &idle {
+                    if !session.members.contains(&w) {
+                        session.members.push(w);
+                        self.states[w] = WorkerState::Training;
+                        self.stats.workers_promoted += 1;
+                        commands.push((w, CoordinatorCommand::StartTraining { leader: false }));
+                    }
+                }
+            }
+            None => {
+                if idle.len() >= self.config.min_idle_for_training {
+                    // Leader election: the first eligible (lowest-index) idle worker
+                    // sets up the session; the rest join it.
+                    let leader = *idle.first().expect("non-empty idle set");
+                    let mut members = Vec::new();
+                    for (i, &w) in idle.iter().enumerate() {
+                        self.states[w] = WorkerState::Training;
+                        self.stats.workers_promoted += 1;
+                        members.push(w);
+                        commands.push((
+                            w,
+                            CoordinatorCommand::StartTraining { leader: i == 0 },
+                        ));
+                    }
+                    self.session = Some(TrainingSession {
+                        leader,
+                        members,
+                        started_at_s: now_s,
+                    });
+                    self.stats.sessions_started += 1;
+                }
+            }
+        }
+        commands
+    }
+
+    /// Called when the rollout stage completes (or new rollout work arrives): any
+    /// ongoing training is halted gracefully and every worker is returned to BUSY
+    /// for the next stage. Returns the issued commands.
+    pub fn preempt_for_rollout(&mut self) -> Vec<(usize, CoordinatorCommand)> {
+        let mut commands = Vec::new();
+        if let Some(session) = self.session.take() {
+            self.stats.sessions_preempted += 1;
+            for &w in &session.members {
+                commands.push((w, CoordinatorCommand::PreemptTraining));
+            }
+        }
+        for (w, state) in self.states.iter_mut().enumerate() {
+            *state = WorkerState::Busy;
+            commands.push((w, CoordinatorCommand::StartRollout));
+        }
+        commands
+    }
+
+    /// Drains events from a [`MessageBus`], handles them, and pushes the resulting
+    /// commands back onto the bus. Returns the number of events processed.
+    pub fn pump(&mut self, bus: &MessageBus, now_s: f64) -> usize {
+        let events = bus.drain_events();
+        let count = events.len();
+        for event in events {
+            for (worker, command) in self.handle_event(event, now_s) {
+                bus.send_command(worker, command);
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_event(worker: usize, at: f64) -> WorkerEvent {
+        WorkerEvent::StateChanged {
+            worker,
+            state: WorkerState::Idle,
+            at,
+        }
+    }
+
+    #[test]
+    fn first_idle_worker_becomes_leader() {
+        let mut coord = Coordinator::new(4, CoordinatorConfig::default());
+        let commands = coord.handle_event(idle_event(2, 10.0), 10.0);
+        assert_eq!(commands, vec![(2, CoordinatorCommand::StartTraining { leader: true })]);
+        let session = coord.training_session().expect("session started");
+        assert_eq!(session.leader, 2);
+        assert_eq!(coord.worker_state(2), WorkerState::Training);
+        assert_eq!(coord.stats().sessions_started, 1);
+    }
+
+    #[test]
+    fn later_idle_workers_join_existing_session() {
+        let mut coord = Coordinator::new(4, CoordinatorConfig::default());
+        coord.handle_event(idle_event(0, 1.0), 1.0);
+        let commands = coord.handle_event(idle_event(3, 2.0), 2.0);
+        assert_eq!(commands, vec![(3, CoordinatorCommand::StartTraining { leader: false })]);
+        assert_eq!(coord.training_session().unwrap().members, vec![0, 3]);
+        assert_eq!(coord.stats().workers_promoted, 2);
+    }
+
+    #[test]
+    fn threshold_delays_training_start() {
+        let config = CoordinatorConfig {
+            min_idle_for_training: 3,
+            ..CoordinatorConfig::default()
+        };
+        let mut coord = Coordinator::new(4, config);
+        assert!(coord.handle_event(idle_event(0, 0.0), 0.0).is_empty());
+        assert!(coord.handle_event(idle_event(1, 1.0), 1.0).is_empty());
+        let commands = coord.handle_event(idle_event(2, 2.0), 2.0);
+        assert_eq!(commands.len(), 3, "all three idle workers promoted together");
+    }
+
+    #[test]
+    fn disabled_spot_training_never_promotes() {
+        let config = CoordinatorConfig {
+            spot_training_enabled: false,
+            ..CoordinatorConfig::default()
+        };
+        let mut coord = Coordinator::new(2, config);
+        assert!(coord.handle_event(idle_event(0, 0.0), 0.0).is_empty());
+        assert!(coord.training_session().is_none());
+    }
+
+    #[test]
+    fn preemption_halts_training_and_restores_busy() {
+        let mut coord = Coordinator::new(3, CoordinatorConfig::default());
+        coord.handle_event(idle_event(0, 0.0), 0.0);
+        coord.handle_event(idle_event(1, 1.0), 1.0);
+        let commands = coord.preempt_for_rollout();
+        assert!(commands
+            .iter()
+            .any(|(_, c)| *c == CoordinatorCommand::PreemptTraining));
+        assert!(coord.training_session().is_none());
+        for w in 0..3 {
+            assert_eq!(coord.worker_state(w), WorkerState::Busy);
+        }
+        assert_eq!(coord.stats().sessions_preempted, 1);
+    }
+
+    #[test]
+    fn busy_to_training_violation_is_ignored() {
+        let mut coord = Coordinator::new(2, CoordinatorConfig::default());
+        let commands = coord.handle_event(
+            WorkerEvent::StateChanged {
+                worker: 0,
+                state: WorkerState::Training,
+                at: 0.0,
+            },
+            0.0,
+        );
+        assert!(commands.is_empty());
+        assert_eq!(coord.worker_state(0), WorkerState::Busy);
+    }
+
+    #[test]
+    fn pump_routes_commands_through_the_bus() {
+        let (bus, endpoints) = MessageBus::new(2);
+        let mut coord = Coordinator::new(2, CoordinatorConfig::default());
+        bus.inject_event(idle_event(1, 5.0));
+        let processed = coord.pump(&bus, 5.0);
+        assert_eq!(processed, 1);
+        assert_eq!(
+            endpoints[1].try_recv_command(),
+            Some(CoordinatorCommand::StartTraining { leader: true })
+        );
+        assert_eq!(endpoints[0].try_recv_command(), None);
+    }
+
+    #[test]
+    fn active_request_reports_are_tracked() {
+        let mut coord = Coordinator::new(2, CoordinatorConfig::default());
+        let commands = coord.handle_event(WorkerEvent::ActiveRequests { worker: 0, running: 7 }, 0.0);
+        assert!(commands.is_empty());
+        assert_eq!(coord.stats().events_processed, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Rollout-worker state machine.
+//!
+//! A *worker* is one tensor-parallel rollout replica (e.g. 8 GPUs of a DGX node at
+//! TP=8). Each worker cycles between three states — BUSY (serving rollout), IDLE
+//! (all of its requests finished, memory released) and TRAINING (running drafter
+//! spot-training) — and reports every transition to the coordinator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// State of one rollout worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerState {
+    /// Serving rollout requests.
+    Busy,
+    /// Finished its rollout requests; GPUs idle and memory released.
+    Idle,
+    /// Running opportunistic drafter training.
+    Training,
+}
+
+impl fmt::Display for WorkerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkerState::Busy => "BUSY",
+            WorkerState::Idle => "IDLE",
+            WorkerState::Training => "TRAINING",
+        };
+        f.write_str(s)
+    }
+}
+
+impl WorkerState {
+    /// Whether a transition from `self` to `next` is allowed by the protocol.
+    ///
+    /// Busy → Idle (requests drained), Idle → Training (promoted by coordinator),
+    /// Training → Idle (preempted or finished), Idle → Busy (new rollout step),
+    /// Training → Busy (hard preemption when rollout work arrives immediately),
+    /// Busy → Busy / Idle → Idle (idempotent notifications) are allowed.
+    /// Busy → Training is *not* allowed: a worker must drain first.
+    pub fn can_transition_to(self, next: WorkerState) -> bool {
+        !matches!((self, next), (WorkerState::Busy, WorkerState::Training))
+    }
+}
+
+/// Event sent from a worker to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkerEvent {
+    /// The worker transitioned into a new state.
+    StateChanged {
+        /// Worker index.
+        worker: usize,
+        /// New state.
+        state: WorkerState,
+        /// Simulated or wall-clock timestamp in seconds.
+        at: f64,
+    },
+    /// Periodic report of how many rollout requests the worker still holds.
+    ActiveRequests {
+        /// Worker index.
+        worker: usize,
+        /// Number of running requests.
+        running: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_cannot_jump_straight_to_training() {
+        assert!(!WorkerState::Busy.can_transition_to(WorkerState::Training));
+    }
+
+    #[test]
+    fn legal_cycle_is_accepted() {
+        assert!(WorkerState::Busy.can_transition_to(WorkerState::Idle));
+        assert!(WorkerState::Idle.can_transition_to(WorkerState::Training));
+        assert!(WorkerState::Training.can_transition_to(WorkerState::Idle));
+        assert!(WorkerState::Idle.can_transition_to(WorkerState::Busy));
+        assert!(WorkerState::Training.can_transition_to(WorkerState::Busy));
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(WorkerState::Busy.to_string(), "BUSY");
+        assert_eq!(WorkerState::Idle.to_string(), "IDLE");
+        assert_eq!(WorkerState::Training.to_string(), "TRAINING");
+    }
+}

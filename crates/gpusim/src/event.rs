@@ -1,0 +1,197 @@
+//! Minimal discrete-event simulation primitives.
+//!
+//! The timing-level simulations (rollout engine, spot trainer, end-to-end pipeline)
+//! advance a virtual clock by popping events in time order. Events carry an opaque
+//! payload chosen by the caller.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Adds `seconds` to this time.
+    pub fn after(self, seconds: f64) -> SimTime {
+        SimTime(self.0 + seconds)
+    }
+
+    /// Seconds since time zero.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+struct HeapEntry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// An event queue ordered by simulated time (FIFO among equal times).
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulated time (events cannot be
+    /// scheduled in the past).
+    pub fn schedule_at(&mut self, at: SimTime, payload: T) {
+        assert!(
+            at.0 >= self.now.0,
+            "cannot schedule event in the past: {} < {}",
+            at.0,
+            self.now.0
+        );
+        self.heap.push(HeapEntry {
+            time: at.0,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` `delay` seconds from the current time.
+    pub fn schedule_after(&mut self, delay: f64, payload: T) {
+        let at = self.now.after(delay.max(0.0));
+        self.schedule_at(at, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| {
+            self.now = SimTime(e.time);
+            (self.now, e.payload)
+        })
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| SimTime(e.time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(3.0), "c");
+        q.schedule_at(SimTime(1.0), "a");
+        q.schedule_at(SimTime(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1.0), 1);
+        q.schedule_at(SimTime(1.0), 2);
+        q.schedule_at(SimTime(1.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_after(5.0, ());
+        assert_eq!(q.now().seconds(), 0.0);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.seconds(), 5.0);
+        assert_eq!(q.now().seconds(), 5.0);
+        q.schedule_after(1.5, ());
+        assert_eq!(q.peek_time().unwrap().seconds(), 6.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(2.0), ());
+        q.pop();
+        q.schedule_at(SimTime(1.0), ());
+    }
+
+    #[test]
+    fn negative_delay_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_after(-5.0, "x");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.seconds(), 0.0);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_after(1.0, ());
+        assert_eq!(q.len(), 1);
+    }
+}

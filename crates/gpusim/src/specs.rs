@@ -1,0 +1,203 @@
+//! GPU hardware catalog.
+//!
+//! These specifications drive the roofline cost model. Peak numbers are the dense
+//! BF16 tensor throughput and HBM/GDDR bandwidth of each part; the cost model
+//! applies utilisation factors on top, so only the *ratios* between GPUs matter for
+//! reproducing the paper's cross-GPU comparisons (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Supported GPU types (the set evaluated in the paper, Tables 2 and Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuType {
+    /// NVIDIA B200 (Blackwell).
+    B200,
+    /// NVIDIA H100 SXM 80 GB.
+    H100,
+    /// NVIDIA H20 96 GB (bandwidth-rich, compute-poor Hopper variant).
+    H20,
+    /// NVIDIA A100 SXM 80 GB.
+    A100,
+    /// NVIDIA GeForce RTX 5090.
+    Rtx5090,
+    /// NVIDIA GeForce RTX 4090.
+    Rtx4090,
+    /// NVIDIA GeForce RTX 3090.
+    Rtx3090,
+}
+
+impl GpuType {
+    /// All catalogued GPU types, data-center parts first.
+    pub fn all() -> [GpuType; 7] {
+        [
+            GpuType::B200,
+            GpuType::H100,
+            GpuType::H20,
+            GpuType::A100,
+            GpuType::Rtx5090,
+            GpuType::Rtx4090,
+            GpuType::Rtx3090,
+        ]
+    }
+
+    /// The GPU types used in the paper's Table 2 rollout-throughput study.
+    pub fn table2_set() -> [GpuType; 6] {
+        [
+            GpuType::B200,
+            GpuType::H100,
+            GpuType::A100,
+            GpuType::Rtx5090,
+            GpuType::Rtx4090,
+            GpuType::Rtx3090,
+        ]
+    }
+
+    /// Hardware specification for this GPU type.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuType::B200 => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA B200",
+                memory_gb: 192.0,
+                memory_bandwidth_gbps: 8000.0,
+                bf16_tflops: 2250.0,
+                kernel_launch_us: 4.0,
+                nvlink_gbps: 1800.0,
+            },
+            GpuType::H100 => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA H100 SXM",
+                memory_gb: 80.0,
+                memory_bandwidth_gbps: 3350.0,
+                bf16_tflops: 990.0,
+                kernel_launch_us: 4.0,
+                nvlink_gbps: 900.0,
+            },
+            GpuType::H20 => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA H20",
+                memory_gb: 96.0,
+                memory_bandwidth_gbps: 4000.0,
+                bf16_tflops: 148.0,
+                kernel_launch_us: 4.0,
+                nvlink_gbps: 900.0,
+            },
+            GpuType::A100 => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA A100 SXM",
+                memory_gb: 80.0,
+                memory_bandwidth_gbps: 2039.0,
+                bf16_tflops: 312.0,
+                kernel_launch_us: 5.0,
+                nvlink_gbps: 600.0,
+            },
+            GpuType::Rtx5090 => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA RTX 5090",
+                memory_gb: 32.0,
+                memory_bandwidth_gbps: 1792.0,
+                bf16_tflops: 210.0,
+                kernel_launch_us: 6.0,
+                nvlink_gbps: 0.0,
+            },
+            GpuType::Rtx4090 => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA RTX 4090",
+                memory_gb: 24.0,
+                memory_bandwidth_gbps: 1008.0,
+                bf16_tflops: 165.0,
+                kernel_launch_us: 6.0,
+                nvlink_gbps: 0.0,
+            },
+            GpuType::Rtx3090 => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA RTX 3090",
+                memory_gb: 24.0,
+                memory_bandwidth_gbps: 936.0,
+                bf16_tflops: 71.0,
+                kernel_launch_us: 7.0,
+                nvlink_gbps: 0.0,
+            },
+        }
+    }
+}
+
+/// Hardware characteristics of one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Which catalog entry this is.
+    pub gpu_type: GpuType,
+    /// Marketing name.
+    pub name: &'static str,
+    /// HBM/GDDR capacity in GiB.
+    pub memory_gb: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Peak dense BF16 tensor throughput in TFLOP/s.
+    pub bf16_tflops: f64,
+    /// Per-kernel launch overhead in microseconds (eliminated by CUDAGraph replay).
+    pub kernel_launch_us: f64,
+    /// Intra-node interconnect bandwidth in GB/s (0 for consumer parts without NVLink).
+    pub nvlink_gbps: f64,
+}
+
+impl GpuSpec {
+    /// Ratio of compute (FLOP/s) to memory bandwidth (bytes/s) — the "ridge point"
+    /// arithmetic intensity of the roofline. Higher values mean decode is more
+    /// memory-bound and speculative decoding has more headroom (Table 2's trend).
+    pub fn ridge_intensity(&self) -> f64 {
+        (self.bf16_tflops * 1e12) / (self.memory_bandwidth_gbps * 1e9)
+    }
+
+    /// Memory capacity in bytes.
+    pub fn memory_bytes(&self) -> f64 {
+        self.memory_gb * 1024.0 * 1024.0 * 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_have_positive_fields() {
+        for gpu in GpuType::all() {
+            let s = gpu.spec();
+            assert!(s.memory_gb > 0.0);
+            assert!(s.memory_bandwidth_gbps > 0.0);
+            assert!(s.bf16_tflops > 0.0);
+            assert!(s.kernel_launch_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn ridge_intensity_ordering_matches_expectations() {
+        // H100 has a higher compute:bandwidth ratio than A100 and the RTX 3090 the lowest
+        // of the data-center/consumer split relevant to Table 2's speedup ordering.
+        let h100 = GpuType::H100.spec().ridge_intensity();
+        let a100 = GpuType::A100.spec().ridge_intensity();
+        let rtx3090 = GpuType::Rtx3090.spec().ridge_intensity();
+        assert!(h100 > a100);
+        assert!(a100 > rtx3090);
+    }
+
+    #[test]
+    fn h20_is_compute_poor_bandwidth_rich() {
+        let h20 = GpuType::H20.spec();
+        let h100 = GpuType::H100.spec();
+        assert!(h20.memory_bandwidth_gbps > h100.memory_bandwidth_gbps);
+        assert!(h20.bf16_tflops < h100.bf16_tflops / 4.0);
+    }
+
+    #[test]
+    fn consumer_gpus_have_no_nvlink() {
+        assert_eq!(GpuType::Rtx4090.spec().nvlink_gbps, 0.0);
+        assert!(GpuType::H100.spec().nvlink_gbps > 0.0);
+    }
+
+    #[test]
+    fn memory_bytes_conversion() {
+        let s = GpuType::Rtx3090.spec();
+        assert_eq!(s.memory_bytes(), 24.0 * 1024.0 * 1024.0 * 1024.0);
+    }
+}

@@ -1,0 +1,489 @@
+//! Differentiable neural-network primitives (forward and backward passes).
+//!
+//! Every operation here is written as an explicit forward function that optionally
+//! returns the intermediates needed by a matching backward function. This manual
+//! reverse-mode style keeps the substrate dependency-free and easy to verify with
+//! finite-difference tests (see the test module at the bottom of this file).
+
+use crate::tensor::Mat;
+
+/// Numerical epsilon used by RMSNorm.
+pub const RMS_EPS: f32 = 1e-5;
+
+/// Row-wise softmax of a matrix of logits.
+///
+/// Numerically stabilised by subtracting the per-row maximum.
+pub fn softmax_rows(logits: &Mat) -> Mat {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+/// In-place numerically-stable softmax over a slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Stable log-softmax over a slice, returning a new vector.
+pub fn log_softmax(row: &[f32]) -> Vec<f32> {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+    row.iter().map(|v| v - log_sum).collect()
+}
+
+/// Backward pass for a row-wise softmax.
+///
+/// Given `probs = softmax(logits)` and upstream gradient `d_probs`, returns
+/// `d_logits` using the Jacobian-vector product
+/// `dL/dz_j = p_j * (dL/dp_j - sum_k p_k dL/dp_k)`.
+pub fn softmax_backward_rows(probs: &Mat, d_probs: &Mat) -> Mat {
+    assert_eq!(probs.shape(), d_probs.shape(), "softmax backward shape mismatch");
+    let mut out = Mat::zeros(probs.rows(), probs.cols());
+    for r in 0..probs.rows() {
+        let p = probs.row(r);
+        let dp = d_probs.row(r);
+        let inner: f32 = p.iter().zip(dp.iter()).map(|(&a, &b)| a * b).sum();
+        let o = out.row_mut(r);
+        for i in 0..p.len() {
+            o[i] = p[i] * (dp[i] - inner);
+        }
+    }
+    out
+}
+
+/// SiLU (swish) activation: `x * sigmoid(x)`.
+pub fn silu(x: f32) -> f32 {
+    x * sigmoid(x)
+}
+
+/// Derivative of SiLU with respect to its input.
+pub fn silu_grad(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 + x * (1.0 - s))
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Saved state from an [`rmsnorm_forward`] call, needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct RmsNormCache {
+    /// Input activations.
+    pub input: Mat,
+    /// Per-row reciprocal RMS values.
+    pub inv_rms: Vec<f32>,
+}
+
+/// RMSNorm forward pass: `y = x / rms(x) * gain` applied row-wise.
+///
+/// Returns the output and a cache for [`rmsnorm_backward`].
+pub fn rmsnorm_forward(x: &Mat, gain: &[f32]) -> (Mat, RmsNormCache) {
+    assert_eq!(x.cols(), gain.len(), "rmsnorm gain length mismatch");
+    let mut out = Mat::zeros(x.rows(), x.cols());
+    let mut inv_rms = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (ms + RMS_EPS).sqrt();
+        inv_rms.push(inv);
+        let o = out.row_mut(r);
+        for i in 0..row.len() {
+            o[i] = row[i] * inv * gain[i];
+        }
+    }
+    (
+        out,
+        RmsNormCache {
+            input: x.clone(),
+            inv_rms,
+        },
+    )
+}
+
+/// RMSNorm backward pass.
+///
+/// Returns `(d_input, d_gain)` given the upstream gradient `d_out`.
+pub fn rmsnorm_backward(cache: &RmsNormCache, gain: &[f32], d_out: &Mat) -> (Mat, Vec<f32>) {
+    let x = &cache.input;
+    assert_eq!(x.shape(), d_out.shape(), "rmsnorm backward shape mismatch");
+    let n = x.cols() as f32;
+    let mut d_x = Mat::zeros(x.rows(), x.cols());
+    let mut d_gain = vec![0.0f32; gain.len()];
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let grad = d_out.row(r);
+        let inv = cache.inv_rms[r];
+        // d_gain_i += g_i * x_i * inv
+        for i in 0..row.len() {
+            d_gain[i] += grad[i] * row[i] * inv;
+        }
+        // dL/dx_i = inv * g_i*gain_i - x_i * inv^3 / n * sum_j(g_j*gain_j*x_j)
+        let dot: f32 = (0..row.len()).map(|j| grad[j] * gain[j] * row[j]).sum();
+        let dx = d_x.row_mut(r);
+        for i in 0..row.len() {
+            dx[i] = inv * grad[i] * gain[i] - row[i] * inv.powi(3) * dot / n;
+        }
+    }
+    (d_x, d_gain)
+}
+
+/// Saved state from a [`swiglu_forward`] call.
+#[derive(Debug, Clone)]
+pub struct SwiGluCache {
+    /// Input activations.
+    pub input: Mat,
+    /// Gate pre-activation (`x @ w_gate`).
+    pub gate_pre: Mat,
+    /// Up projection (`x @ w_up`).
+    pub up: Mat,
+    /// Hidden activations (`silu(gate_pre) * up`), input to the down projection.
+    pub hidden: Mat,
+}
+
+/// SwiGLU feed-forward block: `down(silu(x @ w_gate) * (x @ w_up))`.
+pub fn swiglu_forward(x: &Mat, w_gate: &Mat, w_up: &Mat, w_down: &Mat) -> (Mat, SwiGluCache) {
+    let gate_pre = x.matmul(w_gate);
+    let up = x.matmul(w_up);
+    let mut hidden = Mat::zeros(gate_pre.rows(), gate_pre.cols());
+    for r in 0..hidden.rows() {
+        let g = gate_pre.row(r);
+        let u = up.row(r);
+        let h = hidden.row_mut(r);
+        for i in 0..h.len() {
+            h[i] = silu(g[i]) * u[i];
+        }
+    }
+    let out = hidden.matmul(w_down);
+    (
+        out,
+        SwiGluCache {
+            input: x.clone(),
+            gate_pre,
+            up,
+            hidden,
+        },
+    )
+}
+
+/// Gradients produced by [`swiglu_backward`].
+#[derive(Debug, Clone)]
+pub struct SwiGluGrads {
+    /// Gradient with respect to the block input.
+    pub d_input: Mat,
+    /// Gradient of the gate projection weights.
+    pub d_w_gate: Mat,
+    /// Gradient of the up projection weights.
+    pub d_w_up: Mat,
+    /// Gradient of the down projection weights.
+    pub d_w_down: Mat,
+}
+
+/// Backward pass of the SwiGLU block.
+pub fn swiglu_backward(
+    cache: &SwiGluCache,
+    w_gate: &Mat,
+    w_up: &Mat,
+    w_down: &Mat,
+    d_out: &Mat,
+) -> SwiGluGrads {
+    // out = hidden @ w_down
+    let d_w_down = cache.hidden.transposed_matmul(d_out);
+    let d_hidden = d_out.matmul_transposed(w_down);
+
+    // hidden = silu(gate_pre) * up
+    let mut d_gate_pre = Mat::zeros(d_hidden.rows(), d_hidden.cols());
+    let mut d_up = Mat::zeros(d_hidden.rows(), d_hidden.cols());
+    for r in 0..d_hidden.rows() {
+        let dh = d_hidden.row(r);
+        let g = cache.gate_pre.row(r);
+        let u = cache.up.row(r);
+        let dg = d_gate_pre.row_mut(r);
+        for i in 0..dh.len() {
+            dg[i] = dh[i] * u[i] * silu_grad(g[i]);
+        }
+        let du = d_up.row_mut(r);
+        for i in 0..dh.len() {
+            du[i] = dh[i] * silu(g[i]);
+        }
+    }
+
+    let d_w_gate = cache.input.transposed_matmul(&d_gate_pre);
+    let d_w_up = cache.input.transposed_matmul(&d_up);
+    let mut d_input = d_gate_pre.matmul_transposed(w_gate);
+    d_input.add_assign(&d_up.matmul_transposed(w_up));
+
+    SwiGluGrads {
+        d_input,
+        d_w_gate,
+        d_w_up,
+        d_w_down,
+    }
+}
+
+/// Cross-entropy loss over a batch of rows of logits against integer targets.
+///
+/// Returns `(mean_loss, d_logits)` where the gradient is already divided by the
+/// number of rows so it can be fed straight into the backward pass.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or any target index is out of range.
+pub fn cross_entropy(logits: &Mat, targets: &[usize]) -> (f32, Mat) {
+    cross_entropy_weighted(logits, targets, None)
+}
+
+/// Cross-entropy with optional per-row weights (used by policy-gradient objectives
+/// where each position is scaled by its advantage).
+pub fn cross_entropy_weighted(
+    logits: &Mat,
+    targets: &[usize],
+    weights: Option<&[f32]>,
+) -> (f32, Mat) {
+    assert_eq!(targets.len(), logits.rows(), "target length mismatch");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), targets.len(), "weight length mismatch");
+    }
+    let n = logits.rows().max(1) as f32;
+    let mut d_logits = Mat::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    for r in 0..logits.rows() {
+        let target = targets[r];
+        assert!(target < logits.cols(), "target index out of range");
+        let w = weights.map_or(1.0, |ws| ws[r]);
+        let logp = log_softmax(logits.row(r));
+        loss += -w * logp[target];
+        let d = d_logits.row_mut(r);
+        for i in 0..d.len() {
+            let p = logp[i].exp();
+            let indicator = if i == target { 1.0 } else { 0.0 };
+            d[i] = w * (p - indicator) / n;
+        }
+    }
+    (loss / n, d_logits)
+}
+
+/// Smooth L1 loss between two matrices, returning `(loss, d_pred)`.
+///
+/// Used by EAGLE-style drafter training to align drafter hidden states with the
+/// target model's hidden states.
+pub fn smooth_l1(pred: &Mat, target: &Mat) -> (f32, Mat) {
+    assert_eq!(pred.shape(), target.shape(), "smooth_l1 shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Mat::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for (i, (&p, &t)) in pred.as_slice().iter().zip(target.as_slice()).enumerate() {
+        let diff = p - t;
+        if diff.abs() < 1.0 {
+            loss += 0.5 * diff * diff;
+            grad.as_mut_slice()[i] = diff / n;
+        } else {
+            loss += diff.abs() - 0.5;
+            grad.as_mut_slice()[i] = diff.signum() / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Top-k accuracy of logits rows against integer targets.
+///
+/// Returns the fraction of rows whose target token is within the `k` highest logits.
+pub fn top_k_accuracy(logits: &Mat, targets: &[usize], k: usize) -> f64 {
+    assert_eq!(targets.len(), logits.rows(), "target length mismatch");
+    if logits.rows() == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let target_logit = row[targets[r]];
+        let better = row.iter().filter(|&&v| v > target_logit).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / logits.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check<F: FnMut(&Mat) -> f32>(x: &Mat, analytic: &Mat, mut f: F, tol: f32) {
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            assert!(
+                (numeric - a).abs() < tol,
+                "finite diff mismatch at {idx}: numeric={numeric}, analytic={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
+        let p = softmax_rows(&logits);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.get(0, 2) > p.get(0, 1));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let row = [0.5f32, -1.0, 2.0, 0.0];
+        let lp = log_softmax(&row);
+        let mut sm = row.to_vec();
+        softmax_in_place(&mut sm);
+        for (l, s) in lp.iter().zip(sm.iter()) {
+            assert!((l.exp() - s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn silu_grad_matches_finite_difference() {
+        for &x in &[-3.0f32, -0.5, 0.0, 0.7, 2.5] {
+            let eps = 1e-3;
+            let numeric = (silu(x + eps) - silu(x - eps)) / (2.0 * eps);
+            assert!((numeric - silu_grad(x)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Mat::random_uniform(3, 5, 1.0, &mut rng);
+        let gain: Vec<f32> = (0..5).map(|i| 0.8 + 0.1 * i as f32).collect();
+        let d_out = Mat::random_uniform(3, 5, 1.0, &mut rng);
+        let (_, cache) = rmsnorm_forward(&x, &gain);
+        let (d_x, _) = rmsnorm_backward(&cache, &gain, &d_out);
+        let loss = |m: &Mat| {
+            let (y, _) = rmsnorm_forward(m, &gain);
+            y.as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        finite_diff_check(&x, &d_x, loss, 2e-2);
+    }
+
+    #[test]
+    fn swiglu_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Mat::random_uniform(2, 4, 0.5, &mut rng);
+        let w_gate = Mat::random_uniform(4, 6, 0.5, &mut rng);
+        let w_up = Mat::random_uniform(4, 6, 0.5, &mut rng);
+        let w_down = Mat::random_uniform(6, 4, 0.5, &mut rng);
+        let d_out = Mat::random_uniform(2, 4, 1.0, &mut rng);
+        let (_, cache) = swiglu_forward(&x, &w_gate, &w_up, &w_down);
+        let grads = swiglu_backward(&cache, &w_gate, &w_up, &w_down, &d_out);
+        let loss = |m: &Mat| {
+            let (y, _) = swiglu_forward(m, &w_gate, &w_up, &w_down);
+            y.as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        finite_diff_check(&x, &grads.d_input, loss, 3e-2);
+    }
+
+    #[test]
+    fn swiglu_weight_grads_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Mat::random_uniform(2, 3, 0.5, &mut rng);
+        let w_gate = Mat::random_uniform(3, 4, 0.5, &mut rng);
+        let w_up = Mat::random_uniform(3, 4, 0.5, &mut rng);
+        let w_down = Mat::random_uniform(4, 3, 0.5, &mut rng);
+        let d_out = Mat::random_uniform(2, 3, 1.0, &mut rng);
+        let (_, cache) = swiglu_forward(&x, &w_gate, &w_up, &w_down);
+        let grads = swiglu_backward(&cache, &w_gate, &w_up, &w_down, &d_out);
+        let loss = |wg: &Mat| {
+            let (y, _) = swiglu_forward(&x, wg, &w_up, &w_down);
+            y.as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        finite_diff_check(&w_gate, &grads.d_w_gate, loss, 3e-2);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let logits = Mat::random_uniform(3, 5, 1.0, &mut rng);
+        let targets = vec![0usize, 3, 4];
+        let (_, grad) = cross_entropy(&logits, &targets);
+        let loss = |m: &Mat| cross_entropy(m, &targets).0;
+        finite_diff_check(&logits, &grad, loss, 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_with_confident_correct_prediction() {
+        let confident = Mat::from_rows(&[&[10.0, 0.0, 0.0]]);
+        let uncertain = Mat::from_rows(&[&[0.1, 0.0, 0.0]]);
+        let (l1, _) = cross_entropy(&confident, &[0]);
+        let (l2, _) = cross_entropy(&uncertain, &[0]);
+        assert!(l1 < l2);
+    }
+
+    #[test]
+    fn smooth_l1_zero_at_equal_inputs() {
+        let a = Mat::from_rows(&[&[1.0, -2.0, 3.0]]);
+        let (loss, grad) = smooth_l1(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn top_k_accuracy_basic() {
+        let logits = Mat::from_rows(&[&[5.0, 1.0, 0.0], &[0.0, 1.0, 5.0]]);
+        assert_eq!(top_k_accuracy(&logits, &[0, 0], 1), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[0, 0], 3), 1.0);
+    }
+
+    #[test]
+    fn softmax_backward_rows_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let logits = Mat::random_uniform(2, 4, 1.0, &mut rng);
+        let d_probs = Mat::random_uniform(2, 4, 1.0, &mut rng);
+        let probs = softmax_rows(&logits);
+        let d_logits = softmax_backward_rows(&probs, &d_probs);
+        let loss = |m: &Mat| {
+            let p = softmax_rows(m);
+            p.as_slice()
+                .iter()
+                .zip(d_probs.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        finite_diff_check(&logits, &d_logits, loss, 1e-2);
+    }
+}

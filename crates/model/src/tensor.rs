@@ -1,0 +1,567 @@
+//! Minimal dense matrix type used by the tiny-transformer substrate.
+//!
+//! The TLT reproduction intentionally avoids external linear-algebra crates: the
+//! models involved are small (hidden sizes of a few dozen to a few hundred), so a
+//! straightforward row-major `Vec<f32>` matrix with cache-friendly loops is both
+//! sufficient and easy to audit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `rows x cols` matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use tlt_model::tensor::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Mat::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.get(1, 0), 3.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mat({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Mat {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Creates an identity matrix of size `n x n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        if rows.is_empty() {
+            return Mat::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[-scale, scale]`.
+    pub fn random_uniform<R: rand::Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.gen_range(-scale..=scale);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the `(rows, cols)` shape tuple.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Returns element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.cols()`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "row length mismatch");
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Returns a new matrix holding rows `start..end`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Mat {
+        assert!(start <= end && end <= self.rows, "row slice out of range");
+        Mat {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Stacks matrices vertically (all must share the same column count).
+    pub fn vstack(parts: &[&Mat]) -> Mat {
+        if parts.is_empty() {
+            return Mat::zeros(0, 0);
+        }
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Concatenates matrices horizontally (all must share the same row count).
+    pub fn hconcat(parts: &[&Mat]) -> Mat {
+        if parts.is_empty() {
+            return Mat::zeros(0, 0);
+        }
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hconcat row mismatch");
+                out.row_mut(r)[offset..offset + p.cols].copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.rows, other.cols);
+        // i-k-j loop order: stream through `other` rows for cache friendliness.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other^T`.
+    pub fn matmul_transposed(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self^T * other`.
+    pub fn transposed_matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.rows, other.rows,
+            "transposed_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o += b;
+        }
+        out
+    }
+
+    /// In-place element-wise addition.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (o, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *o += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (AXPY).
+    pub fn add_scaled(&mut self, other: &Mat, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (o, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *o += alpha * b;
+        }
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o -= b;
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o *= b;
+        }
+        out
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f32) -> Mat {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= scalar;
+        }
+        out
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_assign(&mut self, scalar: f32) {
+        for v in &mut self.data {
+            *v *= scalar;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute values (L1 norm of the flattened matrix).
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Mean of all elements. Returns `0.0` for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute element. Returns `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Clips every element into `[-limit, limit]`.
+    pub fn clip(&mut self, limit: f32) {
+        assert!(limit >= 0.0, "clip limit must be non-negative");
+        for v in &mut self.data {
+            *v = v.clamp(-limit, limit);
+        }
+    }
+}
+
+/// Computes the dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `a += alpha * b` over slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: &mut [f32], b: &[f32], alpha: f32) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x += alpha * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Mat::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        assert_eq!(m.get(2, 3), 0.0);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mat::random_uniform(4, 4, 1.0, &mut rng);
+        let i = Mat::eye(4);
+        let out = a.matmul(&i);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Mat::random_uniform(3, 5, 1.0, &mut rng);
+        let b = Mat::random_uniform(4, 5, 1.0, &mut rng);
+        let direct = a.matmul_transposed(&b);
+        let explicit = a.matmul(&b.transpose());
+        for (x, y) in direct.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transposed_matmul_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Mat::random_uniform(6, 3, 1.0, &mut rng);
+        let b = Mat::random_uniform(6, 4, 1.0, &mut rng);
+        let direct = a.transposed_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in direct.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Mat::random_uniform(2, 3, 1.0, &mut rng);
+        let b = Mat::random_uniform(2, 3, 1.0, &mut rng);
+        let c = a.add(&b).sub(&b);
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hconcat_and_vstack() {
+        let a = Mat::from_rows(&[&[1.0], &[2.0]]);
+        let b = Mat::from_rows(&[&[3.0], &[4.0]]);
+        let h = Mat::hconcat(&[&a, &b]);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.row(0), &[1.0, 3.0]);
+        let v = Mat::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v.get(3, 0), 4.0);
+    }
+
+    #[test]
+    fn slice_rows_returns_expected_block() {
+        let m = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_and_stats() {
+        let m = Mat::from_rows(&[&[3.0, -4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert!((m.l1_norm() - 7.0).abs() < 1e-6);
+        assert!((m.mean() + 0.5).abs() < 1e-6);
+        assert!((m.max_abs() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_bounds_values() {
+        let mut m = Mat::from_rows(&[&[10.0, -10.0, 0.5]]);
+        m.clip(1.0);
+        assert_eq!(m.row(0), &[1.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert!((dot(&a, &b) - 32.0).abs() < 1e-6);
+        let mut c = [1.0, 1.0, 1.0];
+        axpy(&mut c, &b, 2.0);
+        assert_eq!(c, [9.0, 11.0, 13.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,24 @@
+//! # tlt-rl
+//!
+//! Reasoning-RL algorithms for the TLT reproduction: GRPO (the paper's primary
+//! algorithm) plus the RLOO / REINFORCE / REINFORCE++ variants it states are equally
+//! compatible with the adaptive drafter, a rollout-engine-agnostic policy trainer
+//! with KL regularisation toward a frozen reference model, and group-based advantage
+//! estimation over rule-based rewards.
+//!
+//! ```
+//! use tlt_rl::{compute_advantages, RlAlgorithm};
+//!
+//! let groups = vec![vec![1.0, 0.0, 1.0, 0.0]];
+//! let adv = compute_advantages(RlAlgorithm::Grpo, &groups);
+//! assert!(adv[0][0] > 0.0 && adv[0][1] < 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advantage;
+pub mod trainer;
+
+pub use advantage::{compute_advantages, RlAlgorithm};
+pub use trainer::{PolicyTrainer, RlConfig, RolloutGroup, StepMetrics};

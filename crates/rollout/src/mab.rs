@@ -1,0 +1,336 @@
+//! Bucketed-Epsilon-Greedy (BEG) multi-armed-bandit strategy selector (Algorithm 1).
+//!
+//! Each "arm" is an [`SdStrategy`] (draft depth, top-K, tokens-to-verify); the reward
+//! of pulling an arm is the generation efficiency it achieved,
+//! `accepted_tokens * batch_size / elapsed_time`. Strategies are grouped by their
+//! `tokens_to_verify` and mapped onto batch-size buckets, so only strategies suitable
+//! for the current batch size compete; within a bucket the selector is epsilon-greedy
+//! over the *median* reward of a sliding window, which keeps it robust to the
+//! non-stationary dynamics of RL training.
+
+use crate::spec::SdStrategy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of the BEG-MAB selector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BegMabConfig {
+    /// Exploration probability.
+    pub epsilon: f64,
+    /// Sliding-window size for reward/accept-length history.
+    pub window: usize,
+}
+
+impl Default for BegMabConfig {
+    fn default() -> Self {
+        BegMabConfig {
+            epsilon: 0.1,
+            window: 16,
+        }
+    }
+}
+
+/// Observation recorded after executing one speculative generation step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepObservation {
+    /// Wall-clock (or simulated) duration of the step in seconds.
+    pub elapsed_s: f64,
+    /// Sum of accepted tokens across the batch (excluding bonus tokens).
+    pub accepted_tokens: f64,
+    /// Number of sequences in the batch.
+    pub batch_size: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ArmHistory {
+    rewards: VecDeque<f64>,
+    accept_lens: VecDeque<f64>,
+}
+
+/// The BEG-MAB selector.
+#[derive(Debug, Clone)]
+pub struct BegMabSelector {
+    config: BegMabConfig,
+    /// Strategy groups ordered by descending `tokens_to_verify`; group `i` serves
+    /// batch sizes in `[thresholds[i], thresholds[i+1])`.
+    groups: Vec<Vec<SdStrategy>>,
+    /// Ascending batch-size thresholds, one per group (`t_1 = 1`).
+    thresholds: Vec<usize>,
+    histories: Vec<ArmHistory>,
+    all_strategies: Vec<SdStrategy>,
+    selections: u64,
+    explorations: u64,
+}
+
+impl BegMabSelector {
+    /// Builds a selector from a strategy set and batch thresholds.
+    ///
+    /// Strategies are grouped by `tokens_to_verify` (descending) and the `i`-th group
+    /// is matched to batch sizes of at least `thresholds[i]` and below
+    /// `thresholds[i+1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if strategies or thresholds are empty, or counts do not line up.
+    pub fn new(strategies: &[SdStrategy], thresholds: &[usize], config: BegMabConfig) -> Self {
+        assert!(!strategies.is_empty(), "need at least one strategy");
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        // Group by tokens_to_verify, descending.
+        let mut verify_values: Vec<usize> = strategies.iter().map(|s| s.tokens_to_verify).collect();
+        verify_values.sort_unstable_by(|a, b| b.cmp(a));
+        verify_values.dedup();
+        assert!(
+            verify_values.len() <= thresholds.len(),
+            "need a batch threshold per tokens_to_verify group"
+        );
+        let groups: Vec<Vec<SdStrategy>> = verify_values
+            .iter()
+            .map(|&v| {
+                strategies
+                    .iter()
+                    .copied()
+                    .filter(|s| s.tokens_to_verify == v)
+                    .collect()
+            })
+            .collect();
+        let all_strategies: Vec<SdStrategy> = strategies.to_vec();
+        let histories = vec![ArmHistory::default(); all_strategies.len()];
+        BegMabSelector {
+            config,
+            groups,
+            thresholds: thresholds[..verify_values.len()].to_vec(),
+            histories,
+            all_strategies,
+            selections: 0,
+            explorations: 0,
+        }
+    }
+
+    /// Builds a selector with the default strategy set and thresholds `1/8/24/48`.
+    pub fn with_default_strategies(config: BegMabConfig) -> Self {
+        BegMabSelector::new(&SdStrategy::default_set(), &[1, 8, 24, 48], config)
+    }
+
+    fn arm_index(&self, strategy: &SdStrategy) -> Option<usize> {
+        self.all_strategies.iter().position(|s| s == strategy)
+    }
+
+    fn group_for_batch(&self, batch_size: usize) -> usize {
+        // The last group whose threshold is <= batch_size; group 0 has the deepest
+        // verification and the smallest threshold.
+        let mut chosen = 0;
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            if batch_size >= t {
+                chosen = i;
+            }
+        }
+        chosen
+    }
+
+    /// Candidate strategies for a batch size.
+    pub fn candidates(&self, batch_size: usize) -> &[SdStrategy] {
+        &self.groups[self.group_for_batch(batch_size)]
+    }
+
+    /// Records the outcome of running `strategy` on a batch.
+    pub fn record(&mut self, strategy: &SdStrategy, obs: StepObservation) {
+        let Some(idx) = self.arm_index(strategy) else {
+            return;
+        };
+        let accept_len = obs.accepted_tokens / obs.batch_size.max(1) as f64 + 1.0;
+        let reward = if obs.elapsed_s > 0.0 {
+            accept_len * obs.batch_size as f64 / obs.elapsed_s
+        } else {
+            0.0
+        };
+        let history = &mut self.histories[idx];
+        history.rewards.push_back(reward);
+        history.accept_lens.push_back(accept_len);
+        while history.rewards.len() > self.config.window {
+            history.rewards.pop_front();
+        }
+        while history.accept_lens.len() > self.config.window {
+            history.accept_lens.pop_front();
+        }
+    }
+
+    fn median_reward(&self, idx: usize) -> Option<f64> {
+        let h = &self.histories[idx];
+        if h.rewards.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = h.rewards.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// Selects a strategy for the given batch size (Algorithm 1, SelectStrategy).
+    pub fn select<R: Rng>(&mut self, batch_size: usize, rng: &mut R) -> SdStrategy {
+        self.selections += 1;
+        let group = self.group_for_batch(batch_size);
+        let candidates = &self.groups[group];
+        if candidates.len() == 1 {
+            return candidates[0];
+        }
+        let explore = rng.gen::<f64>() < self.config.epsilon;
+        if explore {
+            self.explorations += 1;
+            return candidates[rng.gen_range(0..candidates.len())];
+        }
+        // Exploit: maximise median reward; unexplored arms are tried first.
+        let mut best: Option<(SdStrategy, f64)> = None;
+        for s in candidates {
+            let idx = self.arm_index(s).expect("candidate is a known arm");
+            match self.median_reward(idx) {
+                None => return *s, // untried arm: force exploration of it
+                Some(r) => {
+                    if best.map_or(true, |(_, br)| r > br) {
+                        best = Some((*s, r));
+                    }
+                }
+            }
+        }
+        best.expect("non-empty candidate set").0
+    }
+
+    /// Mean accept length observed for a strategy over its sliding window.
+    pub fn mean_accept_length(&self, strategy: &SdStrategy) -> Option<f64> {
+        let idx = self.arm_index(strategy)?;
+        let h = &self.histories[idx];
+        if h.accept_lens.is_empty() {
+            None
+        } else {
+            Some(h.accept_lens.iter().sum::<f64>() / h.accept_lens.len() as f64)
+        }
+    }
+
+    /// Number of selections and explorations performed.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.selections, self.explorations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn strategies() -> Vec<SdStrategy> {
+        vec![
+            SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 64 },
+            SdStrategy { draft_depth: 10, top_k: 4, tokens_to_verify: 64 },
+            SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 32 },
+            SdStrategy { draft_depth: 4, top_k: 8, tokens_to_verify: 16 },
+        ]
+    }
+
+    #[test]
+    fn batch_size_maps_to_verify_groups() {
+        let selector = BegMabSelector::new(&strategies(), &[1, 8, 24], BegMabConfig::default());
+        // Small batches -> deepest verification group (64 tokens).
+        assert!(selector.candidates(1).iter().all(|s| s.tokens_to_verify == 64));
+        assert!(selector.candidates(10).iter().all(|s| s.tokens_to_verify == 32));
+        assert!(selector.candidates(100).iter().all(|s| s.tokens_to_verify == 16));
+    }
+
+    #[test]
+    fn single_candidate_groups_are_deterministic() {
+        let mut selector = BegMabSelector::new(&strategies(), &[1, 8, 24], BegMabConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let s = selector.select(30, &mut rng);
+            assert_eq!(s.tokens_to_verify, 16);
+        }
+    }
+
+    #[test]
+    fn exploitation_prefers_higher_reward_arm() {
+        let mut selector = BegMabSelector::new(
+            &strategies(),
+            &[1, 8, 24],
+            BegMabConfig { epsilon: 0.0, window: 8 },
+        );
+        let good = strategies()[0];
+        let bad = strategies()[1];
+        for _ in 0..8 {
+            selector.record(&good, StepObservation { elapsed_s: 0.01, accepted_tokens: 6.0, batch_size: 1 });
+            selector.record(&bad, StepObservation { elapsed_s: 0.01, accepted_tokens: 2.0, batch_size: 1 });
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(selector.select(1, &mut rng), good);
+        }
+        assert!(selector.mean_accept_length(&good).unwrap() > selector.mean_accept_length(&bad).unwrap());
+    }
+
+    #[test]
+    fn unexplored_arms_get_tried_before_exploitation() {
+        let mut selector = BegMabSelector::new(
+            &strategies(),
+            &[1, 8, 24],
+            BegMabConfig { epsilon: 0.0, window: 8 },
+        );
+        let good = strategies()[0];
+        for _ in 0..4 {
+            selector.record(&good, StepObservation { elapsed_s: 0.01, accepted_tokens: 6.0, batch_size: 1 });
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        // The other bs=1 arm has never been tried; the selector must pick it at least
+        // once before settling.
+        let first = selector.select(1, &mut rng);
+        assert_eq!(first, strategies()[1]);
+    }
+
+    #[test]
+    fn exploration_rate_roughly_matches_epsilon() {
+        let mut selector = BegMabSelector::new(
+            &strategies(),
+            &[1, 8, 24],
+            BegMabConfig { epsilon: 0.3, window: 8 },
+        );
+        // Seed both arms so exploitation is possible.
+        for s in &strategies()[..2] {
+            selector.record(s, StepObservation { elapsed_s: 0.01, accepted_tokens: 4.0, batch_size: 1 });
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            selector.select(1, &mut rng);
+        }
+        let (selections, explorations) = selector.stats();
+        let rate = explorations as f64 / selections as f64;
+        assert!((0.2..0.4).contains(&rate), "exploration rate {rate}");
+    }
+
+    #[test]
+    fn sliding_window_adapts_to_nonstationary_rewards() {
+        // An arm that was good early but degrades (e.g. drafter gone stale) should be
+        // dethroned once the window rolls over.
+        let mut selector = BegMabSelector::new(
+            &strategies(),
+            &[1, 8, 24],
+            BegMabConfig { epsilon: 0.0, window: 4 },
+        );
+        let a = strategies()[0];
+        let b = strategies()[1];
+        for _ in 0..4 {
+            selector.record(&a, StepObservation { elapsed_s: 0.01, accepted_tokens: 8.0, batch_size: 1 });
+            selector.record(&b, StepObservation { elapsed_s: 0.01, accepted_tokens: 4.0, batch_size: 1 });
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(selector.select(1, &mut rng), a);
+        // Arm A degrades badly; after `window` new observations it should lose.
+        for _ in 0..4 {
+            selector.record(&a, StepObservation { elapsed_s: 0.05, accepted_tokens: 1.0, batch_size: 1 });
+        }
+        assert_eq!(selector.select(1, &mut rng), b);
+    }
+
+    #[test]
+    fn default_strategy_selector_builds() {
+        let selector = BegMabSelector::with_default_strategies(BegMabConfig::default());
+        assert!(!selector.candidates(1).is_empty());
+        assert!(!selector.candidates(64).is_empty());
+    }
+}

@@ -1,0 +1,496 @@
+//! Timing-level rollout engine.
+//!
+//! Simulates the generation phase of one RL step for a *full-size* model (Qwen-7B/32B,
+//! Llama-70B, ...) on a given GPU: a batch of requests with long-tail target lengths
+//! is decoded with continuous batching, and the Adaptive SD Manager decides per step
+//! whether to run vanilla decoding or speculative decoding (and with which strategy).
+//! Kernel times come from the roofline cost model and acceptance lengths from the
+//! drafter's [`AcceptanceProfile`], so the engine reproduces the paper's throughput
+//! tables (2, 4), the hyperparameter sweeps (Figure 13, Table 1) and the adaptive-SD
+//! case study (Figure 14).
+
+use crate::manager::{AdaptiveSdManager, DrafterChoice, SdDecision, SdManagerConfig};
+use crate::mab::StepObservation;
+use crate::spec::SdStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tlt_draft::AcceptanceProfile;
+use tlt_gpusim::LlmCostModel;
+use tlt_model::DraftModelSpec;
+
+/// How the rollout engine uses speculative decoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SdMode {
+    /// Vanilla decoding only (the VeRL-like baseline).
+    Disabled,
+    /// A single static strategy applied whenever the batch is below the threshold.
+    Static {
+        /// The strategy to apply.
+        strategy: SdStrategy,
+        /// Elastic activation threshold (requests).
+        threshold: usize,
+    },
+    /// Full adaptive behaviour: elastic activation + BEG-MAB strategy selection.
+    Adaptive {
+        /// Manager configuration.
+        config: SdManagerConfig,
+    },
+}
+
+/// Configuration of a simulated rollout.
+#[derive(Debug, Clone)]
+pub struct SimRolloutConfig {
+    /// Target-model cost model (model geometry + GPU + TP).
+    pub cost: LlmCostModel,
+    /// Drafter geometry.
+    pub drafter: DraftModelSpec,
+    /// Acceptance profile of the drafter against the current target.
+    pub acceptance: AcceptanceProfile,
+    /// Acceptance profile of the model-free drafter (used when the learned drafter
+    /// is unavailable).
+    pub model_free_acceptance: AcceptanceProfile,
+    /// Prompt length per request.
+    pub prompt_len: usize,
+    /// SD usage mode.
+    pub sd_mode: SdMode,
+    /// RNG seed for the tuner's exploration.
+    pub seed: u64,
+}
+
+impl SimRolloutConfig {
+    /// A convenient baseline configuration (SD disabled).
+    pub fn vanilla(cost: LlmCostModel) -> Self {
+        let drafter = cost.model.eagle_drafter();
+        SimRolloutConfig {
+            cost,
+            drafter,
+            acceptance: AcceptanceProfile::adaptive_drafter(),
+            model_free_acceptance: AcceptanceProfile::model_free_drafter(),
+            prompt_len: 512,
+            sd_mode: SdMode::Disabled,
+            seed: 0,
+        }
+    }
+
+    /// Same configuration with a different SD mode.
+    pub fn with_sd_mode(mut self, mode: SdMode) -> Self {
+        self.sd_mode = mode;
+        self
+    }
+}
+
+/// A point of the running-request timeline (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Simulated time in seconds.
+    pub time_s: f64,
+    /// Number of requests still generating.
+    pub running_requests: usize,
+    /// Whether speculative decoding was active during this step.
+    pub sd_active: bool,
+}
+
+/// Result of simulating one rollout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RolloutProfile {
+    /// Total rollout wall-clock time in seconds.
+    pub total_time_s: f64,
+    /// Total generated tokens across all requests.
+    pub total_tokens: usize,
+    /// Tokens per second across the whole rollout.
+    pub throughput_tokens_per_s: f64,
+    /// Simulated time at which SD first activated, if it ever did.
+    pub sd_activation_time_s: Option<f64>,
+    /// Per-step timeline (downsampled: one point per recorded step).
+    pub timeline: Vec<TimelinePoint>,
+    /// GPU-seconds of idle time accumulated by completed requests waiting for the
+    /// longest request (the "under-utilised zone" harvested by the spot trainer).
+    pub idle_request_seconds: f64,
+    /// Mean accept length across speculative steps (1.0 when SD never ran).
+    pub mean_accept_length: f64,
+}
+
+impl RolloutProfile {
+    /// Speedup of this profile relative to `baseline` (total-time ratio).
+    pub fn speedup_over(&self, baseline: &RolloutProfile) -> f64 {
+        if self.total_time_s <= 0.0 {
+            1.0
+        } else {
+            baseline.total_time_s / self.total_time_s
+        }
+    }
+}
+
+/// Simulates decoding a batch of requests whose response lengths are given.
+pub fn simulate_rollout(config: &SimRolloutConfig, response_lengths: &[usize]) -> RolloutProfile {
+    assert!(!response_lengths.is_empty(), "need at least one request");
+    let mut remaining: Vec<f64> = response_lengths.iter().map(|&l| l.max(1) as f64).collect();
+    let mut generated: Vec<f64> = vec![0.0; remaining.len()];
+    let total_target_tokens: usize = response_lengths.iter().sum();
+    let mut manager = match &config.sd_mode {
+        SdMode::Adaptive { config: mc } => Some(AdaptiveSdManager::new(*mc)),
+        _ => None,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut time_s = 0.0;
+    let mut timeline = Vec::new();
+    let mut sd_activation_time = None;
+    let mut idle_request_seconds = 0.0;
+    let mut accept_len_sum = 0.0;
+    let mut accept_len_count = 0usize;
+    let mut steps = 0u64;
+
+    // Prompt prefill for the whole batch.
+    time_s += config.cost.prefill_time(remaining.len(), config.prompt_len);
+
+    loop {
+        let active: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| (r > 0.0).then_some(i))
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let batch = active.len();
+        let avg_context = config.prompt_len
+            + (active.iter().map(|&i| generated[i]).sum::<f64>() / batch as f64) as usize;
+
+        // Decide how to decode this step.
+        let decision = match &config.sd_mode {
+            SdMode::Disabled => SdDecision::Vanilla,
+            SdMode::Static { strategy, threshold } => {
+                if batch <= *threshold {
+                    SdDecision::Speculative {
+                        drafter: DrafterChoice::Learned,
+                        strategy: *strategy,
+                    }
+                } else {
+                    SdDecision::Vanilla
+                }
+            }
+            SdMode::Adaptive { .. } => manager
+                .as_mut()
+                .expect("manager present in adaptive mode")
+                .decide(batch, &mut rng),
+        };
+
+        let (step_time, tokens_per_seq, sd_active) = match decision {
+            SdDecision::Vanilla => (config.cost.decode_step_time(batch, avg_context), 1.0, false),
+            SdDecision::Speculative { drafter, strategy } => {
+                let profile = match drafter {
+                    DrafterChoice::Learned => &config.acceptance,
+                    DrafterChoice::ModelFree => &config.model_free_acceptance,
+                };
+                let accept = profile.expected_accept_len_tree(
+                    strategy.draft_depth,
+                    strategy.top_k,
+                    strategy.tokens_to_verify,
+                );
+                let t = config.cost.speculative_step_time(
+                    &config.drafter,
+                    batch,
+                    strategy.draft_depth,
+                    strategy.tokens_to_verify,
+                    avg_context,
+                );
+                if let Some(m) = manager.as_mut() {
+                    m.record(
+                        &strategy,
+                        StepObservation {
+                            elapsed_s: t,
+                            accepted_tokens: (accept - 1.0) * batch as f64,
+                            batch_size: batch,
+                        },
+                    );
+                }
+                accept_len_sum += accept;
+                accept_len_count += 1;
+                (t, accept, true)
+            }
+        };
+        if sd_active && sd_activation_time.is_none() {
+            sd_activation_time = Some(time_s);
+        }
+
+        // Idle accounting: requests already finished wait for the stragglers.
+        let finished = remaining.len() - batch;
+        idle_request_seconds += finished as f64 * step_time;
+
+        for &i in &active {
+            let committed = tokens_per_seq.min(remaining[i]);
+            remaining[i] -= committed;
+            generated[i] += committed;
+        }
+        time_s += step_time;
+        steps += 1;
+
+        // Record a timeline point roughly every simulated second of progress (and on
+        // every change of SD activation) to keep profiles compact.
+        let record = timeline
+            .last()
+            .map_or(true, |p: &TimelinePoint| {
+                time_s - p.time_s > 1.0 || p.sd_active != sd_active || p.running_requests != batch
+            });
+        if record {
+            timeline.push(TimelinePoint {
+                time_s,
+                running_requests: batch,
+                sd_active,
+            });
+        }
+        // Safety valve against pathological configurations.
+        if steps > 20_000_000 {
+            break;
+        }
+    }
+
+    RolloutProfile {
+        total_time_s: time_s,
+        total_tokens: total_target_tokens,
+        throughput_tokens_per_s: total_target_tokens as f64 / time_s.max(1e-9),
+        sd_activation_time_s: sd_activation_time,
+        timeline,
+        idle_request_seconds,
+        mean_accept_length: if accept_len_count == 0 {
+            1.0
+        } else {
+            accept_len_sum / accept_len_count as f64
+        },
+    }
+}
+
+/// Speedup of speculative decoding over vanilla decoding at a *fixed* batch size,
+/// reproducing the grid of Table 4 / Figure 13(b): every request in the batch decodes
+/// the same number of tokens, with and without SD.
+pub fn fixed_batch_speedup(
+    cost: &LlmCostModel,
+    drafter: &DraftModelSpec,
+    acceptance: &AcceptanceProfile,
+    batch: usize,
+    strategy: SdStrategy,
+    context: usize,
+) -> f64 {
+    let accept = acceptance.expected_accept_len_tree(
+        strategy.draft_depth,
+        strategy.top_k,
+        strategy.tokens_to_verify,
+    );
+    let vanilla_time_per_token = cost.decode_step_time(batch, context);
+    let spec_time = cost.speculative_step_time(
+        drafter,
+        batch,
+        strategy.draft_depth,
+        strategy.tokens_to_verify,
+        context,
+    );
+    accept * vanilla_time_per_token / spec_time
+}
+
+/// Rollout throughput (tokens/s) of a single request decoded to `response_len`
+/// tokens with and without SD, reproducing Table 2's per-GPU comparison.
+pub fn single_request_throughput(
+    cost: &LlmCostModel,
+    drafter: &DraftModelSpec,
+    acceptance: &AcceptanceProfile,
+    strategy: SdStrategy,
+    prompt_len: usize,
+    response_len: usize,
+) -> (f64, f64) {
+    let config_sd = SimRolloutConfig {
+        cost: cost.clone(),
+        drafter: drafter.clone(),
+        acceptance: acceptance.clone(),
+        model_free_acceptance: AcceptanceProfile::model_free_drafter(),
+        prompt_len,
+        sd_mode: SdMode::Static {
+            strategy,
+            threshold: usize::MAX,
+        },
+        seed: 0,
+    };
+    let config_vanilla = SimRolloutConfig {
+        sd_mode: SdMode::Disabled,
+        ..config_sd.clone()
+    };
+    let with_sd = simulate_rollout(&config_sd, &[response_len]);
+    let without_sd = simulate_rollout(&config_vanilla, &[response_len]);
+    (
+        with_sd.throughput_tokens_per_s,
+        without_sd.throughput_tokens_per_s,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tlt_gpusim::GpuType;
+    use tlt_model::ModelSpec;
+    use tlt_workload::LengthDistribution;
+
+    fn qwen32b_cost() -> LlmCostModel {
+        LlmCostModel::new(ModelSpec::qwen2_5_32b(), GpuType::H100.spec(), 4)
+    }
+
+    fn longtail_lengths(n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = LengthDistribution::LongTailMixture {
+            mu: 6.5,
+            sigma: 0.8,
+            truncation_mass: 0.03,
+            max_len: 8192,
+        };
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn adaptive_sd_beats_vanilla_on_longtail_batch() {
+        let cost = qwen32b_cost();
+        let lengths = longtail_lengths(128, 1);
+        let vanilla = simulate_rollout(&SimRolloutConfig::vanilla(cost.clone()), &lengths);
+        let adaptive = simulate_rollout(
+            &SimRolloutConfig::vanilla(cost).with_sd_mode(SdMode::Adaptive {
+                config: SdManagerConfig::default(),
+            }),
+            &lengths,
+        );
+        let speedup = adaptive.speedup_over(&vanilla);
+        assert!(
+            speedup > 1.5,
+            "adaptive SD should give a sizeable rollout speedup, got {speedup:.2}x"
+        );
+        assert!(adaptive.sd_activation_time_s.is_some());
+        assert!(adaptive.mean_accept_length > 2.0);
+    }
+
+    #[test]
+    fn sd_activates_only_after_batch_drains_below_threshold() {
+        // Figure 14: with 128 requests the early phase runs without SD, and SD kicks
+        // in once the running-request count crosses the elastic threshold.
+        let cost = qwen32b_cost();
+        let lengths = longtail_lengths(128, 2);
+        let profile = simulate_rollout(
+            &SimRolloutConfig::vanilla(cost).with_sd_mode(SdMode::Adaptive {
+                config: SdManagerConfig::default(),
+            }),
+            &lengths,
+        );
+        let activation = profile.sd_activation_time_s.expect("SD activated");
+        assert!(activation > 0.0);
+        // At activation time the running-request count must be at or below the threshold.
+        let at_activation = profile
+            .timeline
+            .iter()
+            .find(|p| p.sd_active)
+            .expect("an SD-active timeline point");
+        assert!(at_activation.running_requests <= 32);
+        // Early timeline points (large batch) must not have SD active.
+        assert!(profile
+            .timeline
+            .iter()
+            .take_while(|p| p.running_requests > 32)
+            .all(|p| !p.sd_active));
+    }
+
+    #[test]
+    fn running_requests_monotonically_decrease() {
+        let cost = qwen32b_cost();
+        let lengths = longtail_lengths(64, 3);
+        let profile = simulate_rollout(&SimRolloutConfig::vanilla(cost), &lengths);
+        let mut prev = usize::MAX;
+        for p in &profile.timeline {
+            assert!(p.running_requests <= prev);
+            prev = p.running_requests;
+        }
+        assert!(profile.idle_request_seconds > 0.0);
+    }
+
+    #[test]
+    fn table4_shape_speedup_decreases_with_batch_size() {
+        let cost = qwen32b_cost();
+        let drafter = cost.model.eagle_drafter();
+        let acceptance = AcceptanceProfile::adaptive_drafter();
+        let strategy = SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 48 };
+        let s1 = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, strategy, 4096);
+        let s8 = fixed_batch_speedup(&cost, &drafter, &acceptance, 8, strategy, 4096);
+        let s32 = fixed_batch_speedup(&cost, &drafter, &acceptance, 32, strategy, 4096);
+        assert!(s1 > s8, "bs1 {s1:.2} should beat bs8 {s8:.2}");
+        assert!(s8 > s32, "bs8 {s8:.2} should beat bs32 {s32:.2}");
+        assert!(s1 > 2.0, "bs=1 speedup should be >2x, got {s1:.2}");
+        assert!(s32 > 1.0, "SD should still help at bs=32, got {s32:.2}");
+    }
+
+    #[test]
+    fn table4_shape_large_batches_prefer_fewer_verify_tokens() {
+        let cost = qwen32b_cost();
+        let drafter = cost.model.eagle_drafter();
+        let acceptance = AcceptanceProfile::adaptive_drafter();
+        let mk = |verify| SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: verify };
+        // At batch 32 a small verification budget wins; at batch 1 a large one wins.
+        let small_batch_big_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, mk(64), 4096);
+        let small_batch_small_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, mk(16), 4096);
+        assert!(small_batch_big_verify > small_batch_small_verify);
+        let big_batch_big_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 32, mk(64), 4096);
+        let big_batch_small_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 32, mk(16), 4096);
+        assert!(big_batch_small_verify > big_batch_big_verify);
+    }
+
+    #[test]
+    fn table2_shape_weaker_gpus_gain_more() {
+        let spec = ModelSpec::qwen2_5_7b();
+        let strategy = SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 48 };
+        let acceptance = AcceptanceProfile::adaptive_drafter();
+        let ratio = |gpu: GpuType| {
+            let cost = LlmCostModel::new(spec.clone(), gpu.spec(), 1);
+            let drafter = cost.model.eagle_drafter();
+            let (with_sd, without) =
+                single_request_throughput(&cost, &drafter, &acceptance, strategy, 256, 2048);
+            with_sd / without
+        };
+        let h100 = ratio(GpuType::H100);
+        let rtx3090 = ratio(GpuType::Rtx3090);
+        assert!(h100 > 1.8, "H100 SD speedup {h100:.2}");
+        assert!(rtx3090 > h100, "3090 {rtx3090:.2} should gain more than H100 {h100:.2}");
+    }
+
+    #[test]
+    fn static_sd_with_threshold_behaves_like_elastic() {
+        let cost = qwen32b_cost();
+        let lengths = longtail_lengths(64, 4);
+        let static_mode = SimRolloutConfig::vanilla(cost).with_sd_mode(SdMode::Static {
+            strategy: SdStrategy::default(),
+            threshold: 16,
+        });
+        let profile = simulate_rollout(&static_mode, &lengths);
+        for p in profile.timeline.iter().filter(|p| p.sd_active) {
+            assert!(p.running_requests <= 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cost = qwen32b_cost();
+        let lengths = longtail_lengths(32, 5);
+        let config = SimRolloutConfig::vanilla(cost).with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        });
+        let a = simulate_rollout(&config, &lengths);
+        let b = simulate_rollout(&config, &lengths);
+        assert_eq!(a.total_time_s, b.total_time_s);
+        assert_eq!(a.timeline.len(), b.timeline.len());
+    }
+
+    #[test]
+    fn random_lengths_never_break_accounting() {
+        let cost = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::A100.spec(), 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let lengths: Vec<usize> = (0..16).map(|_| rng.gen_range(1..2000)).collect();
+        let profile = simulate_rollout(&SimRolloutConfig::vanilla(cost), &lengths);
+        assert_eq!(profile.total_tokens, lengths.iter().sum::<usize>());
+        assert!(profile.total_time_s > 0.0);
+        assert!(profile.throughput_tokens_per_s > 0.0);
+    }
+}

@@ -1,0 +1,590 @@
+//! Token-level speculative decoding with lossless verification.
+//!
+//! This module runs real speculative decoding against the tiny target model: the
+//! drafter (learned EAGLE-style or model-free n-gram) proposes a chain of tokens,
+//! the target verifies them in one forward pass, and the standard rejection-sampling
+//! rule (Leviathan et al.) accepts a prefix and resamples at the first mismatch —
+//! guaranteeing that the output distribution is *identical* to vanilla decoding,
+//! which is the paper's core "lossless" requirement.
+//!
+//! Tree drafting and batched verification are modelled analytically for the
+//! timing-level simulations (see `tlt_draft::AcceptanceProfile` and
+//! [`crate::sim_engine`]); the token-level engine here uses chain drafting, which is
+//! sufficient to measure acceptance behaviour and to property-test losslessness.
+
+use crate::ngram::NgramDrafter;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tlt_draft::{DraftModel, FeatureSource};
+use tlt_model::{
+    probs_from_logits, sample_from_probs, sample_from_residual, Mat, SamplingParams, TinyLm,
+    TokenId,
+};
+
+/// A speculative-decoding configuration tuple — the "arm" of the BEG-MAB tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SdStrategy {
+    /// Number of sequential drafter steps per speculative round.
+    pub draft_depth: usize,
+    /// Tree top-K (branching factor) used by tree drafting.
+    pub top_k: usize,
+    /// Number of drafted tree tokens submitted to the target for verification.
+    pub tokens_to_verify: usize,
+}
+
+impl SdStrategy {
+    /// The default strategy set used by the adaptive rollout engine, ordered from
+    /// small-batch-friendly (deep, wide verification) to large-batch-friendly.
+    pub fn default_set() -> Vec<SdStrategy> {
+        vec![
+            SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 64 },
+            SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 48 },
+            SdStrategy { draft_depth: 6, top_k: 8, tokens_to_verify: 32 },
+            SdStrategy { draft_depth: 4, top_k: 8, tokens_to_verify: 16 },
+        ]
+    }
+}
+
+impl Default for SdStrategy {
+    fn default() -> Self {
+        SdStrategy {
+            draft_depth: 6,
+            top_k: 8,
+            tokens_to_verify: 48,
+        }
+    }
+}
+
+/// Which drafter proposes tokens.
+#[derive(Debug)]
+pub enum SpecDrafter<'a> {
+    /// Learned EAGLE-style drafter (must use [`FeatureSource::LastLayer`]).
+    Learned(&'a DraftModel),
+    /// Model-free n-gram retrieval drafter.
+    ModelFree(&'a NgramDrafter),
+}
+
+/// Outcome of generating one response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationResult {
+    /// Generated (response) tokens, excluding the prompt.
+    pub tokens: Vec<TokenId>,
+    /// Number of target forward passes (decode or verify steps).
+    pub target_steps: usize,
+    /// Tokens committed per verification step (speculative runs only).
+    pub accept_lengths: Vec<usize>,
+    /// Per-draft-position acceptance counts: `attempts[i]` / `accepted[i]` give the
+    /// Figure-16 style accept rate at drafted position `i`.
+    pub position_attempts: Vec<usize>,
+    /// Accepted counts per drafted position.
+    pub position_accepted: Vec<usize>,
+}
+
+impl GenerationResult {
+    /// Mean number of tokens committed per verification step.
+    pub fn mean_accept_length(&self) -> f64 {
+        if self.accept_lengths.is_empty() {
+            1.0
+        } else {
+            self.accept_lengths.iter().sum::<usize>() as f64 / self.accept_lengths.len() as f64
+        }
+    }
+
+    /// Acceptance rate at drafted position `i`, if measured.
+    pub fn accept_rate_at(&self, i: usize) -> Option<f64> {
+        let attempts = *self.position_attempts.get(i)?;
+        if attempts == 0 {
+            return None;
+        }
+        Some(self.position_accepted[i] as f64 / attempts as f64)
+    }
+}
+
+/// Generates `max_new` tokens autoregressively with the target model only.
+pub fn vanilla_generate<R: Rng>(
+    target: &TinyLm,
+    prompt: &[TokenId],
+    max_new: usize,
+    params: SamplingParams,
+    eos: Option<TokenId>,
+    rng: &mut R,
+) -> GenerationResult {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    let mut cache = target.new_cache();
+    let mut out = target.forward(prompt, &mut cache, false);
+    let mut tokens = Vec::new();
+    let mut steps = 0usize;
+    for _ in 0..max_new {
+        let last_row = out.logits.rows() - 1;
+        let probs = probs_from_logits(out.logits.row(last_row), params);
+        let next = sample_from_probs(&probs, rng) as TokenId;
+        tokens.push(next);
+        steps += 1;
+        if Some(next) == eos {
+            break;
+        }
+        if cache.seq_len() + 1 >= target.config.max_seq_len {
+            break;
+        }
+        out = target.forward(&[next], &mut cache, false);
+    }
+    GenerationResult {
+        tokens,
+        target_steps: steps,
+        accept_lengths: Vec::new(),
+        position_attempts: Vec::new(),
+        position_accepted: Vec::new(),
+    }
+}
+
+/// Generates `max_new` tokens with chain speculative decoding, verifying against the
+/// target with lossless rejection sampling.
+///
+/// # Panics
+///
+/// Panics if the prompt is empty or a learned drafter with a multi-layer feature
+/// source is supplied (the token-level engine supports last-layer drafters).
+pub fn speculative_generate<R: Rng>(
+    target: &TinyLm,
+    drafter: &SpecDrafter<'_>,
+    prompt: &[TokenId],
+    max_new: usize,
+    strategy: SdStrategy,
+    params: SamplingParams,
+    eos: Option<TokenId>,
+    rng: &mut R,
+) -> GenerationResult {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    if let SpecDrafter::Learned(model) = drafter {
+        assert_eq!(
+            model.feature_source,
+            FeatureSource::LastLayer,
+            "token-level engine requires a last-layer drafter"
+        );
+    }
+    let depth = strategy.draft_depth.max(1);
+
+    let mut cache = target.new_cache();
+    let prefill = target.forward(prompt, &mut cache, true);
+    let mut features = FeatureSource::LastLayer.extract(&prefill.layer_outputs.expect("hidden"));
+    let mut all_tokens: Vec<TokenId> = prompt.to_vec();
+
+    // Sample the first generated token from the prompt's final distribution; it
+    // becomes the "pending" token (committed but not yet in the target KV cache).
+    let first_probs = probs_from_logits(prefill.logits.row(prefill.logits.rows() - 1), params);
+    let mut pending: TokenId = sample_from_probs(&first_probs, rng) as TokenId;
+    let mut generated: Vec<TokenId> = vec![pending];
+
+    let mut accept_lengths = Vec::new();
+    let mut position_attempts = vec![0usize; depth];
+    let mut position_accepted = vec![0usize; depth];
+    let mut target_steps = 1usize; // the prefill produced one sampled token
+
+    while generated.len() < max_new && Some(pending) != eos {
+        // Budget left, bounded by the model's positional table.
+        let room = target
+            .config
+            .max_seq_len
+            .saturating_sub(cache.seq_len() + 1)
+            .min(max_new - generated.len());
+        if room == 0 {
+            break;
+        }
+        let draft_len = depth.min(room.saturating_sub(1));
+
+        // --- Drafting stage ---
+        let mut draft_tokens: Vec<TokenId> = Vec::with_capacity(draft_len);
+        let mut draft_dists: Vec<Vec<f32>> = Vec::with_capacity(draft_len);
+        match drafter {
+            SpecDrafter::Learned(model) => {
+                all_tokens.push(pending);
+                let mut state = model.begin_draft(target, &features, &all_tokens[..features.rows()]);
+                all_tokens.pop();
+                let mut last = pending;
+                for _ in 0..draft_len {
+                    let logits = model.draft_step(target, &mut state, last);
+                    let probs = probs_from_logits(&logits, params);
+                    let tok = sample_from_probs(&probs, rng) as TokenId;
+                    draft_dists.push(probs);
+                    draft_tokens.push(tok);
+                    last = tok;
+                }
+            }
+            SpecDrafter::ModelFree(ngram) => {
+                let mut context: Vec<TokenId> = all_tokens.clone();
+                context.push(pending);
+                let proposed = ngram.draft(&context);
+                for tok in proposed.into_iter().take(draft_len) {
+                    let mut one_hot = vec![0.0f32; target.config.vocab_size];
+                    one_hot[tok as usize] = 1.0;
+                    draft_dists.push(one_hot);
+                    draft_tokens.push(tok);
+                }
+            }
+        }
+
+        // --- Verification stage: target processes [pending, d_1, ..., d_k] at once ---
+        let mut block: Vec<TokenId> = Vec::with_capacity(draft_tokens.len() + 1);
+        block.push(pending);
+        block.extend_from_slice(&draft_tokens);
+        let pre_verify_len = cache.seq_len();
+        let out = target.forward(&block, &mut cache, true);
+        target_steps += 1;
+        let block_features =
+            FeatureSource::LastLayer.extract(&out.layer_outputs.expect("hidden requested"));
+
+        // Accept/reject drafted tokens with lossless rejection sampling.
+        let mut accepted = 0usize;
+        let mut next_pending: Option<TokenId> = None;
+        for (i, &tok) in draft_tokens.iter().enumerate() {
+            let target_probs = probs_from_logits(out.logits.row(i), params);
+            let q = &draft_dists[i];
+            position_attempts[i] += 1;
+            let p_tok = target_probs[tok as usize];
+            let q_tok = q[tok as usize].max(f32::EPSILON);
+            let accept = if params.is_greedy() {
+                p_tok >= 1.0 - f32::EPSILON
+            } else {
+                rng.gen::<f32>() < (p_tok / q_tok).min(1.0)
+            };
+            if accept {
+                accepted += 1;
+                position_accepted[i] += 1;
+            } else {
+                let replacement = if params.is_greedy() {
+                    tlt_model::argmax(&target_probs) as TokenId
+                } else {
+                    sample_from_residual(&target_probs, q, rng) as TokenId
+                };
+                next_pending = Some(replacement);
+                break;
+            }
+        }
+        if next_pending.is_none() {
+            // Every drafted token accepted: sample the bonus token from the target's
+            // distribution after the last drafted token.
+            let bonus_probs = probs_from_logits(out.logits.row(draft_tokens.len()), params);
+            next_pending = Some(sample_from_probs(&bonus_probs, rng) as TokenId);
+        }
+        let next_pending = next_pending.expect("pending token chosen");
+
+        // Commit: pending + accepted drafted tokens enter the sequence; roll the KV
+        // cache back past the rejected suffix.
+        let committed_in_block = 1 + accepted;
+        cache.truncate(pre_verify_len + committed_in_block);
+        all_tokens.push(pending);
+        all_tokens.extend_from_slice(&draft_tokens[..accepted]);
+        features = Mat::vstack(&[&features, &block_features.slice_rows(0, committed_in_block)]);
+
+        for &tok in &draft_tokens[..accepted] {
+            generated.push(tok);
+        }
+        accept_lengths.push(accepted + 1);
+        if generated.len() < max_new {
+            generated.push(next_pending);
+        }
+        pending = next_pending;
+
+        // Early exit when an accepted token is EOS.
+        if let Some(e) = eos {
+            if let Some(pos) = generated.iter().position(|&t| t == e) {
+                generated.truncate(pos + 1);
+                break;
+            }
+        }
+    }
+
+    generated.truncate(max_new);
+    GenerationResult {
+        tokens: generated,
+        target_steps,
+        accept_lengths,
+        position_attempts,
+        position_accepted,
+    }
+}
+
+/// Measures per-position acceptance rates of a drafter against a target over a set of
+/// prompts, returning one rate per drafted position (Figure 16 / Table 6 measurements).
+pub fn measure_acceptance<R: Rng>(
+    target: &TinyLm,
+    drafter: &SpecDrafter<'_>,
+    prompts: &[Vec<TokenId>],
+    max_new: usize,
+    strategy: SdStrategy,
+    params: SamplingParams,
+    rng: &mut R,
+) -> (Vec<f64>, f64) {
+    let mut attempts = vec![0usize; strategy.draft_depth];
+    let mut accepted = vec![0usize; strategy.draft_depth];
+    let mut accept_len_sum = 0.0;
+    let mut accept_len_count = 0usize;
+    for prompt in prompts {
+        let result = speculative_generate(target, drafter, prompt, max_new, strategy, params, None, rng);
+        for i in 0..strategy.draft_depth {
+            attempts[i] += result.position_attempts.get(i).copied().unwrap_or(0);
+            accepted[i] += result.position_accepted.get(i).copied().unwrap_or(0);
+        }
+        accept_len_sum += result.accept_lengths.iter().sum::<usize>() as f64;
+        accept_len_count += result.accept_lengths.len();
+    }
+    let rates = attempts
+        .iter()
+        .zip(accepted.iter())
+        .map(|(&a, &acc)| if a == 0 { 0.0 } else { acc as f64 / a as f64 })
+        .collect();
+    let mean_accept = if accept_len_count == 0 {
+        1.0
+    } else {
+        accept_len_sum / accept_len_count as f64
+    };
+    (rates, mean_accept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tlt_model::ModelConfig;
+
+    fn setup() -> (TinyLm, DraftModel) {
+        let target = TinyLm::new(ModelConfig::micro(), 40);
+        let drafter = DraftModel::new(&target, FeatureSource::LastLayer, 4);
+        (target, drafter)
+    }
+
+    #[test]
+    fn greedy_speculative_output_identical_to_vanilla() {
+        // The losslessness guarantee, in its strongest observable form: under greedy
+        // decoding the speculative engine must emit exactly the vanilla sequence.
+        let (target, drafter) = setup();
+        let params = SamplingParams::greedy();
+        for seed in 0..5u64 {
+            let prompt: Vec<TokenId> = vec![1 + seed as u32, 5, 9, 2];
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let vanilla = vanilla_generate(&target, &prompt, 24, params, None, &mut rng_a);
+            let spec = speculative_generate(
+                &target,
+                &SpecDrafter::Learned(&drafter),
+                &prompt,
+                24,
+                SdStrategy::default(),
+                params,
+                None,
+                &mut rng_b,
+            );
+            assert_eq!(spec.tokens, vanilla.tokens, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_model_free_output_identical_to_vanilla() {
+        let (target, _) = setup();
+        let params = SamplingParams::greedy();
+        let prompt: Vec<TokenId> = vec![3, 1, 4, 1];
+        let mut rng = StdRng::seed_from_u64(0);
+        let vanilla = vanilla_generate(&target, &prompt, 20, params, None, &mut rng);
+        // Let the n-gram drafter observe the vanilla output so it drafts aggressively.
+        let mut ngram = NgramDrafter::new(crate::ngram::NgramConfig::default());
+        let mut observed = prompt.clone();
+        observed.extend_from_slice(&vanilla.tokens);
+        ngram.observe(&observed);
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = speculative_generate(
+            &target,
+            &SpecDrafter::ModelFree(&ngram),
+            &prompt,
+            20,
+            SdStrategy::default(),
+            params,
+            None,
+            &mut rng,
+        );
+        assert_eq!(spec.tokens, vanilla.tokens);
+        // And the drafter actually helped: fewer target steps than tokens generated.
+        assert!(spec.target_steps < vanilla.target_steps);
+    }
+
+    #[test]
+    fn speculative_uses_fewer_target_steps_than_vanilla() {
+        let (target, drafter) = setup();
+        let params = SamplingParams::greedy();
+        let prompt: Vec<TokenId> = vec![2, 7, 2, 7];
+        let mut rng = StdRng::seed_from_u64(3);
+        let vanilla = vanilla_generate(&target, &prompt, 30, params, None, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = speculative_generate(
+            &target,
+            &SpecDrafter::Learned(&drafter),
+            &prompt,
+            30,
+            SdStrategy::default(),
+            params,
+            None,
+            &mut rng,
+        );
+        assert_eq!(spec.tokens.len(), vanilla.tokens.len());
+        assert!(
+            spec.target_steps <= vanilla.target_steps,
+            "spec {} vs vanilla {}",
+            spec.target_steps,
+            vanilla.target_steps
+        );
+        assert!(spec.mean_accept_length() >= 1.0);
+    }
+
+    #[test]
+    fn sampled_speculative_matches_vanilla_marginals() {
+        // Distributional losslessness under temperature sampling: the marginal
+        // frequency of the first generated token must match vanilla decoding.
+        let (target, drafter) = setup();
+        let params = SamplingParams {
+            temperature: 1.0,
+            top_k: None,
+        };
+        let prompt: Vec<TokenId> = vec![1, 2, 3];
+        let trials = 3000;
+        let vocab = target.config.vocab_size;
+        // Compare the marginal of the third generated token, which is produced by the
+        // accept/reject path (not just the prefill sample).
+        let mut vanilla_counts = vec![0usize; vocab];
+        let mut spec_counts = vec![0usize; vocab];
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let v = vanilla_generate(&target, &prompt, 4, params, None, &mut rng);
+            vanilla_counts[v.tokens[2] as usize] += 1;
+            let mut rng = StdRng::seed_from_u64(500_000 + seed);
+            let s = speculative_generate(
+                &target,
+                &SpecDrafter::Learned(&drafter),
+                &prompt,
+                4,
+                SdStrategy::default(),
+                params,
+                None,
+                &mut rng,
+            );
+            spec_counts[s.tokens[2] as usize] += 1;
+        }
+        // Total-variation distance between the two empirical marginals must be small.
+        let tv: f64 = vanilla_counts
+            .iter()
+            .zip(spec_counts.iter())
+            .map(|(&a, &b)| ((a as f64 - b as f64) / trials as f64).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 0.15, "total-variation distance too large: {tv}");
+    }
+
+    #[test]
+    fn respects_max_new_and_eos() {
+        let (target, drafter) = setup();
+        let params = SamplingParams::greedy();
+        let prompt: Vec<TokenId> = vec![1, 2];
+        let mut rng = StdRng::seed_from_u64(9);
+        let result = speculative_generate(
+            &target,
+            &SpecDrafter::Learned(&drafter),
+            &prompt,
+            7,
+            SdStrategy::default(),
+            params,
+            None,
+            &mut rng,
+        );
+        assert!(result.tokens.len() <= 7);
+        // With EOS = the first generated token, generation stops immediately after it.
+        let eos = result.tokens[0];
+        let mut rng = StdRng::seed_from_u64(9);
+        let with_eos = speculative_generate(
+            &target,
+            &SpecDrafter::Learned(&drafter),
+            &prompt,
+            7,
+            SdStrategy::default(),
+            params,
+            Some(eos),
+            &mut rng,
+        );
+        assert_eq!(with_eos.tokens.iter().filter(|&&t| t == eos).count(), 1);
+        assert_eq!(*with_eos.tokens.last().unwrap(), eos);
+    }
+
+    #[test]
+    fn trained_drafter_achieves_higher_acceptance_than_untrained() {
+        let (target, untrained) = setup();
+        // Train a drafter on target rollouts.
+        let mut trainer = tlt_draft::DrafterTrainer::new(&target, tlt_draft::TrainerConfig::default(), 8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = SamplingParams::greedy();
+        let mut samples = Vec::new();
+        for i in 0..6u64 {
+            let prompt: Vec<TokenId> = vec![(i % 7) as u32 + 1, 3, 5];
+            let gen = vanilla_generate(&target, &prompt, 20, params, None, &mut rng);
+            let mut tokens = prompt.clone();
+            tokens.extend_from_slice(&gen.tokens);
+            samples.push(tlt_draft::TrainingSample::from_rollout(
+                &target,
+                FeatureSource::LastLayer,
+                &tokens,
+                gen.tokens.len(),
+                0,
+                i,
+            ));
+        }
+        let refs: Vec<&tlt_draft::TrainingSample> = samples.iter().collect();
+        for _ in 0..40 {
+            trainer.train_iteration(&target, &refs);
+        }
+        let prompts: Vec<Vec<TokenId>> = (0..4u32).map(|i| vec![i + 1, 3, 5]).collect();
+        let strategy = SdStrategy { draft_depth: 4, top_k: 1, tokens_to_verify: 4 };
+        let mut rng = StdRng::seed_from_u64(21);
+        let (_, untrained_accept) = measure_acceptance(
+            &target,
+            &SpecDrafter::Learned(&untrained),
+            &prompts,
+            20,
+            strategy,
+            params,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(21);
+        let (_, trained_accept) = measure_acceptance(
+            &target,
+            &SpecDrafter::Learned(&trainer.drafter),
+            &prompts,
+            20,
+            strategy,
+            params,
+            &mut rng,
+        );
+        assert!(
+            trained_accept > untrained_accept,
+            "training should raise accept length: {untrained_accept:.2} -> {trained_accept:.2}"
+        );
+    }
+
+    #[test]
+    fn accept_rate_by_position_is_monotone_non_increasing_for_untrained() {
+        let (target, drafter) = setup();
+        let prompts: Vec<Vec<TokenId>> = (0..4u32).map(|i| vec![i + 1, 2, 3]).collect();
+        let mut rng = StdRng::seed_from_u64(31);
+        let (rates, _) = measure_acceptance(
+            &target,
+            &SpecDrafter::Learned(&drafter),
+            &prompts,
+            16,
+            SdStrategy { draft_depth: 5, top_k: 1, tokens_to_verify: 5 },
+            SamplingParams::greedy(),
+            &mut rng,
+        );
+        assert_eq!(rates.len(), 5);
+        // Later positions can only be attempted after earlier acceptances, so the
+        // measured rates are a valid per-position profile (all within [0, 1]).
+        for r in rates {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # tlt-workload
+//!
+//! Workload generation for the TLT reproduction: long-tail response-length
+//! distributions (Figure 1a / Figure 2), synthetic verifiable reasoning tasks that
+//! play the role of the paper's Eurus-2-RL dataset for the tiny-model substrate, and
+//! ByteDance-style production trace synthesis.
+//!
+//! ```
+//! use tlt_workload::{LengthDistribution, LengthStats};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let lengths = LengthDistribution::paper_fig1().sample_many(1000, &mut rng);
+//! let stats = LengthStats::from_lengths(&lengths);
+//! assert!(stats.max as f64 > 3.0 * stats.p75); // long tail
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod longtail;
+pub mod tasks;
+pub mod trace;
+
+pub use longtail::{length_histogram, percentile, LengthDistribution, LengthStats};
+pub use tasks::{ReasoningTask, TaskGenerator, Vocabulary};
+pub use trace::{synthesize_bytedance_trace, TraceConfig, TraceStep, TraceSummary};

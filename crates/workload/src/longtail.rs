@@ -1,0 +1,327 @@
+//! Long-tail response-length distributions.
+//!
+//! The paper's central observation (Figure 1a, Figure 2) is that reasoning-RL rollout
+//! lengths follow a persistent long-tail distribution: most responses are short, a
+//! few hit the configured maximum, and the gap between the p75 and the maximum is the
+//! under-utilised zone that TLT harvests. This module provides seeded generators for
+//! such length distributions plus the percentile utilities used throughout the
+//! benchmarks.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A response-length distribution with an enforced maximum generation length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LengthDistribution {
+    /// Log-normal body: `exp(N(mu, sigma))`, truncated at `max_len`.
+    LogNormal {
+        /// Mean of the underlying normal (log-tokens).
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+        /// Maximum generation length (paper: 20,480 or 32,768).
+        max_len: usize,
+    },
+    /// Pareto (power-law) tail with the given scale (minimum) and shape.
+    Pareto {
+        /// Minimum length.
+        scale: f64,
+        /// Tail exponent (smaller = heavier tail).
+        alpha: f64,
+        /// Maximum generation length.
+        max_len: usize,
+    },
+    /// Mixture of a log-normal body and a probability mass pinned at `max_len`
+    /// (responses that hit the configured cap, as in the ByteDance trace).
+    LongTailMixture {
+        /// Log-normal body mean (log-tokens).
+        mu: f64,
+        /// Log-normal body sigma.
+        sigma: f64,
+        /// Probability that a response runs to the maximum length.
+        truncation_mass: f64,
+        /// Maximum generation length.
+        max_len: usize,
+    },
+    /// Deterministic length (all responses identical); used by ablation benches for
+    /// the "uniformly long responses" discussion case.
+    Constant {
+        /// The fixed length.
+        len: usize,
+    },
+}
+
+impl LengthDistribution {
+    /// The calibration used for Figure 1(a): Qwen-7B style rollouts, 30K max length,
+    /// median of a few thousand tokens and ~2% of responses hitting the cap.
+    pub fn paper_fig1() -> Self {
+        LengthDistribution::LongTailMixture {
+            mu: 7.6,
+            sigma: 0.9,
+            truncation_mass: 0.02,
+            max_len: 30_000,
+        }
+    }
+
+    /// The calibration used for the ByteDance-style trace of Figure 2 at a given
+    /// training progress in `[0, 1]` (lengths grow as RL training progresses).
+    pub fn bytedance_step(progress: f64) -> Self {
+        let p = progress.clamp(0.0, 1.0);
+        LengthDistribution::LongTailMixture {
+            mu: 6.8 + 1.2 * p,
+            sigma: 0.85,
+            truncation_mass: 0.01 + 0.03 * p,
+            max_len: 20_480,
+        }
+    }
+
+    /// Maximum possible sampled length.
+    pub fn max_len(&self) -> usize {
+        match *self {
+            LengthDistribution::LogNormal { max_len, .. } => max_len,
+            LengthDistribution::Pareto { max_len, .. } => max_len,
+            LengthDistribution::LongTailMixture { max_len, .. } => max_len,
+            LengthDistribution::Constant { len } => len,
+        }
+    }
+
+    /// Samples a single response length (at least 1 token).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        match *self {
+            LengthDistribution::LogNormal { mu, sigma, max_len } => {
+                let n = sample_standard_normal(rng);
+                let len = (mu + sigma * n).exp();
+                (len.round() as usize).clamp(1, max_len)
+            }
+            LengthDistribution::Pareto { scale, alpha, max_len } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let len = scale / u.powf(1.0 / alpha);
+                (len.round() as usize).clamp(1, max_len)
+            }
+            LengthDistribution::LongTailMixture {
+                mu,
+                sigma,
+                truncation_mass,
+                max_len,
+            } => {
+                if rng.gen_bool(truncation_mass.clamp(0.0, 1.0)) {
+                    max_len
+                } else {
+                    let n = sample_standard_normal(rng);
+                    let len = (mu + sigma * n).exp();
+                    (len.round() as usize).clamp(1, max_len)
+                }
+            }
+            LengthDistribution::Constant { len } => len.max(1),
+        }
+    }
+
+    /// Samples `n` response lengths.
+    pub fn sample_many<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Draws a standard normal variate via Box–Muller.
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Percentile of a sample (linear interpolation between order statistics).
+///
+/// `q` is in `[0, 100]`. Returns `0.0` for an empty slice.
+pub fn percentile(values: &[usize], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = values.to_vec();
+    sorted.sort_unstable();
+    let q = q.clamp(0.0, 100.0) / 100.0;
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo] as f64
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+    }
+}
+
+/// Summary statistics of a batch of response lengths (the quantities plotted in the
+/// paper's Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthStats {
+    /// Number of responses.
+    pub count: usize,
+    /// Minimum length.
+    pub min: usize,
+    /// Median (p50).
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum length.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LengthStats {
+    /// Computes statistics over `lengths`. Returns an all-zero struct when empty.
+    pub fn from_lengths(lengths: &[usize]) -> Self {
+        if lengths.is_empty() {
+            return LengthStats {
+                count: 0,
+                min: 0,
+                p50: 0.0,
+                p75: 0.0,
+                p95: 0.0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        LengthStats {
+            count: lengths.len(),
+            min: *lengths.iter().min().expect("non-empty"),
+            p50: percentile(lengths, 50.0),
+            p75: percentile(lengths, 75.0),
+            p95: percentile(lengths, 95.0),
+            max: *lengths.iter().max().expect("non-empty"),
+            mean: lengths.iter().sum::<usize>() as f64 / lengths.len() as f64,
+        }
+    }
+
+    /// The "under-utilised zone" of Figure 2: the gap between the longest response
+    /// and the p75, normalised by the maximum. Large values mean most workers sit
+    /// idle while the longest response finishes.
+    pub fn underutilized_fraction(&self) -> f64 {
+        if self.max == 0 {
+            0.0
+        } else {
+            (self.max as f64 - self.p75) / self.max as f64
+        }
+    }
+}
+
+/// Builds a histogram (PDF) of lengths with `num_bins` equal-width bins up to
+/// `max_len`; returns `(bin_upper_edges, fraction_per_bin)`.
+pub fn length_histogram(lengths: &[usize], max_len: usize, num_bins: usize) -> (Vec<usize>, Vec<f64>) {
+    assert!(num_bins > 0, "need at least one bin");
+    let width = (max_len.max(1) as f64 / num_bins as f64).ceil() as usize;
+    let mut counts = vec![0usize; num_bins];
+    for &len in lengths {
+        let bin = (len / width.max(1)).min(num_bins - 1);
+        counts[bin] += 1;
+    }
+    let total = lengths.len().max(1) as f64;
+    let edges: Vec<usize> = (1..=num_bins).map(|i| i * width).collect();
+    let fractions: Vec<f64> = counts.iter().map(|&c| c as f64 / total).collect();
+    (edges, fractions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_max_len() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dist = LengthDistribution::paper_fig1();
+        for len in dist.sample_many(5000, &mut rng) {
+            assert!(len >= 1 && len <= dist.max_len());
+        }
+    }
+
+    #[test]
+    fn fig1_distribution_is_long_tailed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = LengthDistribution::paper_fig1();
+        let lengths = dist.sample_many(20_000, &mut rng);
+        let stats = LengthStats::from_lengths(&lengths);
+        // A few responses hit the cap...
+        assert_eq!(stats.max, 30_000);
+        // ...but the p75 is far below it (the under-utilised zone of Figure 2).
+        assert!(stats.p75 < 10_000.0, "p75 = {}", stats.p75);
+        assert!(stats.underutilized_fraction() > 0.5);
+        // Median is in the low thousands as in the paper's Figure 1(a).
+        assert!((500.0..8000.0).contains(&stats.p50), "p50 = {}", stats.p50);
+    }
+
+    #[test]
+    fn bytedance_lengths_grow_with_training_progress() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let early = LengthDistribution::bytedance_step(0.0).sample_many(5000, &mut rng);
+        let late = LengthDistribution::bytedance_step(1.0).sample_many(5000, &mut rng);
+        let e = LengthStats::from_lengths(&early);
+        let l = LengthStats::from_lengths(&late);
+        assert!(l.p50 > e.p50);
+        assert!(l.max >= e.max);
+    }
+
+    #[test]
+    fn pareto_tail_heavier_than_lognormal_at_same_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pareto = LengthDistribution::Pareto {
+            scale: 500.0,
+            alpha: 1.2,
+            max_len: 30_000,
+        };
+        let lengths = pareto.sample_many(10_000, &mut rng);
+        let stats = LengthStats::from_lengths(&lengths);
+        assert!(stats.p95 > 3.0 * stats.p50);
+    }
+
+    #[test]
+    fn constant_distribution_has_no_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dist = LengthDistribution::Constant { len: 1000 };
+        let lengths = dist.sample_many(100, &mut rng);
+        let stats = LengthStats::from_lengths(&lengths);
+        assert_eq!(stats.min, 1000);
+        assert_eq!(stats.max, 1000);
+        assert_eq!(stats.underutilized_fraction(), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let values = vec![10, 20, 30, 40];
+        assert_eq!(percentile(&values, 0.0), 10.0);
+        assert_eq!(percentile(&values, 100.0), 40.0);
+        assert_eq!(percentile(&values, 50.0), 25.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = LengthDistribution::paper_fig1();
+        let lengths = dist.sample_many(2000, &mut rng);
+        let (edges, fracs) = length_histogram(&lengths, 30_000, 30);
+        assert_eq!(edges.len(), 30);
+        let total: f64 = fracs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Mass concentrated in the early bins.
+        assert!(fracs[..10].iter().sum::<f64>() > 0.6);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = LengthStats::from_lengths(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.max, 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let dist = LengthDistribution::paper_fig1();
+        let a = dist.sample_many(100, &mut StdRng::seed_from_u64(7));
+        let b = dist.sample_many(100, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,289 @@
+//! Synthetic verifiable reasoning tasks for the tiny-model RL substrate.
+//!
+//! The paper trains on Eurus-2-RL (math/coding problems with rule-based verifiers).
+//! Those datasets and their verifiers target full-size LLMs; for the tiny
+//! transformer we substitute modular-arithmetic chain problems with the same
+//! *structure*: a prompt posing a question, a free-form "reasoning" region the policy
+//! may fill arbitrarily, and a rule-based verifier that checks only the final answer
+//! — exactly the reward shape GRPO consumes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tlt_model::TokenId;
+
+/// Special-token layout of the synthetic vocabulary.
+///
+/// Token ids `0..modulus` are the digits; the named constants below follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    /// Number of digit tokens (the arithmetic is performed modulo this value).
+    pub modulus: u32,
+}
+
+impl Vocabulary {
+    /// Creates the vocabulary layout for a model with `vocab_size` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary cannot hold at least 4 digits plus the special tokens.
+    pub fn for_vocab_size(vocab_size: usize) -> Self {
+        assert!(vocab_size >= 16, "vocab too small for reasoning tasks");
+        let modulus = (vocab_size as u32 - 6).min(10);
+        Vocabulary { modulus }
+    }
+
+    /// "Beginning of sequence" token.
+    pub fn bos(&self) -> TokenId {
+        self.modulus
+    }
+    /// Addition operator token.
+    pub fn plus(&self) -> TokenId {
+        self.modulus + 1
+    }
+    /// Equality token separating question from response.
+    pub fn equals(&self) -> TokenId {
+        self.modulus + 2
+    }
+    /// Marker preceding the final answer digit.
+    pub fn answer_marker(&self) -> TokenId {
+        self.modulus + 3
+    }
+    /// End-of-sequence token.
+    pub fn eos(&self) -> TokenId {
+        self.modulus + 4
+    }
+    /// Filler "thinking" token the policy may emit freely.
+    pub fn think(&self) -> TokenId {
+        self.modulus + 5
+    }
+    /// Total number of token ids used by the task encoding.
+    pub fn used_tokens(&self) -> usize {
+        (self.modulus + 6) as usize
+    }
+}
+
+/// One verifiable reasoning problem: compute the sum of `operands` modulo the
+/// vocabulary modulus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReasoningTask {
+    /// Vocabulary layout used to encode the task.
+    pub vocab: Vocabulary,
+    /// The digit operands.
+    pub operands: Vec<u32>,
+    /// Unique task identifier.
+    pub id: u64,
+}
+
+impl ReasoningTask {
+    /// The correct answer digit.
+    pub fn answer(&self) -> u32 {
+        self.operands.iter().sum::<u32>() % self.vocab.modulus
+    }
+
+    /// Encodes the prompt: `BOS d1 + d2 + ... + dn =`.
+    pub fn prompt_tokens(&self) -> Vec<TokenId> {
+        let mut tokens = vec![self.vocab.bos()];
+        for (i, &d) in self.operands.iter().enumerate() {
+            if i > 0 {
+                tokens.push(self.vocab.plus());
+            }
+            tokens.push(d);
+        }
+        tokens.push(self.vocab.equals());
+        tokens
+    }
+
+    /// A gold response with `think_len` filler tokens before the answer — used for
+    /// warm-up supervision and tests.
+    pub fn gold_response(&self, think_len: usize) -> Vec<TokenId> {
+        let mut tokens = Vec::with_capacity(think_len + 3);
+        tokens.extend(std::iter::repeat(self.vocab.think()).take(think_len));
+        tokens.push(self.vocab.answer_marker());
+        tokens.push(self.answer());
+        tokens.push(self.vocab.eos());
+        tokens
+    }
+
+    /// Rule-based verifier: the response is correct iff the token immediately after
+    /// the *last* answer marker equals the correct digit. This mirrors the paper's
+    /// rule-based reward ("correctness of the final answer"), allowing arbitrary
+    /// reasoning content before it.
+    pub fn verify(&self, response: &[TokenId]) -> bool {
+        let marker = self.vocab.answer_marker();
+        let Some(pos) = response.iter().rposition(|&t| t == marker) else {
+            return false;
+        };
+        response.get(pos + 1) == Some(&self.answer())
+    }
+
+    /// Reward of a response: 1.0 when correct, 0.0 otherwise (the paper's rule-based
+    /// reward policy, §2.1 Phase 2).
+    pub fn reward(&self, response: &[TokenId]) -> f32 {
+        if self.verify(response) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Generator of random [`ReasoningTask`]s.
+#[derive(Debug, Clone)]
+pub struct TaskGenerator {
+    vocab: Vocabulary,
+    min_operands: usize,
+    max_operands: usize,
+    next_id: u64,
+}
+
+impl TaskGenerator {
+    /// Creates a generator for a model with the given vocabulary size.
+    pub fn new(vocab_size: usize) -> Self {
+        TaskGenerator {
+            vocab: Vocabulary::for_vocab_size(vocab_size),
+            min_operands: 2,
+            max_operands: 4,
+            next_id: 0,
+        }
+    }
+
+    /// Sets the operand-count range (more operands = harder tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or greater than `max`.
+    pub fn with_operand_range(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max, "invalid operand range");
+        self.min_operands = min;
+        self.max_operands = max;
+        self
+    }
+
+    /// Vocabulary layout used by generated tasks.
+    pub fn vocabulary(&self) -> Vocabulary {
+        self.vocab
+    }
+
+    /// Generates one task.
+    pub fn generate<R: Rng>(&mut self, rng: &mut R) -> ReasoningTask {
+        let n = rng.gen_range(self.min_operands..=self.max_operands);
+        let operands = (0..n).map(|_| rng.gen_range(0..self.vocab.modulus)).collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        ReasoningTask {
+            vocab: self.vocab,
+            operands,
+            id,
+        }
+    }
+
+    /// Generates a batch of tasks.
+    pub fn generate_batch<R: Rng>(&mut self, n: usize, rng: &mut R) -> Vec<ReasoningTask> {
+        (0..n).map(|_| self.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vocabulary_layout_fits_in_vocab() {
+        let v = Vocabulary::for_vocab_size(32);
+        assert!(v.used_tokens() <= 32);
+        assert_eq!(v.modulus, 10);
+        let small = Vocabulary::for_vocab_size(16);
+        assert!(small.used_tokens() <= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab too small")]
+    fn tiny_vocab_rejected() {
+        let _ = Vocabulary::for_vocab_size(8);
+    }
+
+    #[test]
+    fn prompt_encoding_round_trips_operands() {
+        let mut gen = TaskGenerator::new(32);
+        let mut rng = StdRng::seed_from_u64(0);
+        let task = gen.generate(&mut rng);
+        let prompt = task.prompt_tokens();
+        assert_eq!(prompt[0], task.vocab.bos());
+        assert_eq!(*prompt.last().unwrap(), task.vocab.equals());
+        // Every operand digit appears in the prompt.
+        for &d in &task.operands {
+            assert!(prompt.contains(&d));
+        }
+    }
+
+    #[test]
+    fn gold_response_verifies_correct() {
+        let mut gen = TaskGenerator::new(64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let task = gen.generate(&mut rng);
+            for think in [0, 3, 17] {
+                let response = task.gold_response(think);
+                assert!(task.verify(&response));
+                assert_eq!(task.reward(&response), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_answer_fails_verification() {
+        let mut gen = TaskGenerator::new(32);
+        let mut rng = StdRng::seed_from_u64(2);
+        let task = gen.generate(&mut rng);
+        let mut response = task.gold_response(2);
+        let answer_pos = response.len() - 2;
+        response[answer_pos] = (task.answer() + 1) % task.vocab.modulus;
+        assert!(!task.verify(&response));
+        assert_eq!(task.reward(&response), 0.0);
+    }
+
+    #[test]
+    fn missing_answer_marker_fails_verification() {
+        let mut gen = TaskGenerator::new(32);
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = gen.generate(&mut rng);
+        let response = vec![task.vocab.think(); 5];
+        assert!(!task.verify(&response));
+    }
+
+    #[test]
+    fn last_answer_marker_wins() {
+        // Self-correction behaviour: a model may emit a wrong answer, "reflect", and
+        // then give the right one; only the final answer counts.
+        let mut gen = TaskGenerator::new(32);
+        let mut rng = StdRng::seed_from_u64(4);
+        let task = gen.generate(&mut rng);
+        let wrong = (task.answer() + 3) % task.vocab.modulus;
+        let mut response = vec![task.vocab.answer_marker(), wrong, task.vocab.think()];
+        response.extend(task.gold_response(0));
+        assert!(task.verify(&response));
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed_and_ids_unique() {
+        let mut a = TaskGenerator::new(32);
+        let mut b = TaskGenerator::new(32);
+        let batch_a = a.generate_batch(20, &mut StdRng::seed_from_u64(9));
+        let batch_b = b.generate_batch(20, &mut StdRng::seed_from_u64(9));
+        assert_eq!(batch_a, batch_b);
+        let mut ids: Vec<u64> = batch_a.iter().map(|t| t.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn operand_range_respected() {
+        let mut gen = TaskGenerator::new(64).with_operand_range(3, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            assert_eq!(gen.generate(&mut rng).operands.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Synthesis of production-style RL training traces.
+//!
+//! The paper motivates TLT with a ByteDance production trace (Figure 2): 385 GRPO
+//! steps of Qwen2.5-32B on 128 H20 GPUs over 11 days, showing per-step maximum, p75
+//! and median response lengths with a persistent gap between p75 and the 20,480-token
+//! cap. The real trace is not redistributable, so this module synthesises traces with
+//! the same structure from the long-tail generators.
+
+use crate::longtail::{LengthDistribution, LengthStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Length statistics for one RL training step of a synthesised trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// RL step index.
+    pub step: usize,
+    /// Response-length statistics of the step's rollout batch.
+    pub stats: LengthStats,
+}
+
+/// Configuration of a synthetic production trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of RL steps.
+    pub num_steps: usize,
+    /// Responses generated per step (prompts x group size).
+    pub responses_per_step: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        // Matches the scale of the ByteDance trace in Figure 2.
+        TraceConfig {
+            num_steps: 385,
+            responses_per_step: 512,
+            seed: 2026,
+        }
+    }
+}
+
+/// Synthesises a ByteDance-style trace: response lengths grow over training while the
+/// maximum repeatedly hits the configured cap.
+pub fn synthesize_bytedance_trace(config: TraceConfig) -> Vec<TraceStep> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut steps = Vec::with_capacity(config.num_steps);
+    for step in 0..config.num_steps {
+        let progress = if config.num_steps <= 1 {
+            0.0
+        } else {
+            step as f64 / (config.num_steps - 1) as f64
+        };
+        let dist = LengthDistribution::bytedance_step(progress);
+        let lengths = dist.sample_many(config.responses_per_step, &mut rng);
+        steps.push(TraceStep {
+            step,
+            stats: LengthStats::from_lengths(&lengths),
+        });
+    }
+    steps
+}
+
+/// Aggregate view over a synthesised trace (used by the Figure 2 experiment output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of steps.
+    pub num_steps: usize,
+    /// Fraction of steps whose maximum response hit the length cap.
+    pub steps_hitting_cap: f64,
+    /// Mean p75 across steps.
+    pub mean_p75: f64,
+    /// Mean median across steps.
+    pub mean_p50: f64,
+    /// Mean under-utilised fraction ( (max - p75) / max ).
+    pub mean_underutilized: f64,
+}
+
+impl TraceSummary {
+    /// Summarises a trace. Returns zeros for an empty trace.
+    pub fn from_trace(trace: &[TraceStep]) -> Self {
+        if trace.is_empty() {
+            return TraceSummary {
+                num_steps: 0,
+                steps_hitting_cap: 0.0,
+                mean_p75: 0.0,
+                mean_p50: 0.0,
+                mean_underutilized: 0.0,
+            };
+        }
+        let cap = trace.iter().map(|s| s.stats.max).max().unwrap_or(0);
+        let n = trace.len() as f64;
+        TraceSummary {
+            num_steps: trace.len(),
+            steps_hitting_cap: trace.iter().filter(|s| s.stats.max >= cap).count() as f64 / n,
+            mean_p75: trace.iter().map(|s| s.stats.p75).sum::<f64>() / n,
+            mean_p50: trace.iter().map(|s| s.stats.p50).sum::<f64>() / n,
+            mean_underutilized: trace.iter().map(|s| s.stats.underutilized_fraction()).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_requested_length_and_is_deterministic() {
+        let config = TraceConfig {
+            num_steps: 50,
+            responses_per_step: 128,
+            seed: 1,
+        };
+        let a = synthesize_bytedance_trace(config);
+        let b = synthesize_bytedance_trace(config);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn persistent_long_tail_across_steps() {
+        // Figure 2's key property: in most steps a few responses reach the cap while
+        // the p75 stays far below it.
+        let trace = synthesize_bytedance_trace(TraceConfig {
+            num_steps: 100,
+            responses_per_step: 512,
+            seed: 7,
+        });
+        let summary = TraceSummary::from_trace(&trace);
+        assert!(summary.steps_hitting_cap > 0.5, "cap-hit fraction {}", summary.steps_hitting_cap);
+        assert!(summary.mean_underutilized > 0.5);
+        assert!(summary.mean_p75 < 20_480.0 * 0.5);
+    }
+
+    #[test]
+    fn lengths_grow_over_training() {
+        let trace = synthesize_bytedance_trace(TraceConfig {
+            num_steps: 200,
+            responses_per_step: 256,
+            seed: 3,
+        });
+        let early: f64 = trace[..20].iter().map(|s| s.stats.p50).sum::<f64>() / 20.0;
+        let late: f64 = trace[180..].iter().map(|s| s.stats.p50).sum::<f64>() / 20.0;
+        assert!(late > early, "median should grow: early {early} late {late}");
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zero() {
+        let s = TraceSummary::from_trace(&[]);
+        assert_eq!(s.num_steps, 0);
+        assert_eq!(s.mean_p75, 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Adaptive speculative decoding on a simulated Qwen-32B rollout (the Figure 14 case
+//! study): 128 requests with long-tail lengths, elastic SD activation, and BEG-MAB
+//! strategy selection.
+//!
+//! Run with `cargo run -p tlt --release --example adaptive_sd_serving`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlt_gpusim::{GpuType, LlmCostModel};
+use tlt_model::ModelSpec;
+use tlt_rollout::{simulate_rollout, SdManagerConfig, SdMode, SimRolloutConfig};
+use tlt_workload::LengthDistribution;
+
+fn main() {
+    let cost = LlmCostModel::new(ModelSpec::qwen2_5_32b(), GpuType::H100.spec(), 4);
+    let mut rng = StdRng::seed_from_u64(14);
+    let lengths = LengthDistribution::LongTailMixture {
+        mu: 7.0,
+        sigma: 0.9,
+        truncation_mass: 0.02,
+        max_len: 16_384,
+    }
+    .sample_many(128, &mut rng);
+
+    let baseline = simulate_rollout(&SimRolloutConfig::vanilla(cost.clone()), &lengths);
+    let adaptive = simulate_rollout(
+        &SimRolloutConfig::vanilla(cost).with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        }),
+        &lengths,
+    );
+
+    println!("baseline rollout : {:.0} s", baseline.total_time_s);
+    println!(
+        "adaptive SD       : {:.0} s ({:.2}x speedup, SD activated at t={:.0} s, mean accept length {:.2})",
+        adaptive.total_time_s,
+        adaptive.speedup_over(&baseline),
+        adaptive.sd_activation_time_s.unwrap_or(0.0),
+        adaptive.mean_accept_length
+    );
+    println!("\nrunning-request timeline (time s -> requests, SD?):");
+    for p in adaptive.timeline.iter().step_by(adaptive.timeline.len().max(16) / 16) {
+        println!("  t={:7.0}  requests={:3}  sd={}", p.time_s, p.running_requests, p.sd_active);
+    }
+}

@@ -1,0 +1,42 @@
+//! Long-tail workload analysis: regenerates the motivation data of Figures 1(a) and 2
+//! (response-length distribution, per-step percentiles, under-utilised zone).
+//!
+//! Run with `cargo run -p tlt --release --example long_tail_analysis`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlt_workload::{
+    length_histogram, synthesize_bytedance_trace, LengthDistribution, LengthStats, TraceConfig,
+    TraceSummary,
+};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let lengths = LengthDistribution::paper_fig1().sample_many(10_000, &mut rng);
+    let stats = LengthStats::from_lengths(&lengths);
+    println!("rollout length distribution (10,000 samples, 30K cap):");
+    println!(
+        "  p50={:.0}  p75={:.0}  p95={:.0}  max={}  under-utilised fraction={:.2}",
+        stats.p50, stats.p75, stats.p95, stats.max, stats.underutilized_fraction()
+    );
+    let (edges, pdf) = length_histogram(&lengths, 30_000, 12);
+    for (e, f) in edges.iter().zip(pdf.iter()) {
+        let bar = "#".repeat((f * 200.0).round() as usize);
+        println!("  <= {e:>6}: {bar}");
+    }
+
+    let trace = synthesize_bytedance_trace(TraceConfig {
+        num_steps: 100,
+        responses_per_step: 256,
+        seed: 2,
+    });
+    let summary = TraceSummary::from_trace(&trace);
+    println!("\nsynthesised production trace (100 steps):");
+    println!(
+        "  steps hitting the cap: {:.0}%  mean p75: {:.0}  mean p50: {:.0}  mean under-utilised: {:.2}",
+        summary.steps_hitting_cap * 100.0,
+        summary.mean_p75,
+        summary.mean_p50,
+        summary.mean_underutilized
+    );
+}

@@ -1,0 +1,73 @@
+//! Spot-trainer demo: the worker coordinator promotes idle rollout workers to drafter
+//! training, trains the drafter on cached rollout data, checkpoints it selectively and
+//! asynchronously, and preempts training the moment rollout work returns.
+//!
+//! Run with `cargo run -p tlt --release --example spot_trainer_demo`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tlt_coord::{Coordinator, CoordinatorConfig, WorkerEvent, WorkerState};
+use tlt_draft::{
+    CheckpointMode, CheckpointStore, DataBuffer, DataBufferConfig, DrafterTrainer, FeatureSource,
+    TrainerConfig, TrainingSample,
+};
+use tlt_model::{ModelConfig, TinyLm};
+
+fn main() {
+    let target = TinyLm::new(ModelConfig::tiny(), 3);
+    let mut trainer = DrafterTrainer::new(&target, TrainerConfig::default(), 4);
+    let mut buffer = DataBuffer::new(DataBufferConfig::default());
+    let mut store = CheckpointStore::new();
+    let mut coordinator = Coordinator::new(4, CoordinatorConfig::default());
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Cache some rollout by-products (hidden states + tokens) into the DataBuffer.
+    for i in 0..8 {
+        let len = 16 + (i % 4) * 6;
+        let tokens: Vec<u32> = (0..len)
+            .map(|_| rng.gen_range(0..target.config.vocab_size as u32))
+            .collect();
+        buffer.push(TrainingSample::from_rollout(
+            &target,
+            FeatureSource::LastLayer,
+            &tokens,
+            len - 4,
+            0,
+            i as u64,
+        ));
+    }
+
+    // Workers drain one by one during the long tail; the coordinator promotes them.
+    for (worker, at) in [(1usize, 10.0f64), (2, 14.0), (3, 21.0)] {
+        let commands = coordinator.handle_event(
+            WorkerEvent::StateChanged { worker, state: WorkerState::Idle, at },
+            at,
+        );
+        println!("t={at:5.1}s worker W{worker} idle -> {} command(s) issued", commands.len());
+        // Each promoted worker contributes a few drafter-training iterations.
+        for _ in 0..4 {
+            let batch = buffer.sample_batch(4, &mut rng);
+            if let Some(m) = trainer.train_iteration(&target, &batch) {
+                println!(
+                    "    drafter iteration {:3}: top-3 accuracy {:.3}",
+                    m.iteration, m.top3_accuracy
+                );
+            }
+        }
+        let report = store.checkpoint(CheckpointMode::SelectiveAsync, &trainer.drafter, &target);
+        println!(
+            "    selective async checkpoint: blocked {} us, wrote {} bytes",
+            report.blocking_us, report.bytes_written
+        );
+    }
+
+    // Rollout for the next RL step arrives: preempt training everywhere.
+    let commands = coordinator.preempt_for_rollout();
+    store.wait_for_pending();
+    println!(
+        "rollout resumed: {} preemption/start commands, {} training sessions preempted, drafter version {}",
+        commands.len(),
+        coordinator.stats().sessions_preempted,
+        trainer.drafter.version
+    );
+}
