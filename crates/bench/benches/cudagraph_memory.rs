@@ -18,7 +18,9 @@ fn bench_capture_planning(c: &mut Criterion) {
         ("bucketed", CaptureMode::Bucketed),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| CudaGraphPool::plan(mode, &strategies, &buckets, &cost, &drafter).total_memory_gb())
+            b.iter(|| {
+                CudaGraphPool::plan(mode, &strategies, &buckets, &cost, &drafter).total_memory_gb()
+            })
         });
     }
     group.finish();

@@ -19,7 +19,14 @@ fn samples(target: &TinyLm, n: usize) -> Vec<TrainingSample> {
             let tokens: Vec<u32> = (0..len)
                 .map(|_| rng.gen_range(0..target.config.vocab_size as u32))
                 .collect();
-            TrainingSample::from_rollout(target, FeatureSource::LastLayer, &tokens, len - 4, 0, i as u64)
+            TrainingSample::from_rollout(
+                target,
+                FeatureSource::LastLayer,
+                &tokens,
+                len - 4,
+                0,
+                i as u64,
+            )
         })
         .collect()
 }
@@ -43,14 +50,18 @@ fn bench_checkpointing(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig17a_checkpointing");
     group.sample_size(10);
     for mode in CheckpointMode::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &mode| {
-            let mut store = CheckpointStore::new();
-            b.iter(|| {
-                let report = store.checkpoint(mode, &drafter, &target);
-                store.wait_for_pending();
-                report
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &mode,
+            |b, &mode| {
+                let mut store = CheckpointStore::new();
+                b.iter(|| {
+                    let report = store.checkpoint(mode, &drafter, &target);
+                    store.wait_for_pending();
+                    report
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -66,9 +77,16 @@ fn bench_packing(c: &mut Criterion) {
     .sample_many(512, &mut rng);
     let mut group = c.benchmark_group("fig17b_packing");
     group.sample_size(20);
-    group.bench_function("pack_512_sequences", |b| b.iter(|| pack_sequences(&lengths, 4096)));
+    group.bench_function("pack_512_sequences", |b| {
+        b.iter(|| pack_sequences(&lengths, 4096))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_train_iteration, bench_checkpointing, bench_packing);
+criterion_group!(
+    benches,
+    bench_train_iteration,
+    bench_checkpointing,
+    bench_packing
+);
 criterion_main!(benches);

@@ -14,8 +14,13 @@ use tlt_workload::LengthDistribution;
 
 fn longtail_lengths(n: usize) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(14);
-    LengthDistribution::LongTailMixture { mu: 6.5, sigma: 0.8, truncation_mass: 0.03, max_len: 8192 }
-        .sample_many(n, &mut rng)
+    LengthDistribution::LongTailMixture {
+        mu: 6.5,
+        sigma: 0.8,
+        truncation_mass: 0.03,
+        max_len: 8192,
+    }
+    .sample_many(n, &mut rng)
 }
 
 fn bench_fig14_case_study(c: &mut Criterion) {
@@ -42,15 +47,30 @@ fn bench_fig14_case_study(c: &mut Criterion) {
 fn bench_table2_gpu_types(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_gpu_throughput");
     group.sample_size(10);
-    let strategy = SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 48 };
+    let strategy = SdStrategy {
+        draft_depth: 8,
+        top_k: 8,
+        tokens_to_verify: 48,
+    };
     for gpu in [GpuType::H100, GpuType::A100, GpuType::Rtx3090] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{gpu:?}")), &gpu, |b, &gpu| {
-            let cost = qwen7b_on(gpu);
-            let drafter = eagle_drafter_of(&cost);
-            b.iter(|| {
-                single_request_throughput(&cost, &drafter, &adaptive_acceptance(), strategy, 256, 2048)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{gpu:?}")),
+            &gpu,
+            |b, &gpu| {
+                let cost = qwen7b_on(gpu);
+                let drafter = eagle_drafter_of(&cost);
+                b.iter(|| {
+                    single_request_throughput(
+                        &cost,
+                        &drafter,
+                        &adaptive_acceptance(),
+                        strategy,
+                        256,
+                        2048,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,11 @@ fn bench_depth_sweep(c: &mut Criterion) {
     for depth in [4usize, 8, 12] {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
             b.iter(|| {
-                let strategy = SdStrategy { draft_depth: depth, top_k: 8, tokens_to_verify: 64 };
+                let strategy = SdStrategy {
+                    draft_depth: depth,
+                    top_k: 8,
+                    tokens_to_verify: 64,
+                };
                 fixed_batch_speedup(&cost, &drafter, &acceptance, 1, strategy, 4096)
             })
         });
@@ -31,7 +35,11 @@ fn bench_batch_sweep(c: &mut Criterion) {
     for batch in [1usize, 8, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             b.iter(|| {
-                let strategy = SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 48 };
+                let strategy = SdStrategy {
+                    draft_depth: 10,
+                    top_k: 8,
+                    tokens_to_verify: 48,
+                };
                 fixed_batch_speedup(&cost, &drafter, &acceptance, batch, strategy, 4096)
             })
         });

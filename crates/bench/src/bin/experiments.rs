@@ -12,7 +12,9 @@
 //! of every result (who wins, by roughly what factor, where crossovers fall) is the
 //! reproduction target. See EXPERIMENTS.md for the paper-vs-measured comparison.
 
-use tlt::{run_comparison, run_experiment, run_token_experiment, SystemKind, TokenExperimentConfig};
+use tlt::{
+    run_comparison, run_experiment, run_token_experiment, SystemKind, TokenExperimentConfig,
+};
 use tlt_bench::report::Table;
 use tlt_bench::setups::{
     adaptive_acceptance, e2e_config, eagle_drafter_of, paper_testbed, qwen32b_h100_tp4, qwen7b_on,
@@ -39,6 +41,12 @@ use tlt_workload::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Selectors accepted on the command line, in presentation order.
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig11", "fig12", "fig13", "table1", "table2", "table3", "table4", "table5",
+    "fig14", "fig15", "table6", "fig16", "fig17", "table7", "table8",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
@@ -47,6 +55,25 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .cloned()
         .collect();
+    let usage = || {
+        eprintln!(
+            "usage: experiments [--quick] [all | {}]",
+            EXPERIMENTS.join(" | ")
+        );
+        std::process::exit(2);
+    };
+    for flag in args.iter().filter(|a| a.starts_with("--")) {
+        if flag != "--quick" {
+            eprintln!("error: unknown flag '{flag}'");
+            usage();
+        }
+    }
+    for sel in &selected {
+        if sel != "all" && !EXPERIMENTS.contains(&sel.as_str()) {
+            eprintln!("error: unknown experiment '{sel}'");
+            usage();
+        }
+    }
     let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
     let want = |name: &str| run_all || selected.iter().any(|s| s == name);
 
@@ -88,10 +115,9 @@ fn main() {
     if want("fig15") {
         fig15(scale);
     }
-    if want("table6") {
-        table6_fig16(scale);
-    }
-    if want("fig16") && !run_all {
+    // Table 6 and Figure 16 come from the same token-level experiment; run it once
+    // if either (or both) is selected.
+    if want("table6") || want("fig16") {
         table6_fig16(scale);
     }
     if want("fig17") {
@@ -187,8 +213,18 @@ fn fig11(scale: Scale) {
             ..paper_testbed()
         };
         let mut t = Table::new(
-            &format!("Figure 11 — end-to-end training speed, {} x64", gpu.spec().name),
-            &["model", "Open-R1", "VeRL", "TLT-Base", "TLT (Ours)", "TLT speedup vs VeRL"],
+            &format!(
+                "Figure 11 — end-to-end training speed, {} x64",
+                gpu.spec().name
+            ),
+            &[
+                "model",
+                "Open-R1",
+                "VeRL",
+                "TLT-Base",
+                "TLT (Ours)",
+                "TLT speedup vs VeRL",
+            ],
         );
         let models = if scale == Scale::Full {
             ModelSpec::paper_targets()
@@ -244,9 +280,18 @@ fn fig12(scale: Scale) {
     let (tlt, _, _) = run_token_experiment(&ours);
     let mut t = Table::new(
         "Figure 12 — average reward per RL step (tiny-model substrate)",
-        &["step", "VeRL (vanilla rollouts)", "TLT (speculative rollouts)"],
+        &[
+            "step",
+            "VeRL (vanilla rollouts)",
+            "TLT (speculative rollouts)",
+        ],
     );
-    for (i, (a, b)) in verl.reward_curve.iter().zip(tlt.reward_curve.iter()).enumerate() {
+    for (i, (a, b)) in verl
+        .reward_curve
+        .iter()
+        .zip(tlt.reward_curve.iter())
+        .enumerate()
+    {
         t.add_row(vec![format!("{i}"), format!("{a:.3}"), format!("{b:.3}")]);
     }
     t.print();
@@ -264,11 +309,20 @@ fn fig13() {
     let acceptance = adaptive_acceptance();
     let mut t = Table::new(
         "Figure 13 — effect of SD hyperparameters (Qwen-32B, TP=4, bs=1, topK=8)",
-        &["draft depth", "tokens to verify", "accept length", "speedup"],
+        &[
+            "draft depth",
+            "tokens to verify",
+            "accept length",
+            "speedup",
+        ],
     );
     for &depth in &[2usize, 4, 6, 8, 10, 12] {
         for &verify in &[16usize, 32, 48, 64] {
-            let strategy = SdStrategy { draft_depth: depth, top_k: 8, tokens_to_verify: verify };
+            let strategy = SdStrategy {
+                draft_depth: depth,
+                top_k: 8,
+                tokens_to_verify: verify,
+            };
             let accept = acceptance.expected_accept_len_tree(depth, 8, verify);
             let speedup = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, strategy, 4096);
             t.add_row(vec![
@@ -292,10 +346,18 @@ fn table1() {
         &["topK", "accept length", "speedup"],
     );
     for &k in &[4usize, 6, 8, 10, 12, 16] {
-        let strategy = SdStrategy { draft_depth: 12, top_k: k, tokens_to_verify: 64 };
+        let strategy = SdStrategy {
+            draft_depth: 12,
+            top_k: k,
+            tokens_to_verify: 64,
+        };
         let accept = acceptance.expected_accept_len_tree(12, k, 64);
         let speedup = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, strategy, 4096);
-        t.add_row(vec![format!("{k}"), format!("{accept:.2}"), format!("{speedup:.2}x")]);
+        t.add_row(vec![
+            format!("{k}"),
+            format!("{accept:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
     }
     t.print();
 }
@@ -306,7 +368,11 @@ fn table2() {
         "Table 2 — rollout throughput (tokens/s), Qwen2.5-7B, bs=1, TP=1",
         &["GPU", "w/ SD", "w/o SD", "speedup"],
     );
-    let strategy = SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 48 };
+    let strategy = SdStrategy {
+        draft_depth: 8,
+        top_k: 8,
+        tokens_to_verify: 48,
+    };
     for gpu in GpuType::table2_set() {
         let cost = qwen7b_on(gpu);
         let drafter = eagle_drafter_of(&cost);
@@ -328,7 +394,10 @@ fn table3(scale: Scale) {
         "Table 3 — end-to-end TLT speedup over VeRL across cluster scales",
         &["model", "1 node", "2 nodes", "4 nodes", "8 nodes"],
     );
-    for (model, tp) in [(ModelSpec::qwen2_5_7b(), 2usize), (ModelSpec::qwen2_5_32b(), 8)] {
+    for (model, tp) in [
+        (ModelSpec::qwen2_5_7b(), 2usize),
+        (ModelSpec::qwen2_5_32b(), 8),
+    ] {
         let mut cells = vec![model.name.clone()];
         for nodes in [1usize, 2, 4, 8] {
             let cluster = ClusterConfig {
@@ -359,12 +428,22 @@ fn table4() {
     let acceptance = adaptive_acceptance();
     let mut t = Table::new(
         "Table 4 — SD speedup vs batch size (Qwen-32B, TP=4, depth=10, topK=8)",
-        &["batch size", "verify=16", "verify=32", "verify=48", "verify=64"],
+        &[
+            "batch size",
+            "verify=16",
+            "verify=32",
+            "verify=48",
+            "verify=64",
+        ],
     );
     for &batch in &[1usize, 2, 4, 8, 16, 32] {
         let mut cells = vec![format!("{batch}")];
         for &verify in &[16usize, 32, 48, 64] {
-            let strategy = SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: verify };
+            let strategy = SdStrategy {
+                draft_depth: 10,
+                top_k: 8,
+                tokens_to_verify: verify,
+            };
             let speedup = fixed_batch_speedup(&cost, &drafter, &acceptance, batch, strategy, 4096);
             cells.push(format!("{speedup:.2}x"));
         }
@@ -385,7 +464,10 @@ fn table5() {
     );
     for (name, mode) in [
         ("Single Strategy", CaptureMode::SingleStrategy),
-        ("Vanilla Multiple Strategies", CaptureMode::VanillaMultiStrategy),
+        (
+            "Vanilla Multiple Strategies",
+            CaptureMode::VanillaMultiStrategy,
+        ),
         ("Bucketed CUDAGraph", CaptureMode::Bucketed),
     ] {
         let pool = CudaGraphPool::plan(mode, &strategies, &buckets, &cost, &drafter);
@@ -425,7 +507,12 @@ fn fig14() {
     );
     let mut t = Table::new(
         "Figure 14 — rollout of 128 requests (Qwen-32B, TP=4)",
-        &["configuration", "rollout time (s)", "speedup", "SD activation (s)"],
+        &[
+            "configuration",
+            "rollout time (s)",
+            "speedup",
+            "SD activation (s)",
+        ],
     );
     t.add_row(vec![
         "Baseline (no SD)".to_string(),
@@ -450,7 +537,11 @@ fn fig14() {
         "Figure 14 — running-request timeline (adaptive SD, sampled)",
         &["time (s)", "running requests", "SD active"],
     );
-    for p in adaptive.timeline.iter().step_by(adaptive.timeline.len().max(20) / 20) {
+    for p in adaptive
+        .timeline
+        .iter()
+        .step_by(adaptive.timeline.len().max(20) / 20)
+    {
         timeline.add_row(vec![
             format!("{:.0}", p.time_s),
             format!("{}", p.running_requests),
@@ -469,7 +560,11 @@ fn fig15(scale: Scale) {
     let (report, _, _) = run_token_experiment(&config);
     let mut t = Table::new(
         "Figure 15 — drafter top-3 accuracy during adaptive training",
-        &["trainer iteration", "top-3 accuracy", "right after target update"],
+        &[
+            "trainer iteration",
+            "top-3 accuracy",
+            "right after target update",
+        ],
     );
     for p in &report.drafter_accuracy {
         t.add_row(vec![
@@ -479,8 +574,16 @@ fn fig15(scale: Scale) {
         ]);
     }
     t.print();
-    let first = report.drafter_accuracy.first().map(|p| p.top3_accuracy).unwrap_or(0.0);
-    let last = report.drafter_accuracy.last().map(|p| p.top3_accuracy).unwrap_or(0.0);
+    let first = report
+        .drafter_accuracy
+        .first()
+        .map(|p| p.top3_accuracy)
+        .unwrap_or(0.0);
+    let last = report
+        .drafter_accuracy
+        .last()
+        .map(|p| p.top3_accuracy)
+        .unwrap_or(0.0);
     println!("top-3 accuracy trend: {first:.3} -> {last:.3}");
 }
 
@@ -491,22 +594,33 @@ fn table6_fig16(scale: Scale) {
     let mut target = TinyLm::new(model_config, 60);
     let mut task_gen = TaskGenerator::new(model_config.vocab_size);
     let mut rng = StdRng::seed_from_u64(61);
-    let sampling = SamplingParams { temperature: 0.9, top_k: None };
-    let strategy = SdStrategy { draft_depth: 5, top_k: 1, tokens_to_verify: 5 };
+    let sampling = SamplingParams {
+        temperature: 0.9,
+        top_k: None,
+    };
+    let strategy = SdStrategy {
+        draft_depth: 5,
+        top_k: 1,
+        tokens_to_verify: 5,
+    };
     let warmup_iters = if scale == Scale::Full { 60 } else { 25 };
     let rl_steps = if scale == Scale::Full { 6 } else { 3 };
 
     // Warm up a drafter against the base target on its own rollouts.
     let mut drafter_trainer = DrafterTrainer::new(&target, TrainerConfig::default(), 62);
     let mut buffer = DataBuffer::new(DataBufferConfig::default());
-    let build_samples = |target: &TinyLm, task_gen: &mut TaskGenerator, rng: &mut StdRng, step: u64| {
+    let build_samples = |target: &TinyLm,
+                         task_gen: &mut TaskGenerator,
+                         rng: &mut StdRng,
+                         step: u64| {
         let tasks = task_gen.generate_batch(6, rng);
         tasks
             .iter()
             .enumerate()
             .filter_map(|(i, task)| {
                 let prompt = task.prompt_tokens();
-                let gen = vanilla_generate(target, &prompt, 24, sampling, Some(task.vocab.eos()), rng);
+                let gen =
+                    vanilla_generate(target, &prompt, 24, sampling, Some(task.vocab.eos()), rng);
                 if gen.tokens.len() < 3 {
                     return None;
                 }
@@ -543,11 +657,22 @@ fn table6_fig16(scale: Scale) {
             let mut responses = Vec::new();
             let mut rewards = Vec::new();
             for _ in 0..4 {
-                let gen = vanilla_generate(&target, &prompt, 24, sampling, Some(task.vocab.eos()), &mut rng);
+                let gen = vanilla_generate(
+                    &target,
+                    &prompt,
+                    24,
+                    sampling,
+                    Some(task.vocab.eos()),
+                    &mut rng,
+                );
                 rewards.push(task.reward(&gen.tokens));
                 responses.push(gen.tokens);
             }
-            groups.push(RolloutGroup { prompt, responses, rewards });
+            groups.push(RolloutGroup {
+                prompt,
+                responses,
+                rewards,
+            });
         }
         policy_trainer.train_step(&mut target, &groups);
         buffer.advance_step();
@@ -580,7 +705,10 @@ fn table6_fig16(scale: Scale) {
         &["data", "target", "vanilla drafter", "adaptive drafter"],
     );
     let mut fig16_rows: Vec<(String, Vec<f64>)> = Vec::new();
-    for (data_name, prompts) in [("RL training", &rl_prompts), ("Downstream", &downstream_prompts)] {
+    for (data_name, prompts) in [
+        ("RL training", &rl_prompts),
+        ("Downstream", &downstream_prompts),
+    ] {
         for (target_name, tgt) in [("Target-Base", &target_base), ("Target-R", &target_r)] {
             let mut rng_a = StdRng::seed_from_u64(99);
             let (rates_v, accept_v) = measure_acceptance(
@@ -637,7 +765,12 @@ fn fig17() {
     let mut store = CheckpointStore::new();
     let mut t = Table::new(
         "Figure 17(a) — drafter checkpoint cost (tiny-model substrate)",
-        &["mode", "training-thread blocking (us)", "bytes written", "async"],
+        &[
+            "mode",
+            "training-thread blocking (us)",
+            "bytes written",
+            "async",
+        ],
     );
     for mode in CheckpointMode::all() {
         // Take the median of several checkpoints to smooth out thread-spawn jitter.
@@ -690,7 +823,10 @@ fn table7(scale: Scale) {
     let target = TinyLm::new(model_config, 80);
     let mut task_gen = TaskGenerator::new(model_config.vocab_size);
     let mut rng = StdRng::seed_from_u64(81);
-    let sampling = SamplingParams { temperature: 0.9, top_k: None };
+    let sampling = SamplingParams {
+        temperature: 0.9,
+        top_k: None,
+    };
     let iters = if scale == Scale::Full { 50 } else { 20 };
 
     // Shared training data from target rollouts.
@@ -701,13 +837,21 @@ fn table7(scale: Scale) {
             .enumerate()
             .filter_map(|(i, task)| {
                 let prompt = task.prompt_tokens();
-                let gen = vanilla_generate(&target, &prompt, 24, sampling, Some(task.vocab.eos()), rng);
+                let gen =
+                    vanilla_generate(&target, &prompt, 24, sampling, Some(task.vocab.eos()), rng);
                 if gen.tokens.len() < 3 {
                     return None;
                 }
                 let mut tokens = prompt;
                 tokens.extend_from_slice(&gen.tokens);
-                Some(TrainingSample::from_rollout(&target, source, &tokens, gen.tokens.len(), 0, i as u64))
+                Some(TrainingSample::from_rollout(
+                    &target,
+                    source,
+                    &tokens,
+                    gen.tokens.len(),
+                    0,
+                    i as u64,
+                ))
             })
             .collect::<Vec<_>>()
     };
@@ -716,7 +860,13 @@ fn table7(scale: Scale) {
     let drafter_spec = eagle_drafter_of(&cost);
     let mut t = Table::new(
         "Table 7 — drafter training strategies (Qwen-7B cost model + tiny-model acceptance)",
-        &["method", "accept length", "est. throughput (tok/s)", "speedup", "training cost"],
+        &[
+            "method",
+            "accept length",
+            "est. throughput (tok/s)",
+            "speedup",
+            "training cost",
+        ],
     );
     // Baseline: no SD.
     let base_throughput = 1.0 / cost.decode_step_time(1, 4096);
@@ -733,7 +883,10 @@ fn table7(scale: Scale) {
         TrainingStrategy::Eagle,
     ];
     for strategy in strategies {
-        let config = TrainerConfig { strategy, ..TrainerConfig::default() };
+        let config = TrainerConfig {
+            strategy,
+            ..TrainerConfig::default()
+        };
         let mut trainer = DrafterTrainer::new(&target, config, 82);
         let samples = make_samples(strategy.feature_source(), &mut rng, &mut task_gen);
         let refs: Vec<&TrainingSample> = samples.iter().collect();
@@ -753,7 +906,11 @@ fn table7(scale: Scale) {
                 &SpecDrafter::Learned(&trainer.drafter),
                 &prompts,
                 24,
-                SdStrategy { draft_depth: 5, top_k: 1, tokens_to_verify: 5 },
+                SdStrategy {
+                    draft_depth: 5,
+                    top_k: 1,
+                    tokens_to_verify: 5,
+                },
                 SamplingParams::greedy(),
                 &mut rng,
             );
@@ -781,7 +938,10 @@ fn table8(scale: Scale) {
     let target = TinyLm::new(model_config, 90);
     let mut task_gen = TaskGenerator::new(model_config.vocab_size);
     let mut rng = StdRng::seed_from_u64(91);
-    let sampling = SamplingParams { temperature: 0.9, top_k: None };
+    let sampling = SamplingParams {
+        temperature: 0.9,
+        top_k: None,
+    };
     let iters = if scale == Scale::Full { 40 } else { 15 };
 
     let samples: Vec<TrainingSample> = task_gen
@@ -790,7 +950,14 @@ fn table8(scale: Scale) {
         .enumerate()
         .filter_map(|(i, task)| {
             let prompt = task.prompt_tokens();
-            let gen = vanilla_generate(&target, &prompt, 24, sampling, Some(task.vocab.eos()), &mut rng);
+            let gen = vanilla_generate(
+                &target,
+                &prompt,
+                24,
+                sampling,
+                Some(task.vocab.eos()),
+                &mut rng,
+            );
             if gen.tokens.len() < 3 {
                 return None;
             }
@@ -818,7 +985,11 @@ fn table8(scale: Scale) {
             &SpecDrafter::Learned(drafter),
             &prompts,
             24,
-            SdStrategy { draft_depth: 5, top_k: 1, tokens_to_verify: 5 },
+            SdStrategy {
+                draft_depth: 5,
+                top_k: 1,
+                tokens_to_verify: 5,
+            },
             SamplingParams::greedy(),
             rng,
         );
@@ -827,25 +998,50 @@ fn table8(scale: Scale) {
 
     let mut t = Table::new(
         "Table 8 — impact of OSD-style training (tiny-model substrate)",
-        &["draft model", "original accept len", "trained accept len", "+OSD accept len"],
+        &[
+            "draft model",
+            "original accept len",
+            "trained accept len",
+            "+OSD accept len",
+        ],
     );
-    for (name, base_strategy) in [("SFT small-model style", TrainingStrategy::Sft), ("Eagle", TrainingStrategy::Eagle)] {
+    for (name, base_strategy) in [
+        ("SFT small-model style", TrainingStrategy::Sft),
+        ("Eagle", TrainingStrategy::Eagle),
+    ] {
         let untrained = tlt_draft::DraftModel::new(&target, FeatureSource::LastLayer, 92);
         let original = accept_of(&untrained, &mut rng);
 
-        let mut trained = DrafterTrainer::new(&target, TrainerConfig { strategy: base_strategy, ..TrainerConfig::default() }, 92);
+        let mut trained = DrafterTrainer::new(
+            &target,
+            TrainerConfig {
+                strategy: base_strategy,
+                ..TrainerConfig::default()
+            },
+            92,
+        );
         for _ in 0..iters {
             trained.train_iteration(&target, &refs);
         }
         let trained_accept = accept_of(&trained.drafter, &mut rng);
 
-        let mut osd = DrafterTrainer::new(&target, TrainerConfig { strategy: base_strategy, ..TrainerConfig::default() }, 92);
+        let mut osd = DrafterTrainer::new(
+            &target,
+            TrainerConfig {
+                strategy: base_strategy,
+                ..TrainerConfig::default()
+            },
+            92,
+        );
         for _ in 0..iters {
             osd.train_iteration(&target, &refs);
         }
         let mut osd_trainer = DrafterTrainer::with_drafter(
             osd.drafter.clone(),
-            TrainerConfig { strategy: TrainingStrategy::Osd, ..TrainerConfig::default() },
+            TrainerConfig {
+                strategy: TrainingStrategy::Osd,
+                ..TrainerConfig::default()
+            },
         );
         for _ in 0..iters / 2 {
             osd_trainer.train_iteration(&target, &refs);

@@ -144,7 +144,10 @@ mod tests {
             state: WorkerState::Idle,
             at: 12.5,
         });
-        endpoints[2].send_event(WorkerEvent::ActiveRequests { worker: 2, running: 4 });
+        endpoints[2].send_event(WorkerEvent::ActiveRequests {
+            worker: 2,
+            running: 4,
+        });
         let events = bus.drain_events();
         assert_eq!(events.len(), 2);
     }
@@ -165,7 +168,10 @@ mod tests {
         let (bus, endpoints) = MessageBus::new(4);
         bus.broadcast(CoordinatorCommand::PreemptTraining);
         for ep in &endpoints {
-            assert_eq!(ep.try_recv_command(), Some(CoordinatorCommand::PreemptTraining));
+            assert_eq!(
+                ep.try_recv_command(),
+                Some(CoordinatorCommand::PreemptTraining)
+            );
         }
     }
 

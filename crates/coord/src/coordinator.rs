@@ -105,7 +105,11 @@ impl Coordinator {
 
     /// Processes a single worker event and returns the commands the coordinator
     /// decides to issue (they are also applied to the internal state).
-    pub fn handle_event(&mut self, event: WorkerEvent, now_s: f64) -> Vec<(usize, CoordinatorCommand)> {
+    pub fn handle_event(
+        &mut self,
+        event: WorkerEvent,
+        now_s: f64,
+    ) -> Vec<(usize, CoordinatorCommand)> {
         self.stats.events_processed += 1;
         match event {
             WorkerEvent::ActiveRequests { worker, running } => {
@@ -114,7 +118,11 @@ impl Coordinator {
                 }
                 Vec::new()
             }
-            WorkerEvent::StateChanged { worker, state, at: _ } => {
+            WorkerEvent::StateChanged {
+                worker,
+                state,
+                at: _,
+            } => {
                 if worker >= self.states.len() {
                     return Vec::new();
                 }
@@ -133,7 +141,11 @@ impl Coordinator {
         }
     }
 
-    fn maybe_start_or_join_training(&mut self, _worker: usize, now_s: f64) -> Vec<(usize, CoordinatorCommand)> {
+    fn maybe_start_or_join_training(
+        &mut self,
+        _worker: usize,
+        now_s: f64,
+    ) -> Vec<(usize, CoordinatorCommand)> {
         if !self.config.spot_training_enabled {
             return Vec::new();
         }
@@ -161,10 +173,7 @@ impl Coordinator {
                         self.states[w] = WorkerState::Training;
                         self.stats.workers_promoted += 1;
                         members.push(w);
-                        commands.push((
-                            w,
-                            CoordinatorCommand::StartTraining { leader: i == 0 },
-                        ));
+                        commands.push((w, CoordinatorCommand::StartTraining { leader: i == 0 }));
                     }
                     self.session = Some(TrainingSession {
                         leader,
@@ -226,7 +235,10 @@ mod tests {
     fn first_idle_worker_becomes_leader() {
         let mut coord = Coordinator::new(4, CoordinatorConfig::default());
         let commands = coord.handle_event(idle_event(2, 10.0), 10.0);
-        assert_eq!(commands, vec![(2, CoordinatorCommand::StartTraining { leader: true })]);
+        assert_eq!(
+            commands,
+            vec![(2, CoordinatorCommand::StartTraining { leader: true })]
+        );
         let session = coord.training_session().expect("session started");
         assert_eq!(session.leader, 2);
         assert_eq!(coord.worker_state(2), WorkerState::Training);
@@ -238,7 +250,10 @@ mod tests {
         let mut coord = Coordinator::new(4, CoordinatorConfig::default());
         coord.handle_event(idle_event(0, 1.0), 1.0);
         let commands = coord.handle_event(idle_event(3, 2.0), 2.0);
-        assert_eq!(commands, vec![(3, CoordinatorCommand::StartTraining { leader: false })]);
+        assert_eq!(
+            commands,
+            vec![(3, CoordinatorCommand::StartTraining { leader: false })]
+        );
         assert_eq!(coord.training_session().unwrap().members, vec![0, 3]);
         assert_eq!(coord.stats().workers_promoted, 2);
     }
@@ -253,7 +268,11 @@ mod tests {
         assert!(coord.handle_event(idle_event(0, 0.0), 0.0).is_empty());
         assert!(coord.handle_event(idle_event(1, 1.0), 1.0).is_empty());
         let commands = coord.handle_event(idle_event(2, 2.0), 2.0);
-        assert_eq!(commands.len(), 3, "all three idle workers promoted together");
+        assert_eq!(
+            commands.len(),
+            3,
+            "all three idle workers promoted together"
+        );
     }
 
     #[test]
@@ -315,7 +334,13 @@ mod tests {
     #[test]
     fn active_request_reports_are_tracked() {
         let mut coord = Coordinator::new(2, CoordinatorConfig::default());
-        let commands = coord.handle_event(WorkerEvent::ActiveRequests { worker: 0, running: 7 }, 0.0);
+        let commands = coord.handle_event(
+            WorkerEvent::ActiveRequests {
+                worker: 0,
+                running: 7,
+            },
+            0.0,
+        );
         assert!(commands.is_empty());
         assert_eq!(coord.stats().events_processed, 1);
     }

@@ -30,7 +30,9 @@ impl AcceptanceProfile {
         for &r in &rates {
             assert!((0.0..=1.0).contains(&r), "acceptance rate {r} out of range");
         }
-        AcceptanceProfile { per_position: rates }
+        AcceptanceProfile {
+            per_position: rates,
+        }
     }
 
     /// Parametric profile: `p_i = base * decay^i`, clamped to `[0, 1]`, for
@@ -41,7 +43,9 @@ impl AcceptanceProfile {
         let rates = (0..max_depth)
             .map(|i| (base * decay.powi(i as i32)).clamp(0.0, 1.0))
             .collect();
-        AcceptanceProfile { per_position: rates }
+        AcceptanceProfile {
+            per_position: rates,
+        }
     }
 
     /// Profile of a well-adapted EAGLE drafter (calibrated to the paper's measured
@@ -131,8 +135,8 @@ impl AcceptanceProfile {
         // share of the verification budget.
         let mut total = 1.0;
         let mut running = 1.0;
-        for i in 0..depth {
-            let share = tokens_to_verify as f64 * reach[i] / reach_sum;
+        for (i, &reach_i) in reach.iter().enumerate() {
+            let share = tokens_to_verify as f64 * reach_i / reach_sum;
             if share < 1.0 {
                 break;
             }
@@ -210,7 +214,10 @@ mod tests {
         let p = AcceptanceProfile::adaptive_drafter();
         let l6 = p.expected_accept_len_tree(12, 6, 64);
         let l16 = p.expected_accept_len_tree(12, 16, 64);
-        assert!((l6 - l16).abs() < 0.8, "topK sensitivity too high: {l6} vs {l16}");
+        assert!(
+            (l6 - l16).abs() < 0.8,
+            "topK sensitivity too high: {l6} vs {l16}"
+        );
     }
 
     #[test]
@@ -241,9 +248,15 @@ mod tests {
         // (Table 7) and ~8.3-8.7 for the depth-12/verify-64 grid (Table 1).
         let p = AcceptanceProfile::adaptive_drafter();
         let table7 = p.expected_accept_len_tree(6, 8, 48);
-        assert!((4.5..8.0).contains(&table7), "table7-style accept len {table7}");
+        assert!(
+            (4.5..8.0).contains(&table7),
+            "table7-style accept len {table7}"
+        );
         let table1 = p.expected_accept_len_tree(12, 8, 64);
-        assert!((6.0..11.0).contains(&table1), "table1-style accept len {table1}");
+        assert!(
+            (6.0..11.0).contains(&table1),
+            "table1-style accept len {table1}"
+        );
     }
 
     #[test]

@@ -226,9 +226,7 @@ impl CheckpointStore {
                 });
                 self.pending.push(handle);
                 let bytes_written = match mode {
-                    CheckpointMode::Async => {
-                        serialize_full(drafter, target).len()
-                    }
+                    CheckpointMode::Async => serialize_full(drafter, target).len(),
                     _ => serialize_trainable(drafter).len(),
                 };
                 CheckpointReport {

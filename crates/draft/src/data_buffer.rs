@@ -160,7 +160,11 @@ impl DataBuffer {
         all.sort_by_key(|s| std::cmp::Reverse(s.response_len));
         all.truncate(self.config.retained_long_samples);
         self.previous_long = all;
-        self.bytes = self.previous_long.iter().map(TrainingSample::memory_bytes).sum();
+        self.bytes = self
+            .previous_long
+            .iter()
+            .map(TrainingSample::memory_bytes)
+            .sum();
     }
 
     /// Samples a training batch of up to `n` samples: a `offset_fraction` share of
@@ -280,8 +284,14 @@ mod tests {
         let batch = buf.sample_batch(8, &mut rng);
         let long_count = batch.iter().filter(|s| s.response_len >= 1000).count();
         let short_count = batch.iter().filter(|s| s.response_len < 100).count();
-        assert!(long_count >= 3, "expected long-tail coverage, got {long_count}");
-        assert!(short_count >= 3, "expected current-step coverage, got {short_count}");
+        assert!(
+            long_count >= 3,
+            "expected long-tail coverage, got {long_count}"
+        );
+        assert!(
+            short_count >= 3,
+            "expected current-step coverage, got {short_count}"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl FeatureSource {
     /// Extracts the feature matrix for this source from per-layer outputs
     /// (`num_layers + 1` matrices, embedding output first).
     pub fn extract(&self, layer_outputs: &[Mat]) -> Mat {
-        assert!(layer_outputs.len() >= 2, "need at least one decoder layer output");
+        assert!(
+            layer_outputs.len() >= 2,
+            "need at least one decoder layer output"
+        );
         match self {
             FeatureSource::LastLayer => layer_outputs[layer_outputs.len() - 1].clone(),
             FeatureSource::MultiLayer => {
@@ -161,7 +164,7 @@ impl DraftModel {
     /// predicting the token at position `t+2`.
     pub fn build_fusion_input(&self, target: &TinyLm, features: &Mat, tokens: &[TokenId]) -> Mat {
         assert!(
-            tokens.len() >= features.rows() + 1,
+            tokens.len() > features.rows(),
             "need the token following every feature position"
         );
         let hidden = target.config.hidden;
@@ -181,7 +184,11 @@ impl DraftModel {
     /// committed prefix. `features` holds one row per prefix position (in the
     /// drafter's feature source width) and `tokens` the prefix tokens (same length).
     pub fn begin_draft(&self, target: &TinyLm, features: &Mat, tokens: &[TokenId]) -> DraftState {
-        assert_eq!(features.rows(), tokens.len(), "feature/token length mismatch");
+        assert_eq!(
+            features.rows(),
+            tokens.len(),
+            "feature/token length mismatch"
+        );
         assert!(!tokens.is_empty(), "cannot draft from an empty prefix");
         let hidden = target.config.hidden;
         let mut kv = LayerKvCache::new(hidden);
@@ -201,7 +208,12 @@ impl DraftModel {
 
     /// Performs one incremental draft step: consumes the last committed/drafted token
     /// and returns the draft logits for the *next* token (updating internal state).
-    pub fn draft_step(&self, target: &TinyLm, state: &mut DraftState, last_token: TokenId) -> Vec<f32> {
+    pub fn draft_step(
+        &self,
+        target: &TinyLm,
+        state: &mut DraftState,
+        last_token: TokenId,
+    ) -> Vec<f32> {
         let hidden = target.config.hidden;
         let fwidth = hidden * self.feature_source.width_multiplier();
         let mut input = Mat::zeros(1, fwidth + hidden);
@@ -258,7 +270,12 @@ impl DraftModel {
 
     /// Propagates the gradient of a loss on the drafter *logits* back to the drafter
     /// *features*, through the target's frozen final norm and LM head.
-    pub fn logits_grad_to_features(&self, target: &TinyLm, cache: &DraftTrainCache, d_logits: &Mat) -> Mat {
+    pub fn logits_grad_to_features(
+        &self,
+        target: &TinyLm,
+        cache: &DraftTrainCache,
+        d_logits: &Mat,
+    ) -> Mat {
         // logits = rmsnorm(features) @ lm_head  (all frozen).
         let d_normed = d_logits.matmul_transposed(&target.lm_head);
         let (normed_cache_out, norm_cache) =
@@ -300,7 +317,11 @@ mod tests {
         let (_, d_w) = lin.backward(&x, &d_out);
         let loss = |l: &Linear| {
             let y = l.forward(&x);
-            y.as_slice().iter().zip(d_out.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+            y.as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         let eps = 1e-3;
         for idx in 0..lin.weight.len() {
@@ -387,7 +408,10 @@ mod tests {
             d.apply_sgd(&grads, 0.1);
         }
         let after = loss_of(&d);
-        assert!(after < before, "drafter CE did not decrease: {before} -> {after}");
+        assert!(
+            after < before,
+            "drafter CE did not decrease: {before} -> {after}"
+        );
         assert!(d.version >= 30);
     }
 

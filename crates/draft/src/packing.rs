@@ -100,7 +100,12 @@ pub fn packing_stats(lengths: &[usize], batch_size: usize, max_tokens: usize) ->
     let packed_tokens: usize = plan
         .packs
         .iter()
-        .map(|members| members.iter().map(|&i| lengths[i].min(max_tokens)).sum::<usize>())
+        .map(|members| {
+            members
+                .iter()
+                .map(|&i| lengths[i].min(max_tokens))
+                .sum::<usize>()
+        })
         .sum();
 
     PackingStats {
@@ -153,7 +158,11 @@ mod tests {
         let stats = packing_stats(&lengths, 8, 4096);
         assert!(stats.padded_efficiency < 0.3);
         assert!(stats.packed_efficiency > 0.9);
-        assert!(stats.speedup() > 2.0, "expected >2x speedup, got {}", stats.speedup());
+        assert!(
+            stats.speedup() > 2.0,
+            "expected >2x speedup, got {}",
+            stats.speedup()
+        );
     }
 
     #[test]

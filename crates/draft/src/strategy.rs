@@ -10,9 +10,11 @@ use crate::model::FeatureSource;
 use serde::{Deserialize, Serialize};
 
 /// A draft-model training strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum TrainingStrategy {
     /// EAGLE: last-layer features, L1 + CE loss, single forward per step.
+    /// The paper's default for its cost/quality balance (§6.5).
+    #[default]
     Eagle,
     /// HASS: EAGLE plus training-time-test — the drafter's own output feature is fed
     /// back as input for `ttt_steps` extra passes, mitigating train/infer mismatch.
@@ -87,7 +89,9 @@ impl TrainingStrategy {
     /// Number of training-time-test feedback passes.
     pub fn ttt_steps(&self) -> usize {
         match self {
-            TrainingStrategy::Hass { ttt_steps } | TrainingStrategy::Eagle3 { ttt_steps } => *ttt_steps,
+            TrainingStrategy::Hass { ttt_steps } | TrainingStrategy::Eagle3 { ttt_steps } => {
+                *ttt_steps
+            }
             _ => 0,
         }
     }
@@ -102,13 +106,6 @@ impl TrainingStrategy {
             TrainingStrategy::Hass { ttt_steps } => *ttt_steps as f64,
             TrainingStrategy::Eagle3 { ttt_steps } => *ttt_steps as f64,
         }
-    }
-}
-
-impl Default for TrainingStrategy {
-    fn default() -> Self {
-        // The paper chooses EAGLE as the default for its cost/quality balance (§6.5).
-        TrainingStrategy::Eagle
     }
 }
 
@@ -140,7 +137,10 @@ mod tests {
 
     #[test]
     fn eagle_uses_last_layer_with_l1() {
-        assert_eq!(TrainingStrategy::Eagle.feature_source(), FeatureSource::LastLayer);
+        assert_eq!(
+            TrainingStrategy::Eagle.feature_source(),
+            FeatureSource::LastLayer
+        );
         assert!(TrainingStrategy::Eagle.l1_weight() > 0.0);
         assert_eq!(TrainingStrategy::Eagle.ttt_steps(), 0);
     }

@@ -172,16 +172,20 @@ impl DrafterTrainer {
             let target_logits = target.project_hidden(&last_layer_next);
             let mut d_kl = Mat::zeros(cache.logits.rows(), cache.logits.cols());
             for r in 0..cache.logits.rows() {
-                let draft_probs =
-                    tlt_model::probs_from_logits(cache.logits.row(r), tlt_model::SamplingParams {
+                let draft_probs = tlt_model::probs_from_logits(
+                    cache.logits.row(r),
+                    tlt_model::SamplingParams {
                         temperature: 1.0,
                         top_k: None,
-                    });
-                let target_probs =
-                    tlt_model::probs_from_logits(target_logits.row(r), tlt_model::SamplingParams {
+                    },
+                );
+                let target_probs = tlt_model::probs_from_logits(
+                    target_logits.row(r),
+                    tlt_model::SamplingParams {
                         temperature: 1.0,
                         top_k: None,
-                    });
+                    },
+                );
                 let grad = tlt_model::kl::kl_grad_wrt_logits(&draft_probs, &target_probs);
                 d_kl.set_row(r, &grad);
             }
@@ -220,13 +224,13 @@ impl DrafterTrainer {
                         .build_fusion_input(target, &synth_source, &sample.tokens);
                 let synth_cache = self.drafter.forward_train(target, &synth_input);
                 let (_, d_logits_ttt) = cross_entropy(&synth_cache.logits, &targets);
-                let d_feat_ttt = self.drafter.logits_grad_to_features(
-                    target,
-                    &synth_cache,
-                    &d_logits_ttt,
-                );
+                let d_feat_ttt =
+                    self.drafter
+                        .logits_grad_to_features(target, &synth_cache, &d_logits_ttt);
                 let scale = 0.5f32.powi(step as i32 + 1);
-                let extra = self.drafter.backward(&synth_cache, &d_feat_ttt.scale(scale));
+                let extra = self
+                    .drafter
+                    .backward(&synth_cache, &d_feat_ttt.scale(scale));
                 grads.fusion.add_assign(&extra.fusion);
                 grads.layer.accumulate(&extra.layer);
                 synth_features = synth_cache.features;
@@ -278,7 +282,8 @@ impl DrafterTrainer {
         let mut used_samples = 0usize;
 
         for sample in samples {
-            let Some((grads, ce, l1, top1, top3, positions)) = self.grads_for_sample(target, sample)
+            let Some((grads, ce, l1, top1, top3, positions)) =
+                self.grads_for_sample(target, sample)
             else {
                 continue;
             };
@@ -313,8 +318,11 @@ impl DrafterTrainer {
         }
 
         self.adam.begin_step();
-        self.adam
-            .update_mat("drafter.fusion", &mut self.drafter.fusion.weight, &grads.fusion);
+        self.adam.update_mat(
+            "drafter.fusion",
+            &mut self.drafter.fusion.weight,
+            &grads.fusion,
+        );
         self.adam
             .update_decoder_layer("drafter.layer", &mut self.drafter.layer, &grads.layer);
         self.drafter.bump_version();

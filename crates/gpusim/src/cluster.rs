@@ -131,11 +131,9 @@ impl ClusterConfig {
         let kv_working_set =
             global_batch as f64 * max_response_len as f64 * model.kv_bytes_per_token() / gpus;
         // Activation working set with checkpointing (scales with sqrt(layers)).
-        let activations = max_response_len as f64
-            * model.hidden as f64
-            * (model.num_layers as f64).sqrt()
-            * 4.0
-            / self.tp as f64;
+        let activations =
+            max_response_len as f64 * model.hidden as f64 * (model.num_layers as f64).sqrt() * 4.0
+                / self.tp as f64;
         let required = train_state + rollout_weights + kv_working_set + activations;
         MemoryEstimate {
             train_state_bytes: train_state,

@@ -156,15 +156,20 @@ impl LlmCostModel {
     pub fn drafter_decode_work(&self, drafter: &DraftModelSpec, batch: usize) -> KernelWork {
         let tokens = batch as f64;
         let flops = drafter.flops_per_token * tokens / self.tp as f64;
-        let bytes = drafter.weight_bytes() / self.tp as f64
-            + tokens * drafter.hidden as f64 * BF16_BYTES;
+        let bytes =
+            drafter.weight_bytes() / self.tp as f64 + tokens * drafter.hidden as f64 * BF16_BYTES;
         let launches = (drafter.num_layers * 8 + 4) as f64;
         KernelWork::new(flops, bytes, launches)
     }
 
     /// Time of one drafter decode step (GPU kernels plus host-side drafting overhead).
     pub fn drafter_step_time(&self, drafter: &DraftModelSpec, batch: usize) -> f64 {
-        estimate_time(self.drafter_decode_work(drafter, batch), &self.gpu, self.mode).total_s
+        estimate_time(
+            self.drafter_decode_work(drafter, batch),
+            &self.gpu,
+            self.mode,
+        )
+        .total_s
             + DRAFT_STEP_HOST_OVERHEAD_S
     }
 
@@ -239,7 +244,9 @@ impl LlmCostModel {
     /// Persistent memory required to capture a CUDAGraph that executes `tokens`
     /// token positions for a batch of `batch` sequences of the *target* model.
     pub fn graph_capture_bytes(&self, batch: usize, tokens_per_seq: usize) -> f64 {
-        let per_token = self.model.hidden as f64 * self.model.num_layers as f64 * ACTIVATION_FACTOR
+        let per_token = self.model.hidden as f64
+            * self.model.num_layers as f64
+            * ACTIVATION_FACTOR
             * BF16_BYTES
             / self.tp as f64;
         (batch * tokens_per_seq) as f64 * per_token + GRAPH_FIXED_BYTES
@@ -252,9 +259,9 @@ impl LlmCostModel {
         batch: usize,
         tokens_per_seq: usize,
     ) -> f64 {
-        let per_token = drafter.hidden as f64 * drafter.num_layers as f64 * ACTIVATION_FACTOR
-            * BF16_BYTES
-            / self.tp as f64;
+        let per_token =
+            drafter.hidden as f64 * drafter.num_layers as f64 * ACTIVATION_FACTOR * BF16_BYTES
+                / self.tp as f64;
         (batch * tokens_per_seq) as f64 * per_token + GRAPH_FIXED_BYTES / 4.0
     }
 }
@@ -285,7 +292,10 @@ mod tests {
         let cost = qwen7b_h100();
         let work = cost.verify_work(64, 48, 1024);
         let t = estimate_time(work, &cost.gpu, cost.mode);
-        assert!(t.is_compute_bound(), "large batched verification should be compute-bound");
+        assert!(
+            t.is_compute_bound(),
+            "large batched verification should be compute-bound"
+        );
     }
 
     #[test]
@@ -317,7 +327,10 @@ mod tests {
         let drafter = cost.model.eagle_drafter();
         let d = cost.drafter_step_time(&drafter, 1);
         let t = cost.decode_step_time(1, 4096);
-        assert!(d * 10.0 < t, "drafter step {d} should be <10% of target step {t}");
+        assert!(
+            d * 10.0 < t,
+            "drafter step {d} should be <10% of target step {t}"
+        );
     }
 
     #[test]
@@ -385,7 +398,10 @@ mod tests {
         // A full single-strategy bucket set should land in the single-digit-GB range
         // (paper Table 5 reports 7.81 GB).
         let buckets = [1usize, 2, 4, 8, 16, 32, 64, 128];
-        let total: f64 = buckets.iter().map(|&b| cost.graph_capture_bytes(b, 48)).sum();
+        let total: f64 = buckets
+            .iter()
+            .map(|&b| cost.graph_capture_bytes(b, 48))
+            .sum();
         let gb = total / 1e9;
         assert!((3.0..15.0).contains(&gb), "single-strategy pool = {gb} GB");
     }

@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity_handles_zero_bytes() {
-        assert!(KernelWork::new(1.0, 0.0, 1.0).arithmetic_intensity().is_infinite());
+        assert!(KernelWork::new(1.0, 0.0, 1.0)
+            .arithmetic_intensity()
+            .is_infinite());
         assert_eq!(KernelWork::new(4.0, 2.0, 1.0).arithmetic_intensity(), 2.0);
     }
 }

@@ -155,7 +155,15 @@ impl DecoderLayerGrads {
         for v in &self.attn_norm {
             sq += v * v;
         }
-        for m in [&self.wq, &self.wk, &self.wv, &self.wo, &self.w_gate, &self.w_up, &self.w_down] {
+        for m in [
+            &self.wq,
+            &self.wk,
+            &self.wv,
+            &self.wo,
+            &self.w_gate,
+            &self.w_up,
+            &self.w_down,
+        ] {
             sq += m.as_slice().iter().map(|v| v * v).sum::<f32>();
         }
         for v in &self.mlp_norm {
@@ -284,9 +292,7 @@ impl DecoderLayer {
                     *s = crate::tensor::dot(q_row, k_row) * scale;
                 }
                 softmax_in_place(&mut scores[..i + 1]);
-                for j in i + 1..t {
-                    scores[j] = 0.0;
-                }
+                scores[i + 1..t].fill(0.0);
                 probs.set_row(i, &scores);
             }
             for i in 0..t {
@@ -652,7 +658,10 @@ mod tests {
             layer.apply_sgd(&grads, 0.01);
         }
         let after = loss_of(&layer);
-        assert!(after < before, "SGD failed to reduce loss: {before} -> {after}");
+        assert!(
+            after < before,
+            "SGD failed to reduce loss: {before} -> {after}"
+        );
     }
 
     #[test]

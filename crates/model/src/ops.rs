@@ -52,7 +52,11 @@ pub fn log_softmax(row: &[f32]) -> Vec<f32> {
 /// `d_logits` using the Jacobian-vector product
 /// `dL/dz_j = p_j * (dL/dp_j - sum_k p_k dL/dp_k)`.
 pub fn softmax_backward_rows(probs: &Mat, d_probs: &Mat) -> Mat {
-    assert_eq!(probs.shape(), d_probs.shape(), "softmax backward shape mismatch");
+    assert_eq!(
+        probs.shape(),
+        d_probs.shape(),
+        "softmax backward shape mismatch"
+    );
     let mut out = Mat::zeros(probs.rows(), probs.cols());
     for r in 0..probs.rows() {
         let p = probs.row(r);

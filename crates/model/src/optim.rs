@@ -110,7 +110,11 @@ impl Adam {
     /// Panics if `param` and `grad` have different lengths, or if a buffer with the
     /// same name was previously registered with a different length.
     pub fn update_slice(&mut self, name: &str, param: &mut [f32], grad: &[f32]) {
-        assert_eq!(param.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            param.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         assert!(self.step > 0, "call begin_step before update");
         let entry = self
             .moments
@@ -138,7 +142,11 @@ impl Adam {
 
     /// Applies an Adam update to a matrix parameter.
     pub fn update_mat(&mut self, name: &str, param: &mut Mat, grad: &Mat) {
-        assert_eq!(param.shape(), grad.shape(), "matrix shape mismatch for {name}");
+        assert_eq!(
+            param.shape(),
+            grad.shape(),
+            "matrix shape mismatch for {name}"
+        );
         // Split borrow: copy grad slice reference before mutable borrow of param data.
         let grad_slice = grad.as_slice().to_vec();
         self.update_slice(name, param.as_mut_slice(), &grad_slice);
@@ -153,16 +161,28 @@ impl Adam {
         grads: &DecoderLayerGrads,
     ) {
         let g_attn = grads.attn_norm.clone();
-        self.update_slice(&format!("{prefix}.attn_norm"), &mut layer.attn_norm, &g_attn);
+        self.update_slice(
+            &format!("{prefix}.attn_norm"),
+            &mut layer.attn_norm,
+            &g_attn,
+        );
         self.update_mat(&format!("{prefix}.wq"), &mut layer.wq, &grads.wq);
         self.update_mat(&format!("{prefix}.wk"), &mut layer.wk, &grads.wk);
         self.update_mat(&format!("{prefix}.wv"), &mut layer.wv, &grads.wv);
         self.update_mat(&format!("{prefix}.wo"), &mut layer.wo, &grads.wo);
         let g_mlp = grads.mlp_norm.clone();
         self.update_slice(&format!("{prefix}.mlp_norm"), &mut layer.mlp_norm, &g_mlp);
-        self.update_mat(&format!("{prefix}.w_gate"), &mut layer.w_gate, &grads.w_gate);
+        self.update_mat(
+            &format!("{prefix}.w_gate"),
+            &mut layer.w_gate,
+            &grads.w_gate,
+        );
         self.update_mat(&format!("{prefix}.w_up"), &mut layer.w_up, &grads.w_up);
-        self.update_mat(&format!("{prefix}.w_down"), &mut layer.w_down, &grads.w_down);
+        self.update_mat(
+            &format!("{prefix}.w_down"),
+            &mut layer.w_down,
+            &grads.w_down,
+        );
     }
 
     /// Approximate memory footprint of the optimizer state in bytes.
@@ -191,7 +211,11 @@ mod tests {
             ..AdamConfig::default()
         });
         for _ in 0..400 {
-            let grad: Vec<f32> = x.iter().zip(&target).map(|(xi, ti)| 2.0 * (xi - ti)).collect();
+            let grad: Vec<f32> = x
+                .iter()
+                .zip(&target)
+                .map(|(xi, ti)| 2.0 * (xi - ti))
+                .collect();
             adam.begin_step();
             adam.update_slice("x", &mut x, &grad);
         }
@@ -238,7 +262,15 @@ mod tests {
         for v in grads.mlp_norm.iter_mut() {
             *v = 1.0;
         }
-        for m in [&mut grads.wq, &mut grads.wk, &mut grads.wv, &mut grads.wo, &mut grads.w_gate, &mut grads.w_up, &mut grads.w_down] {
+        for m in [
+            &mut grads.wq,
+            &mut grads.wk,
+            &mut grads.wv,
+            &mut grads.wo,
+            &mut grads.w_gate,
+            &mut grads.w_up,
+            &mut grads.w_down,
+        ] {
             for v in m.as_mut_slice() {
                 *v = 1.0;
             }

@@ -83,7 +83,11 @@ pub fn argmax(values: &[f32]) -> usize {
 /// Returns the indices of the `k` largest values, in descending value order.
 pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }

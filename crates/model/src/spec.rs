@@ -180,7 +180,8 @@ impl ModelSpec {
             params: self.params_per_layer() + 2.0 * (self.hidden * self.hidden) as f64,
             num_layers: 1,
             hidden: self.hidden,
-            flops_per_token: 2.0 * (self.params_per_layer() + 2.0 * (self.hidden * self.hidden) as f64),
+            flops_per_token: 2.0
+                * (self.params_per_layer() + 2.0 * (self.hidden * self.hidden) as f64),
         }
     }
 

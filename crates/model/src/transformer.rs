@@ -202,7 +202,11 @@ impl TinyLm {
         self.embedding.len()
             + self.lm_head.len()
             + self.final_norm.len()
-            + self.layers.iter().map(DecoderLayer::num_parameters).sum::<usize>()
+            + self
+                .layers
+                .iter()
+                .map(DecoderLayer::num_parameters)
+                .sum::<usize>()
     }
 
     /// Creates an empty KV cache sized for this model.
@@ -493,7 +497,10 @@ mod tests {
             .zip(reference.sequence_logprobs(&tokens).iter())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(drift > 1e-3, "expected output distribution drift, got {drift}");
+        assert!(
+            drift > 1e-3,
+            "expected output distribution drift, got {drift}"
+        );
     }
 
     #[test]

@@ -46,10 +46,7 @@ impl RlAlgorithm {
 ///
 /// `rewards_per_group[g][i]` is the reward of the `i`-th response to prompt `g`.
 /// The returned structure mirrors the input shape.
-pub fn compute_advantages(
-    algorithm: RlAlgorithm,
-    rewards_per_group: &[Vec<f32>],
-) -> Vec<Vec<f32>> {
+pub fn compute_advantages(algorithm: RlAlgorithm, rewards_per_group: &[Vec<f32>]) -> Vec<Vec<f32>> {
     match algorithm {
         RlAlgorithm::Grpo => rewards_per_group.iter().map(|g| grpo_group(g)).collect(),
         RlAlgorithm::Rloo => rewards_per_group.iter().map(|g| rloo_group(g)).collect(),

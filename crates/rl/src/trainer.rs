@@ -9,8 +9,7 @@
 
 use crate::advantage::{compute_advantages, RlAlgorithm};
 use serde::{Deserialize, Serialize};
-use tlt_model::kl::{kl_grad_wrt_logits, mean_sampled_kl, KlEstimator};
-use tlt_model::ops::log_softmax;
+use tlt_model::kl::{kl_divergence, kl_grad_wrt_logits};
 use tlt_model::{probs_from_logits, Adam, AdamConfig, Mat, SamplingParams, TinyLm, TokenId};
 
 /// RL training configuration.
@@ -69,7 +68,10 @@ impl RolloutGroup {
 pub struct StepMetrics {
     /// Mean rule-based reward across all responses.
     pub mean_reward: f64,
-    /// Mean per-token KL divergence (k3 estimator) from the reference model.
+    /// Mean per-token KL divergence from the reference model. The tiny substrate
+    /// materialises full next-token distributions during the update anyway, so this
+    /// is the *exact* KL; production systems report a sampled estimate instead
+    /// (see [`tlt_model::kl`] for the k1/k2/k3 estimators and their trade-offs).
     pub mean_kl: f64,
     /// Mean response length in tokens.
     pub mean_response_len: f64,
@@ -155,7 +157,8 @@ impl PolicyTrainer {
                 // Full sequence (prompt + response), truncated for update cost.
                 let mut tokens: Vec<TokenId> = group.prompt.clone();
                 tokens.extend_from_slice(response);
-                let max_len = (group.prompt.len() + self.config.max_update_tokens).min(tokens.len());
+                let max_len =
+                    (group.prompt.len() + self.config.max_update_tokens).min(tokens.len());
                 tokens.truncate(max_len.min(target.config.max_seq_len));
                 if tokens.len() <= group.prompt.len() {
                     continue;
@@ -166,19 +169,13 @@ impl PolicyTrainer {
                 let fwd = target.forward_for_update(&tokens[..tokens.len() - 1]);
                 let (ref_out, _) = self.reference.prefill(&tokens[..tokens.len() - 1], false);
 
-                // Per-token KL (k3) for reporting.
-                let policy_lp: Vec<f32> = (group.prompt.len() - 1..tokens.len() - 1)
-                    .map(|pos| log_softmax(fwd.logits.row(pos))[tokens[pos + 1] as usize])
-                    .collect();
-                let ref_lp: Vec<f32> = (group.prompt.len() - 1..tokens.len() - 1)
-                    .map(|pos| log_softmax(ref_out.logits.row(pos))[tokens[pos + 1] as usize])
-                    .collect();
-                total_kl += mean_sampled_kl(&policy_lp, &ref_lp, KlEstimator::K3) as f64;
-
                 // Training stage: policy-gradient + KL-penalty gradient on logits,
-                // applied only at response positions.
+                // applied only at response positions. The full policy/reference
+                // distributions needed for the KL gradient double as the source of
+                // the exact per-token KL reported in the metrics.
                 let mut d_logits = Mat::zeros(fwd.logits.rows(), fwd.logits.cols());
                 let norm = response_positions as f32;
+                let mut response_kl = 0.0f64;
                 for pos in group.prompt.len() - 1..tokens.len() - 1 {
                     let next = tokens[pos + 1] as usize;
                     let probs = probs_from_logits(
@@ -195,6 +192,7 @@ impl PolicyTrainer {
                             top_k: None,
                         },
                     );
+                    response_kl += kl_divergence(&probs, &ref_probs);
                     let kl_grad = kl_grad_wrt_logits(&probs, &ref_probs);
                     let row = d_logits.row_mut(pos);
                     for v in 0..row.len() {
@@ -206,6 +204,7 @@ impl PolicyTrainer {
                     }
                     update_tokens += 1;
                 }
+                total_kl += response_kl / response_positions as f64;
 
                 let grads = target.backward_for_update(&fwd, &d_logits);
                 match accumulated.as_mut() {
@@ -233,10 +232,14 @@ impl PolicyTrainer {
             }
             self.adam.begin_step();
             let lm_head_grad = grads.lm_head.clone();
-            self.adam.update_mat("policy.lm_head", &mut target.lm_head, &lm_head_grad);
-            let final_norm_grad = grads.final_norm.clone();
             self.adam
-                .update_slice("policy.final_norm", &mut target.final_norm, &final_norm_grad);
+                .update_mat("policy.lm_head", &mut target.lm_head, &lm_head_grad);
+            let final_norm_grad = grads.final_norm.clone();
+            self.adam.update_slice(
+                "policy.final_norm",
+                &mut target.final_norm,
+                &final_norm_grad,
+            );
             let last_idx = target.layers.len() - 1;
             self.adam.update_decoder_layer(
                 "policy.last_layer",

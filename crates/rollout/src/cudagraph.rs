@@ -233,16 +233,43 @@ mod tests {
         let (cost, drafter) = setup();
         let strategies = SdStrategy::default_set();
         let buckets = default_batch_buckets();
-        let single = CudaGraphPool::plan(CaptureMode::SingleStrategy, &strategies, &buckets, &cost, &drafter);
-        let vanilla = CudaGraphPool::plan(CaptureMode::VanillaMultiStrategy, &strategies, &buckets, &cost, &drafter);
-        let bucketed = CudaGraphPool::plan(CaptureMode::Bucketed, &strategies, &buckets, &cost, &drafter);
+        let single = CudaGraphPool::plan(
+            CaptureMode::SingleStrategy,
+            &strategies,
+            &buckets,
+            &cost,
+            &drafter,
+        );
+        let vanilla = CudaGraphPool::plan(
+            CaptureMode::VanillaMultiStrategy,
+            &strategies,
+            &buckets,
+            &cost,
+            &drafter,
+        );
+        let bucketed = CudaGraphPool::plan(
+            CaptureMode::Bucketed,
+            &strategies,
+            &buckets,
+            &cost,
+            &drafter,
+        );
 
         let s = single.total_memory_gb();
         let v = vanilla.total_memory_gb();
         let b = bucketed.total_memory_gb();
-        assert!(v > 2.5 * s, "vanilla {v:.2} GB should be ~4x single {s:.2} GB");
-        assert!(b < v / 2.0, "bucketed {b:.2} GB should be well below vanilla {v:.2} GB");
-        assert!(b < 2.0 * s, "bucketed {b:.2} GB should be close to single {s:.2} GB");
+        assert!(
+            v > 2.5 * s,
+            "vanilla {v:.2} GB should be ~4x single {s:.2} GB"
+        );
+        assert!(
+            b < v / 2.0,
+            "bucketed {b:.2} GB should be well below vanilla {v:.2} GB"
+        );
+        assert!(
+            b < 2.0 * s,
+            "bucketed {b:.2} GB should be close to single {s:.2} GB"
+        );
         // Absolute scale sanity: single-strategy pool in the single-digit GB range.
         assert!((2.0..15.0).contains(&s), "single-strategy pool {s:.2} GB");
     }
@@ -252,8 +279,20 @@ mod tests {
         let (cost, drafter) = setup();
         let strategies = SdStrategy::default_set();
         let buckets = default_batch_buckets();
-        let vanilla = CudaGraphPool::plan(CaptureMode::VanillaMultiStrategy, &strategies, &buckets, &cost, &drafter);
-        let bucketed = CudaGraphPool::plan(CaptureMode::Bucketed, &strategies, &buckets, &cost, &drafter);
+        let vanilla = CudaGraphPool::plan(
+            CaptureMode::VanillaMultiStrategy,
+            &strategies,
+            &buckets,
+            &cost,
+            &drafter,
+        );
+        let bucketed = CudaGraphPool::plan(
+            CaptureMode::Bucketed,
+            &strategies,
+            &buckets,
+            &cost,
+            &drafter,
+        );
         assert!(bucketed.num_graphs() < vanilla.num_graphs());
     }
 
@@ -262,7 +301,13 @@ mod tests {
         let (cost, drafter) = setup();
         let strategies = SdStrategy::default_set();
         let buckets = default_batch_buckets();
-        let pool = CudaGraphPool::plan(CaptureMode::Bucketed, &strategies, &buckets, &cost, &drafter);
+        let pool = CudaGraphPool::plan(
+            CaptureMode::Bucketed,
+            &strategies,
+            &buckets,
+            &cost,
+            &drafter,
+        );
         // Small batches get deep verification, large batches shallow verification
         // (Table 4's observation that larger batches should verify fewer tokens).
         let small = pool.strategy_for_batch(1);

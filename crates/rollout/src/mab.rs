@@ -185,7 +185,7 @@ impl BegMabSelector {
             match self.median_reward(idx) {
                 None => return *s, // untried arm: force exploration of it
                 Some(r) => {
-                    if best.map_or(true, |(_, br)| r > br) {
+                    if best.is_none_or(|(_, br)| r > br) {
                         best = Some((*s, r));
                     }
                 }
@@ -219,10 +219,26 @@ mod tests {
 
     fn strategies() -> Vec<SdStrategy> {
         vec![
-            SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 64 },
-            SdStrategy { draft_depth: 10, top_k: 4, tokens_to_verify: 64 },
-            SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 32 },
-            SdStrategy { draft_depth: 4, top_k: 8, tokens_to_verify: 16 },
+            SdStrategy {
+                draft_depth: 10,
+                top_k: 8,
+                tokens_to_verify: 64,
+            },
+            SdStrategy {
+                draft_depth: 10,
+                top_k: 4,
+                tokens_to_verify: 64,
+            },
+            SdStrategy {
+                draft_depth: 8,
+                top_k: 8,
+                tokens_to_verify: 32,
+            },
+            SdStrategy {
+                draft_depth: 4,
+                top_k: 8,
+                tokens_to_verify: 16,
+            },
         ]
     }
 
@@ -230,9 +246,18 @@ mod tests {
     fn batch_size_maps_to_verify_groups() {
         let selector = BegMabSelector::new(&strategies(), &[1, 8, 24], BegMabConfig::default());
         // Small batches -> deepest verification group (64 tokens).
-        assert!(selector.candidates(1).iter().all(|s| s.tokens_to_verify == 64));
-        assert!(selector.candidates(10).iter().all(|s| s.tokens_to_verify == 32));
-        assert!(selector.candidates(100).iter().all(|s| s.tokens_to_verify == 16));
+        assert!(selector
+            .candidates(1)
+            .iter()
+            .all(|s| s.tokens_to_verify == 64));
+        assert!(selector
+            .candidates(10)
+            .iter()
+            .all(|s| s.tokens_to_verify == 32));
+        assert!(selector
+            .candidates(100)
+            .iter()
+            .all(|s| s.tokens_to_verify == 16));
     }
 
     #[test]
@@ -250,19 +275,39 @@ mod tests {
         let mut selector = BegMabSelector::new(
             &strategies(),
             &[1, 8, 24],
-            BegMabConfig { epsilon: 0.0, window: 8 },
+            BegMabConfig {
+                epsilon: 0.0,
+                window: 8,
+            },
         );
         let good = strategies()[0];
         let bad = strategies()[1];
         for _ in 0..8 {
-            selector.record(&good, StepObservation { elapsed_s: 0.01, accepted_tokens: 6.0, batch_size: 1 });
-            selector.record(&bad, StepObservation { elapsed_s: 0.01, accepted_tokens: 2.0, batch_size: 1 });
+            selector.record(
+                &good,
+                StepObservation {
+                    elapsed_s: 0.01,
+                    accepted_tokens: 6.0,
+                    batch_size: 1,
+                },
+            );
+            selector.record(
+                &bad,
+                StepObservation {
+                    elapsed_s: 0.01,
+                    accepted_tokens: 2.0,
+                    batch_size: 1,
+                },
+            );
         }
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
             assert_eq!(selector.select(1, &mut rng), good);
         }
-        assert!(selector.mean_accept_length(&good).unwrap() > selector.mean_accept_length(&bad).unwrap());
+        assert!(
+            selector.mean_accept_length(&good).unwrap()
+                > selector.mean_accept_length(&bad).unwrap()
+        );
     }
 
     #[test]
@@ -270,11 +315,21 @@ mod tests {
         let mut selector = BegMabSelector::new(
             &strategies(),
             &[1, 8, 24],
-            BegMabConfig { epsilon: 0.0, window: 8 },
+            BegMabConfig {
+                epsilon: 0.0,
+                window: 8,
+            },
         );
         let good = strategies()[0];
         for _ in 0..4 {
-            selector.record(&good, StepObservation { elapsed_s: 0.01, accepted_tokens: 6.0, batch_size: 1 });
+            selector.record(
+                &good,
+                StepObservation {
+                    elapsed_s: 0.01,
+                    accepted_tokens: 6.0,
+                    batch_size: 1,
+                },
+            );
         }
         let mut rng = StdRng::seed_from_u64(2);
         // The other bs=1 arm has never been tried; the selector must pick it at least
@@ -288,11 +343,21 @@ mod tests {
         let mut selector = BegMabSelector::new(
             &strategies(),
             &[1, 8, 24],
-            BegMabConfig { epsilon: 0.3, window: 8 },
+            BegMabConfig {
+                epsilon: 0.3,
+                window: 8,
+            },
         );
         // Seed both arms so exploitation is possible.
         for s in &strategies()[..2] {
-            selector.record(s, StepObservation { elapsed_s: 0.01, accepted_tokens: 4.0, batch_size: 1 });
+            selector.record(
+                s,
+                StepObservation {
+                    elapsed_s: 0.01,
+                    accepted_tokens: 4.0,
+                    batch_size: 1,
+                },
+            );
         }
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..1000 {
@@ -310,19 +375,43 @@ mod tests {
         let mut selector = BegMabSelector::new(
             &strategies(),
             &[1, 8, 24],
-            BegMabConfig { epsilon: 0.0, window: 4 },
+            BegMabConfig {
+                epsilon: 0.0,
+                window: 4,
+            },
         );
         let a = strategies()[0];
         let b = strategies()[1];
         for _ in 0..4 {
-            selector.record(&a, StepObservation { elapsed_s: 0.01, accepted_tokens: 8.0, batch_size: 1 });
-            selector.record(&b, StepObservation { elapsed_s: 0.01, accepted_tokens: 4.0, batch_size: 1 });
+            selector.record(
+                &a,
+                StepObservation {
+                    elapsed_s: 0.01,
+                    accepted_tokens: 8.0,
+                    batch_size: 1,
+                },
+            );
+            selector.record(
+                &b,
+                StepObservation {
+                    elapsed_s: 0.01,
+                    accepted_tokens: 4.0,
+                    batch_size: 1,
+                },
+            );
         }
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(selector.select(1, &mut rng), a);
         // Arm A degrades badly; after `window` new observations it should lose.
         for _ in 0..4 {
-            selector.record(&a, StepObservation { elapsed_s: 0.05, accepted_tokens: 1.0, batch_size: 1 });
+            selector.record(
+                &a,
+                StepObservation {
+                    elapsed_s: 0.05,
+                    accepted_tokens: 1.0,
+                    batch_size: 1,
+                },
+            );
         }
         assert_eq!(selector.select(1, &mut rng), b);
     }

@@ -158,8 +158,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(manager.decide(128, &mut rng), SdDecision::Vanilla);
         assert_eq!(manager.decide(33, &mut rng), SdDecision::Vanilla);
-        assert!(matches!(manager.decide(32, &mut rng), SdDecision::Speculative { .. }));
-        assert!(matches!(manager.decide(1, &mut rng), SdDecision::Speculative { .. }));
+        assert!(matches!(
+            manager.decide(32, &mut rng),
+            SdDecision::Speculative { .. }
+        ));
+        assert!(matches!(
+            manager.decide(1, &mut rng),
+            SdDecision::Speculative { .. }
+        ));
     }
 
     #[test]
@@ -170,7 +176,9 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(1);
         match manager.decide(8, &mut rng) {
-            SdDecision::Speculative { drafter, .. } => assert_eq!(drafter, DrafterChoice::ModelFree),
+            SdDecision::Speculative { drafter, .. } => {
+                assert_eq!(drafter, DrafterChoice::ModelFree)
+            }
             other => panic!("expected speculative decision, got {other:?}"),
         }
         manager.set_learned_drafter_available(true);
@@ -195,7 +203,10 @@ mod tests {
     #[test]
     fn strategy_depends_on_batch_size() {
         let mut manager = AdaptiveSdManager::new(SdManagerConfig {
-            mab: BegMabConfig { epsilon: 0.0, window: 4 },
+            mab: BegMabConfig {
+                epsilon: 0.0,
+                window: 4,
+            },
             ..SdManagerConfig::default()
         });
         let mut rng = StdRng::seed_from_u64(3);

@@ -74,7 +74,12 @@ impl NgramDrafter {
         for window in tokens.windows(k + 1) {
             let context = window[..k].to_vec();
             let next = window[k];
-            *self.table.entry(context).or_default().entry(next).or_insert(0) += 1;
+            *self
+                .table
+                .entry(context)
+                .or_default()
+                .entry(next)
+                .or_insert(0) += 1;
         }
     }
 
@@ -137,7 +142,10 @@ mod tests {
         let mut drafter = NgramDrafter::new(NgramConfig::default());
         drafter.observe(&[1, 2, 3, 4, 5]);
         assert!(drafter.draft(&[9, 9, 9]).is_empty());
-        assert!(drafter.predict_next(&[1]).is_none(), "short context rejected");
+        assert!(
+            drafter.predict_next(&[1]).is_none(),
+            "short context rejected"
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! tables (2, 4), the hyperparameter sweeps (Figure 13, Table 1) and the adaptive-SD
 //! case study (Figure 14).
 
-use crate::manager::{AdaptiveSdManager, DrafterChoice, SdDecision, SdManagerConfig};
 use crate::mab::StepObservation;
+use crate::manager::{AdaptiveSdManager, DrafterChoice, SdDecision, SdManagerConfig};
 use crate::spec::SdStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -161,7 +161,10 @@ pub fn simulate_rollout(config: &SimRolloutConfig, response_lengths: &[usize]) -
         // Decide how to decode this step.
         let decision = match &config.sd_mode {
             SdMode::Disabled => SdDecision::Vanilla,
-            SdMode::Static { strategy, threshold } => {
+            SdMode::Static {
+                strategy,
+                threshold,
+            } => {
                 if batch <= *threshold {
                     SdDecision::Speculative {
                         drafter: DrafterChoice::Learned,
@@ -229,11 +232,9 @@ pub fn simulate_rollout(config: &SimRolloutConfig, response_lengths: &[usize]) -
 
         // Record a timeline point roughly every simulated second of progress (and on
         // every change of SD activation) to keep profiles compact.
-        let record = timeline
-            .last()
-            .map_or(true, |p: &TimelinePoint| {
-                time_s - p.time_s > 1.0 || p.sd_active != sd_active || p.running_requests != batch
-            });
+        let record = timeline.last().is_none_or(|p: &TimelinePoint| {
+            time_s - p.time_s > 1.0 || p.sd_active != sd_active || p.running_requests != batch
+        });
         if record {
             timeline.push(TimelinePoint {
                 time_s,
@@ -413,7 +414,11 @@ mod tests {
         let cost = qwen32b_cost();
         let drafter = cost.model.eagle_drafter();
         let acceptance = AcceptanceProfile::adaptive_drafter();
-        let strategy = SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 48 };
+        let strategy = SdStrategy {
+            draft_depth: 10,
+            top_k: 8,
+            tokens_to_verify: 48,
+        };
         let s1 = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, strategy, 4096);
         let s8 = fixed_batch_speedup(&cost, &drafter, &acceptance, 8, strategy, 4096);
         let s32 = fixed_batch_speedup(&cost, &drafter, &acceptance, 32, strategy, 4096);
@@ -428,20 +433,32 @@ mod tests {
         let cost = qwen32b_cost();
         let drafter = cost.model.eagle_drafter();
         let acceptance = AcceptanceProfile::adaptive_drafter();
-        let mk = |verify| SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: verify };
+        let mk = |verify| SdStrategy {
+            draft_depth: 10,
+            top_k: 8,
+            tokens_to_verify: verify,
+        };
         // At batch 32 a small verification budget wins; at batch 1 a large one wins.
-        let small_batch_big_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, mk(64), 4096);
-        let small_batch_small_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 1, mk(16), 4096);
+        let small_batch_big_verify =
+            fixed_batch_speedup(&cost, &drafter, &acceptance, 1, mk(64), 4096);
+        let small_batch_small_verify =
+            fixed_batch_speedup(&cost, &drafter, &acceptance, 1, mk(16), 4096);
         assert!(small_batch_big_verify > small_batch_small_verify);
-        let big_batch_big_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 32, mk(64), 4096);
-        let big_batch_small_verify = fixed_batch_speedup(&cost, &drafter, &acceptance, 32, mk(16), 4096);
+        let big_batch_big_verify =
+            fixed_batch_speedup(&cost, &drafter, &acceptance, 32, mk(64), 4096);
+        let big_batch_small_verify =
+            fixed_batch_speedup(&cost, &drafter, &acceptance, 32, mk(16), 4096);
         assert!(big_batch_small_verify > big_batch_big_verify);
     }
 
     #[test]
     fn table2_shape_weaker_gpus_gain_more() {
         let spec = ModelSpec::qwen2_5_7b();
-        let strategy = SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 48 };
+        let strategy = SdStrategy {
+            draft_depth: 8,
+            top_k: 8,
+            tokens_to_verify: 48,
+        };
         let acceptance = AcceptanceProfile::adaptive_drafter();
         let ratio = |gpu: GpuType| {
             let cost = LlmCostModel::new(spec.clone(), gpu.spec(), 1);
@@ -453,7 +470,10 @@ mod tests {
         let h100 = ratio(GpuType::H100);
         let rtx3090 = ratio(GpuType::Rtx3090);
         assert!(h100 > 1.8, "H100 SD speedup {h100:.2}");
-        assert!(rtx3090 > h100, "3090 {rtx3090:.2} should gain more than H100 {h100:.2}");
+        assert!(
+            rtx3090 > h100,
+            "3090 {rtx3090:.2} should gain more than H100 {h100:.2}"
+        );
     }
 
     #[test]

@@ -37,10 +37,26 @@ impl SdStrategy {
     /// small-batch-friendly (deep, wide verification) to large-batch-friendly.
     pub fn default_set() -> Vec<SdStrategy> {
         vec![
-            SdStrategy { draft_depth: 10, top_k: 8, tokens_to_verify: 64 },
-            SdStrategy { draft_depth: 8, top_k: 8, tokens_to_verify: 48 },
-            SdStrategy { draft_depth: 6, top_k: 8, tokens_to_verify: 32 },
-            SdStrategy { draft_depth: 4, top_k: 8, tokens_to_verify: 16 },
+            SdStrategy {
+                draft_depth: 10,
+                top_k: 8,
+                tokens_to_verify: 64,
+            },
+            SdStrategy {
+                draft_depth: 8,
+                top_k: 8,
+                tokens_to_verify: 48,
+            },
+            SdStrategy {
+                draft_depth: 6,
+                top_k: 8,
+                tokens_to_verify: 32,
+            },
+            SdStrategy {
+                draft_depth: 4,
+                top_k: 8,
+                tokens_to_verify: 16,
+            },
         ]
     }
 }
@@ -144,6 +160,9 @@ pub fn vanilla_generate<R: Rng>(
 ///
 /// Panics if the prompt is empty or a learned drafter with a multi-layer feature
 /// source is supplied (the token-level engine supports last-layer drafters).
+// The argument list deliberately mirrors `vanilla_generate` plus the SD knobs, so
+// call sites can switch between the two generators mechanically.
+#[allow(clippy::too_many_arguments)]
 pub fn speculative_generate<R: Rng>(
     target: &TinyLm,
     drafter: &SpecDrafter<'_>,
@@ -198,7 +217,8 @@ pub fn speculative_generate<R: Rng>(
         match drafter {
             SpecDrafter::Learned(model) => {
                 all_tokens.push(pending);
-                let mut state = model.begin_draft(target, &features, &all_tokens[..features.rows()]);
+                let mut state =
+                    model.begin_draft(target, &features, &all_tokens[..features.rows()]);
                 all_tokens.pop();
                 let mut last = pending;
                 for _ in 0..draft_len {
@@ -320,7 +340,9 @@ pub fn measure_acceptance<R: Rng>(
     let mut accept_len_sum = 0.0;
     let mut accept_len_count = 0usize;
     for prompt in prompts {
-        let result = speculative_generate(target, drafter, prompt, max_new, strategy, params, None, rng);
+        let result = speculative_generate(
+            target, drafter, prompt, max_new, strategy, params, None, rng,
+        );
         for i in 0..strategy.draft_depth {
             attempts[i] += result.position_attempts.get(i).copied().unwrap_or(0);
             accepted[i] += result.position_accepted.get(i).copied().unwrap_or(0);
@@ -516,7 +538,8 @@ mod tests {
     fn trained_drafter_achieves_higher_acceptance_than_untrained() {
         let (target, untrained) = setup();
         // Train a drafter on target rollouts.
-        let mut trainer = tlt_draft::DrafterTrainer::new(&target, tlt_draft::TrainerConfig::default(), 8);
+        let mut trainer =
+            tlt_draft::DrafterTrainer::new(&target, tlt_draft::TrainerConfig::default(), 8);
         let mut rng = StdRng::seed_from_u64(11);
         let params = SamplingParams::greedy();
         let mut samples = Vec::new();
@@ -539,7 +562,11 @@ mod tests {
             trainer.train_iteration(&target, &refs);
         }
         let prompts: Vec<Vec<TokenId>> = (0..4u32).map(|i| vec![i + 1, 3, 5]).collect();
-        let strategy = SdStrategy { draft_depth: 4, top_k: 1, tokens_to_verify: 4 };
+        let strategy = SdStrategy {
+            draft_depth: 4,
+            top_k: 1,
+            tokens_to_verify: 4,
+        };
         let mut rng = StdRng::seed_from_u64(21);
         let (_, untrained_accept) = measure_acceptance(
             &target,
@@ -576,7 +603,11 @@ mod tests {
             &SpecDrafter::Learned(&drafter),
             &prompts,
             16,
-            SdStrategy { draft_depth: 5, top_k: 1, tokens_to_verify: 5 },
+            SdStrategy {
+                draft_depth: 5,
+                top_k: 1,
+                tokens_to_verify: 5,
+            },
             SamplingParams::greedy(),
             &mut rng,
         );

@@ -116,7 +116,8 @@ pub fn run_token_experiment(
     let mut target = TinyLm::new(config.model, config.seed);
     let reference = target.reference_copy();
     let mut policy_trainer = PolicyTrainer::new(reference, config.rl);
-    let mut drafter_trainer = DrafterTrainer::new(&target, TrainerConfig::default(), config.seed + 1);
+    let mut drafter_trainer =
+        DrafterTrainer::new(&target, TrainerConfig::default(), config.seed + 1);
     let mut buffer = DataBuffer::new(DataBufferConfig {
         retained_long_samples: 16,
         ..DataBufferConfig::default()
@@ -183,9 +184,11 @@ pub fn run_token_experiment(
                 rewards,
             });
         }
-        report
-            .accept_length_curve
-            .push(if accept_count == 0 { 1.0 } else { accept_sum / accept_count as f64 });
+        report.accept_length_curve.push(if accept_count == 0 {
+            1.0
+        } else {
+            accept_sum / accept_count as f64
+        });
 
         // --- Spot drafter training on rollout by-products (idle-bubble work) ---
         if config.adapt_drafter {
@@ -277,8 +280,14 @@ mod tests {
     fn adaptive_run_produces_drafter_accuracy_curve() {
         let (report, _, drafter) = run_token_experiment(&TokenExperimentConfig::small(true, true));
         assert!(!report.drafter_accuracy.is_empty());
-        assert!(report.drafter_accuracy.iter().any(|p| p.after_target_update));
-        assert!(report.drafter_accuracy.iter().any(|p| !p.after_target_update));
+        assert!(report
+            .drafter_accuracy
+            .iter()
+            .any(|p| p.after_target_update));
+        assert!(report
+            .drafter_accuracy
+            .iter()
+            .any(|p| !p.after_target_update));
         assert!(drafter.version > 0, "drafter must have been updated");
         // Accept lengths are recorded for speculative runs.
         assert!(report.accept_length_curve.iter().all(|&a| a >= 1.0));
@@ -286,9 +295,13 @@ mod tests {
 
     #[test]
     fn non_adaptive_run_has_no_drafter_curve() {
-        let (report, _, drafter) = run_token_experiment(&TokenExperimentConfig::small(false, false));
+        let (report, _, drafter) =
+            run_token_experiment(&TokenExperimentConfig::small(false, false));
         assert!(report.drafter_accuracy.is_empty());
         assert_eq!(drafter.version, 0);
-        assert!(report.accept_length_curve.iter().all(|&a| (a - 1.0).abs() < 1e-9));
+        assert!(report
+            .accept_length_curve
+            .iter()
+            .all(|&a| (a - 1.0).abs() < 1e-9));
     }
 }

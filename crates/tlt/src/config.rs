@@ -24,7 +24,12 @@ pub enum SystemKind {
 impl SystemKind {
     /// All systems in the order of Figure 11.
     pub fn all() -> [SystemKind; 4] {
-        [SystemKind::OpenR1, SystemKind::Verl, SystemKind::TltBase, SystemKind::Tlt]
+        [
+            SystemKind::OpenR1,
+            SystemKind::Verl,
+            SystemKind::TltBase,
+            SystemKind::Tlt,
+        ]
     }
 
     /// Display name matching the paper.

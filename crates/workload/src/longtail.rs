@@ -93,7 +93,11 @@ impl LengthDistribution {
                 let len = (mu + sigma * n).exp();
                 (len.round() as usize).clamp(1, max_len)
             }
-            LengthDistribution::Pareto { scale, alpha, max_len } => {
+            LengthDistribution::Pareto {
+                scale,
+                alpha,
+                max_len,
+            } => {
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let len = scale / u.powf(1.0 / alpha);
                 (len.round() as usize).clamp(1, max_len)
@@ -209,7 +213,11 @@ impl LengthStats {
 
 /// Builds a histogram (PDF) of lengths with `num_bins` equal-width bins up to
 /// `max_len`; returns `(bin_upper_edges, fraction_per_bin)`.
-pub fn length_histogram(lengths: &[usize], max_len: usize, num_bins: usize) -> (Vec<usize>, Vec<f64>) {
+pub fn length_histogram(
+    lengths: &[usize],
+    max_len: usize,
+    num_bins: usize,
+) -> (Vec<usize>, Vec<f64>) {
     assert!(num_bins > 0, "need at least one bin");
     let width = (max_len.max(1) as f64 / num_bins as f64).ceil() as usize;
     let mut counts = vec![0usize; num_bins];

@@ -97,7 +97,7 @@ impl ReasoningTask {
     /// warm-up supervision and tests.
     pub fn gold_response(&self, think_len: usize) -> Vec<TokenId> {
         let mut tokens = Vec::with_capacity(think_len + 3);
-        tokens.extend(std::iter::repeat(self.vocab.think()).take(think_len));
+        tokens.extend(std::iter::repeat_n(self.vocab.think(), think_len));
         tokens.push(self.vocab.answer_marker());
         tokens.push(self.answer());
         tokens.push(self.vocab.eos());
@@ -167,7 +167,9 @@ impl TaskGenerator {
     /// Generates one task.
     pub fn generate<R: Rng>(&mut self, rng: &mut R) -> ReasoningTask {
         let n = rng.gen_range(self.min_operands..=self.max_operands);
-        let operands = (0..n).map(|_| rng.gen_range(0..self.vocab.modulus)).collect();
+        let operands = (0..n)
+            .map(|_| rng.gen_range(0..self.vocab.modulus))
+            .collect();
         let id = self.next_id;
         self.next_id += 1;
         ReasoningTask {

@@ -97,7 +97,11 @@ impl TraceSummary {
             steps_hitting_cap: trace.iter().filter(|s| s.stats.max >= cap).count() as f64 / n,
             mean_p75: trace.iter().map(|s| s.stats.p75).sum::<f64>() / n,
             mean_p50: trace.iter().map(|s| s.stats.p50).sum::<f64>() / n,
-            mean_underutilized: trace.iter().map(|s| s.stats.underutilized_fraction()).sum::<f64>() / n,
+            mean_underutilized: trace
+                .iter()
+                .map(|s| s.stats.underutilized_fraction())
+                .sum::<f64>()
+                / n,
         }
     }
 }
@@ -129,7 +133,11 @@ mod tests {
             seed: 7,
         });
         let summary = TraceSummary::from_trace(&trace);
-        assert!(summary.steps_hitting_cap > 0.5, "cap-hit fraction {}", summary.steps_hitting_cap);
+        assert!(
+            summary.steps_hitting_cap > 0.5,
+            "cap-hit fraction {}",
+            summary.steps_hitting_cap
+        );
         assert!(summary.mean_underutilized > 0.5);
         assert!(summary.mean_p75 < 20_480.0 * 0.5);
     }
@@ -143,7 +151,10 @@ mod tests {
         });
         let early: f64 = trace[..20].iter().map(|s| s.stats.p50).sum::<f64>() / 20.0;
         let late: f64 = trace[180..].iter().map(|s| s.stats.p50).sum::<f64>() / 20.0;
-        assert!(late > early, "median should grow: early {early} late {late}");
+        assert!(
+            late > early,
+            "median should grow: early {early} late {late}"
+        );
     }
 
     #[test]

@@ -39,7 +39,14 @@ fn main() {
         adaptive.mean_accept_length
     );
     println!("\nrunning-request timeline (time s -> requests, SD?):");
-    for p in adaptive.timeline.iter().step_by(adaptive.timeline.len().max(16) / 16) {
-        println!("  t={:7.0}  requests={:3}  sd={}", p.time_s, p.running_requests, p.sd_active);
+    for p in adaptive
+        .timeline
+        .iter()
+        .step_by(adaptive.timeline.len().max(16) / 16)
+    {
+        println!(
+            "  t={:7.0}  requests={:3}  sd={}",
+            p.time_s, p.running_requests, p.sd_active
+        );
     }
 }

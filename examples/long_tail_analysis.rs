@@ -17,7 +17,11 @@ fn main() {
     println!("rollout length distribution (10,000 samples, 30K cap):");
     println!(
         "  p50={:.0}  p75={:.0}  p95={:.0}  max={}  under-utilised fraction={:.2}",
-        stats.p50, stats.p75, stats.p95, stats.max, stats.underutilized_fraction()
+        stats.p50,
+        stats.p75,
+        stats.p95,
+        stats.max,
+        stats.underutilized_fraction()
     );
     let (edges, pdf) = length_histogram(&lengths, 30_000, 12);
     for (e, f) in edges.iter().zip(pdf.iter()) {

@@ -37,9 +37,18 @@ fn main() {
         &mut rng,
     );
 
-    println!("vanilla output     : {:?}", &vanilla.tokens[..12.min(vanilla.tokens.len())]);
-    println!("speculative output : {:?}", &spec.tokens[..12.min(spec.tokens.len())]);
-    assert_eq!(vanilla.tokens, spec.tokens, "speculative decoding is lossless");
+    println!(
+        "vanilla output     : {:?}",
+        &vanilla.tokens[..12.min(vanilla.tokens.len())]
+    );
+    println!(
+        "speculative output : {:?}",
+        &spec.tokens[..12.min(spec.tokens.len())]
+    );
+    assert_eq!(
+        vanilla.tokens, spec.tokens,
+        "speculative decoding is lossless"
+    );
 
     println!(
         "target forward passes: vanilla {} vs speculative {} (mean accept length {:.2})",

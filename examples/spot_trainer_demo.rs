@@ -40,10 +40,17 @@ fn main() {
     // Workers drain one by one during the long tail; the coordinator promotes them.
     for (worker, at) in [(1usize, 10.0f64), (2, 14.0), (3, 21.0)] {
         let commands = coordinator.handle_event(
-            WorkerEvent::StateChanged { worker, state: WorkerState::Idle, at },
+            WorkerEvent::StateChanged {
+                worker,
+                state: WorkerState::Idle,
+                at,
+            },
             at,
         );
-        println!("t={at:5.1}s worker W{worker} idle -> {} command(s) issued", commands.len());
+        println!(
+            "t={at:5.1}s worker W{worker} idle -> {} command(s) issued",
+            commands.len()
+        );
         // Each promoted worker contributes a few drafter-training iterations.
         for _ in 0..4 {
             let batch = buffer.sample_batch(4, &mut rng);

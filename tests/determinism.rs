@@ -1,0 +1,99 @@
+//! Deterministic-seeding guarantees: the whole stack is a pure function of its
+//! seeds. Two runs with identical seeds must produce bit-identical outputs,
+//! both at the timing level (`run_experiment`) and at the token level
+//! (`speculative_generate`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlt::{run_experiment, ExperimentConfig, SystemKind};
+use tlt_draft::{DraftModel, FeatureSource};
+use tlt_gpusim::{ClusterConfig, GpuType};
+use tlt_model::{ModelConfig, ModelSpec, SamplingParams, TinyLm};
+use tlt_rollout::{speculative_generate, SdStrategy, SpecDrafter};
+
+fn quick_config() -> ExperimentConfig {
+    ExperimentConfig::paper_default(
+        ModelSpec::qwen2_5_7b(),
+        ClusterConfig::single_node(GpuType::H100, 2),
+    )
+    .scaled_down()
+}
+
+#[test]
+fn run_experiment_is_deterministic_across_runs() {
+    let config = quick_config();
+    for system in [SystemKind::Verl, SystemKind::Tlt] {
+        let first = run_experiment(system, &config);
+        let second = run_experiment(system, &config);
+        assert_eq!(
+            first.throughput_tokens_per_s, second.throughput_tokens_per_s,
+            "{system:?}: throughput must be identical for identical seeds"
+        );
+        let (a, b) = (first.mean_breakdown(), second.mean_breakdown());
+        assert_eq!(a.rollout_s, b.rollout_s);
+        assert_eq!(a.training_s, b.training_s);
+        assert_eq!(
+            first.drafter_updates_per_step,
+            second.drafter_updates_per_step
+        );
+    }
+}
+
+#[test]
+fn speculative_generate_is_deterministic_across_runs() {
+    let target = TinyLm::new(ModelConfig::micro(), 42);
+    let drafter = DraftModel::new(&target, FeatureSource::LastLayer, 7);
+    let prompt = [1u32, 4, 2, 8];
+    let strategy = SdStrategy {
+        draft_depth: 4,
+        top_k: 1,
+        tokens_to_verify: 4,
+    };
+    let run = |seed: u64, params: SamplingParams| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        speculative_generate(
+            &target,
+            &SpecDrafter::Learned(&drafter),
+            &prompt,
+            32,
+            strategy,
+            params,
+            None,
+            &mut rng,
+        )
+    };
+    // Identical seeds: identical token streams, greedy and sampled alike.
+    for params in [SamplingParams::greedy(), SamplingParams::default()] {
+        let first = run(3, params);
+        let second = run(3, params);
+        assert_eq!(first.tokens, second.tokens);
+    }
+}
+
+#[test]
+fn different_seeds_change_sampled_outputs() {
+    // Sanity check that the determinism above is not vacuous (i.e. the rng is
+    // actually consulted): sampled generation with different seeds diverges
+    // for at least one of a handful of seed pairs.
+    let target = TinyLm::new(ModelConfig::micro(), 42);
+    let prompt = [1u32, 4, 2, 8];
+    let mut diverged = false;
+    for seed in 0..4u64 {
+        let gen = |s: u64| {
+            let mut rng = StdRng::seed_from_u64(s);
+            tlt_rollout::vanilla_generate(
+                &target,
+                &prompt,
+                32,
+                SamplingParams::default(),
+                None,
+                &mut rng,
+            )
+        };
+        if gen(seed).tokens != gen(seed + 100).tokens {
+            diverged = true;
+            break;
+        }
+    }
+    assert!(diverged, "sampled generation never consulted the rng");
+}

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full TLT stack wired together.
 
-use tlt::{run_comparison, run_experiment, run_token_experiment, SystemKind, TokenExperimentConfig};
+use tlt::{
+    run_comparison, run_experiment, run_token_experiment, SystemKind, TokenExperimentConfig,
+};
 use tlt_coord::{Coordinator, CoordinatorConfig, WorkerEvent, WorkerState};
 use tlt_draft::AcceptanceProfile;
 use tlt_gpusim::{ClusterConfig, GpuType, LlmCostModel};
@@ -53,7 +55,11 @@ fn coordinator_harvests_exactly_the_idle_workers() {
     let mut coordinator = Coordinator::new(8, CoordinatorConfig::default());
     for (worker, at) in [(3usize, 5.0f64), (5, 7.0), (1, 9.0)] {
         coordinator.handle_event(
-            WorkerEvent::StateChanged { worker, state: WorkerState::Idle, at },
+            WorkerEvent::StateChanged {
+                worker,
+                state: WorkerState::Idle,
+                at,
+            },
             at,
         );
     }
@@ -105,14 +111,22 @@ fn adaptive_rollout_beats_stale_rollout_beats_vanilla() {
             acceptance,
             ..SimRolloutConfig::vanilla(cost.clone())
         }
-        .with_sd_mode(SdMode::Adaptive { config: SdManagerConfig::default() });
+        .with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        });
         simulate_rollout(&config, &lengths).total_time_s
     };
     let vanilla = simulate_rollout(&SimRolloutConfig::vanilla(cost.clone()), &lengths).total_time_s;
     let stale = run(AcceptanceProfile::stale_drafter());
     let adaptive = run(AcceptanceProfile::adaptive_drafter());
-    assert!(adaptive < stale, "adaptive {adaptive} should beat stale {stale}");
-    assert!(stale < vanilla, "stale-drafter SD {stale} should still beat vanilla {vanilla}");
+    assert!(
+        adaptive < stale,
+        "adaptive {adaptive} should beat stale {stale}"
+    );
+    assert!(
+        stale < vanilla,
+        "stale-drafter SD {stale} should still beat vanilla {vanilla}"
+    );
 }
 
 #[test]
@@ -129,7 +143,11 @@ fn token_level_pipeline_trains_policy_and_drafter_together() {
         &tlt_rollout::SpecDrafter::Learned(&drafter),
         &prompt,
         16,
-        SdStrategy { draft_depth: 4, top_k: 1, tokens_to_verify: 4 },
+        SdStrategy {
+            draft_depth: 4,
+            top_k: 1,
+            tokens_to_verify: 4,
+        },
         tlt_model::SamplingParams::greedy(),
         None,
         &mut rng,

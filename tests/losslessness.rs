@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tlt_draft::{DraftModel, FeatureSource};
 use tlt_model::{ModelConfig, SamplingParams, TinyLm};
-use tlt_rollout::{speculative_generate, vanilla_generate, NgramConfig, NgramDrafter, SdStrategy, SpecDrafter};
+use tlt_rollout::{
+    speculative_generate, vanilla_generate, NgramConfig, NgramDrafter, SdStrategy, SpecDrafter,
+};
 use tlt_workload::TaskGenerator;
 
 proptest! {

@@ -1,0 +1,14 @@
+//! Offline shim for the subset of `serde` this workspace uses: the
+//! `Serialize` / `Deserialize` traits as marker bounds plus the re-exported
+//! no-op derives. No serializer backend exists in the build environment, so
+//! the traits carry no methods.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

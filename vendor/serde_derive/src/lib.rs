@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives accept the same attribute
+//! grammar as the real macros but expand to nothing. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as declarative markers — nothing calls
+//! a serializer — so empty expansions keep every type compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
