@@ -1,0 +1,43 @@
+//! Benchmarks of the online serving subsystem: one bursty-load scenario served
+//! under each SD policy, plus a load-balancer comparison at a fixed rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlt::{run_serving, ServingExperimentConfig, ServingSdPolicy};
+use tlt_serve::{simulate_serving, BalancerPolicy};
+
+fn bench_sd_policies(c: &mut Criterion) {
+    let config = ServingExperimentConfig::qwen7b_bursty(2, 10.0);
+    let mut group = c.benchmark_group("serving_sd_policy");
+    group.sample_size(10);
+    for policy in ServingSdPolicy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| b.iter(|| run_serving(&config, policy)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_balancers(c: &mut Criterion) {
+    let base = ServingExperimentConfig::qwen7b_bursty(4, 12.0);
+    let arrivals = base.arrivals();
+    let mut group = c.benchmark_group("serving_balancer");
+    group.sample_size(10);
+    for policy in BalancerPolicy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                let mut config = base.clone();
+                config.balancer = policy;
+                let serve = config.serve_config(ServingSdPolicy::Adaptive);
+                b.iter(|| simulate_serving(&serve, &arrivals))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sd_policies, bench_balancers);
+criterion_main!(benches);

@@ -1,11 +1,16 @@
-//! Regenerates every table and figure of the TLT paper's evaluation section.
+//! Regenerates every table and figure of the TLT paper's evaluation section, plus
+//! the online-serving study built on `tlt-serve`.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p tlt-bench --release --bin experiments -- all [--quick]
-//! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 ...
+//! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
+//! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
 //! ```
+//!
+//! `--json <path>` additionally writes every produced table as machine-readable
+//! JSON so the bench trajectory can be tracked across PRs.
 //!
 //! Absolute numbers come from the simulated substrate (roofline GPU model + tiny
 //! transformer), so they are not expected to match the paper's testbed; the *shape*
@@ -13,9 +18,10 @@
 //! reproduction target. See EXPERIMENTS.md for the paper-vs-measured comparison.
 
 use tlt::{
-    run_comparison, run_experiment, run_token_experiment, SystemKind, TokenExperimentConfig,
+    run_comparison, run_experiment, run_serving_comparison, run_token_experiment,
+    ServingExperimentConfig, SystemKind, TokenExperimentConfig,
 };
-use tlt_bench::report::Table;
+use tlt_bench::report::{Report, Table};
 use tlt_bench::setups::{
     adaptive_acceptance, e2e_config, eagle_drafter_of, paper_testbed, qwen32b_h100_tp4, qwen7b_on,
     Scale,
@@ -44,24 +50,42 @@ use rand::SeedableRng;
 /// Selectors accepted on the command line, in presentation order.
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig11", "fig12", "fig13", "table1", "table2", "table3", "table4", "table5",
-    "fig14", "fig15", "table6", "fig16", "fig17", "table7", "table8",
+    "fig14", "fig15", "table6", "fig16", "fig17", "table7", "table8", "serving",
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!(
+            "usage: experiments [--quick] [--json <path>] [all | {}]",
+            EXPERIMENTS.join(" | ")
+        );
+        std::process::exit(2);
+    };
+    // Extract `--json <path>` before selector parsing so the path is not
+    // mistaken for an experiment name.
+    let mut args: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--json" {
+            match iter.next() {
+                Some(path) if !path.starts_with("--") => json_path = Some(path),
+                _ => {
+                    eprintln!("error: --json requires a path");
+                    usage();
+                }
+            }
+        } else {
+            args.push(arg);
+        }
+    }
     let scale = Scale::from_args(&args);
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .cloned()
         .collect();
-    let usage = || {
-        eprintln!(
-            "usage: experiments [--quick] [all | {}]",
-            EXPERIMENTS.join(" | ")
-        );
-        std::process::exit(2);
-    };
     for flag in args.iter().filter(|a| a.starts_with("--")) {
         if flag != "--quick" {
             eprintln!("error: unknown flag '{flag}'");
@@ -78,61 +102,75 @@ fn main() {
     let want = |name: &str| run_all || selected.iter().any(|s| s == name);
 
     println!("TLT reproduction experiment harness (scale: {scale:?})");
+    let mut report = Report::new();
 
     if want("fig1") {
-        fig1(scale);
+        fig1(scale, &mut report);
     }
     if want("fig2") {
-        fig2(scale);
+        fig2(scale, &mut report);
     }
     if want("fig11") {
-        fig11(scale);
+        fig11(scale, &mut report);
     }
     if want("fig12") {
-        fig12(scale);
+        fig12(scale, &mut report);
     }
     if want("fig13") {
-        fig13();
+        fig13(&mut report);
     }
     if want("table1") {
-        table1();
+        table1(&mut report);
     }
     if want("table2") {
-        table2();
+        table2(&mut report);
     }
     if want("table3") {
-        table3(scale);
+        table3(scale, &mut report);
     }
     if want("table4") {
-        table4();
+        table4(&mut report);
     }
     if want("table5") {
-        table5();
+        table5(&mut report);
     }
     if want("fig14") {
-        fig14();
+        fig14(&mut report);
     }
     if want("fig15") {
-        fig15(scale);
+        fig15(scale, &mut report);
     }
     // Table 6 and Figure 16 come from the same token-level experiment; run it once
     // if either (or both) is selected.
     if want("table6") || want("fig16") {
-        table6_fig16(scale);
+        table6_fig16(scale, &mut report);
     }
     if want("fig17") {
-        fig17();
+        fig17(&mut report);
     }
     if want("table7") {
-        table7(scale);
+        table7(scale, &mut report);
     }
     if want("table8") {
-        table8(scale);
+        table8(scale, &mut report);
+    }
+    if want("serving") {
+        serving(scale, &mut report);
+    }
+
+    if let Some(path) = json_path {
+        match report.write_json(&path) {
+            Ok(()) => println!("\nwrote {} tables as JSON to {path}", report.num_tables()),
+            Err(e) => {
+                eprintln!("error: failed to write JSON to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
 /// Figure 1(a): response-length distribution and RL step time breakdown.
-fn fig1(scale: Scale) {
+fn fig1(scale: Scale, report: &mut Report) {
     let mut rng = StdRng::seed_from_u64(1);
     let dist = LengthDistribution::paper_fig1();
     let n = if scale == Scale::Full { 20_000 } else { 2_000 };
@@ -146,7 +184,7 @@ fn fig1(scale: Scale) {
     for (e, f) in edges.iter().zip(pdf.iter()) {
         t.add_row(vec![format!("{e}"), format!("{f:.4}")]);
     }
-    t.print();
+    report.add(t);
     println!(
         "length stats: p50={:.0} p75={:.0} p95={:.0} max={} (under-utilised fraction {:.2})",
         stats.p50,
@@ -173,11 +211,11 @@ fn fig1(scale: Scale) {
             format!("{:.2}", b.rollout_fraction()),
         ]);
     }
-    t.print();
+    report.add(t);
 }
 
 /// Figure 2: ByteDance-style production trace.
-fn fig2(scale: Scale) {
+fn fig2(scale: Scale, report: &mut Report) {
     let config = TraceConfig {
         num_steps: if scale == Scale::Full { 385 } else { 60 },
         responses_per_step: if scale == Scale::Full { 512 } else { 128 },
@@ -197,7 +235,7 @@ fn fig2(scale: Scale) {
             format!("{}", s.stats.max),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "steps hitting the 20,480-token cap: {:.0}% | mean under-utilised fraction: {:.2}",
         summary.steps_hitting_cap * 100.0,
@@ -206,7 +244,7 @@ fn fig2(scale: Scale) {
 }
 
 /// Figure 11: end-to-end training speed across systems, models and GPU types.
-fn fig11(scale: Scale) {
+fn fig11(scale: Scale, report: &mut Report) {
     for gpu in [GpuType::H100, GpuType::A100] {
         let cluster = ClusterConfig {
             gpu_type: gpu,
@@ -263,12 +301,12 @@ fn fig11(scale: Scale) {
                 format!("{:.2}x", norm(SystemKind::Tlt)),
             ]);
         }
-        t.print();
+        report.add(t);
     }
 }
 
 /// Figure 12: reward curves of VeRL vs TLT (token-level tiny-model RL).
-fn fig12(scale: Scale) {
+fn fig12(scale: Scale, report: &mut Report) {
     let steps = if scale == Scale::Full { 12 } else { 4 };
     let mut base = TokenExperimentConfig::small(false, false);
     base.num_steps = steps;
@@ -294,7 +332,7 @@ fn fig12(scale: Scale) {
     {
         t.add_row(vec![format!("{i}"), format!("{a:.3}"), format!("{b:.3}")]);
     }
-    t.print();
+    report.add(t);
     println!(
         "mean reward: VeRL {:.3} vs TLT {:.3} (losslessness: same learning signal)",
         verl.reward_curve.iter().sum::<f64>() / verl.reward_curve.len() as f64,
@@ -303,7 +341,7 @@ fn fig12(scale: Scale) {
 }
 
 /// Figure 13: accept length and speedup vs draft depth and tokens-to-verify.
-fn fig13() {
+fn fig13(report: &mut Report) {
     let cost = qwen32b_h100_tp4();
     let drafter = eagle_drafter_of(&cost);
     let acceptance = adaptive_acceptance();
@@ -333,11 +371,11 @@ fn fig13() {
             ]);
         }
     }
-    t.print();
+    report.add(t);
 }
 
 /// Table 1: effect of topK.
-fn table1() {
+fn table1(report: &mut Report) {
     let cost = qwen32b_h100_tp4();
     let drafter = eagle_drafter_of(&cost);
     let acceptance = adaptive_acceptance();
@@ -359,11 +397,11 @@ fn table1() {
             format!("{speedup:.2}x"),
         ]);
     }
-    t.print();
+    report.add(t);
 }
 
 /// Table 2: rollout throughput with/without SD across GPU types.
-fn table2() {
+fn table2(report: &mut Report) {
     let mut t = Table::new(
         "Table 2 — rollout throughput (tokens/s), Qwen2.5-7B, bs=1, TP=1",
         &["GPU", "w/ SD", "w/o SD", "speedup"],
@@ -385,11 +423,11 @@ fn table2() {
             format!("{:.2}x", with_sd / without),
         ]);
     }
-    t.print();
+    report.add(t);
 }
 
 /// Table 3: end-to-end speedup across cluster scales.
-fn table3(scale: Scale) {
+fn table3(scale: Scale, report: &mut Report) {
     let mut t = Table::new(
         "Table 3 — end-to-end TLT speedup over VeRL across cluster scales",
         &["model", "1 node", "2 nodes", "4 nodes", "8 nodes"],
@@ -418,11 +456,11 @@ fn table3(scale: Scale) {
         }
         t.add_row(cells);
     }
-    t.print();
+    report.add(t);
 }
 
 /// Table 4: SD speedup vs batch size and tokens-to-verify.
-fn table4() {
+fn table4(report: &mut Report) {
     let cost = qwen32b_h100_tp4();
     let drafter = eagle_drafter_of(&cost);
     let acceptance = adaptive_acceptance();
@@ -449,11 +487,11 @@ fn table4() {
         }
         t.add_row(cells);
     }
-    t.print();
+    report.add(t);
 }
 
 /// Table 5: CUDAGraph memory footprint.
-fn table5() {
+fn table5(report: &mut Report) {
     let cost = LlmCostModel::new(ModelSpec::llama3_8b(), GpuType::H100.spec(), 4);
     let drafter = cost.model.eagle_drafter();
     let strategies = SdStrategy::default_set();
@@ -477,11 +515,11 @@ fn table5() {
             format!("{}", pool.num_graphs()),
         ]);
     }
-    t.print();
+    report.add(t);
 }
 
 /// Figure 14: adaptive SD case study (running-request profile).
-fn fig14() {
+fn fig14(report: &mut Report) {
     let cost = qwen32b_h100_tp4();
     let mut rng = StdRng::seed_from_u64(14);
     let dist = LengthDistribution::LongTailMixture {
@@ -532,7 +570,7 @@ fn fig14() {
         format!("{:.2}x", adaptive.speedup_over(&baseline)),
         format!("{:.0}", adaptive.sd_activation_time_s.unwrap_or(0.0)),
     ]);
-    t.print();
+    report.add(t);
     let mut timeline = Table::new(
         "Figure 14 — running-request timeline (adaptive SD, sampled)",
         &["time (s)", "running requests", "SD active"],
@@ -548,16 +586,16 @@ fn fig14() {
             format!("{}", p.sd_active),
         ]);
     }
-    timeline.print();
+    report.add(timeline);
 }
 
 /// Figure 15: drafter accuracy during adaptive training.
-fn fig15(scale: Scale) {
+fn fig15(scale: Scale, report: &mut Report) {
     let mut config = TokenExperimentConfig::small(true, true);
     config.num_steps = if scale == Scale::Full { 10 } else { 4 };
     config.drafter_iterations_per_step = if scale == Scale::Full { 12 } else { 6 };
     config.prompts_per_step = 8;
-    let (report, _, _) = run_token_experiment(&config);
+    let (token_report, _, _) = run_token_experiment(&config);
     let mut t = Table::new(
         "Figure 15 — drafter top-3 accuracy during adaptive training",
         &[
@@ -566,20 +604,20 @@ fn fig15(scale: Scale) {
             "right after target update",
         ],
     );
-    for p in &report.drafter_accuracy {
+    for p in &token_report.drafter_accuracy {
         t.add_row(vec![
             format!("{}", p.iteration),
             format!("{:.3}", p.top3_accuracy),
             format!("{}", p.after_target_update),
         ]);
     }
-    t.print();
-    let first = report
+    report.add(t);
+    let first = token_report
         .drafter_accuracy
         .first()
         .map(|p| p.top3_accuracy)
         .unwrap_or(0.0);
-    let last = report
+    let last = token_report
         .drafter_accuracy
         .last()
         .map(|p| p.top3_accuracy)
@@ -589,7 +627,7 @@ fn fig15(scale: Scale) {
 
 /// Table 6 + Figure 16: adaptive vs vanilla drafter against the base and post-RL
 /// targets (accept length and per-position accept rates).
-fn table6_fig16(scale: Scale) {
+fn table6_fig16(scale: Scale, report: &mut Report) {
     let model_config = ModelConfig::tiny();
     let mut target = TinyLm::new(model_config, 60);
     let mut task_gen = TaskGenerator::new(model_config.vocab_size);
@@ -742,7 +780,7 @@ fn table6_fig16(scale: Scale) {
             }
         }
     }
-    t.print();
+    report.add(t);
 
     let mut f = Table::new(
         "Figure 16 — accept rate by drafted position (vs Target-R)",
@@ -755,11 +793,11 @@ fn table6_fig16(scale: Scale) {
         }
         f.add_row(cells);
     }
-    f.print();
+    report.add(f);
 }
 
 /// Figure 17: selective asynchronous checkpointing latency and sequence packing.
-fn fig17() {
+fn fig17(report: &mut Report) {
     let target = TinyLm::new(ModelConfig::tiny(), 70);
     let drafter = tlt_draft::DraftModel::new(&target, FeatureSource::LastLayer, 71);
     let mut store = CheckpointStore::new();
@@ -788,7 +826,7 @@ fn fig17() {
             format!("{}", report.asynchronous),
         ]);
     }
-    t.print();
+    report.add(t);
 
     let mut rng = StdRng::seed_from_u64(72);
     let dist = LengthDistribution::LongTailMixture {
@@ -813,12 +851,12 @@ fn fig17() {
         format!("{}", stats.packed_tokens),
         format!("{:.2}", stats.packed_efficiency),
     ]);
-    p.print();
+    report.add(p);
     println!("packing throughput improvement: {:.2}x", stats.speedup());
 }
 
 /// Table 7: comparison of drafter training strategies.
-fn table7(scale: Scale) {
+fn table7(scale: Scale, report: &mut Report) {
     let model_config = ModelConfig::tiny();
     let target = TinyLm::new(model_config, 80);
     let mut task_gen = TaskGenerator::new(model_config.vocab_size);
@@ -929,11 +967,11 @@ fn table7(scale: Scale) {
             format!("{:.0}x", strategy.relative_training_cost()),
         ]);
     }
-    t.print();
+    report.add(t);
 }
 
 /// Table 8: impact of OSD-style training on different draft models.
-fn table8(scale: Scale) {
+fn table8(scale: Scale, report: &mut Report) {
     let model_config = ModelConfig::tiny();
     let target = TinyLm::new(model_config, 90);
     let mut task_gen = TaskGenerator::new(model_config.vocab_size);
@@ -1055,5 +1093,54 @@ fn table8(scale: Scale) {
             format!("{osd_accept:.2}"),
         ]);
     }
-    t.print();
+    report.add(t);
+}
+
+/// Serving study: throughput-latency trade-off of SD policies across arrival
+/// rates on the `tlt-serve` online subsystem (Qwen-7B replicas on H100, bursty
+/// load, join-shortest-queue routing).
+fn serving(scale: Scale, report: &mut Report) {
+    let (replicas, rates): (usize, &[f64]) = if scale == Scale::Full {
+        (2, &[2.0, 6.0, 10.0, 16.0, 24.0])
+    } else {
+        (2, &[4.0, 10.0])
+    };
+    let mut t = Table::new(
+        "Serving — SD policy sweep over arrival rate (Qwen-7B x2 H100 replicas, bursty load)",
+        &[
+            "rate (req/s)",
+            "policy",
+            "tokens/s",
+            "TTFT p50 (s)",
+            "TTFT p99 (s)",
+            "TPOT p99 (ms)",
+            "E2E p99 (s)",
+            "goodput (req/s)",
+            "SLO %",
+            "SD steps %",
+            "mean util",
+        ],
+    );
+    for &rate in rates {
+        let config = ServingExperimentConfig::qwen7b_bursty(replicas, rate);
+        for (policy, r) in run_serving_comparison(&config) {
+            t.add_row(vec![
+                format!("{rate:.0}"),
+                policy.name().to_string(),
+                format!("{:.0}", r.throughput_tokens_per_s),
+                format!("{:.3}", r.ttft.p50_s),
+                format!("{:.3}", r.ttft.p99_s),
+                format!("{:.2}", r.tpot.p99_s * 1e3),
+                format!("{:.2}", r.e2e.p99_s),
+                format!("{:.2}", r.goodput_rps),
+                format!("{:.1}", r.slo_attainment * 100.0),
+                format!("{:.1}", r.mean_sd_fraction() * 100.0),
+                format!("{:.2}", r.mean_utilization()),
+            ]);
+        }
+    }
+    report.add(t);
+    println!(
+        "SLO: TTFT <= 1.0 s and TPOT <= 20 ms; goodput counts SLO-meeting completions per second."
+    );
 }

@@ -228,3 +228,72 @@ mod tests {
         assert_eq!(manager.decide(0, &mut rng), SdDecision::Vanilla);
     }
 }
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Elastic activation is monotone in the running-request count: for a fixed
+        /// config, once SD is disabled at some `n >= 1` running requests it stays
+        /// disabled at every `m > n` (speculation never *re-activates* as load
+        /// grows). `n = 0` is excluded: an empty batch is trivially vanilla yet SD
+        /// may activate as soon as one request runs.
+        #[test]
+        fn sd_disablement_is_monotone_in_load(
+            threshold in 0usize..96,
+            learned in 0u8..2,
+            fallback in 0u8..2,
+            seed in 0u64..1_000,
+        ) {
+            let mut manager = AdaptiveSdManager::new(SdManagerConfig {
+                elastic_threshold: threshold,
+                learned_drafter_available: learned == 1,
+                model_free_fallback: fallback == 1,
+                ..SdManagerConfig::default()
+            });
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut disabled_seen = false;
+            for n in 1usize..=192 {
+                let disabled = matches!(manager.decide(n, &mut rng), SdDecision::Vanilla);
+                if disabled_seen {
+                    prop_assert!(
+                        disabled,
+                        "SD re-activated at n={n} (threshold {threshold}, learned {learned}, fallback {fallback})"
+                    );
+                }
+                disabled_seen = disabled_seen || disabled;
+            }
+        }
+
+        /// The learned drafter is never chosen while it is unavailable, whatever the
+        /// load or the fallback setting.
+        #[test]
+        fn learned_drafter_never_chosen_when_unavailable(
+            threshold in 1usize..96,
+            fallback in 0u8..2,
+            loads in proptest::collection::vec(0usize..192, 1..32),
+            seed in 0u64..1_000,
+        ) {
+            let mut manager = AdaptiveSdManager::new(SdManagerConfig {
+                elastic_threshold: threshold,
+                learned_drafter_available: false,
+                model_free_fallback: fallback == 1,
+                ..SdManagerConfig::default()
+            });
+            let mut rng = StdRng::seed_from_u64(seed);
+            for n in loads {
+                match manager.decide(n, &mut rng) {
+                    SdDecision::Speculative { drafter, .. } => {
+                        prop_assert_ne!(drafter, DrafterChoice::Learned);
+                        prop_assert!(fallback == 1, "speculated without any drafter");
+                    }
+                    SdDecision::Vanilla => {}
+                }
+            }
+        }
+    }
+}

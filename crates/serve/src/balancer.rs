@@ -1,0 +1,145 @@
+//! Pluggable load balancers for the multi-replica frontend.
+
+use serde::{Deserialize, Serialize};
+
+/// Which policy the frontend uses to route an arriving request to a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalancerPolicy {
+    /// Cycle through replicas in arrival order.
+    RoundRobin,
+    /// Route to the replica with the fewest requests (queued + running).
+    JoinShortestQueue,
+    /// Route to the replica with the fewest outstanding tokens (prompt tokens still
+    /// to prefill plus output tokens still to decode).
+    LeastOutstandingTokens,
+}
+
+impl BalancerPolicy {
+    /// All policies, in presentation order.
+    pub fn all() -> [BalancerPolicy; 3] {
+        [
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::JoinShortestQueue,
+            BalancerPolicy::LeastOutstandingTokens,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BalancerPolicy::RoundRobin => "round-robin",
+            BalancerPolicy::JoinShortestQueue => "join-shortest-queue",
+            BalancerPolicy::LeastOutstandingTokens => "least-outstanding-tokens",
+        }
+    }
+}
+
+/// A replica's load as observed by the balancer at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct ReplicaLoad {
+    /// Requests waiting in the admission queue.
+    pub queued: usize,
+    /// Requests currently running (prefilled or prefilling).
+    pub running: usize,
+    /// Prompt tokens still to prefill plus output tokens still to decode.
+    pub outstanding_tokens: u64,
+}
+
+impl ReplicaLoad {
+    /// Total requests on the replica.
+    pub fn total_requests(&self) -> usize {
+        self.queued + self.running
+    }
+}
+
+/// Stateful dispatcher implementing a [`BalancerPolicy`].
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    policy: BalancerPolicy,
+    rr_next: usize,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer with the given policy.
+    pub fn new(policy: BalancerPolicy) -> Self {
+        LoadBalancer { policy, rr_next: 0 }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> BalancerPolicy {
+        self.policy
+    }
+
+    /// Picks the replica index for the next request. Ties are broken by the lowest
+    /// index so routing is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty.
+    pub fn pick(&mut self, loads: &[ReplicaLoad]) -> usize {
+        assert!(!loads.is_empty(), "need at least one replica");
+        match self.policy {
+            BalancerPolicy::RoundRobin => {
+                let idx = self.rr_next % loads.len();
+                self.rr_next = (self.rr_next + 1) % loads.len();
+                idx
+            }
+            BalancerPolicy::JoinShortestQueue => loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, l)| (l.total_requests(), *i))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            BalancerPolicy::LeastOutstandingTokens => loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, l)| (l.outstanding_tokens, *i))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(queued: usize, running: usize, tokens: u64) -> ReplicaLoad {
+        ReplicaLoad {
+            queued,
+            running,
+            outstanding_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut lb = LoadBalancer::new(BalancerPolicy::RoundRobin);
+        let loads = vec![ReplicaLoad::default(); 3];
+        assert_eq!(
+            (0..6).map(|_| lb.pick(&loads)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn jsq_picks_fewest_requests_with_low_index_ties() {
+        let mut lb = LoadBalancer::new(BalancerPolicy::JoinShortestQueue);
+        assert_eq!(lb.pick(&[load(2, 2, 0), load(0, 3, 0), load(4, 0, 0)]), 1);
+        // Tie between 0 and 2 resolves to 0.
+        assert_eq!(lb.pick(&[load(1, 1, 0), load(2, 1, 0), load(0, 2, 0)]), 0);
+    }
+
+    #[test]
+    fn least_outstanding_tokens_ignores_request_counts() {
+        let mut lb = LoadBalancer::new(BalancerPolicy::LeastOutstandingTokens);
+        // Replica 1 has many small requests; replica 0 one huge request.
+        assert_eq!(lb.pick(&[load(0, 1, 50_000), load(5, 5, 2_000)]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_loads_panic() {
+        LoadBalancer::new(BalancerPolicy::RoundRobin).pick(&[]);
+    }
+}

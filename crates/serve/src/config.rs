@@ -1,0 +1,155 @@
+//! Serving-subsystem configuration.
+
+use crate::balancer::BalancerPolicy;
+use crate::metrics::SloSpec;
+use serde::Serialize;
+use tlt_draft::AcceptanceProfile;
+use tlt_gpusim::LlmCostModel;
+use tlt_model::DraftModelSpec;
+use tlt_rollout::SdMode;
+
+/// Configuration of a multi-replica serving deployment.
+///
+/// Every replica is one tensor-parallel instance of the target model described by
+/// `cost`; the frontend spreads arriving requests over `num_replicas` of them.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeConfig {
+    /// Cost model of one replica (model geometry + GPU + TP degree).
+    pub cost: LlmCostModel,
+    /// Drafter geometry used by speculative steps.
+    pub drafter: DraftModelSpec,
+    /// Acceptance profile of the learned drafter.
+    pub acceptance: AcceptanceProfile,
+    /// Acceptance profile of the model-free fallback drafter.
+    pub model_free_acceptance: AcceptanceProfile,
+    /// Number of replicas behind the frontend.
+    pub num_replicas: usize,
+    /// Request routing policy.
+    pub balancer: BalancerPolicy,
+    /// Speculative-decoding policy applied per decode step on every replica.
+    pub sd_mode: SdMode,
+    /// Fraction of GPU memory usable for weights + KV cache (the rest is
+    /// activations, CUDAGraph pools, fragmentation).
+    pub kv_memory_fraction: f64,
+    /// Hard cap on concurrently running requests per replica.
+    pub max_running_requests: usize,
+    /// Maximum prompt tokens packed into one prefill step (chunking bound).
+    pub max_prefill_tokens: usize,
+    /// Upper bound on output tokens per request; conservative admission reserves
+    /// KV space for this worst case.
+    pub max_output_tokens: usize,
+    /// Optimistic admission with preemption: admit on current footprint and evict
+    /// the most recently admitted request when KV overflows (vLLM-style recompute).
+    /// When false, admission reserves `prompt + max_output_tokens` up front.
+    pub preemption: bool,
+    /// Latency SLO used for goodput accounting.
+    pub slo: SloSpec,
+    /// Seed for the per-replica tuner exploration streams.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A serving deployment with sensible defaults: SD disabled, join-shortest-queue
+    /// routing, conservative KV admission.
+    pub fn new(cost: LlmCostModel, num_replicas: usize) -> Self {
+        assert!(num_replicas > 0, "need at least one replica");
+        let drafter = cost.model.eagle_drafter();
+        ServeConfig {
+            cost,
+            drafter,
+            acceptance: AcceptanceProfile::adaptive_drafter(),
+            model_free_acceptance: AcceptanceProfile::model_free_drafter(),
+            num_replicas,
+            balancer: BalancerPolicy::JoinShortestQueue,
+            sd_mode: SdMode::Disabled,
+            kv_memory_fraction: 0.9,
+            max_running_requests: 256,
+            max_prefill_tokens: 8192,
+            max_output_tokens: 4096,
+            preemption: false,
+            slo: SloSpec::interactive(),
+            seed: 0,
+        }
+    }
+
+    /// Same configuration with a different SD mode.
+    pub fn with_sd_mode(mut self, sd_mode: SdMode) -> Self {
+        self.sd_mode = sd_mode;
+        self
+    }
+
+    /// Same configuration with a different balancer policy.
+    pub fn with_balancer(mut self, balancer: BalancerPolicy) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Same configuration with optimistic admission + preemption enabled.
+    pub fn with_preemption(mut self) -> Self {
+        self.preemption = true;
+        self
+    }
+
+    /// KV-cache capacity of one replica, in tokens: the memory left after weights
+    /// across the replica's `tp` GPUs, divided by the per-token KV footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's weights alone exceed the usable memory.
+    pub fn kv_token_budget(&self) -> usize {
+        let usable = self.cost.gpu.memory_bytes() * self.cost.tp as f64 * self.kv_memory_fraction;
+        let left = usable - self.cost.model.weight_bytes();
+        assert!(
+            left > 0.0,
+            "model weights do not fit the replica's GPU memory"
+        );
+        (left / self.cost.model.kv_bytes_per_token()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlt_gpusim::GpuType;
+    use tlt_model::ModelSpec;
+
+    fn qwen7b_h100() -> LlmCostModel {
+        LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1)
+    }
+
+    #[test]
+    fn kv_budget_is_large_but_finite() {
+        let config = ServeConfig::new(qwen7b_h100(), 2);
+        let budget = config.kv_token_budget();
+        // 7B on an 80 GB H100: hundreds of thousands of KV tokens.
+        assert!(budget > 100_000, "budget {budget}");
+        assert!(budget < 10_000_000, "budget {budget}");
+    }
+
+    #[test]
+    fn kv_budget_scales_with_tp() {
+        let tp1 = ServeConfig::new(qwen7b_h100(), 1).kv_token_budget();
+        let tp2 = ServeConfig::new(
+            LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 2),
+            1,
+        )
+        .kv_token_budget();
+        assert!(tp2 > tp1);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn oversized_model_panics() {
+        let config = ServeConfig::new(
+            LlmCostModel::new(ModelSpec::qwen2_5_32b(), GpuType::Rtx3090.spec(), 1),
+            1,
+        );
+        let _ = config.kv_token_budget();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let _ = ServeConfig::new(qwen7b_h100(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Multi-replica frontend: merges the arrival stream with replica step events into
+//! one deterministic discrete-event simulation.
+
+use crate::balancer::LoadBalancer;
+use crate::config::ServeConfig;
+use crate::metrics::ServeReport;
+use crate::replica::Replica;
+use crate::request::ServeRequest;
+use tlt_workload::RequestArrival;
+
+/// Hard cap on processed events; prevents pathological configurations from
+/// spinning forever.
+const MAX_EVENTS: u64 = 200_000_000;
+
+/// Simulates serving the `arrivals` stream on the deployment described by `config`
+/// and returns the aggregate SLO report. Arrivals must be sorted by time (as
+/// produced by [`tlt_workload::generate_arrivals`]); the simulation runs until
+/// every admitted request has drained.
+pub fn simulate_serving(config: &ServeConfig, arrivals: &[RequestArrival]) -> ServeReport {
+    let mut replicas: Vec<Replica> = (0..config.num_replicas)
+        .map(|i| Replica::new(config, i))
+        .collect();
+    let mut balancer = LoadBalancer::new(config.balancer);
+    let mut next_arrival = 0usize;
+    let mut events = 0u64;
+
+    loop {
+        let t_arrival = arrivals
+            .get(next_arrival)
+            .map(|a| a.time_s())
+            .unwrap_or(f64::MAX);
+        let (step_idx, t_step) = replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.next_event_s()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite or MAX"))
+            .expect("at least one replica");
+        if t_arrival == f64::MAX && t_step == f64::MAX {
+            break;
+        }
+        // Arrivals win ties so the routed request is visible to the step that
+        // starts at the same instant.
+        if t_arrival <= t_step {
+            let loads: Vec<_> = replicas.iter().map(Replica::load).collect();
+            let target = balancer.pick(&loads);
+            let req = ServeRequest::from_arrival(&arrivals[next_arrival]);
+            replicas[target].enqueue(req, t_arrival);
+            next_arrival += 1;
+        } else {
+            replicas[step_idx].on_step_complete(t_step);
+        }
+        events += 1;
+        if events > MAX_EVENTS {
+            break;
+        }
+    }
+
+    let completed: Vec<_> = replicas
+        .iter_mut()
+        .flat_map(Replica::take_completed)
+        .collect();
+    let dropped: usize = replicas.iter().map(Replica::dropped).sum();
+    let makespan_s = completed.iter().map(|r| r.finish_s).fold(0.0f64, f64::max);
+    let stats = replicas.iter().map(|r| r.stats(makespan_s)).collect();
+    ServeReport::build(completed, dropped, stats, config.slo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::BalancerPolicy;
+    use tlt_gpusim::{GpuType, LlmCostModel};
+    use tlt_model::ModelSpec;
+    use tlt_rollout::{SdManagerConfig, SdMode, SdStrategy};
+    use tlt_workload::{ArrivalConfig, LengthDistribution, RateCurve};
+
+    fn qwen7b_config(replicas: usize) -> ServeConfig {
+        ServeConfig::new(
+            LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1),
+            replicas,
+        )
+    }
+
+    fn arrivals(rps: f64, horizon: f64, seed: u64) -> Vec<RequestArrival> {
+        tlt_workload::generate_arrivals(&ArrivalConfig {
+            curve: RateCurve::Constant { rps },
+            horizon_s: horizon,
+            prompt_len_range: (256, 512),
+            output_lengths: LengthDistribution::LongTailMixture {
+                mu: 5.0,
+                sigma: 0.8,
+                truncation_mass: 0.02,
+                max_len: 2048,
+            },
+            seed,
+        })
+    }
+
+    #[test]
+    fn every_arrival_completes_and_metrics_are_sane() {
+        let config = qwen7b_config(2);
+        let stream = arrivals(4.0, 30.0, 1);
+        let report = simulate_serving(&config, &stream);
+        assert_eq!(report.completed.len() + report.dropped, stream.len());
+        assert_eq!(report.dropped, 0);
+        assert!(report.makespan_s > 0.0);
+        assert!(report.throughput_tokens_per_s > 0.0);
+        assert!(report.ttft.p50_s > 0.0);
+        assert!(report.ttft.p50_s <= report.ttft.p99_s);
+        assert!(report.e2e.p50_s >= report.ttft.p50_s);
+        assert_eq!(report.replicas.len(), 2);
+        for r in &report.replicas {
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn serving_is_deterministic_per_seed() {
+        let config = qwen7b_config(3).with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        });
+        let stream = arrivals(6.0, 20.0, 2);
+        let a = simulate_serving(&config, &stream);
+        let b = simulate_serving(&config, &stream);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.throughput_tokens_per_s, b.throughput_tokens_per_s);
+        assert_eq!(a.goodput_rps, b.goodput_rps);
+    }
+
+    #[test]
+    fn adaptive_sd_improves_latency_at_low_load() {
+        let stream = arrivals(2.0, 30.0, 3);
+        let vanilla = simulate_serving(&qwen7b_config(2), &stream);
+        let adaptive = simulate_serving(
+            &qwen7b_config(2).with_sd_mode(SdMode::Adaptive {
+                config: SdManagerConfig::default(),
+            }),
+            &stream,
+        );
+        assert!(
+            adaptive.e2e.p50_s < vanilla.e2e.p50_s,
+            "adaptive {res} vs vanilla {base}",
+            res = adaptive.e2e.p50_s,
+            base = vanilla.e2e.p50_s
+        );
+        assert!(adaptive.mean_sd_fraction() > 0.5);
+        assert!(vanilla.mean_sd_fraction() == 0.0);
+    }
+
+    #[test]
+    fn always_on_sd_collapses_under_heavy_load() {
+        // At a high arrival rate the batch stays large; forcing SD on every step
+        // (static, infinite threshold) must hurt tail latency versus the elastic
+        // adaptive policy that switches SD off under backlog.
+        let stream = arrivals(30.0, 20.0, 4);
+        let static_sd = simulate_serving(
+            &qwen7b_config(1).with_sd_mode(SdMode::Static {
+                strategy: SdStrategy::default(),
+                threshold: usize::MAX,
+            }),
+            &stream,
+        );
+        let adaptive = simulate_serving(
+            &qwen7b_config(1).with_sd_mode(SdMode::Adaptive {
+                config: SdManagerConfig::default(),
+            }),
+            &stream,
+        );
+        assert!(
+            adaptive.e2e.p99_s < static_sd.e2e.p99_s,
+            "adaptive p99 {a} should beat always-on SD p99 {s}",
+            a = adaptive.e2e.p99_s,
+            s = static_sd.e2e.p99_s
+        );
+        assert!(adaptive.mean_sd_fraction() < 1.0);
+    }
+
+    #[test]
+    fn balancers_spread_load_and_jsq_beats_unlucky_round_robin_tail() {
+        let stream = arrivals(8.0, 25.0, 5);
+        for policy in BalancerPolicy::all() {
+            let report = simulate_serving(&qwen7b_config(4).with_balancer(policy), &stream);
+            assert_eq!(report.completed.len(), stream.len(), "{}", policy.name());
+            // Every replica should see some work at this rate.
+            for r in &report.replicas {
+                assert!(r.completed > 0, "{}: idle replica", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_arrival_stream_yields_empty_report() {
+        let report = simulate_serving(&qwen7b_config(2), &[]);
+        assert!(report.completed.is_empty());
+        assert_eq!(report.makespan_s, 0.0);
+    }
+}

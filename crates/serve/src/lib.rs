@@ -1,0 +1,49 @@
+//! # tlt-serve
+//!
+//! Online serving subsystem for the TLT reproduction: a discrete-event, open-loop
+//! counterpart to `tlt-rollout`'s closed-loop rollout engine.
+//!
+//! Where the rollout engine decodes one fixed RL-step batch to completion, this
+//! crate models **production serving**: requests arrive over time (Poisson over
+//! constant / diurnal / bursty rate curves, from [`tlt_workload::arrival`]), a
+//! multi-replica frontend routes them through a pluggable load balancer
+//! ([`balancer`]), and each replica runs a continuous-batching scheduler
+//! ([`replica`]) with an admission queue, KV-capacity-based admission, packed
+//! prefill / decode interleaving and optional preemption. Decode steps are costed
+//! by [`tlt_gpusim::LlmCostModel`], and the per-step speculative-decoding decision
+//! is delegated to the existing [`tlt_rollout::AdaptiveSdManager`] with the elastic
+//! threshold driven by the live load (running batch + queue depth) — the paper's
+//! elastic-SD insight turned into a load-dependent serving policy. SLO metrics
+//! (TTFT / TPOT / E2E percentiles, goodput, utilisation) live in [`metrics`].
+//!
+//! Everything is a pure function of seeds: identical configs and arrival streams
+//! reproduce bit-identical reports.
+//!
+//! ```
+//! use tlt_gpusim::{GpuType, LlmCostModel};
+//! use tlt_model::ModelSpec;
+//! use tlt_serve::{simulate_serving, ServeConfig};
+//! use tlt_workload::{generate_arrivals, ArrivalConfig};
+//!
+//! let cost = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1);
+//! let arrivals = generate_arrivals(&ArrivalConfig::constant(2.0, 10.0, 7));
+//! let report = simulate_serving(&ServeConfig::new(cost, 2), &arrivals);
+//! assert_eq!(report.completed.len(), arrivals.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod balancer;
+pub mod config;
+pub mod frontend;
+pub mod metrics;
+pub mod replica;
+pub mod request;
+
+pub use balancer::{BalancerPolicy, LoadBalancer, ReplicaLoad};
+pub use config::ServeConfig;
+pub use frontend::simulate_serving;
+pub use metrics::{percentile_f64, LatencySummary, ReplicaStats, ServeReport, SloSpec};
+pub use replica::Replica;
+pub use request::{CompletedRequest, ServeRequest};

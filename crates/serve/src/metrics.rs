@@ -1,0 +1,276 @@
+//! SLO metrics: latency percentiles, goodput, and per-replica utilisation.
+
+use crate::request::CompletedRequest;
+use serde::{Deserialize, Serialize};
+
+/// Percentile of a float sample with linear interpolation (`q` in `[0, 100]`).
+/// Returns `0.0` for an empty slice.
+pub fn percentile_f64(values: &[f64], q: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    percentile_sorted(&sorted, q)
+}
+
+/// Percentile of an already ascending-sorted sample.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 100.0) / 100.0;
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Percentile summary of one latency dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// Worst observed value.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a sample; all-zero when empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        LatencySummary {
+            p50_s: percentile_sorted(&sorted, 50.0),
+            p95_s: percentile_sorted(&sorted, 95.0),
+            p99_s: percentile_sorted(&sorted, 99.0),
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Latency service-level objective a request must meet to count towards goodput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Maximum acceptable time to first token, in seconds.
+    pub ttft_s: f64,
+    /// Maximum acceptable time per output token, in seconds.
+    pub tpot_s: f64,
+}
+
+impl SloSpec {
+    /// An interactive chat-style SLO.
+    pub fn interactive() -> Self {
+        SloSpec {
+            ttft_s: 1.0,
+            tpot_s: 0.05,
+        }
+    }
+
+    /// Whether a completed request met both latency targets.
+    pub fn met(&self, r: &CompletedRequest) -> bool {
+        r.ttft_s() <= self.ttft_s && r.tpot_s() <= self.tpot_s
+    }
+}
+
+/// Per-replica accounting collected by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReplicaStats {
+    /// Replica index.
+    pub replica: usize,
+    /// Requests completed by this replica.
+    pub completed: usize,
+    /// Requests dropped because they could never fit the KV budget.
+    pub dropped: usize,
+    /// Seconds the engine spent executing steps.
+    pub busy_s: f64,
+    /// Busy seconds divided by the simulation makespan.
+    pub utilization: f64,
+    /// Fraction of decode steps that ran speculatively.
+    pub sd_step_fraction: f64,
+    /// Mean accept length over speculative steps (1.0 when SD never ran).
+    pub mean_accept_length: f64,
+    /// Total preemption events.
+    pub preemptions: u64,
+    /// Largest running batch observed.
+    pub peak_running: usize,
+    /// Largest KV-token footprint observed.
+    pub peak_kv_tokens: usize,
+}
+
+/// Aggregate result of one serving simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Requests that ran to completion, in finish order.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests dropped at admission (could never fit a replica's KV budget).
+    pub dropped: usize,
+    /// Simulated seconds from the first arrival to the last completion.
+    pub makespan_s: f64,
+    /// Total output tokens produced.
+    pub total_output_tokens: u64,
+    /// Output tokens per second over the makespan.
+    pub throughput_tokens_per_s: f64,
+    /// Time-to-first-token summary.
+    pub ttft: LatencySummary,
+    /// Time-per-output-token summary.
+    pub tpot: LatencySummary,
+    /// End-to-end latency summary.
+    pub e2e: LatencySummary,
+    /// Fraction of completed requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// SLO-meeting completions per second over the makespan.
+    pub goodput_rps: f64,
+    /// Per-replica accounting.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+impl ServeReport {
+    /// Builds the aggregate report from completed requests and replica stats.
+    pub fn build(
+        mut completed: Vec<CompletedRequest>,
+        dropped: usize,
+        replicas: Vec<ReplicaStats>,
+        slo: SloSpec,
+    ) -> Self {
+        completed.sort_by(|a, b| {
+            a.finish_s
+                .partial_cmp(&b.finish_s)
+                .expect("finite finish times")
+                .then(a.id.cmp(&b.id))
+        });
+        let makespan_s = completed.last().map(|r| r.finish_s).unwrap_or(0.0);
+        let total_output_tokens: u64 = completed.iter().map(|r| r.output_len as u64).sum();
+        let ttfts: Vec<f64> = completed.iter().map(CompletedRequest::ttft_s).collect();
+        let tpots: Vec<f64> = completed.iter().map(CompletedRequest::tpot_s).collect();
+        let e2es: Vec<f64> = completed.iter().map(CompletedRequest::e2e_s).collect();
+        let met = completed.iter().filter(|r| slo.met(r)).count();
+        let denom = makespan_s.max(1e-9);
+        ServeReport {
+            dropped,
+            makespan_s,
+            total_output_tokens,
+            throughput_tokens_per_s: total_output_tokens as f64 / denom,
+            ttft: LatencySummary::from_values(&ttfts),
+            tpot: LatencySummary::from_values(&tpots),
+            e2e: LatencySummary::from_values(&e2es),
+            slo_attainment: if completed.is_empty() {
+                0.0
+            } else {
+                met as f64 / completed.len() as f64
+            },
+            goodput_rps: met as f64 / denom,
+            replicas,
+            completed,
+        }
+    }
+
+    /// Mean utilisation across replicas.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.replicas.is_empty() {
+            0.0
+        } else {
+            self.replicas.iter().map(|r| r.utilization).sum::<f64>() / self.replicas.len() as f64
+        }
+    }
+
+    /// Mean speculative-step fraction across replicas.
+    pub fn mean_sd_fraction(&self) -> f64 {
+        if self.replicas.is_empty() {
+            0.0
+        } else {
+            self.replicas
+                .iter()
+                .map(|r| r.sd_step_fraction)
+                .sum::<f64>()
+                / self.replicas.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, arrival: f64, first: f64, finish: f64, out: usize) -> CompletedRequest {
+        CompletedRequest {
+            id,
+            replica: 0,
+            arrival_s: arrival,
+            admitted_s: arrival,
+            first_token_s: first,
+            finish_s: finish,
+            prompt_len: 64,
+            output_len: out,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn percentile_f64_interpolates_and_handles_edges() {
+        let v = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_f64(&v, 0.0), 10.0);
+        assert_eq!(percentile_f64(&v, 100.0), 40.0);
+        assert_eq!(percentile_f64(&v, 50.0), 25.0);
+        assert_eq!(percentile_f64(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_values(&values);
+        assert!(s.p50_s < s.p95_s && s.p95_s < s.p99_s && s.p99_s <= s.max_s);
+        assert!((s.mean_s - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_accounts_both_dimensions() {
+        let slo = SloSpec {
+            ttft_s: 1.0,
+            tpot_s: 0.1,
+        };
+        // 0.5 s TTFT, 0.05 s/token: meets.
+        assert!(slo.met(&request(0, 0.0, 0.5, 0.5 + 0.05 * 9.0, 10)));
+        // TTFT too slow.
+        assert!(!slo.met(&request(1, 0.0, 2.0, 2.5, 10)));
+        // TPOT too slow.
+        assert!(!slo.met(&request(2, 0.0, 0.5, 0.5 + 0.5 * 9.0, 10)));
+    }
+
+    #[test]
+    fn report_aggregates_and_sorts_by_finish() {
+        let completed = vec![request(1, 0.0, 0.5, 4.0, 10), request(0, 0.0, 0.2, 2.0, 30)];
+        let slo = SloSpec {
+            ttft_s: 1.0,
+            tpot_s: 1.0,
+        };
+        let report = ServeReport::build(completed, 0, Vec::new(), slo);
+        assert_eq!(report.completed[0].id, 0);
+        assert_eq!(report.total_output_tokens, 40);
+        assert!((report.makespan_s - 4.0).abs() < 1e-12);
+        assert!((report.throughput_tokens_per_s - 10.0).abs() < 1e-9);
+        assert_eq!(report.slo_attainment, 1.0);
+        assert!((report.goodput_rps - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let report = ServeReport::build(Vec::new(), 0, Vec::new(), SloSpec::interactive());
+        assert_eq!(report.total_output_tokens, 0);
+        assert_eq!(report.slo_attainment, 0.0);
+        assert_eq!(report.mean_utilization(), 0.0);
+        assert_eq!(report.mean_sd_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,666 @@
+//! Per-replica continuous-batching engine.
+//!
+//! Each replica owns an admission queue and a running batch and alternates
+//! **prefill** steps (packed admission of queued requests, bounded by the KV token
+//! budget and a chunking limit) with **decode** steps (one committed token per
+//! sequence vanilla, or an expected accept length speculatively). Step durations
+//! come from [`tlt_gpusim::LlmCostModel`]; the per-step SD decision is delegated to the existing
+//! [`AdaptiveSdManager`], with the elastic threshold driven by the *live load*
+//! (running batch plus queue depth), so speculation switches itself off exactly when
+//! a backlog guarantees large batches — the paper's elastic-SD insight applied to
+//! online serving.
+
+use crate::balancer::ReplicaLoad;
+use crate::config::ServeConfig;
+use crate::metrics::ReplicaStats;
+use crate::request::{CompletedRequest, ServeRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use tlt_rollout::{AdaptiveSdManager, DrafterChoice, SdDecision, SdMode, StepObservation};
+
+/// A request waiting in the admission queue (possibly preempted mid-decode).
+#[derive(Debug, Clone)]
+struct QueuedEntry {
+    req: ServeRequest,
+    generated: f64,
+    first_token_s: Option<f64>,
+    admitted_s: Option<f64>,
+    preemptions: u32,
+}
+
+impl QueuedEntry {
+    fn fresh(req: ServeRequest) -> Self {
+        QueuedEntry {
+            req,
+            generated: 0.0,
+            first_token_s: None,
+            admitted_s: None,
+            preemptions: 0,
+        }
+    }
+
+    /// Tokens a prefill step must process to (re)start this request: the prompt
+    /// plus any previously generated tokens lost to preemption (recompute).
+    fn prefill_tokens(&self) -> usize {
+        self.req.prompt_len + self.generated.ceil() as usize
+    }
+}
+
+/// A request in the running batch.
+#[derive(Debug, Clone)]
+struct RunningEntry {
+    req: ServeRequest,
+    generated: f64,
+    first_token_s: Option<f64>,
+    admitted_s: f64,
+    preemptions: u32,
+    /// Set while the admitting prefill step is still in flight.
+    prefill_pending: bool,
+    /// Admission sequence number; preemption evicts the most recent first.
+    admit_seq: u64,
+}
+
+impl RunningEntry {
+    /// Current KV footprint in tokens.
+    fn kv_tokens(&self) -> usize {
+        self.req.prompt_len + self.generated.ceil() as usize
+    }
+
+    fn remaining(&self) -> f64 {
+        self.req.output_len as f64 - self.generated
+    }
+}
+
+/// What the in-flight step will do when it completes.
+#[derive(Debug, Clone)]
+enum StepWork {
+    /// A packed prefill over all `prefill_pending` running entries.
+    Prefill,
+    /// A decode step committing `tokens_per_seq` tokens to every running sequence.
+    Decode { tokens_per_seq: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingStep {
+    work: StepWork,
+    finish_s: f64,
+    duration_s: f64,
+}
+
+/// One continuous-batching replica.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    index: usize,
+    config: ServeConfig,
+    kv_budget: usize,
+    manager: Option<AdaptiveSdManager>,
+    rng: StdRng,
+    queue: VecDeque<QueuedEntry>,
+    running: Vec<RunningEntry>,
+    step: Option<PendingStep>,
+    admit_seq: u64,
+    // Accounting.
+    busy_s: f64,
+    decode_steps: u64,
+    sd_steps: u64,
+    accept_sum: f64,
+    accept_count: u64,
+    preemptions: u64,
+    peak_running: usize,
+    peak_kv_tokens: usize,
+    dropped: usize,
+    completed_count: usize,
+    completed: Vec<CompletedRequest>,
+}
+
+impl Replica {
+    /// Creates replica `index` of a deployment.
+    pub fn new(config: &ServeConfig, index: usize) -> Self {
+        let manager = match &config.sd_mode {
+            SdMode::Adaptive { config: mc } => Some(AdaptiveSdManager::new(*mc)),
+            _ => None,
+        };
+        let kv_budget = config.kv_token_budget();
+        Replica {
+            index,
+            kv_budget,
+            manager,
+            rng: StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
+            config: config.clone(),
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            step: None,
+            admit_seq: 0,
+            busy_s: 0.0,
+            decode_steps: 0,
+            sd_steps: 0,
+            accept_sum: 0.0,
+            accept_count: 0,
+            preemptions: 0,
+            peak_running: 0,
+            peak_kv_tokens: 0,
+            dropped: 0,
+            completed_count: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Simulated time at which the in-flight step finishes (infinite when idle).
+    pub fn next_event_s(&self) -> f64 {
+        self.step.as_ref().map(|s| s.finish_s).unwrap_or(f64::MAX)
+    }
+
+    /// Load snapshot for the balancer.
+    pub fn load(&self) -> ReplicaLoad {
+        let queued_tokens: u64 = self
+            .queue
+            .iter()
+            .map(|e| {
+                // Work still owed: the (re)prefill plus the decode tokens not yet
+                // produced (preempted entries keep their `generated` credit).
+                e.prefill_tokens() as u64 + (e.req.output_len as f64 - e.generated).max(0.0) as u64
+            })
+            .sum();
+        let running_tokens: u64 = self
+            .running
+            .iter()
+            .map(|e| {
+                let prefill = if e.prefill_pending {
+                    e.req.prompt_len
+                } else {
+                    0
+                };
+                (prefill as f64 + e.remaining()).max(0.0) as u64
+            })
+            .sum();
+        ReplicaLoad {
+            queued: self.queue.len(),
+            running: self.running.len(),
+            outstanding_tokens: queued_tokens + running_tokens,
+        }
+    }
+
+    /// Whether any work (queued, running, or in flight) remains.
+    pub fn has_work(&self) -> bool {
+        self.step.is_some() || !self.queue.is_empty() || !self.running.is_empty()
+    }
+
+    /// Accepts a request at time `now`, starting a step immediately if idle. The
+    /// request's output length is clamped to the deployment's per-request cap so
+    /// conservative KV admission's worst-case reservation really is a worst case.
+    pub fn enqueue(&mut self, mut req: ServeRequest, now: f64) {
+        req.output_len = req.output_len.min(self.config.max_output_tokens).max(1);
+        self.queue.push_back(QueuedEntry::fresh(req));
+        if self.step.is_none() {
+            self.start_step(now);
+        }
+    }
+
+    /// Completes the in-flight step (must be called at exactly `next_event_s`) and
+    /// immediately starts the next one if work remains.
+    pub fn on_step_complete(&mut self, now: f64) {
+        let step = self.step.take().expect("a step is in flight");
+        self.busy_s += step.duration_s;
+        match step.work {
+            StepWork::Prefill => {
+                for entry in &mut self.running {
+                    if entry.prefill_pending {
+                        entry.prefill_pending = false;
+                        if entry.first_token_s.is_none() {
+                            entry.first_token_s = Some(now);
+                        }
+                    }
+                }
+            }
+            StepWork::Decode { tokens_per_seq } => {
+                let mut finished = Vec::new();
+                for (i, entry) in self.running.iter_mut().enumerate() {
+                    let committed = tokens_per_seq.min(entry.remaining());
+                    entry.generated += committed;
+                    if entry.remaining() <= 1e-9 {
+                        finished.push(i);
+                    }
+                }
+                for &i in finished.iter().rev() {
+                    let entry = self.running.swap_remove(i);
+                    self.completed_count += 1;
+                    self.completed.push(CompletedRequest {
+                        id: entry.req.id,
+                        replica: self.index,
+                        arrival_s: entry.req.arrival_s,
+                        admitted_s: entry.admitted_s,
+                        first_token_s: entry.first_token_s.unwrap_or(now),
+                        finish_s: now,
+                        prompt_len: entry.req.prompt_len,
+                        output_len: entry.req.output_len,
+                        preemptions: entry.preemptions,
+                    });
+                }
+            }
+        }
+        self.start_step(now);
+    }
+
+    /// KV tokens a queued entry needs at admission time: its current footprint under
+    /// optimistic admission, or the worst case under conservative admission.
+    fn admission_need(&self, entry: &QueuedEntry) -> usize {
+        if self.config.preemption {
+            entry.prefill_tokens()
+        } else {
+            entry.req.prompt_len + self.config.max_output_tokens
+        }
+    }
+
+    /// KV tokens currently reserved by the running batch under the active policy.
+    fn reserved_tokens(&self) -> usize {
+        self.running
+            .iter()
+            .map(|e| {
+                if self.config.preemption {
+                    e.kv_tokens()
+                } else {
+                    e.req.prompt_len + self.config.max_output_tokens
+                }
+            })
+            .sum()
+    }
+
+    /// Current KV footprint of the running batch (actual tokens resident).
+    fn kv_in_use(&self) -> usize {
+        self.running.iter().map(RunningEntry::kv_tokens).sum()
+    }
+
+    /// Moves admittable queued requests into the running batch; returns the packed
+    /// prompt tokens of the admitted set (0 when nothing was admitted).
+    fn try_admit(&mut self, now: f64) -> usize {
+        let mut reserved = self.reserved_tokens();
+        let mut prefill_tokens = 0usize;
+        let mut admitted = 0usize;
+        while let Some(front) = self.queue.front() {
+            if self.running.len() >= self.config.max_running_requests {
+                break;
+            }
+            let need = self.admission_need(front);
+            if reserved + need > self.kv_budget {
+                // A request that cannot fit even an otherwise-empty replica will
+                // never be admittable: drop it instead of wedging the queue.
+                if self.running.is_empty() && admitted == 0 && need > self.kv_budget {
+                    self.queue.pop_front();
+                    self.dropped += 1;
+                    continue;
+                }
+                break;
+            }
+            let chunk = front.prefill_tokens();
+            if admitted > 0 && prefill_tokens + chunk > self.config.max_prefill_tokens {
+                break;
+            }
+            let entry = self.queue.pop_front().expect("front exists");
+            reserved += need;
+            prefill_tokens += chunk;
+            admitted += 1;
+            self.running.push(RunningEntry {
+                admitted_s: entry.admitted_s.unwrap_or(now),
+                req: entry.req,
+                generated: entry.generated,
+                first_token_s: entry.first_token_s,
+                preemptions: entry.preemptions,
+                prefill_pending: true,
+                admit_seq: self.admit_seq,
+            });
+            self.admit_seq += 1;
+        }
+        prefill_tokens
+    }
+
+    /// Evicts most-recently-admitted requests back to the queue front until the
+    /// actual KV footprint fits the budget again (optimistic admission only).
+    fn preempt_until_fitting(&mut self) {
+        while self.kv_in_use() > self.kv_budget && self.running.len() > 1 {
+            let victim_idx = self
+                .running
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.admit_seq)
+                .map(|(i, _)| i)
+                .expect("non-empty running batch");
+            let victim = self.running.swap_remove(victim_idx);
+            self.preemptions += 1;
+            self.queue.push_front(QueuedEntry {
+                req: victim.req,
+                generated: victim.generated,
+                first_token_s: victim.first_token_s,
+                admitted_s: Some(victim.admitted_s),
+                preemptions: victim.preemptions + 1,
+            });
+        }
+    }
+
+    /// Chooses and schedules the next step at time `now` (idle if no work).
+    fn start_step(&mut self, now: f64) {
+        debug_assert!(self.step.is_none());
+        if self.config.preemption {
+            self.preempt_until_fitting();
+        }
+        let prefill_tokens = self.try_admit(now);
+        self.peak_running = self.peak_running.max(self.running.len());
+        self.peak_kv_tokens = self.peak_kv_tokens.max(self.kv_in_use());
+        if prefill_tokens > 0 {
+            let duration = self.config.cost.prefill_time(1, prefill_tokens);
+            self.step = Some(PendingStep {
+                work: StepWork::Prefill,
+                finish_s: now + duration,
+                duration_s: duration,
+            });
+            return;
+        }
+        if self.running.is_empty() {
+            return; // Idle until the next arrival.
+        }
+
+        let batch = self.running.len();
+        let avg_context = (self.kv_in_use() / batch).max(1);
+        // The elastic decision sees the *live load*: requests already decoding plus
+        // the backlog that will join the batch as soon as capacity frees up.
+        let live_load = batch + self.queue.len();
+        let decision = match &self.config.sd_mode {
+            SdMode::Disabled => SdDecision::Vanilla,
+            SdMode::Static {
+                strategy,
+                threshold,
+            } => {
+                if live_load <= *threshold {
+                    SdDecision::Speculative {
+                        drafter: DrafterChoice::Learned,
+                        strategy: *strategy,
+                    }
+                } else {
+                    SdDecision::Vanilla
+                }
+            }
+            SdMode::Adaptive { .. } => self
+                .manager
+                .as_mut()
+                .expect("manager present in adaptive mode")
+                .decide(live_load, &mut self.rng),
+        };
+
+        self.decode_steps += 1;
+        let (duration, tokens_per_seq) = match decision {
+            SdDecision::Vanilla => (self.config.cost.decode_step_time(batch, avg_context), 1.0),
+            SdDecision::Speculative { drafter, strategy } => {
+                let profile = match drafter {
+                    DrafterChoice::Learned => &self.config.acceptance,
+                    DrafterChoice::ModelFree => &self.config.model_free_acceptance,
+                };
+                let accept = profile.expected_accept_len_tree(
+                    strategy.draft_depth,
+                    strategy.top_k,
+                    strategy.tokens_to_verify,
+                );
+                let t = self.config.cost.speculative_step_time(
+                    &self.config.drafter,
+                    batch,
+                    strategy.draft_depth,
+                    strategy.tokens_to_verify,
+                    avg_context,
+                );
+                if let Some(m) = self.manager.as_mut() {
+                    m.record(
+                        &strategy,
+                        StepObservation {
+                            elapsed_s: t,
+                            accepted_tokens: (accept - 1.0) * batch as f64,
+                            batch_size: batch,
+                        },
+                    );
+                }
+                self.sd_steps += 1;
+                self.accept_sum += accept;
+                self.accept_count += 1;
+                (t, accept)
+            }
+        };
+        self.step = Some(PendingStep {
+            work: StepWork::Decode { tokens_per_seq },
+            finish_s: now + duration,
+            duration_s: duration,
+        });
+    }
+
+    /// Drains the completed-request records accumulated so far.
+    pub fn take_completed(&mut self) -> Vec<CompletedRequest> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Requests dropped at admission.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Final accounting for this replica; `makespan_s` normalises utilisation.
+    pub fn stats(&self, makespan_s: f64) -> ReplicaStats {
+        ReplicaStats {
+            replica: self.index,
+            completed: self.completed_count,
+            dropped: self.dropped,
+            busy_s: self.busy_s,
+            utilization: if makespan_s > 0.0 {
+                (self.busy_s / makespan_s).min(1.0)
+            } else {
+                0.0
+            },
+            sd_step_fraction: if self.decode_steps == 0 {
+                0.0
+            } else {
+                self.sd_steps as f64 / self.decode_steps as f64
+            },
+            mean_accept_length: if self.accept_count == 0 {
+                1.0
+            } else {
+                self.accept_sum / self.accept_count as f64
+            },
+            preemptions: self.preemptions,
+            peak_running: self.peak_running,
+            peak_kv_tokens: self.peak_kv_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlt_gpusim::{GpuType, LlmCostModel};
+    use tlt_model::ModelSpec;
+
+    fn config() -> ServeConfig {
+        ServeConfig::new(
+            LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1),
+            1,
+        )
+    }
+
+    fn request(id: u64, arrival_s: f64, prompt: usize, output: usize) -> ServeRequest {
+        ServeRequest {
+            id,
+            arrival_s,
+            prompt_len: prompt,
+            output_len: output,
+        }
+    }
+
+    fn drain(replica: &mut Replica) -> f64 {
+        let mut now = 0.0;
+        let mut guard = 0;
+        while replica.has_work() {
+            now = replica.next_event_s();
+            replica.on_step_complete(now);
+            guard += 1;
+            assert!(guard < 1_000_000, "runaway replica simulation");
+        }
+        now
+    }
+
+    #[test]
+    fn single_request_runs_prefill_then_decode_to_completion() {
+        let mut replica = Replica::new(&config(), 0);
+        replica.enqueue(request(0, 0.0, 512, 16), 0.0);
+        let end = drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 1);
+        let r = completed[0];
+        assert_eq!(r.output_len, 16);
+        assert!(r.first_token_s > 0.0, "prefill takes time");
+        assert!(r.finish_s > r.first_token_s);
+        assert!((r.finish_s - end).abs() < 1e-12);
+        // 16 vanilla decode steps at ~5 ms each: finish within a second.
+        assert!(r.finish_s < 1.0, "finish at {}", r.finish_s);
+    }
+
+    #[test]
+    fn ttft_includes_queueing_behind_the_running_batch() {
+        let mut replica = Replica::new(&config(), 0);
+        replica.enqueue(request(0, 0.0, 512, 64), 0.0);
+        // Second request arrives while the first is mid-flight.
+        let t1 = replica.next_event_s();
+        replica.on_step_complete(t1);
+        replica.enqueue(request(1, t1, 512, 8), t1);
+        drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 2);
+        let second = completed.iter().find(|r| r.id == 1).expect("request 1");
+        assert!(second.ttft_s() > 0.0);
+        assert!(second.admitted_s >= t1);
+    }
+
+    #[test]
+    fn conservative_admission_respects_kv_budget() {
+        let mut cfg = config();
+        // Shrink the budget so only a handful of worst-case requests fit at once.
+        cfg.kv_memory_fraction = 0.25;
+        cfg.max_output_tokens = 16_384;
+        let per_request = 512 + cfg.max_output_tokens;
+        let fit = cfg.kv_token_budget() / per_request;
+        assert!(
+            (1..64).contains(&fit),
+            "test needs a tight budget, fit={fit}"
+        );
+        let mut replica = Replica::new(&cfg, 0);
+        for i in 0..(fit + 8) as u64 {
+            replica.enqueue(request(i, 0.0, 512, 4), 0.0);
+        }
+        // After the first admission round, at most `fit` requests run at once.
+        assert!(replica.running.len() <= fit);
+        drain(&mut replica);
+        assert_eq!(replica.take_completed().len(), fit + 8);
+        assert!(replica.peak_running <= fit);
+    }
+
+    #[test]
+    fn output_len_is_clamped_to_the_deployment_cap() {
+        let mut cfg = config();
+        cfg.max_output_tokens = 32;
+        let mut replica = Replica::new(&cfg, 0);
+        // Asks for far more tokens than the cap allows.
+        replica.enqueue(request(0, 0.0, 128, 10_000), 0.0);
+        drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].output_len, 32);
+        assert!(replica.peak_kv_tokens <= 128 + 32);
+    }
+
+    #[test]
+    fn impossible_request_is_dropped_not_wedged() {
+        let mut cfg = config();
+        cfg.kv_memory_fraction = 0.25;
+        cfg.max_output_tokens = 16_384;
+        let budget = cfg.kv_token_budget();
+        let mut replica = Replica::new(&cfg, 0);
+        // A prompt larger than the whole budget can never be admitted.
+        replica.enqueue(request(0, 0.0, budget + 1, 4), 0.0);
+        replica.enqueue(request(1, 0.0, 512, 4), 0.0);
+        drain(&mut replica);
+        assert_eq!(replica.dropped(), 1);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].id, 1);
+    }
+
+    #[test]
+    fn preemption_evicts_and_resumes_under_kv_pressure() {
+        let mut cfg = config().with_preemption();
+        cfg.kv_memory_fraction = 0.25;
+        // Optimistic admission: everything fits at prompt size, but decoding to
+        // 16K tokens each must overflow the budget and trigger evictions.
+        cfg.max_output_tokens = 16_384;
+        let budget = cfg.kv_token_budget();
+        let n = (budget / 5_000).max(4) as u64;
+        let mut replica = Replica::new(&cfg, 0);
+        for i in 0..n {
+            replica.enqueue(request(i, 0.0, 1_024, 16_384), 0.0);
+        }
+        drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(
+            completed.len(),
+            n as usize,
+            "all requests finish eventually"
+        );
+        assert!(
+            replica.preemptions > 0,
+            "KV pressure must trigger preemption"
+        );
+        assert!(completed.iter().any(|r| r.preemptions > 0));
+    }
+
+    #[test]
+    fn adaptive_sd_speeds_up_a_small_batch() {
+        use tlt_rollout::SdManagerConfig;
+        let requests: Vec<ServeRequest> = (0..4).map(|i| request(i, 0.0, 512, 256)).collect();
+        let run = |cfg: &ServeConfig| {
+            let mut replica = Replica::new(cfg, 0);
+            for r in &requests {
+                replica.enqueue(*r, 0.0);
+            }
+            drain(&mut replica)
+        };
+        let vanilla_end = run(&config());
+        let sd_end = run(&config().with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        }));
+        assert!(
+            sd_end < vanilla_end * 0.7,
+            "SD should speed up small batches: {sd_end} vs {vanilla_end}"
+        );
+    }
+
+    #[test]
+    fn replica_is_deterministic() {
+        use tlt_rollout::SdManagerConfig;
+        let cfg = config().with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        });
+        let run = || {
+            let mut replica = Replica::new(&cfg, 3);
+            for i in 0..16 {
+                replica.enqueue(request(i, i as f64 * 0.01, 256, 64), i as f64 * 0.01);
+                while replica.next_event_s() < (i + 1) as f64 * 0.01 {
+                    let t = replica.next_event_s();
+                    replica.on_step_complete(t);
+                }
+            }
+            let end = drain(&mut replica);
+            (end, replica.take_completed())
+        };
+        let (end_a, completed_a) = run();
+        let (end_b, completed_b) = run();
+        assert_eq!(end_a, end_b);
+        assert_eq!(completed_a, completed_b);
+    }
+}

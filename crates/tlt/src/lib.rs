@@ -13,15 +13,18 @@
 //! * [`tlt_draft`] — the adaptive drafter (model, training, DataBuffer, checkpointing),
 //! * [`tlt_rollout`] — the adaptive rollout engine (speculative decoding, CUDAGraph
 //!   pool, BEG-MAB tuner),
+//! * [`tlt_serve`] — the online continuous-batching serving subsystem,
 //! * [`tlt_rl`] — GRPO and its siblings,
 //! * [`tlt_coord`] — the worker coordinator and spot-task scheduling,
 //!
-//! and exposes two end-to-end pipelines:
+//! and exposes three end-to-end pipelines:
 //!
 //! * [`pipeline`] — timing-level simulation of the paper's full-size models on
 //!   simulated GPU clusters (Figures 1/11/14, Tables 2-5),
 //! * [`adaptive`] — token-level RL training of the tiny model with speculative
-//!   rollouts and adaptive drafter training (Figures 12/15/16, Tables 6-8).
+//!   rollouts and adaptive drafter training (Figures 12/15/16, Tables 6-8),
+//! * [`serve`] — online serving under open-loop load with SLO metrics, comparing
+//!   speculative-decoding policies across arrival rates.
 //!
 //! ```no_run
 //! use tlt::{ExperimentConfig, SystemKind, run_experiment};
@@ -43,9 +46,11 @@
 pub mod adaptive;
 pub mod config;
 pub mod pipeline;
+pub mod serve;
 
 pub use adaptive::{
     run_token_experiment, DrafterAccuracyPoint, TokenExperimentConfig, TokenExperimentReport,
 };
 pub use config::{ExperimentConfig, SystemKind};
 pub use pipeline::{run_comparison, run_experiment, ExperimentResult, StepBreakdown};
+pub use serve::{run_serving, run_serving_comparison, ServingExperimentConfig, ServingSdPolicy};

@@ -1,0 +1,236 @@
+//! Online serving pipeline: wires `tlt-workload` arrival streams into the
+//! `tlt-serve` subsystem and compares speculative-decoding policies under
+//! time-varying open-loop load.
+//!
+//! This is the serving-side counterpart of [`crate::pipeline`]: instead of
+//! simulating closed-loop RL steps it drives a multi-replica deployment with
+//! Poisson arrivals and reports SLO metrics (TTFT / TPOT / E2E percentiles,
+//! goodput, utilisation) per SD policy. The elastic-SD insight of the paper — SD
+//! only pays off below a batch-size threshold — becomes a load-dependent serving
+//! policy here, so the adaptive manager is expected to dominate both "never
+//! speculate" and "always speculate" across a rate sweep.
+
+use serde::Serialize;
+use tlt_gpusim::{GpuType, LlmCostModel};
+use tlt_model::ModelSpec;
+use tlt_rollout::{SdManagerConfig, SdMode, SdStrategy};
+use tlt_serve::{simulate_serving, BalancerPolicy, ServeConfig, ServeReport, SloSpec};
+use tlt_workload::{generate_arrivals, ArrivalConfig, LengthDistribution, RateCurve};
+
+/// Speculative-decoding policy compared by the serving experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ServingSdPolicy {
+    /// Vanilla decoding on every step (the no-SD baseline).
+    Disabled,
+    /// The default SD strategy forced on for every decode step.
+    StaticAlwaysOn,
+    /// The adaptive manager: elastic activation on live load + BEG-MAB strategy
+    /// selection.
+    Adaptive,
+}
+
+impl ServingSdPolicy {
+    /// All policies, in presentation order.
+    pub fn all() -> [ServingSdPolicy; 3] {
+        [
+            ServingSdPolicy::Disabled,
+            ServingSdPolicy::StaticAlwaysOn,
+            ServingSdPolicy::Adaptive,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServingSdPolicy::Disabled => "No SD",
+            ServingSdPolicy::StaticAlwaysOn => "Static SD (always on)",
+            ServingSdPolicy::Adaptive => "Adaptive SD (ours)",
+        }
+    }
+
+    /// The `tlt-serve` SD mode implementing this policy.
+    pub fn sd_mode(&self) -> SdMode {
+        match self {
+            ServingSdPolicy::Disabled => SdMode::Disabled,
+            ServingSdPolicy::StaticAlwaysOn => SdMode::Static {
+                strategy: SdStrategy::default(),
+                threshold: usize::MAX,
+            },
+            ServingSdPolicy::Adaptive => SdMode::Adaptive {
+                config: SdManagerConfig::default(),
+            },
+        }
+    }
+}
+
+/// Configuration of one serving experiment: a deployment plus an arrival stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingExperimentConfig {
+    /// Target model geometry.
+    pub model: ModelSpec,
+    /// GPU each replica runs on.
+    pub gpu: GpuType,
+    /// Tensor-parallel degree per replica.
+    pub tp: usize,
+    /// Number of replicas behind the frontend.
+    pub replicas: usize,
+    /// Request routing policy.
+    pub balancer: BalancerPolicy,
+    /// Time-varying arrival rate.
+    pub curve: RateCurve,
+    /// Arrival horizon in simulated seconds.
+    pub horizon_s: f64,
+    /// Prompt lengths (uniform, inclusive).
+    pub prompt_len_range: (usize, usize),
+    /// Long-tail output-length distribution.
+    pub output_lengths: LengthDistribution,
+    /// Per-request output cap (drives conservative KV admission).
+    pub max_output_tokens: usize,
+    /// Latency SLO for goodput accounting.
+    pub slo: SloSpec,
+    /// Seed for the arrival stream and the replicas' tuners.
+    pub seed: u64,
+}
+
+impl ServingExperimentConfig {
+    /// A Qwen-7B / H100 deployment under bursty load at the given mean rate: the
+    /// burst phase pushes replicas above the elastic threshold while the quiet
+    /// phase drains below it, which is exactly where adaptive SD shines.
+    pub fn qwen7b_bursty(replicas: usize, mean_rps: f64) -> Self {
+        ServingExperimentConfig {
+            model: ModelSpec::qwen2_5_7b(),
+            gpu: GpuType::H100,
+            tp: 1,
+            replicas,
+            balancer: BalancerPolicy::JoinShortestQueue,
+            // 25% of each period at 3x the base rate (mean = base * 1.5).
+            curve: RateCurve::Bursty {
+                base_rps: mean_rps / 1.5,
+                burst_rps: mean_rps * 2.0,
+                burst_fraction: 0.25,
+                period_s: 20.0,
+            },
+            horizon_s: 60.0,
+            prompt_len_range: (256, 768),
+            output_lengths: LengthDistribution::LongTailMixture {
+                mu: 5.3,
+                sigma: 0.9,
+                truncation_mass: 0.02,
+                max_len: 2048,
+            },
+            max_output_tokens: 2048,
+            slo: SloSpec {
+                ttft_s: 1.0,
+                tpot_s: 0.02,
+            },
+            seed: 2026,
+        }
+    }
+
+    /// The arrival stream this experiment serves.
+    pub fn arrivals(&self) -> Vec<tlt_workload::RequestArrival> {
+        generate_arrivals(&ArrivalConfig {
+            curve: self.curve,
+            horizon_s: self.horizon_s,
+            prompt_len_range: self.prompt_len_range,
+            output_lengths: self.output_lengths.clone(),
+            seed: self.seed,
+        })
+    }
+
+    /// The `tlt-serve` deployment config under the given SD policy.
+    pub fn serve_config(&self, policy: ServingSdPolicy) -> ServeConfig {
+        let cost = LlmCostModel::new(self.model.clone(), self.gpu.spec(), self.tp);
+        let mut config = ServeConfig::new(cost, self.replicas)
+            .with_balancer(self.balancer)
+            .with_sd_mode(policy.sd_mode());
+        config.max_output_tokens = self.max_output_tokens;
+        config.slo = self.slo;
+        config.seed = self.seed;
+        config
+    }
+}
+
+/// Runs one serving experiment under one SD policy.
+pub fn run_serving(config: &ServingExperimentConfig, policy: ServingSdPolicy) -> ServeReport {
+    let arrivals = config.arrivals();
+    simulate_serving(&config.serve_config(policy), &arrivals)
+}
+
+/// Runs the same arrival stream under all three SD policies.
+pub fn run_serving_comparison(
+    config: &ServingExperimentConfig,
+) -> Vec<(ServingSdPolicy, ServeReport)> {
+    let arrivals = config.arrivals();
+    ServingSdPolicy::all()
+        .into_iter()
+        .map(|policy| {
+            (
+                policy,
+                simulate_serving(&config.serve_config(policy), &arrivals),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_serves_every_request_under_all_policies() {
+        let config = ServingExperimentConfig::qwen7b_bursty(2, 4.0);
+        let n = config.arrivals().len();
+        assert!(n > 50, "stream too small: {n}");
+        for (policy, report) in run_serving_comparison(&config) {
+            assert_eq!(
+                report.completed.len(),
+                n,
+                "{}: lost requests",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_dominates_at_a_moderate_rate() {
+        // The acceptance-shape claim: at a rate oscillating around the elastic
+        // threshold, adaptive SD beats No-SD *and* always-on SD on tail TTFT
+        // or goodput.
+        let config = ServingExperimentConfig::qwen7b_bursty(2, 10.0);
+        let results = run_serving_comparison(&config);
+        let get = |p: ServingSdPolicy| {
+            results
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, r)| r)
+                .expect("policy present")
+        };
+        let disabled = get(ServingSdPolicy::Disabled);
+        let always = get(ServingSdPolicy::StaticAlwaysOn);
+        let adaptive = get(ServingSdPolicy::Adaptive);
+        let beats_on_ttft =
+            adaptive.ttft.p99_s < disabled.ttft.p99_s && adaptive.ttft.p99_s < always.ttft.p99_s;
+        let beats_on_goodput = adaptive.goodput_rps > disabled.goodput_rps
+            && adaptive.goodput_rps > always.goodput_rps;
+        assert!(
+            beats_on_ttft || beats_on_goodput,
+            "adaptive must win on p99 TTFT or goodput: ttft {a:.3}/{d:.3}/{s:.3}, goodput {ag:.3}/{dg:.3}/{sg:.3}",
+            a = adaptive.ttft.p99_s,
+            d = disabled.ttft.p99_s,
+            s = always.ttft.p99_s,
+            ag = adaptive.goodput_rps,
+            dg = disabled.goodput_rps,
+            sg = always.goodput_rps,
+        );
+    }
+
+    #[test]
+    fn serving_pipeline_is_deterministic() {
+        let config = ServingExperimentConfig::qwen7b_bursty(2, 6.0);
+        let a = run_serving(&config, ServingSdPolicy::Adaptive);
+        let b = run_serving(&config, ServingSdPolicy::Adaptive);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.throughput_tokens_per_s, b.throughput_tokens_per_s);
+    }
+}

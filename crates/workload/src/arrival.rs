@@ -1,0 +1,356 @@
+//! Open-loop request arrival processes for the serving subsystem.
+//!
+//! The closed-loop engines elsewhere in the repo decode one fixed batch to
+//! completion; online serving instead sees requests *arrive over time*. This module
+//! provides seeded arrival generators: a (possibly non-homogeneous) Poisson process
+//! whose instantaneous rate follows a [`RateCurve`] — constant, diurnal
+//! (sinusoidal), or bursty (square-wave) — with per-request prompt lengths and
+//! long-tail output lengths drawn from a [`LengthDistribution`]. Everything is a
+//! pure function of the seed, like the rest of the workspace.
+
+use crate::longtail::LengthDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous request-arrival rate as a function of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RateCurve {
+    /// Homogeneous Poisson arrivals at a fixed rate (requests per second).
+    Constant {
+        /// Requests per second.
+        rps: f64,
+    },
+    /// Diurnal load: `mean_rps * (1 + amplitude * sin(2πt / period_s))`.
+    Diurnal {
+        /// Mean requests per second.
+        mean_rps: f64,
+        /// Relative swing around the mean, in `[0, 1]`.
+        amplitude: f64,
+        /// Period of one day-night cycle in simulated seconds.
+        period_s: f64,
+    },
+    /// Bursty load: a square wave spending `burst_fraction` of every period at
+    /// `burst_rps` and the remainder at `base_rps`.
+    Bursty {
+        /// Rate outside bursts (requests per second).
+        base_rps: f64,
+        /// Rate during bursts (requests per second).
+        burst_rps: f64,
+        /// Fraction of each period spent bursting, in `(0, 1)`.
+        burst_fraction: f64,
+        /// Period of the burst cycle in simulated seconds.
+        period_s: f64,
+    },
+}
+
+impl RateCurve {
+    /// Instantaneous rate at time `t` (seconds), in requests per second.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            RateCurve::Constant { rps } => rps,
+            RateCurve::Diurnal {
+                mean_rps,
+                amplitude,
+                period_s,
+            } => {
+                let a = amplitude.clamp(0.0, 1.0);
+                mean_rps * (1.0 + a * (2.0 * std::f64::consts::PI * t / period_s).sin())
+            }
+            RateCurve::Bursty {
+                base_rps,
+                burst_rps,
+                burst_fraction,
+                period_s,
+            } => {
+                let phase = (t % period_s) / period_s;
+                if phase < burst_fraction.clamp(0.0, 1.0) {
+                    burst_rps
+                } else {
+                    base_rps
+                }
+            }
+        }
+    }
+
+    /// Upper bound on the instantaneous rate (used by the thinning sampler).
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            RateCurve::Constant { rps } => rps,
+            RateCurve::Diurnal {
+                mean_rps,
+                amplitude,
+                ..
+            } => mean_rps * (1.0 + amplitude.clamp(0.0, 1.0)),
+            RateCurve::Bursty {
+                base_rps,
+                burst_rps,
+                ..
+            } => base_rps.max(burst_rps),
+        }
+    }
+
+    /// Exact integral of the rate over `[0, horizon_s]`: the expected number of
+    /// arrivals of the (non-homogeneous) Poisson process over that window.
+    pub fn expected_requests(&self, horizon_s: f64) -> f64 {
+        let t = horizon_s.max(0.0);
+        match *self {
+            RateCurve::Constant { rps } => rps * t,
+            RateCurve::Diurnal {
+                mean_rps,
+                amplitude,
+                period_s,
+            } => {
+                let a = amplitude.clamp(0.0, 1.0);
+                let w = 2.0 * std::f64::consts::PI / period_s;
+                // ∫ mean (1 + a sin(wt)) dt = mean t + mean a (1 - cos(wt)) / w.
+                mean_rps * t + mean_rps * a * (1.0 - (w * t).cos()) / w
+            }
+            RateCurve::Bursty {
+                base_rps,
+                burst_rps,
+                burst_fraction,
+                period_s,
+            } => {
+                let f = burst_fraction.clamp(0.0, 1.0);
+                let per_period = period_s * (f * burst_rps + (1.0 - f) * base_rps);
+                let full = (t / period_s).floor();
+                let rem = t - full * period_s;
+                let partial =
+                    rem.min(f * period_s) * burst_rps + (rem - f * period_s).max(0.0) * base_rps;
+                full * per_period + partial
+            }
+        }
+    }
+}
+
+/// Configuration of one arrival stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// The time-varying arrival rate.
+    pub curve: RateCurve,
+    /// Arrivals are generated over `[0, horizon_s)` simulated seconds.
+    pub horizon_s: f64,
+    /// Prompt lengths are drawn uniformly from this inclusive range.
+    pub prompt_len_range: (usize, usize),
+    /// Output (response) lengths follow this long-tail distribution.
+    pub output_lengths: LengthDistribution,
+    /// Seed determining the entire stream.
+    pub seed: u64,
+}
+
+impl ArrivalConfig {
+    /// A constant-rate stream with chat-style prompts and long-tail outputs.
+    pub fn constant(rps: f64, horizon_s: f64, seed: u64) -> Self {
+        ArrivalConfig {
+            curve: RateCurve::Constant { rps },
+            horizon_s,
+            prompt_len_range: (256, 768),
+            output_lengths: LengthDistribution::LongTailMixture {
+                mu: 5.5,
+                sigma: 0.9,
+                truncation_mass: 0.02,
+                max_len: 4096,
+            },
+            seed,
+        }
+    }
+}
+
+/// One request arriving at the serving frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestArrival {
+    /// Monotonically increasing request id (arrival order).
+    pub id: u64,
+    /// Arrival time in integer simulated nanoseconds (exact, hashable, orderable).
+    pub time_ns: u64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Target output length in tokens.
+    pub output_len: usize,
+}
+
+impl RequestArrival {
+    /// Arrival time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_ns as f64 * 1e-9
+    }
+}
+
+/// Generates the arrival stream described by `config` via Poisson thinning:
+/// candidate arrivals are drawn from a homogeneous process at the peak rate and
+/// kept with probability `rate(t) / peak`, yielding a non-homogeneous Poisson
+/// process with intensity `rate(t)`. Identical configs give identical streams.
+pub fn generate_arrivals(config: &ArrivalConfig) -> Vec<RequestArrival> {
+    let peak = config.curve.peak_rate();
+    assert!(peak > 0.0, "arrival rate must be positive");
+    let (lo, hi) = config.prompt_len_range;
+    assert!(lo >= 1 && lo <= hi, "invalid prompt length range");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let mut id = 0u64;
+    loop {
+        // Exponential inter-arrival at the peak rate (inverse CDF).
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / peak;
+        if t >= config.horizon_s {
+            break;
+        }
+        let keep: f64 = rng.gen_range(0.0..1.0);
+        if keep < config.curve.rate_at(t) / peak {
+            out.push(RequestArrival {
+                id,
+                // Quantised to integer nanoseconds so arrival times are exactly
+                // representable and comparisons are reproducible everywhere.
+                time_ns: (t * 1e9) as u64,
+                prompt_len: rng.gen_range(lo..=hi),
+                output_len: config.output_lengths.sample(&mut rng),
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_for(curve: RateCurve, horizon_s: f64, seed: u64) -> usize {
+        generate_arrivals(&ArrivalConfig {
+            curve,
+            horizon_s,
+            prompt_len_range: (64, 128),
+            output_lengths: LengthDistribution::Constant { len: 100 },
+            seed,
+        })
+        .len()
+    }
+
+    #[test]
+    fn constant_rate_count_matches_integral() {
+        let curve = RateCurve::Constant { rps: 50.0 };
+        let horizon = 400.0;
+        let expected = curve.expected_requests(horizon);
+        let n = count_for(curve, horizon, 11) as f64;
+        // Poisson sd is sqrt(expected); allow 5 sigma.
+        let tol = 5.0 * expected.sqrt();
+        assert!(
+            (n - expected).abs() < tol,
+            "count {n} vs expected {expected} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_count_matches_integral() {
+        let curve = RateCurve::Diurnal {
+            mean_rps: 40.0,
+            amplitude: 0.8,
+            period_s: 60.0,
+        };
+        let horizon = 390.0; // deliberately not a whole number of periods
+        let expected = curve.expected_requests(horizon);
+        let n = count_for(curve, horizon, 12) as f64;
+        let tol = 5.0 * expected.sqrt();
+        assert!(
+            (n - expected).abs() < tol,
+            "count {n} vs expected {expected} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn bursty_rate_count_matches_integral() {
+        let curve = RateCurve::Bursty {
+            base_rps: 10.0,
+            burst_rps: 80.0,
+            burst_fraction: 0.25,
+            period_s: 40.0,
+        };
+        let horizon = 410.0; // ends mid-period to exercise the partial term
+        let expected = curve.expected_requests(horizon);
+        let n = count_for(curve, horizon, 13) as f64;
+        let tol = 5.0 * expected.sqrt();
+        assert!(
+            (n - expected).abs() < tol,
+            "count {n} vs expected {expected} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn bursty_integral_is_piecewise_exact() {
+        let curve = RateCurve::Bursty {
+            base_rps: 2.0,
+            burst_rps: 10.0,
+            burst_fraction: 0.5,
+            period_s: 10.0,
+        };
+        // One full period: 5 s at 10 rps + 5 s at 2 rps = 60.
+        assert!((curve.expected_requests(10.0) - 60.0).abs() < 1e-9);
+        // Half a period (all burst): 5 s at 10 rps = 50.
+        assert!((curve.expected_requests(5.0) - 50.0).abs() < 1e-9);
+        // 7 s: 50 + 2 s at 2 rps = 54.
+        assert!((curve.expected_requests(7.0) - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let config = ArrivalConfig::constant(25.0, 120.0, 99);
+        let a = generate_arrivals(&config);
+        let b = generate_arrivals(&config);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = generate_arrivals(&ArrivalConfig::constant(25.0, 120.0, 1));
+        let b = generate_arrivals(&ArrivalConfig::constant(25.0, 120.0, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_ids_sequential_lengths_in_range() {
+        let config = ArrivalConfig {
+            curve: RateCurve::Diurnal {
+                mean_rps: 30.0,
+                amplitude: 0.5,
+                period_s: 30.0,
+            },
+            horizon_s: 60.0,
+            prompt_len_range: (100, 200),
+            output_lengths: LengthDistribution::LongTailMixture {
+                mu: 5.0,
+                sigma: 1.0,
+                truncation_mass: 0.05,
+                max_len: 2048,
+            },
+            seed: 7,
+        };
+        let arrivals = generate_arrivals(&config);
+        assert!(!arrivals.is_empty());
+        for (i, pair) in arrivals.windows(2).enumerate() {
+            assert!(pair[0].time_ns <= pair[1].time_ns, "unsorted at {i}");
+        }
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.id, i as u64);
+            assert!(a.time_s() < config.horizon_s);
+            assert!((100..=200).contains(&a.prompt_len));
+            assert!((1..=2048).contains(&a.output_len));
+        }
+    }
+
+    #[test]
+    fn bursty_peak_dominates_rate_everywhere() {
+        let curve = RateCurve::Bursty {
+            base_rps: 5.0,
+            burst_rps: 50.0,
+            burst_fraction: 0.2,
+            period_s: 20.0,
+        };
+        for i in 0..200 {
+            let t = i as f64 * 0.37;
+            assert!(curve.rate_at(t) <= curve.peak_rate());
+        }
+    }
+}

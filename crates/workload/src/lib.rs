@@ -2,8 +2,10 @@
 //!
 //! Workload generation for the TLT reproduction: long-tail response-length
 //! distributions (Figure 1a / Figure 2), synthetic verifiable reasoning tasks that
-//! play the role of the paper's Eurus-2-RL dataset for the tiny-model substrate, and
-//! ByteDance-style production trace synthesis.
+//! play the role of the paper's Eurus-2-RL dataset for the tiny-model substrate,
+//! ByteDance-style production trace synthesis, and open-loop request arrival
+//! processes (Poisson over constant / diurnal / bursty rate curves) for the
+//! `tlt-serve` online serving subsystem.
 //!
 //! ```
 //! use tlt_workload::{LengthDistribution, LengthStats};
@@ -18,10 +20,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrival;
 pub mod longtail;
 pub mod tasks;
 pub mod trace;
 
+pub use arrival::{generate_arrivals, ArrivalConfig, RateCurve, RequestArrival};
 pub use longtail::{length_histogram, percentile, LengthDistribution, LengthStats};
 pub use tasks::{ReasoningTask, TaskGenerator, Vocabulary};
 pub use trace::{synthesize_bytedance_trace, TraceConfig, TraceStep, TraceSummary};

@@ -1,15 +1,19 @@
 //! Deterministic-seeding guarantees: the whole stack is a pure function of its
-//! seeds. Two runs with identical seeds must produce bit-identical outputs,
-//! both at the timing level (`run_experiment`) and at the token level
-//! (`speculative_generate`).
+//! seeds. Two runs with identical seeds must produce bit-identical outputs, at
+//! the timing level (`run_experiment`), at the token level
+//! (`speculative_generate`), and at the serving level (`run_serving`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tlt::{run_experiment, ExperimentConfig, SystemKind};
+use tlt::{
+    run_experiment, run_serving, ExperimentConfig, ServingExperimentConfig, ServingSdPolicy,
+    SystemKind,
+};
 use tlt_draft::{DraftModel, FeatureSource};
 use tlt_gpusim::{ClusterConfig, GpuType};
 use tlt_model::{ModelConfig, ModelSpec, SamplingParams, TinyLm};
 use tlt_rollout::{speculative_generate, SdStrategy, SpecDrafter};
+use tlt_workload::{generate_arrivals, ArrivalConfig};
 
 fn quick_config() -> ExperimentConfig {
     ExperimentConfig::paper_default(
@@ -68,6 +72,48 @@ fn speculative_generate_is_deterministic_across_runs() {
         let second = run(3, params);
         assert_eq!(first.tokens, second.tokens);
     }
+}
+
+#[test]
+fn serving_runs_are_bit_identical_across_runs() {
+    let mut config = ServingExperimentConfig::qwen7b_bursty(2, 8.0);
+    config.horizon_s = 20.0;
+    for policy in ServingSdPolicy::all() {
+        let first = run_serving(&config, policy);
+        let second = run_serving(&config, policy);
+        assert_eq!(
+            first.completed, second.completed,
+            "{policy:?}: per-request records must be identical for identical seeds"
+        );
+        assert_eq!(first.makespan_s, second.makespan_s);
+        assert_eq!(
+            first.throughput_tokens_per_s,
+            second.throughput_tokens_per_s
+        );
+        assert_eq!(first.goodput_rps, second.goodput_rps);
+        assert_eq!(first.ttft, second.ttft);
+        assert_eq!(first.tpot, second.tpot);
+        assert_eq!(first.e2e, second.e2e);
+        assert_eq!(first.replicas, second.replicas);
+    }
+}
+
+#[test]
+fn arrival_streams_are_bit_identical_across_runs() {
+    let config = ArrivalConfig::constant(12.0, 60.0, 2026);
+    assert_eq!(generate_arrivals(&config), generate_arrivals(&config));
+}
+
+#[test]
+fn different_serving_seeds_change_the_arrival_stream() {
+    let mut a = ServingExperimentConfig::qwen7b_bursty(2, 8.0);
+    a.horizon_s = 20.0;
+    let mut b = a.clone();
+    b.seed = a.seed + 1;
+    let ra = run_serving(&a, ServingSdPolicy::Adaptive);
+    let rb = run_serving(&b, ServingSdPolicy::Adaptive);
+    assert_ne!(ra.completed.len(), 0);
+    assert_ne!(ra.completed, rb.completed);
 }
 
 #[test]
