@@ -7,10 +7,13 @@
 //! cargo run -p tlt-bench --release --bin experiments -- all [--quick]
 //! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
 //! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
+//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_3.json]
 //! ```
 //!
 //! `--json <path>` additionally writes every produced table as machine-readable
-//! JSON so the bench trajectory can be tracked across PRs.
+//! JSON so the bench trajectory can be tracked across PRs. The `perf` subcommand
+//! runs the pinned micro/e2e perf workloads instead and writes the repository's
+//! `BENCH_<n>.json` trajectory point (see `tlt_bench::perf`).
 //!
 //! Absolute numbers come from the simulated substrate (roofline GPU model + tiny
 //! transformer), so they are not expected to match the paper's testbed; the *shape*
@@ -57,7 +60,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: experiments [--quick] [--json <path>] [all | {}]",
+            "usage: experiments [--quick] [--json <path>] [all | perf | {}]",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(2);
@@ -92,6 +95,25 @@ fn main() {
             usage();
         }
     }
+
+    // `perf` is a standalone subcommand: it runs the pinned perf workloads and
+    // writes the BENCH trajectory JSON (default BENCH_3.json, overridable with
+    // --json) instead of regenerating paper tables.
+    if selected.iter().any(|s| s == "perf") {
+        if selected.len() > 1 {
+            eprintln!("error: 'perf' cannot be combined with other selectors");
+            usage();
+        }
+        let path = json_path.unwrap_or_else(|| "BENCH_3.json".to_string());
+        match tlt_bench::run_perf(scale, &path) {
+            Ok(_) => return,
+            Err(e) => {
+                eprintln!("error: failed to write perf report to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     for sel in &selected {
         if sel != "all" && !EXPERIMENTS.contains(&sel.as_str()) {
             eprintln!("error: unknown experiment '{sel}'");

@@ -1,0 +1,298 @@
+//! Pinned performance workloads and the `BENCH_<n>.json` trajectory writer.
+//!
+//! `experiments -- perf` runs a fixed set of micro and end-to-end workloads on
+//! the tiny-model substrate and writes the measured numbers as machine-readable
+//! JSON (via the same [`JsonValue`] writer the experiment tables use), so every
+//! PR can append a comparable point to the repository's perf trajectory
+//! (`BENCH_3.json` for this change). Workload *definitions* are pinned: names,
+//! shapes, seeds, and token budgets must stay stable across PRs so the series
+//! stays comparable; only the measured values change.
+
+use crate::json::JsonValue;
+use crate::setups::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tlt_draft::{DraftModel, DrafterTrainer, FeatureSource, TrainerConfig, TrainingSample};
+use tlt_model::{DecodeWorkspace, Mat, ModelConfig, SamplingParams, TinyLm};
+use tlt_rollout::{
+    generate_batch, simulate_rollout_batch, speculative_generate, vanilla_generate,
+    SdManagerConfig, SdMode, SdStrategy, SimRolloutConfig, SpecDrafter,
+};
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Stable workload identifier.
+    pub name: &'static str,
+    /// Metric description (what `value` measures).
+    pub metric: &'static str,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of `value`.
+    pub unit: &'static str,
+    /// Repetitions timed.
+    pub reps: u32,
+}
+
+fn time_per_rep<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+/// Runs every pinned workload and returns the measured points.
+pub fn run_perf_workloads(scale: Scale) -> Vec<PerfPoint> {
+    let reps: u32 = if scale == Scale::Full { 30 } else { 3 };
+    let mut points = Vec::new();
+
+    // --- Micro: matmul kernels on the decode- and training-critical shapes ---
+    let mut rng = StdRng::seed_from_u64(1);
+    let a1 = Mat::random_uniform(1, 32, 1.0, &mut rng);
+    let b = Mat::random_uniform(32, 96, 1.0, &mut rng);
+    let mut out = Mat::zeros(1, 96);
+    let micro_reps = reps * 10_000;
+    let t = time_per_rep(micro_reps, || a1.matmul_into(&b, &mut out));
+    points.push(PerfPoint {
+        name: "matvec_1x32_32x96",
+        metric: "latency per call",
+        value: t * 1e9,
+        unit: "ns",
+        reps: micro_reps,
+    });
+
+    let a64 = Mat::random_uniform(64, 64, 1.0, &mut rng);
+    let b64 = Mat::random_uniform(64, 64, 1.0, &mut rng);
+    let mut out64 = Mat::zeros(64, 64);
+    let t = time_per_rep(micro_reps / 10, || a64.matmul_into(&b64, &mut out64));
+    points.push(PerfPoint {
+        name: "matmul_64x64_64x64",
+        metric: "latency per call",
+        value: t * 1e6,
+        unit: "us",
+        reps: micro_reps / 10,
+    });
+
+    let g = Mat::random_uniform(20, 96, 1.0, &mut rng);
+    let w = Mat::random_uniform(32, 96, 1.0, &mut rng);
+    let mut out_t = Mat::zeros(20, 32);
+    let t = time_per_rep(micro_reps / 10, || g.matmul_transposed_into(&w, &mut out_t));
+    points.push(PerfPoint {
+        name: "matmul_transposed_20x96_32x96T",
+        metric: "latency per call",
+        value: t * 1e6,
+        unit: "us",
+        reps: micro_reps / 10,
+    });
+
+    // --- Decode: allocation-free single-token steps (tiny config) ---
+    let target = TinyLm::new(ModelConfig::tiny(), 11);
+    let mut cache = target.new_cache();
+    let mut ws = DecodeWorkspace::new(&target.config);
+    target.forward_into(&[1, 5, 9, 2], &mut cache, &mut ws);
+    let decode_reps = reps * 20;
+    let tokens_per_rep = 64u32;
+    let t = time_per_rep(decode_reps, || {
+        cache.truncate(4);
+        for i in 0..tokens_per_rep {
+            let _ = target.decode_step(i % 90, &mut cache, &mut ws);
+        }
+    });
+    points.push(PerfPoint {
+        name: "decode_steps_tiny",
+        metric: "decode steps per second",
+        value: f64::from(tokens_per_rep) / t,
+        unit: "steps/s",
+        reps: decode_reps,
+    });
+
+    // --- Token-level generation: vanilla and speculative, 64 tokens ---
+    let drafter = DraftModel::new(&target, FeatureSource::LastLayer, 12);
+    let prompt = [1u32, 5, 9, 2];
+    let params = SamplingParams::greedy();
+    let gen_reps = reps * 5;
+    let t = time_per_rep(gen_reps, || {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = vanilla_generate(&target, &prompt, 64, params, None, &mut rng);
+    });
+    points.push(PerfPoint {
+        name: "vanilla_generate_64",
+        metric: "generated tokens per second",
+        value: 64.0 / t,
+        unit: "tokens/s",
+        reps: gen_reps,
+    });
+    let t = time_per_rep(gen_reps, || {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = speculative_generate(
+            &target,
+            &SpecDrafter::Learned(&drafter),
+            &prompt,
+            64,
+            SdStrategy::default(),
+            params,
+            None,
+            &mut rng,
+        );
+    });
+    points.push(PerfPoint {
+        name: "speculative_generate_64",
+        metric: "generated tokens per second",
+        value: 64.0 / t,
+        unit: "tokens/s",
+        reps: gen_reps,
+    });
+
+    // --- Parallel batched rollout: 8 sequences on the worker pool ---
+    let prompts: Vec<Vec<u32>> = (0..8u32).map(|i| vec![i + 1, 5, 9, 2]).collect();
+    let batch_reps = reps;
+    let t = time_per_rep(batch_reps, || {
+        let _ = generate_batch(
+            &target,
+            None,
+            &prompts,
+            32,
+            SdStrategy::default(),
+            params,
+            None,
+            7,
+        );
+    });
+    points.push(PerfPoint {
+        name: "generate_batch_8x32",
+        metric: "generated tokens per second across the batch",
+        value: 8.0 * 32.0 / t,
+        unit: "tokens/s",
+        reps: batch_reps,
+    });
+
+    // --- Drafter training: one EAGLE iteration over 4 microbatched samples ---
+    let mut rng = StdRng::seed_from_u64(5);
+    let samples: Vec<TrainingSample> = (0..4)
+        .map(|i| {
+            use rand::Rng;
+            let len = 16 + (i % 4) * 4;
+            let tokens: Vec<u32> = (0..len)
+                .map(|_| rng.gen_range(0..target.config.vocab_size as u32))
+                .collect();
+            TrainingSample::from_rollout(
+                &target,
+                FeatureSource::LastLayer,
+                &tokens,
+                len - 4,
+                0,
+                i as u64,
+            )
+        })
+        .collect();
+    let refs: Vec<&TrainingSample> = samples.iter().collect();
+    let mut trainer = DrafterTrainer::new(&target, TrainerConfig::default(), 2);
+    let train_reps = reps * 50;
+    let t = time_per_rep(train_reps, || {
+        let _ = trainer.train_iteration(&target, &refs);
+    });
+    points.push(PerfPoint {
+        name: "drafter_train_iteration",
+        metric: "training iterations per second",
+        value: 1.0 / t,
+        unit: "iters/s",
+        reps: train_reps,
+    });
+
+    // --- End-to-end: timing-level batched rollout simulation (4 groups) ---
+    let cost = tlt_gpusim::LlmCostModel::new(
+        tlt_model::ModelSpec::qwen2_5_7b(),
+        tlt_gpusim::GpuType::H100.spec(),
+        1,
+    );
+    let config = SimRolloutConfig::vanilla(cost).with_sd_mode(SdMode::Adaptive {
+        config: SdManagerConfig::default(),
+    });
+    let mut rng = StdRng::seed_from_u64(9);
+    let dist = tlt_workload::LengthDistribution::LongTailMixture {
+        mu: 6.0,
+        sigma: 0.8,
+        truncation_mass: 0.03,
+        max_len: 4096,
+    };
+    let groups: Vec<Vec<usize>> = (0..4).map(|_| dist.sample_many(24, &mut rng)).collect();
+    let sim_reps = reps;
+    let t = time_per_rep(sim_reps, || {
+        let _ = simulate_rollout_batch(&config, &groups);
+    });
+    points.push(PerfPoint {
+        name: "sim_rollout_batch_4x24",
+        metric: "simulated rollout groups per second",
+        value: 4.0 / t,
+        unit: "groups/s",
+        reps: sim_reps,
+    });
+
+    points
+}
+
+/// Serialises perf points as the `BENCH_<n>.json` document.
+pub fn perf_report_json(points: &[PerfPoint], scale: Scale) -> JsonValue {
+    JsonValue::object(vec![
+        ("bench", JsonValue::Number(3.0)),
+        ("schema", JsonValue::string("tlt-perf-v1")),
+        (
+            "scale",
+            JsonValue::string(if scale == Scale::Full {
+                "full"
+            } else {
+                "quick"
+            }),
+        ),
+        (
+            "workers",
+            JsonValue::Number(tlt_model::max_workers() as f64),
+        ),
+        (
+            "workloads",
+            JsonValue::Array(
+                points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::object(vec![
+                            ("name", JsonValue::string(p.name)),
+                            ("metric", JsonValue::string(p.metric)),
+                            ("value", JsonValue::Number(p.value)),
+                            ("unit", JsonValue::string(p.unit)),
+                            ("reps", JsonValue::Number(f64::from(p.reps))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Runs the pinned workloads and writes `path`; prints a human-readable summary.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the report file.
+pub fn run_perf(scale: Scale, path: &str) -> std::io::Result<Vec<PerfPoint>> {
+    let points = run_perf_workloads(scale);
+    println!("\n=== perf workloads (scale: {scale:?}) ===");
+    for p in &points {
+        println!(
+            "{:34} {:>14.2} {:<9} ({})",
+            p.name, p.value, p.unit, p.metric
+        );
+    }
+    let json = perf_report_json(&points, scale);
+    // Structural sanity before writing: every workload must carry a finite value,
+    // otherwise the trajectory file would be malformed (numbers render as null).
+    assert!(
+        points.iter().all(|p| p.value.is_finite()),
+        "perf produced a non-finite measurement"
+    );
+    assert!(!points.is_empty(), "perf produced no workloads");
+    std::fs::write(path, format!("{json}\n"))?;
+    println!("wrote perf trajectory point to {path}");
+    Ok(points)
+}

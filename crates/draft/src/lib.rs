@@ -30,7 +30,7 @@ pub mod trainer;
 pub use acceptance::AcceptanceProfile;
 pub use checkpoint::{CheckpointMode, CheckpointReport, CheckpointStore};
 pub use data_buffer::{DataBuffer, DataBufferConfig, TrainingSample};
-pub use model::{DraftGrads, DraftModel, DraftState, FeatureSource, Linear};
+pub use model::{DraftGrads, DraftModel, DraftScratch, DraftState, FeatureSource, Linear};
 pub use packing::{pack_sequences, packing_stats, PackingPlan, PackingStats};
 pub use strategy::TrainingStrategy;
 pub use trainer::{DrafterTrainer, TrainMetrics, TrainerConfig};

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use tlt_model::layers::{DecoderLayer, DecoderLayerGrads, LayerTrainCache};
-use tlt_model::{LayerKvCache, Mat, TinyLm, TokenId};
+use tlt_model::{LayerKvCache, LayerScratch, Mat, TinyLm, TokenId};
 
 /// A bias-free linear layer with explicit forward/backward (used for the fusion
 /// projection that reduces `[hidden ; embedding]` down to `hidden`).
@@ -107,6 +107,7 @@ pub struct DraftTrainCache {
     fusion_input: Mat,
     fused: Mat,
     layer_cache: LayerTrainCache,
+    head_norm_cache: tlt_model::ops::RmsNormCache,
     /// Drafter output features (input to the frozen norm + head).
     pub features: Mat,
     /// Logits under the frozen target head.
@@ -135,6 +136,48 @@ impl DraftGrads {
 pub struct DraftState {
     kv: LayerKvCache,
     last_feature: Vec<f32>,
+    /// KV entries `0..committed` were primed from committed target features and
+    /// stay valid across speculative rounds; entries beyond it come from
+    /// [`DraftModel::draft_step`] calls and are rolled back by
+    /// [`DraftModel::resume_draft`].
+    committed: usize,
+}
+
+/// Reusable scratch buffers for incremental drafting.
+///
+/// Holds the fusion input, fused activations, drafter feature, and projection
+/// temporaries plus a [`LayerScratch`] for the drafter's decoder layer. Create one
+/// per generation loop and pass it to [`DraftModel::begin_draft_with`] /
+/// [`DraftModel::draft_step_into`]; steady-state draft steps then perform no heap
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct DraftScratch {
+    input: Mat,
+    fused: Mat,
+    feature: Mat,
+    normed: Mat,
+    logits: Mat,
+    layer: LayerScratch,
+}
+
+impl DraftScratch {
+    /// Creates scratch for drafting against `target` with the given feature source.
+    pub fn new(target: &TinyLm, feature_source: FeatureSource) -> Self {
+        let hidden = target.config.hidden;
+        let in_dim = hidden * feature_source.width_multiplier() + hidden;
+        DraftScratch {
+            input: Mat::zeros(0, in_dim),
+            fused: Mat::zeros(0, hidden),
+            feature: Mat::zeros(0, hidden),
+            normed: Mat::zeros(0, hidden),
+            logits: Mat::zeros(0, target.config.vocab_size),
+            layer: LayerScratch::new(
+                hidden,
+                target.config.ffn_hidden,
+                target.config.max_seq_len * target.config.num_heads,
+            ),
+        }
+    }
 }
 
 impl DraftModel {
@@ -184,6 +227,20 @@ impl DraftModel {
     /// committed prefix. `features` holds one row per prefix position (in the
     /// drafter's feature source width) and `tokens` the prefix tokens (same length).
     pub fn begin_draft(&self, target: &TinyLm, features: &Mat, tokens: &[TokenId]) -> DraftState {
+        let mut scratch = DraftScratch::new(target, self.feature_source);
+        self.begin_draft_with(target, features, tokens, &mut scratch)
+    }
+
+    /// [`DraftModel::begin_draft`] with caller-provided scratch buffers: the prefix
+    /// fusion inputs, fused activations, and layer temporaries are all built in
+    /// `scratch`, so per-round allocations are limited to the drafting state itself.
+    pub fn begin_draft_with(
+        &self,
+        target: &TinyLm,
+        features: &Mat,
+        tokens: &[TokenId],
+        scratch: &mut DraftScratch,
+    ) -> DraftState {
         assert_eq!(
             features.rows(),
             tokens.len(),
@@ -191,19 +248,89 @@ impl DraftModel {
         );
         assert!(!tokens.is_empty(), "cannot draft from an empty prefix");
         let hidden = target.config.hidden;
+        let fwidth = hidden * self.feature_source.width_multiplier();
+        assert_eq!(features.cols(), fwidth, "feature width mismatch");
         let mut kv = LayerKvCache::new(hidden);
-        // Prime the drafter KV cache with all prefix positions except the last; each
-        // fusion input pairs feature[t] with token[t+1].
-        if features.rows() >= 2 {
-            let prefix_features = features.slice_rows(0, features.rows() - 1);
-            let fusion_input = self.build_fusion_input(target, &prefix_features, tokens);
-            let fused = self.fusion.forward(&fusion_input);
-            let _ = self.layer.forward_cached(&fused, &mut kv);
-        }
-        DraftState {
+        kv.reserve(target.config.max_seq_len);
+        let mut state = DraftState {
             kv,
             last_feature: features.row(features.rows() - 1).to_vec(),
+            committed: 0,
+        };
+        self.prime_kv_range(target, features, tokens, &mut state, scratch, 0);
+        state
+    }
+
+    /// Rolls existing drafting state forward to a longer committed prefix:
+    /// speculative KV entries from the previous round's draft steps are rolled
+    /// back, entries already primed from committed features are kept (keys/values
+    /// are per-position functions of their fusion input, so they are bit-identical
+    /// to a full re-prime), and only the newly committed positions are appended.
+    ///
+    /// Equivalent to — but much cheaper than — calling [`DraftModel::begin_draft`]
+    /// from scratch each speculative round.
+    pub fn resume_draft(
+        &self,
+        target: &TinyLm,
+        features: &Mat,
+        tokens: &[TokenId],
+        state: &mut DraftState,
+        scratch: &mut DraftScratch,
+    ) {
+        assert_eq!(
+            features.rows(),
+            tokens.len(),
+            "feature/token length mismatch"
+        );
+        assert!(!tokens.is_empty(), "cannot draft from an empty prefix");
+        assert!(
+            state.committed < features.rows(),
+            "drafting state is ahead of the committed prefix"
+        );
+        state.kv.truncate(state.committed);
+        let from = state.committed;
+        self.prime_kv_range(target, features, tokens, state, scratch, from);
+        state.last_feature.clear();
+        state
+            .last_feature
+            .extend_from_slice(features.row(features.rows() - 1));
+    }
+
+    /// Appends drafter KV entries for committed positions `from..rows-1` (each
+    /// pairing `feature[t]` with `token[t+1]`); the layer output for primed
+    /// positions is never consumed, so only keys/values are computed
+    /// ([`DecoderLayer::append_kv`]).
+    fn prime_kv_range(
+        &self,
+        target: &TinyLm,
+        features: &Mat,
+        tokens: &[TokenId],
+        state: &mut DraftState,
+        scratch: &mut DraftScratch,
+        from: usize,
+    ) {
+        let hidden = target.config.hidden;
+        let fwidth = hidden * self.feature_source.width_multiplier();
+        // `resume_draft` guarantees from <= rows - 1.
+        let until = features.rows() - 1;
+        if until == from {
+            state.committed = until;
+            return;
         }
+        let count = until - from;
+        scratch.input.set_rows(count, fwidth + hidden);
+        for t in 0..count {
+            let row = scratch.input.row_mut(t);
+            row[..fwidth].copy_from_slice(features.row(from + t));
+            row[fwidth..].copy_from_slice(target.embedding.row(tokens[from + t + 1] as usize));
+        }
+        scratch.fused.set_rows(count, hidden);
+        scratch
+            .input
+            .matmul_into(&self.fusion.weight, &mut scratch.fused);
+        self.layer
+            .append_kv(&scratch.fused, &mut state.kv, &mut scratch.layer);
+        state.committed = until;
     }
 
     /// Performs one incremental draft step: consumes the last committed/drafted token
@@ -214,27 +341,50 @@ impl DraftModel {
         state: &mut DraftState,
         last_token: TokenId,
     ) -> Vec<f32> {
+        let mut scratch = DraftScratch::new(target, self.feature_source);
+        self.draft_step_into(target, state, last_token, &mut scratch)
+            .to_vec()
+    }
+
+    /// Allocation-free draft step: identical numerics to [`DraftModel::draft_step`],
+    /// returning the logits row held in `scratch`.
+    pub fn draft_step_into<'s>(
+        &self,
+        target: &TinyLm,
+        state: &mut DraftState,
+        last_token: TokenId,
+        scratch: &'s mut DraftScratch,
+    ) -> &'s [f32] {
         let hidden = target.config.hidden;
         let fwidth = hidden * self.feature_source.width_multiplier();
-        let mut input = Mat::zeros(1, fwidth + hidden);
-        input.row_mut(0)[..fwidth].copy_from_slice(&state.last_feature);
-        input.row_mut(0)[fwidth..].copy_from_slice(target.embedding.row(last_token as usize));
-        let fused = self.fusion.forward(&input);
-        let feature = self.layer.forward_cached(&fused, &mut state.kv);
+        scratch.input.set_rows(1, fwidth + hidden);
+        {
+            let row = scratch.input.row_mut(0);
+            row[..fwidth].copy_from_slice(&state.last_feature);
+            row[fwidth..].copy_from_slice(target.embedding.row(last_token as usize));
+        }
+        scratch.fused.set_rows(1, hidden);
+        scratch
+            .input
+            .matmul_into(&self.fusion.weight, &mut scratch.fused);
+        self.layer.forward_cached_into(
+            &scratch.fused,
+            &mut state.kv,
+            &mut scratch.layer,
+            &mut scratch.feature,
+        );
         // The drafter's own feature becomes the context for the next draft step. For
         // the multi-layer source the drafter feature stands in for all three slots.
-        state.last_feature = match self.feature_source {
-            FeatureSource::LastLayer => feature.row(0).to_vec(),
-            FeatureSource::MultiLayer => {
-                let mut v = Vec::with_capacity(fwidth);
-                for _ in 0..3 {
-                    v.extend_from_slice(feature.row(0));
-                }
-                v
-            }
-        };
-        let logits = target.project_hidden(&feature);
-        logits.row(0).to_vec()
+        for chunk in state.last_feature.chunks_mut(hidden) {
+            chunk.copy_from_slice(scratch.feature.row(0));
+        }
+        scratch.normed.set_rows(1, hidden);
+        tlt_model::ops::rmsnorm_into(&scratch.feature, &target.final_norm, &mut scratch.normed);
+        scratch.logits.set_rows(1, target.config.vocab_size);
+        scratch
+            .normed
+            .matmul_into(&target.lm_head, &mut scratch.logits);
+        scratch.logits.row(0)
     }
 
     /// Full-sequence training forward pass over fusion inputs built with
@@ -243,11 +393,16 @@ impl DraftModel {
     pub fn forward_train(&self, target: &TinyLm, fusion_input: &Mat) -> DraftTrainCache {
         let fused = self.fusion.forward(fusion_input);
         let (features, layer_cache) = self.layer.forward_train(&fused);
-        let logits = target.project_hidden(&features);
+        // Same computation as `target.project_hidden`, but the norm cache is kept
+        // so the backward pass does not have to re-derive it.
+        let (normed, head_norm_cache) =
+            tlt_model::ops::rmsnorm_forward(&features, &target.final_norm);
+        let logits = normed.matmul(&target.lm_head);
         DraftTrainCache {
             fusion_input: fusion_input.clone(),
             fused,
             layer_cache,
+            head_norm_cache,
             features,
             logits,
         }
@@ -276,13 +431,11 @@ impl DraftModel {
         cache: &DraftTrainCache,
         d_logits: &Mat,
     ) -> Mat {
-        // logits = rmsnorm(features) @ lm_head  (all frozen).
+        // logits = rmsnorm(features) @ lm_head  (all frozen); the norm cache was
+        // recorded by `forward_train`.
         let d_normed = d_logits.matmul_transposed(&target.lm_head);
-        let (normed_cache_out, norm_cache) =
-            tlt_model::ops::rmsnorm_forward(&cache.features, &target.final_norm);
-        let _ = normed_cache_out;
         let (d_features, _d_gain) =
-            tlt_model::ops::rmsnorm_backward(&norm_cache, &target.final_norm, &d_normed);
+            tlt_model::ops::rmsnorm_backward(&cache.head_norm_cache, &target.final_norm, &d_normed);
         d_features
     }
 

@@ -11,7 +11,7 @@ use crate::data_buffer::TrainingSample;
 use crate::model::{DraftGrads, DraftModel};
 use crate::strategy::TrainingStrategy;
 use serde::{Deserialize, Serialize};
-use tlt_model::ops::{cross_entropy, smooth_l1, top_k_accuracy};
+use tlt_model::ops::{cross_entropy, smooth_l1, top_k_accuracy_multi};
 use tlt_model::{Adam, AdamConfig, Mat, TinyLm};
 
 /// Configuration of the drafter trainer.
@@ -150,9 +150,14 @@ impl DrafterTrainer {
         let (fusion_input, targets, next_features) = self.build_training_tensors(target, sample);
         let cache = self.drafter.forward_train(target, &fusion_input);
 
-        // Token cross-entropy through the frozen head.
+        // Token cross-entropy through the frozen head (scaling by a weight of
+        // exactly 1.0 is skipped — x * 1.0 is bitwise x).
         let (ce, d_logits_ce) = cross_entropy(&cache.logits, &targets);
-        let mut d_logits = d_logits_ce.scale(strategy.ce_weight());
+        let mut d_logits = if strategy.ce_weight() == 1.0 {
+            d_logits_ce
+        } else {
+            d_logits_ce.scale(strategy.ce_weight())
+        };
 
         // OSD reverse-KL distillation toward the target's own next-token
         // distribution at the same positions.
@@ -237,9 +242,8 @@ impl DrafterTrainer {
             }
         }
 
-        let top1 = top_k_accuracy(&cache.logits, &targets, 1);
-        let top3 = top_k_accuracy(&cache.logits, &targets, 3);
-        Some((grads, ce, l1, top1, top3, positions))
+        let topk = top_k_accuracy_multi(&cache.logits, &targets, &[1, 3]);
+        Some((grads, ce, l1, topk[0], topk[1], positions))
     }
 
     /// Evaluates drafter next-token accuracy on `samples` without updating weights.
@@ -254,8 +258,9 @@ impl DrafterTrainer {
             }
             let (fusion_input, targets, _) = self.build_training_tensors(target, sample);
             let cache = self.drafter.forward_train(target, &fusion_input);
-            top1_sum += top_k_accuracy(&cache.logits, &targets, 1) * positions as f64;
-            top3_sum += top_k_accuracy(&cache.logits, &targets, 3) * positions as f64;
+            let topk = top_k_accuracy_multi(&cache.logits, &targets, &[1, 3]);
+            top1_sum += topk[0] * positions as f64;
+            top3_sum += topk[1] * positions as f64;
             total += positions;
         }
         if total == 0 {
@@ -266,6 +271,11 @@ impl DrafterTrainer {
     }
 
     /// Performs one optimisation iteration over a batch of samples.
+    ///
+    /// Per-sample forward/backward passes (the microbatches) are fanned out over
+    /// the shared worker pool ([`tlt_model::parallel_map`]) and their gradients
+    /// merged back in sample order, so the update is bit-identical to a sequential
+    /// pass regardless of worker count.
     ///
     /// Returns `None` when the batch contributes no usable positions.
     pub fn train_iteration(
@@ -281,10 +291,11 @@ impl DrafterTrainer {
         let mut total_positions = 0usize;
         let mut used_samples = 0usize;
 
-        for sample in samples {
-            let Some((grads, ce, l1, top1, top3, positions)) =
-                self.grads_for_sample(target, sample)
-            else {
+        let per_sample = tlt_model::parallel_map(samples.to_vec(), |_, sample| {
+            self.grads_for_sample(target, sample)
+        });
+        for result in per_sample {
+            let Some((grads, ce, l1, top1, top3, positions)) = result else {
                 continue;
             };
             ce_sum += ce;

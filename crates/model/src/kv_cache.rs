@@ -54,11 +54,30 @@ impl LayerKvCache {
         self.len += 1;
     }
 
-    /// Appends every row of the given key/value matrices.
+    /// Appends every row of the given key/value matrices in one copy per buffer
+    /// (no per-row re-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices disagree in row count or are not `hidden` wide.
     pub fn append_rows(&mut self, keys: &Mat, values: &Mat) {
         assert_eq!(keys.rows(), values.rows(), "key/value row mismatch");
-        for r in 0..keys.rows() {
-            self.append(keys.row(r), values.row(r));
+        assert_eq!(keys.cols(), self.hidden, "key length mismatch");
+        assert_eq!(values.cols(), self.hidden, "value length mismatch");
+        self.keys.extend_from_slice(keys.as_slice());
+        self.values.extend_from_slice(values.as_slice());
+        self.len += keys.rows();
+    }
+
+    /// Pre-allocates room for `total_positions` cached positions so steady-state
+    /// appends never reallocate.
+    pub fn reserve(&mut self, total_positions: usize) {
+        let target = total_positions * self.hidden;
+        if target > self.keys.len() {
+            self.keys.reserve(target - self.keys.len());
+        }
+        if target > self.values.len() {
+            self.values.reserve(target - self.values.len());
         }
     }
 
@@ -128,6 +147,13 @@ impl KvCache {
     /// Mutable access to the cache of `layer`.
     pub fn layer_mut(&mut self, layer: usize) -> &mut LayerKvCache {
         &mut self.layers[layer]
+    }
+
+    /// Pre-allocates every layer cache for `total_positions` positions.
+    pub fn reserve(&mut self, total_positions: usize) {
+        for layer in &mut self.layers {
+            layer.reserve(total_positions);
+        }
     }
 
     /// Truncates every layer cache to `new_len` positions.

@@ -12,10 +12,11 @@
 
 use crate::kv_cache::LayerKvCache;
 use crate::ops::{
-    rmsnorm_backward, rmsnorm_forward, softmax_in_place, swiglu_backward, swiglu_forward,
-    RmsNormCache, SwiGluCache,
+    rmsnorm_backward, rmsnorm_forward, rmsnorm_into, silu, softmax_in_place, swiglu_backward,
+    swiglu_forward, RmsNormCache, SwiGluCache,
 };
 use crate::tensor::Mat;
+use crate::workspace::LayerScratch;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -226,45 +227,128 @@ impl DecoderLayer {
     /// Incremental forward pass over `new_hidden` (one row per new position),
     /// attending to everything already in `cache` plus the new positions causally.
     /// Keys/values for the new positions are appended to `cache`.
+    ///
+    /// Convenience wrapper over [`DecoderLayer::forward_cached_into`] that
+    /// allocates a fresh scratch and output; hot loops should hold a
+    /// [`LayerScratch`] (or a full `DecodeWorkspace`) and call the `_into`
+    /// variant directly.
     pub fn forward_cached(&self, new_hidden: &Mat, cache: &mut LayerKvCache) -> Mat {
+        let mut scratch = LayerScratch::new(
+            self.config.hidden,
+            self.config.ffn_hidden,
+            cache.len() + new_hidden.rows(),
+        );
+        let mut out = Mat::zeros(new_hidden.rows(), self.config.hidden);
+        self.forward_cached_into(new_hidden, cache, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free incremental forward pass: identical numerics to
+    /// [`DecoderLayer::forward_cached`], with every temporary taken from
+    /// `scratch` and the result written into `out` (resized in place).
+    pub fn forward_cached_into(
+        &self,
+        new_hidden: &Mat,
+        cache: &mut LayerKvCache,
+        scratch: &mut LayerScratch,
+        out: &mut Mat,
+    ) {
         let cfg = &self.config;
         let past = cache.len();
-        let (normed, _) = rmsnorm_forward(new_hidden, &self.attn_norm);
-        let q = normed.matmul(&self.wq);
-        let k = normed.matmul(&self.wk);
-        let v = normed.matmul(&self.wv);
-        cache.append_rows(&k, &v);
+        let n_new = new_hidden.rows();
+        scratch.prepare(n_new, (past + n_new) * cfg.num_heads);
+        out.set_rows(n_new, cfg.hidden);
+
+        rmsnorm_into(new_hidden, &self.attn_norm, &mut scratch.normed);
+        scratch.normed.matmul_into(&self.wq, &mut scratch.q);
+        scratch.normed.matmul_into(&self.wk, &mut scratch.k);
+        scratch.normed.matmul_into(&self.wv, &mut scratch.v);
+        cache.append_rows(&scratch.k, &scratch.v);
 
         let head_dim = cfg.head_dim();
         let scale = 1.0 / (head_dim as f32).sqrt();
-        let n_new = new_hidden.rows();
-        let mut attn_out = Mat::zeros(n_new, cfg.hidden);
-        for h in 0..cfg.num_heads {
-            let off = h * head_dim;
-            for i in 0..n_new {
-                let visible = past + i + 1;
-                let q_row = &q.row(i)[off..off + head_dim];
-                let mut scores = vec![0.0f32; visible];
-                for (j, s) in scores.iter_mut().enumerate() {
-                    let k_row = &cache.key(j)[off..off + head_dim];
-                    *s = crate::tensor::dot(q_row, k_row) * scale;
+        scratch.attn_out.fill_zero();
+        // All heads are processed per cache row in a single pass, so every key and
+        // value row streams through the cache hierarchy exactly once per query.
+        // Per-element accumulation order (increasing j) matches the head-at-a-time
+        // loop bit for bit.
+        for i in 0..n_new {
+            let visible = past + i + 1;
+            let q_row = scratch.q.row(i);
+            let scores = &mut scratch.scores[..visible * cfg.num_heads];
+            for j in 0..visible {
+                let k_row = cache.key(j);
+                for (h, (qs, ks)) in q_row
+                    .chunks_exact(head_dim)
+                    .zip(k_row.chunks_exact(head_dim))
+                    .enumerate()
+                {
+                    scores[h * visible + j] = crate::tensor::dot(qs, ks) * scale;
                 }
-                softmax_in_place(&mut scores);
-                let out_row = attn_out.row_mut(i);
-                for (j, &w) in scores.iter().enumerate() {
-                    let v_row = &cache.value(j)[off..off + head_dim];
-                    for d in 0..head_dim {
-                        out_row[off + d] += w * v_row[d];
+            }
+            for h in 0..cfg.num_heads {
+                softmax_in_place(&mut scores[h * visible..(h + 1) * visible]);
+            }
+            let out_row = scratch.attn_out.row_mut(i);
+            for j in 0..visible {
+                let v_row = cache.value(j);
+                for (h, (os, vs)) in out_row
+                    .chunks_exact_mut(head_dim)
+                    .zip(v_row.chunks_exact(head_dim))
+                    .enumerate()
+                {
+                    let w = scores[h * visible + j];
+                    for (o, &v) in os.iter_mut().zip(vs.iter()) {
+                        *o += w * v;
                     }
                 }
             }
         }
-        let attn_proj = attn_out.matmul(&self.wo);
-        let resid1 = new_hidden.add(&attn_proj);
+        scratch
+            .attn_out
+            .matmul_into(&self.wo, &mut scratch.attn_proj);
+        new_hidden.add_into(&scratch.attn_proj, &mut scratch.resid1);
 
-        let (mlp_normed, _) = rmsnorm_forward(&resid1, &self.mlp_norm);
-        let (mlp_out, _) = swiglu_forward(&mlp_normed, &self.w_gate, &self.w_up, &self.w_down);
-        resid1.add(&mlp_out)
+        rmsnorm_into(&scratch.resid1, &self.mlp_norm, &mut scratch.mlp_normed);
+        scratch
+            .mlp_normed
+            .matmul_into(&self.w_gate, &mut scratch.gate);
+        scratch.mlp_normed.matmul_into(&self.w_up, &mut scratch.up);
+        for ((h, &g), &u) in scratch
+            .mlp_hidden
+            .as_mut_slice()
+            .iter_mut()
+            .zip(scratch.gate.as_slice())
+            .zip(scratch.up.as_slice())
+        {
+            *h = silu(g) * u;
+        }
+        scratch
+            .mlp_hidden
+            .matmul_into(&self.w_down, &mut scratch.mlp_out);
+        scratch.resid1.add_into(&scratch.mlp_out, out);
+    }
+
+    /// Computes and appends only the key/value rows for `new_hidden` to `cache`,
+    /// skipping the query projection, attention, and MLP entirely.
+    ///
+    /// Keys and values are per-position functions of the input (`rmsnorm(x) @ wk`
+    /// / `@ wv`), so the appended rows are bit-identical to what a full
+    /// [`DecoderLayer::forward_cached_into`] pass would cache. Used by the drafter
+    /// to prime its context KV from target features, where the layer *output* for
+    /// those positions is never consumed.
+    pub fn append_kv(
+        &self,
+        new_hidden: &Mat,
+        cache: &mut LayerKvCache,
+        scratch: &mut LayerScratch,
+    ) {
+        let n_new = new_hidden.rows();
+        scratch.prepare(n_new, 0);
+        rmsnorm_into(new_hidden, &self.attn_norm, &mut scratch.normed);
+        scratch.normed.matmul_into(&self.wk, &mut scratch.k);
+        scratch.normed.matmul_into(&self.wv, &mut scratch.v);
+        cache.append_rows(&scratch.k, &scratch.v);
     }
 
     /// Full-sequence causal forward pass that records all intermediates needed by
@@ -281,12 +365,13 @@ impl DecoderLayer {
         let scale = 1.0 / (head_dim as f32).sqrt();
         let mut attn_probs = Vec::with_capacity(cfg.num_heads);
         let mut attn_concat = Mat::zeros(t, cfg.hidden);
+        // Score buffer reused across every (head, row) pair.
+        let mut scores = vec![0.0f32; t];
         for h in 0..cfg.num_heads {
             let off = h * head_dim;
             let mut probs = Mat::zeros(t, t);
             for i in 0..t {
                 let q_row = &q.row(i)[off..off + head_dim];
-                let mut scores = vec![f32::NEG_INFINITY; t];
                 for (j, s) in scores.iter_mut().enumerate().take(i + 1) {
                     let k_row = &k.row(j)[off..off + head_dim];
                     *s = crate::tensor::dot(q_row, k_row) * scale;
@@ -297,11 +382,8 @@ impl DecoderLayer {
             }
             for i in 0..t {
                 let out_row = attn_concat.row_mut(i);
-                for j in 0..=i {
-                    let w = probs.get(i, j);
-                    if w == 0.0 {
-                        continue;
-                    }
+                let p_row = &probs.row(i)[..i + 1];
+                for (j, &w) in p_row.iter().enumerate() {
                     let v_row = &v.row(j)[off..off + head_dim];
                     for d in 0..head_dim {
                         out_row[off + d] += w * v_row[d];
@@ -344,87 +426,77 @@ impl DecoderLayer {
         let t = cache.input.rows();
         let head_dim = cfg.head_dim();
         let scale = 1.0 / (head_dim as f32).sqrt();
-        let mut grads = DecoderLayerGrads::zeros_like(self);
 
-        // output = resid1 + mlp_out
-        let d_resid1_from_out = d_output.clone();
-        let d_mlp_out = d_output.clone();
-
-        // MLP block
+        // output = resid1 + mlp_out: the upstream gradient flows into both the MLP
+        // block and the residual stream (no copies needed — f32 addition is
+        // exactly commutative, so accumulating the residual term into the
+        // MLP-path gradient matches the original ordering bit for bit).
         let mlp_grads = swiglu_backward(
             &cache.mlp_cache,
             &self.w_gate,
             &self.w_up,
             &self.w_down,
-            &d_mlp_out,
+            d_output,
         );
-        grads.w_gate = mlp_grads.d_w_gate;
-        grads.w_up = mlp_grads.d_w_up;
-        grads.w_down = mlp_grads.d_w_down;
-        let (d_resid1_from_mlp, d_mlp_norm) =
+        let (mut d_resid1, d_mlp_norm) =
             rmsnorm_backward(&cache.mlp_norm_cache, &self.mlp_norm, &mlp_grads.d_input);
-        grads.mlp_norm = d_mlp_norm;
-        let mut d_resid1 = d_resid1_from_out;
-        d_resid1.add_assign(&d_resid1_from_mlp);
+        d_resid1.add_assign(d_output);
 
         // resid1 = input + attn_concat @ wo
         let mut d_input = d_resid1.clone();
-        grads.wo = cache.attn_concat.transposed_matmul(&d_resid1);
+        let d_wo = cache.attn_concat.transposed_matmul(&d_resid1);
         let d_attn_concat = d_resid1.matmul_transposed(&self.wo);
 
         // Attention heads
         let mut d_q = Mat::zeros(t, cfg.hidden);
         let mut d_k = Mat::zeros(t, cfg.hidden);
         let mut d_v = Mat::zeros(t, cfg.hidden);
+        // Row-level temporaries reused across every (head, row) pair.
+        let mut d_probs_row = vec![0.0f32; t];
+        let mut d_scores = vec![0.0f32; t];
         for h in 0..cfg.num_heads {
             let off = h * head_dim;
             let probs = &cache.attn_probs[h];
             for i in 0..t {
                 // d_probs[i][j] = d_attn_concat[i, off..] . v[j, off..]
                 let d_out_row = &d_attn_concat.row(i)[off..off + head_dim];
-                let mut d_probs_row = vec![0.0f32; i + 1];
+                let d_probs_row = &mut d_probs_row[..i + 1];
                 for (j, dp) in d_probs_row.iter_mut().enumerate() {
                     let v_row = &cache.v.row(j)[off..off + head_dim];
                     *dp = crate::tensor::dot(d_out_row, v_row);
                 }
                 // d_v[j] += probs[i][j] * d_out_row
-                for (j, _) in d_probs_row.iter().enumerate() {
-                    let w = probs.get(i, j);
-                    if w != 0.0 {
-                        let dv_row = &mut d_v.row_mut(j)[off..off + head_dim];
-                        for d in 0..head_dim {
-                            dv_row[d] += w * d_out_row[d];
-                        }
+                let p_row = &probs.row(i)[..i + 1];
+                for (j, &w) in p_row.iter().enumerate() {
+                    let dv_row = &mut d_v.row_mut(j)[off..off + head_dim];
+                    for d in 0..head_dim {
+                        dv_row[d] += w * d_out_row[d];
                     }
                 }
                 // softmax backward over the visible prefix
-                let p_row: Vec<f32> = (0..=i).map(|j| probs.get(i, j)).collect();
                 let inner: f32 = p_row
                     .iter()
                     .zip(d_probs_row.iter())
                     .map(|(&p, &dp)| p * dp)
                     .sum();
-                let d_scores: Vec<f32> = p_row
-                    .iter()
+                let d_scores = &mut d_scores[..i + 1];
+                for ((ds, &p), &dp) in d_scores
+                    .iter_mut()
+                    .zip(p_row.iter())
                     .zip(d_probs_row.iter())
-                    .map(|(&p, &dp)| p * (dp - inner))
-                    .collect();
+                {
+                    *ds = p * (dp - inner);
+                }
                 // scores[i][j] = (q[i] . k[j]) * scale
-                let q_row: Vec<f32> = cache.q.row(i)[off..off + head_dim].to_vec();
+                let q_row = &cache.q.row(i)[off..off + head_dim];
                 let dq_row = &mut d_q.row_mut(i)[off..off + head_dim];
                 for (j, &ds) in d_scores.iter().enumerate() {
-                    if ds == 0.0 {
-                        continue;
-                    }
                     let k_row = &cache.k.row(j)[off..off + head_dim];
                     for d in 0..head_dim {
                         dq_row[d] += ds * scale * k_row[d];
                     }
                 }
                 for (j, &ds) in d_scores.iter().enumerate() {
-                    if ds == 0.0 {
-                        continue;
-                    }
                     let dk_row = &mut d_k.row_mut(j)[off..off + head_dim];
                     for d in 0..head_dim {
                         dk_row[d] += ds * scale * q_row[d];
@@ -434,17 +506,27 @@ impl DecoderLayer {
         }
 
         // q = normed_input @ wq, etc.
-        grads.wq = cache.normed_input.transposed_matmul(&d_q);
-        grads.wk = cache.normed_input.transposed_matmul(&d_k);
-        grads.wv = cache.normed_input.transposed_matmul(&d_v);
+        let d_wq = cache.normed_input.transposed_matmul(&d_q);
+        let d_wk = cache.normed_input.transposed_matmul(&d_k);
+        let d_wv = cache.normed_input.transposed_matmul(&d_v);
         let mut d_normed = d_q.matmul_transposed(&self.wq);
         d_normed.add_assign(&d_k.matmul_transposed(&self.wk));
         d_normed.add_assign(&d_v.matmul_transposed(&self.wv));
         let (d_input_from_norm, d_attn_norm) =
             rmsnorm_backward(&cache.attn_norm_cache, &self.attn_norm, &d_normed);
-        grads.attn_norm = d_attn_norm;
         d_input.add_assign(&d_input_from_norm);
 
+        let grads = DecoderLayerGrads {
+            attn_norm: d_attn_norm,
+            wq: d_wq,
+            wk: d_wk,
+            wv: d_wv,
+            wo: d_wo,
+            mlp_norm: d_mlp_norm,
+            w_gate: mlp_grads.d_w_gate,
+            w_up: mlp_grads.d_w_up,
+            w_down: mlp_grads.d_w_down,
+        };
         (d_input, grads)
     }
 

@@ -39,19 +39,23 @@ pub mod kv_cache;
 pub mod layers;
 pub mod ops;
 pub mod optim;
+pub mod par;
 pub mod sampling;
 pub mod spec;
 pub mod tensor;
 pub mod transformer;
+pub mod workspace;
 
 pub use kl::{kl_divergence, mean_sampled_kl, KlEstimator};
 pub use kv_cache::{KvCache, LayerKvCache};
 pub use layers::{DecoderLayer, DecoderLayerGrads, LayerConfig};
 pub use optim::{Adam, AdamConfig};
+pub use par::{max_workers, parallel_map};
 pub use sampling::{
-    argmax, probs_from_logits, sample_from_probs, sample_from_residual, sample_token,
-    SamplingParams,
+    argmax, probs_from_logits, probs_from_logits_into, sample_from_probs, sample_from_residual,
+    sample_token, SamplingParams,
 };
 pub use spec::{DraftModelSpec, ModelSpec};
 pub use tensor::Mat;
 pub use transformer::{ForwardOutput, ModelConfig, PolicyGrads, TinyLm, TokenId, TrainableForward};
+pub use workspace::{DecodeWorkspace, LayerScratch};

@@ -41,9 +41,28 @@ pub fn softmax_in_place(row: &mut [f32]) {
 
 /// Stable log-softmax over a slice, returning a new vector.
 pub fn log_softmax(row: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; row.len()];
+    log_softmax_into(row, &mut out);
+    out
+}
+
+/// Stable log-softmax written into a caller-provided buffer (no allocation).
+///
+/// # Panics
+///
+/// Panics if `out.len() != row.len()`.
+pub fn log_softmax_into(row: &[f32], out: &mut [f32]) {
+    assert_eq!(row.len(), out.len(), "log_softmax output length mismatch");
+    let log_sum = log_sum_exp(row);
+    for (o, &v) in out.iter_mut().zip(row.iter()) {
+        *o = v - log_sum;
+    }
+}
+
+/// Stable `log(sum(exp(row)))` of a slice.
+fn log_sum_exp(row: &[f32]) -> f32 {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-    row.iter().map(|v| v - log_sum).collect()
+    row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max
 }
 
 /// Backward pass for a row-wise softmax.
@@ -99,19 +118,15 @@ pub struct RmsNormCache {
 ///
 /// Returns the output and a cache for [`rmsnorm_backward`].
 pub fn rmsnorm_forward(x: &Mat, gain: &[f32]) -> (Mat, RmsNormCache) {
-    assert_eq!(x.cols(), gain.len(), "rmsnorm gain length mismatch");
     let mut out = Mat::zeros(x.rows(), x.cols());
-    let mut inv_rms = Vec::with_capacity(x.rows());
-    for r in 0..x.rows() {
-        let row = x.row(r);
-        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
-        let inv = 1.0 / (ms + RMS_EPS).sqrt();
-        inv_rms.push(inv);
-        let o = out.row_mut(r);
-        for i in 0..row.len() {
-            o[i] = row[i] * inv * gain[i];
-        }
-    }
+    rmsnorm_into(x, gain, &mut out);
+    let inv_rms = (0..x.rows())
+        .map(|r| {
+            let row = x.row(r);
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+            1.0 / (ms + RMS_EPS).sqrt()
+        })
+        .collect();
     (
         out,
         RmsNormCache {
@@ -119,6 +134,29 @@ pub fn rmsnorm_forward(x: &Mat, gain: &[f32]) -> (Mat, RmsNormCache) {
             inv_rms,
         },
     )
+}
+
+/// Allocation-free RMSNorm forward pass into a caller-provided matrix.
+///
+/// `out` must already have `x`'s shape and is fully overwritten. Decode-path
+/// callers use this directly; training callers that need the reciprocal RMS cache
+/// go through [`rmsnorm_forward`].
+///
+/// # Panics
+///
+/// Panics on gain-length or output-shape mismatch.
+pub fn rmsnorm_into(x: &Mat, gain: &[f32], out: &mut Mat) {
+    assert_eq!(x.cols(), gain.len(), "rmsnorm gain length mismatch");
+    assert_eq!(x.shape(), out.shape(), "rmsnorm output shape mismatch");
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (ms + RMS_EPS).sqrt();
+        let o = out.row_mut(r);
+        for i in 0..row.len() {
+            o[i] = row[i] * inv * gain[i];
+        }
+    }
 }
 
 /// RMSNorm backward pass.
@@ -140,9 +178,10 @@ pub fn rmsnorm_backward(cache: &RmsNormCache, gain: &[f32], d_out: &Mat) -> (Mat
         }
         // dL/dx_i = inv * g_i*gain_i - x_i * inv^3 / n * sum_j(g_j*gain_j*x_j)
         let dot: f32 = (0..row.len()).map(|j| grad[j] * gain[j] * row[j]).sum();
+        let inv3 = inv.powi(3);
         let dx = d_x.row_mut(r);
         for i in 0..row.len() {
-            dx[i] = inv * grad[i] * gain[i] - row[i] * inv.powi(3) * dot / n;
+            dx[i] = inv * grad[i] * gain[i] - row[i] * inv3 * dot / n;
         }
     }
     (d_x, d_gain)
@@ -211,7 +250,9 @@ pub fn swiglu_backward(
     let d_w_down = cache.hidden.transposed_matmul(d_out);
     let d_hidden = d_out.matmul_transposed(w_down);
 
-    // hidden = silu(gate_pre) * up
+    // hidden = silu(gate_pre) * up. One fused pass computes the sigmoid once per
+    // element and reuses it for both silu and its derivative — the exact formulas
+    // of `silu` / `silu_grad`, evaluated with a single exp instead of two.
     let mut d_gate_pre = Mat::zeros(d_hidden.rows(), d_hidden.cols());
     let mut d_up = Mat::zeros(d_hidden.rows(), d_hidden.cols());
     for r in 0..d_hidden.rows() {
@@ -219,12 +260,11 @@ pub fn swiglu_backward(
         let g = cache.gate_pre.row(r);
         let u = cache.up.row(r);
         let dg = d_gate_pre.row_mut(r);
-        for i in 0..dh.len() {
-            dg[i] = dh[i] * u[i] * silu_grad(g[i]);
-        }
         let du = d_up.row_mut(r);
         for i in 0..dh.len() {
-            du[i] = dh[i] * silu(g[i]);
+            let s = sigmoid(g[i]);
+            dg[i] = dh[i] * u[i] * (s * (1.0 + g[i] * (1.0 - s)));
+            du[i] = dh[i] * (g[i] * s);
         }
     }
 
@@ -271,13 +311,15 @@ pub fn cross_entropy_weighted(
         let target = targets[r];
         assert!(target < logits.cols(), "target index out of range");
         let w = weights.map_or(1.0, |ws| ws[r]);
-        let logp = log_softmax(logits.row(r));
-        loss += -w * logp[target];
+        // Single log-sum-exp per row, no temporary log-prob buffer.
+        let row = logits.row(r);
+        let log_sum = log_sum_exp(row);
+        loss += -w * (row[target] - log_sum);
         let d = d_logits.row_mut(r);
-        for i in 0..d.len() {
-            let p = logp[i].exp();
+        for (i, (d_i, &v)) in d.iter_mut().zip(row.iter()).enumerate() {
+            let p = (v - log_sum).exp();
             let indicator = if i == target { 1.0 } else { 0.0 };
-            d[i] = w * (p - indicator) / n;
+            *d_i = w * (p - indicator) / n;
         }
     }
     (loss / n, d_logits)
@@ -309,20 +351,32 @@ pub fn smooth_l1(pred: &Mat, target: &Mat) -> (f32, Mat) {
 ///
 /// Returns the fraction of rows whose target token is within the `k` highest logits.
 pub fn top_k_accuracy(logits: &Mat, targets: &[usize], k: usize) -> f64 {
+    top_k_accuracy_multi(logits, targets, &[k])[0]
+}
+
+/// Top-k accuracy at several `k` values in a single pass over the logits.
+///
+/// Returns one fraction per entry of `ks`, identical to calling
+/// [`top_k_accuracy`] once per `k` but with the per-row rank computed once.
+pub fn top_k_accuracy_multi(logits: &Mat, targets: &[usize], ks: &[usize]) -> Vec<f64> {
     assert_eq!(targets.len(), logits.rows(), "target length mismatch");
     if logits.rows() == 0 {
-        return 0.0;
+        return vec![0.0; ks.len()];
     }
-    let mut hits = 0usize;
+    let mut hits = vec![0usize; ks.len()];
     for r in 0..logits.rows() {
         let row = logits.row(r);
         let target_logit = row[targets[r]];
         let better = row.iter().filter(|&&v| v > target_logit).count();
-        if better < k {
-            hits += 1;
+        for (h, &k) in hits.iter_mut().zip(ks.iter()) {
+            if better < k {
+                *h += 1;
+            }
         }
     }
-    hits as f64 / logits.rows() as f64
+    hits.into_iter()
+        .map(|h| h as f64 / logits.rows() as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -471,6 +525,22 @@ mod tests {
         let logits = Mat::from_rows(&[&[5.0, 1.0, 0.0], &[0.0, 1.0, 5.0]]);
         assert_eq!(top_k_accuracy(&logits, &[0, 0], 1), 0.5);
         assert_eq!(top_k_accuracy(&logits, &[0, 0], 3), 1.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Mat::random_uniform(3, 6, 1.0, &mut rng);
+        let gain: Vec<f32> = (0..6).map(|i| 0.9 + 0.05 * i as f32).collect();
+        let (expected, _) = rmsnorm_forward(&x, &gain);
+        let mut out = Mat::full(3, 6, 9.0);
+        rmsnorm_into(&x, &gain, &mut out);
+        assert_eq!(out, expected);
+
+        let row = [0.5f32, -1.0, 2.0, 0.0];
+        let mut buf = [9.0f32; 4];
+        log_softmax_into(&row, &mut buf);
+        assert_eq!(buf.to_vec(), log_softmax(&row));
     }
 
     #[test]

@@ -129,14 +129,20 @@ impl Adam {
         let t = self.step as f32;
         let bias1 = 1.0 - cfg.beta1.powf(t);
         let bias2 = 1.0 - cfg.beta2.powf(t);
-        for i in 0..param.len() {
-            let g = grad[i];
-            entry.m[i] = cfg.beta1 * entry.m[i] + (1.0 - cfg.beta1) * g;
-            entry.v[i] = cfg.beta2 * entry.v[i] + (1.0 - cfg.beta2) * g * g;
-            let m_hat = entry.m[i] / bias1;
-            let v_hat = entry.v[i] / bias2;
-            let update = m_hat / (v_hat.sqrt() + cfg.eps) + cfg.weight_decay * param[i];
-            param[i] -= cfg.lr * update;
+        // Iterator-lockstep form so the compiler elides bounds checks and
+        // vectorises the whole update (including sqrt/div); element math and
+        // order are unchanged.
+        for ((p, &g), (m, v)) in param
+            .iter_mut()
+            .zip(grad.iter())
+            .zip(entry.m.iter_mut().zip(entry.v.iter_mut()))
+        {
+            *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+            *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+            let m_hat = *m / bias1;
+            let v_hat = *v / bias2;
+            let update = m_hat / (v_hat.sqrt() + cfg.eps) + cfg.weight_decay * *p;
+            *p -= cfg.lr * update;
         }
     }
 

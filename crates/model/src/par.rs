@@ -1,0 +1,127 @@
+//! Minimal deterministic worker pool used for batched rollout and microbatched
+//! drafter training.
+//!
+//! [`parallel_map`] fans a list of independent work items over a small pool of
+//! scoped threads (fed through crossbeam MPMC channels) and returns the results
+//! **in input order**, so callers observe exactly the sequential result no matter
+//! how the OS schedules the workers — determinism is preserved by construction.
+//! With one worker (or one item) it degrades to a plain sequential map with zero
+//! threading overhead.
+
+use std::num::NonZeroUsize;
+
+/// Worker budget: the `TLT_NUM_THREADS` environment variable when set (minimum
+/// 1), otherwise the machine's available parallelism.
+pub fn max_workers() -> usize {
+    std::env::var("TLT_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item on a worker pool and returns the results in input
+/// order. `f` receives `(index, item)` so callers can derive per-item seeds.
+///
+/// The output is identical to `items.into_iter().enumerate().map(f).collect()`
+/// regardless of worker count; parallelism only changes wall-clock time.
+///
+/// # Panics
+///
+/// Propagates any panic raised by `f` once all workers have been joined.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = max_workers().min(items.len());
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let n = items.len();
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    for pair in items.into_iter().enumerate() {
+        if task_tx.send(pair).is_err() {
+            unreachable!("task receiver outlives the fill loop");
+        }
+    }
+    drop(task_tx);
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, item)) = task_rx.recv() {
+                    if result_tx.send((i, f(i, item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        drop(task_rx);
+        while let Ok((i, r)) = result_rx.recv() {
+            results[i] = Some(r);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every work item produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(items, |i, item| {
+            assert_eq!(i, item);
+            item * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_map_for_stateful_work() {
+        let items: Vec<u64> = (0..16).collect();
+        let parallel = parallel_map(items.clone(), |i, seed| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            (0..100).map(|_| rng.gen_range(0..1000u32)).sum::<u32>()
+        });
+        let sequential: Vec<u32> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, seed)| {
+                use rand::rngs::StdRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                (0..100).map(|_| rng.gen_range(0..1000u32)).sum::<u32>()
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -53,18 +53,28 @@ impl Default for SamplingParams {
 /// limit distribution as temperature goes to zero, and makes the speculative
 /// accept/reject rule uniform across greedy and sampled decoding).
 pub fn probs_from_logits(logits: &[f32], params: SamplingParams) -> Vec<f32> {
+    let mut probs = Vec::new();
+    probs_from_logits_into(logits, params, &mut probs);
+    probs
+}
+
+/// [`probs_from_logits`] into a caller-owned buffer, reusing its capacity.
+///
+/// Generation loops hold one buffer per sequence and call this every step, so
+/// steady-state sampling performs no heap allocation.
+pub fn probs_from_logits_into(logits: &[f32], params: SamplingParams, out: &mut Vec<f32>) {
     assert!(!logits.is_empty(), "empty logits row");
+    out.clear();
     if params.is_greedy() {
-        let mut probs = vec![0.0; logits.len()];
-        probs[argmax(logits)] = 1.0;
-        return probs;
+        out.resize(logits.len(), 0.0);
+        out[argmax(logits)] = 1.0;
+        return;
     }
-    let mut scaled: Vec<f32> = logits.iter().map(|v| v / params.temperature).collect();
+    out.extend(logits.iter().map(|v| v / params.temperature));
     if let Some(k) = params.top_k {
-        apply_top_k(&mut scaled, k);
+        apply_top_k(out, k);
     }
-    crate::ops::softmax_in_place(&mut scaled);
-    scaled
+    crate::ops::softmax_in_place(out);
 }
 
 /// Index of the maximum element (first occurrence wins ties).

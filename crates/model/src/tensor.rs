@@ -241,73 +241,127 @@ impl Mat {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Register-tiled matrix product `self * other`, written into `out`.
+    ///
+    /// `out` is fully overwritten. Each register tile of an output row
+    /// accumulates in vector registers while the shared dimension `k` advances in
+    /// strictly increasing order, so results are bit-identical to the naive i-k-j
+    /// loop and independent of the tile width. The `rows == 1` decode shape runs
+    /// the very same kernel as a single allocation-free mat-vec pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.rows, other.cols);
-        // i-k-j loop order: stream through `other` rows for cache friendliness.
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let n = other.cols;
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            accumulate_row_product(a_row, &other.data, n, out_row);
         }
-        out
     }
 
     /// Matrix product `self * other^T`.
     pub fn matmul_transposed(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.rows);
+        self.matmul_transposed_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self * other^T`, written into `out`.
+    ///
+    /// Every output element is an independent dot product (computed with the shared
+    /// vectorised [`dot`] kernel), so the `rows == 1` mat-vec case needs no
+    /// separate code path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_transposed_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.rows, other.rows);
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_transposed output shape mismatch"
+        );
+        let n = other.rows;
         for i in 0..self.rows {
             let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            // Four dot products per pass over `a_row` (amortising its loads);
+            // each is bit-identical to a standalone `dot` call.
+            let mut j = 0;
+            while j + 4 <= n {
+                let d = dot4(
+                    a_row,
+                    other.row(j),
+                    other.row(j + 1),
+                    other.row(j + 2),
+                    other.row(j + 3),
+                );
+                out_row[j..j + 4].copy_from_slice(&d);
+                j += 4;
+            }
+            for (o, jj) in out_row[j..].iter_mut().zip(j..n) {
+                *o = dot(a_row, other.row(jj));
             }
         }
-        out
     }
 
     /// Matrix product `self^T * other`.
     pub fn transposed_matmul(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.cols, other.cols);
+        self.transposed_matmul_into(other, &mut out);
+        out
+    }
+
+    /// Register-tiled matrix product `self^T * other`, written into `out`.
+    ///
+    /// `out` is fully overwritten; per-element accumulation stays in increasing-`k`
+    /// order (`k` indexes the shared row dimension), matching the naive loop bit for
+    /// bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn transposed_matmul_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.rows, other.rows,
             "transposed_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "transposed_matmul output shape mismatch"
+        );
+        let n = other.cols;
+        // Output row i weights `other`'s rows by column i of `self`; the strided
+        // column gather is the only non-contiguous access and the accumulators
+        // stay in registers.
+        for i in 0..self.cols {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            accumulate_col_product(&self.data, self.cols, i, self.rows, &other.data, n, out_row);
         }
-        out
     }
 
     /// Returns the transpose of this matrix.
@@ -319,6 +373,61 @@ impl Mat {
             }
         }
         out
+    }
+
+    /// Writes `self + other` into `out` (fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three shapes differ.
+    pub fn add_into(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.shape(), other.shape(), "add_into shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "add_into output shape mismatch");
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(other.data.iter())
+        {
+            *o = a + b;
+        }
+    }
+
+    /// Copies `other` into `self` (shapes must match).
+    pub fn copy_from(&mut self, other: &Mat) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Resizes the matrix to `rows x cols`, reusing the existing buffer.
+    ///
+    /// Contents become unspecified (callers are expected to overwrite them). No
+    /// allocation occurs when the buffer capacity already covers the new size —
+    /// this is what makes workspace-based decode steps allocation-free.
+    pub fn set_rows(&mut self, rows: usize, cols: usize) {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Pre-allocates capacity for `rows x cols` elements without changing the shape.
+    pub fn reserve_rows(&mut self, rows: usize, cols: usize) {
+        let target = rows.checked_mul(cols).expect("matrix size overflow");
+        if target > self.data.capacity() {
+            self.data.reserve(target - self.data.len());
+        }
+    }
+
+    /// Appends rows `start..end` of `other` to this matrix (column counts must
+    /// match). Grows the buffer amortised; reserve ahead of time to avoid
+    /// reallocation.
+    pub fn extend_rows_range(&mut self, other: &Mat, start: usize, end: usize) {
+        assert_eq!(self.cols, other.cols, "extend_rows_range column mismatch");
+        assert!(start <= end && end <= other.rows, "row range out of bounds");
+        self.data
+            .extend_from_slice(&other.data[start * other.cols..end * other.cols]);
+        self.rows += end - start;
     }
 
     /// Element-wise sum `self + other`.
@@ -421,14 +530,236 @@ impl Mat {
     }
 }
 
+/// One fixed-width tile pass of the row-product kernel: accumulates
+/// `a_row * B[:, j0..j0+W]` into vector-register partial sums and stores them.
+/// The shared dimension `k` advances in strictly increasing order for every
+/// element, so tile width never changes results.
+#[inline]
+fn row_product_tile<const W: usize>(
+    a_row: &[f32],
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [0.0f32; W];
+    for (k, &a) in a_row.iter().enumerate() {
+        let b_seg: &[f32; W] = b[k * n + j0..k * n + j0 + W]
+            .try_into()
+            .expect("tile width");
+        for (acc_c, &b_c) in acc.iter_mut().zip(b_seg.iter()) {
+            *acc_c += a * b_c;
+        }
+    }
+    out[j0..j0 + W].copy_from_slice(&acc);
+}
+
+/// Same tile pass over a strided column of `a` (the `A^T * B` kernel).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn col_product_tile<const W: usize>(
+    a: &[f32],
+    a_cols: usize,
+    i: usize,
+    a_rows: usize,
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [0.0f32; W];
+    for k in 0..a_rows {
+        let w = a[k * a_cols + i];
+        let b_seg: &[f32; W] = b[k * n + j0..k * n + j0 + W]
+            .try_into()
+            .expect("tile width");
+        for (acc_c, &b_c) in acc.iter_mut().zip(b_seg.iter()) {
+            *acc_c += w * b_c;
+        }
+    }
+    out[j0..j0 + W].copy_from_slice(&acc);
+}
+
+/// Computes one output row of `a_row * B` (`B` given as a row-major buffer with
+/// `n` columns), fully overwriting `out_row`.
+///
+/// Walks the output in [`TILE_J`]-wide register tiles; within a tile the shared
+/// dimension `k` advances in strictly increasing order, so results are
+/// bit-identical to the naive i-k-j loop for every tile width, including the
+/// variable-width tail.
+#[inline]
+fn accumulate_row_product(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    let mut j0 = 0;
+    while j0 + 64 <= n {
+        row_product_tile::<64>(a_row, b, n, j0, out_row);
+        j0 += 64;
+    }
+    if j0 + 32 <= n {
+        row_product_tile::<32>(a_row, b, n, j0, out_row);
+        j0 += 32;
+    }
+    if j0 + 16 <= n {
+        row_product_tile::<16>(a_row, b, n, j0, out_row);
+        j0 += 16;
+    }
+    if j0 < n {
+        let w = n - j0;
+        let mut acc = [0.0f32; 16];
+        for (k, &a) in a_row.iter().enumerate() {
+            let b_seg = &b[k * n + j0..k * n + j0 + w];
+            for (acc_c, &b_c) in acc[..w].iter_mut().zip(b_seg.iter()) {
+                *acc_c += a * b_c;
+            }
+        }
+        out_row[j0..].copy_from_slice(&acc[..w]);
+    }
+}
+
+/// Computes output row `i` of `A^T * B` — `other`'s rows weighted by column `i`
+/// of `a` (row-major, `a_cols` wide, `a_rows` tall) — fully overwriting
+/// `out_row`. Same register-tile scheme and accumulation order as
+/// [`accumulate_row_product`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn accumulate_col_product(
+    a: &[f32],
+    a_cols: usize,
+    i: usize,
+    a_rows: usize,
+    b: &[f32],
+    n: usize,
+    out_row: &mut [f32],
+) {
+    let mut j0 = 0;
+    while j0 + 64 <= n {
+        col_product_tile::<64>(a, a_cols, i, a_rows, b, n, j0, out_row);
+        j0 += 64;
+    }
+    if j0 + 32 <= n {
+        col_product_tile::<32>(a, a_cols, i, a_rows, b, n, j0, out_row);
+        j0 += 32;
+    }
+    if j0 + 16 <= n {
+        col_product_tile::<16>(a, a_cols, i, a_rows, b, n, j0, out_row);
+        j0 += 16;
+    }
+    if j0 < n {
+        let width = n - j0;
+        let mut acc = [0.0f32; 16];
+        for k in 0..a_rows {
+            let w = a[k * a_cols + i];
+            let b_seg = &b[k * n + j0..k * n + j0 + width];
+            for (acc_c, &b_c) in acc[..width].iter_mut().zip(b_seg.iter()) {
+                *acc_c += w * b_c;
+            }
+        }
+        out_row[j0..].copy_from_slice(&acc[..width]);
+    }
+}
+
+/// Reduces one 8-lane accumulator with the fixed pairwise tree shared by every
+/// dot kernel, then adds the remainder contribution.
+#[inline]
+fn reduce8(acc: &[f32; 8], tail: f32) -> f32 {
+    let q = [
+        acc[0] + acc[1],
+        acc[2] + acc[3],
+        acc[4] + acc[5],
+        acc[6] + acc[7],
+    ];
+    ((q[0] + q[1]) + (q[2] + q[3])) + tail
+}
+
+/// Four dot products of `a` against `b0..b3` in one pass over `a`.
+///
+/// Each output uses exactly the lane layout and reduction order of [`dot`], so
+/// `dot4(a, b0, b1, b2, b3)[c] == dot(a, bc)` bit for bit.
+#[inline]
+fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut acc0 = [0.0f32; 8];
+    let mut acc1 = [0.0f32; 8];
+    let mut acc2 = [0.0f32; 8];
+    let mut acc3 = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for ci in 0..chunks {
+        let off = ci * 8;
+        let ac: &[f32; 8] = a[off..off + 8].try_into().expect("chunk width");
+        let bc0: &[f32; 8] = b0[off..off + 8].try_into().expect("chunk width");
+        let bc1: &[f32; 8] = b1[off..off + 8].try_into().expect("chunk width");
+        let bc2: &[f32; 8] = b2[off..off + 8].try_into().expect("chunk width");
+        let bc3: &[f32; 8] = b3[off..off + 8].try_into().expect("chunk width");
+        for (x, (&a, &b)) in acc0.iter_mut().zip(ac.iter().zip(bc0.iter())) {
+            *x += a * b;
+        }
+        for (x, (&a, &b)) in acc1.iter_mut().zip(ac.iter().zip(bc1.iter())) {
+            *x += a * b;
+        }
+        for (x, (&a, &b)) in acc2.iter_mut().zip(ac.iter().zip(bc2.iter())) {
+            *x += a * b;
+        }
+        for (x, (&a, &b)) in acc3.iter_mut().zip(ac.iter().zip(bc3.iter())) {
+            *x += a * b;
+        }
+    }
+    let rem = chunks * 8;
+    let tail = |b: &[f32]| -> f32 {
+        a[rem..]
+            .iter()
+            .zip(b[rem..].iter())
+            .map(|(x, y)| x * y)
+            .sum()
+    };
+    [
+        reduce8(&acc0, tail(b0)),
+        reduce8(&acc1, tail(b1)),
+        reduce8(&acc2, tail(b2)),
+        reduce8(&acc3, tail(b3)),
+    ]
+}
+
 /// Computes the dot product of two equal-length slices.
+///
+/// Uses eight independent accumulator lanes (one AVX register) with a fixed
+/// pairwise reduction, so the compiler can vectorise the loop; every dot product
+/// in the stack (attention scores, `matmul_transposed`) goes through this single
+/// kernel so row-1 and row-n code paths agree bit for bit.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    if let (Ok(a8), Ok(b8)) = (<&[f32; 8]>::try_from(a), <&[f32; 8]>::try_from(b)) {
+        // Fixed-length fast path (the attention head_dim shape); exactly the same
+        // lane products and reduction order as one iteration of the general loop.
+        let acc = [
+            a8[0] * b8[0],
+            a8[1] * b8[1],
+            a8[2] * b8[2],
+            a8[3] * b8[3],
+            a8[4] * b8[4],
+            a8[5] * b8[5],
+            a8[6] * b8[6],
+            a8[7] * b8[7],
+        ];
+        return reduce8(&acc, 0.0);
+    }
+    let mut acc = [0.0f32; 8];
+    let a_chunks = a.chunks_exact(8);
+    let b_chunks = b.chunks_exact(8);
+    let tail: f32 = a_chunks
+        .remainder()
+        .iter()
+        .zip(b_chunks.remainder())
+        .map(|(x, y)| x * y)
+        .sum();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for (acc_c, (&x, &y)) in acc.iter_mut().zip(ca.iter().zip(cb.iter())) {
+            *acc_c += x * y;
+        }
+    }
+    reduce8(&acc, tail)
 }
 
 /// In-place `a += alpha * b` over slices.
@@ -563,5 +894,78 @@ mod tests {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(4, 2);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_fast_path_is_bit_identical_to_blocked_rows() {
+        // The rows==1 decode path and the blocked multi-row path must agree
+        // bit for bit so speculative verification reproduces vanilla decoding.
+        let mut rng = StdRng::seed_from_u64(20);
+        let a = Mat::random_uniform(5, 100, 1.0, &mut rng);
+        let b = Mat::random_uniform(100, 150, 1.0, &mut rng);
+        let full = a.matmul(&b);
+        for i in 0..a.rows() {
+            let single = a.slice_rows(i, i + 1).matmul(&b);
+            assert_eq!(single.row(0), full.row(i), "row {i}");
+        }
+        let full_t = a.matmul_transposed(&a);
+        for i in 0..a.rows() {
+            let single = a.slice_rows(i, i + 1).matmul_transposed(&a);
+            assert_eq!(single.row(0), full_t.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Mat::random_uniform(70, 130, 1.0, &mut rng);
+        let b = Mat::random_uniform(130, 90, 1.0, &mut rng);
+        let mut out = Mat::full(70, 90, 7.0); // stale contents must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = Mat::random_uniform(80, 130, 1.0, &mut rng);
+        let mut out_t = Mat::full(70, 80, 7.0);
+        a.matmul_transposed_into(&c, &mut out_t);
+        assert_eq!(out_t, a.matmul_transposed(&c));
+
+        let d = Mat::random_uniform(70, 40, 1.0, &mut rng);
+        let mut out_tm = Mat::full(130, 40, 7.0);
+        a.transposed_matmul_into(&d, &mut out_tm);
+        assert_eq!(out_tm, a.transposed_matmul(&d));
+    }
+
+    #[test]
+    fn empty_shapes_are_supported() {
+        let a = Mat::zeros(0, 5);
+        let b = Mat::zeros(5, 3);
+        assert_eq!(a.matmul(&b).shape(), (0, 3));
+        let c = Mat::zeros(0, 0);
+        assert_eq!(c.matmul(&c).shape(), (0, 0));
+        assert_eq!(a.matmul_transposed(&a).shape(), (0, 0));
+        assert_eq!(a.transposed_matmul(&a).shape(), (5, 5));
+    }
+
+    #[test]
+    fn set_rows_reuses_capacity_and_add_into_overwrites() {
+        let mut m = Mat::zeros(4, 8);
+        let cap_ptr = m.as_slice().as_ptr();
+        m.set_rows(2, 8);
+        assert_eq!(m.shape(), (2, 8));
+        assert_eq!(m.as_slice().as_ptr(), cap_ptr, "no reallocation on shrink");
+        let a = Mat::full(2, 8, 1.5);
+        let b = Mat::full(2, 8, 2.0);
+        a.add_into(&b, &mut m);
+        assert_eq!(m, Mat::full(2, 8, 3.5));
+    }
+
+    #[test]
+    fn extend_rows_range_appends_expected_rows() {
+        let mut m = Mat::from_rows(&[&[1.0, 2.0]]);
+        let other = Mat::from_rows(&[&[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
+        m.extend_rows_range(&other, 1, 3);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(1), &[5.0, 6.0]);
+        assert_eq!(m.row(2), &[7.0, 8.0]);
     }
 }

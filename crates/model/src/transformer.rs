@@ -12,6 +12,7 @@ use crate::kv_cache::KvCache;
 use crate::layers::{DecoderLayer, DecoderLayerGrads, LayerConfig, LayerTrainCache};
 use crate::ops::{rmsnorm_backward, rmsnorm_forward, RmsNormCache};
 use crate::tensor::Mat;
+use crate::workspace::DecodeWorkspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -209,9 +210,12 @@ impl TinyLm {
                 .sum::<usize>()
     }
 
-    /// Creates an empty KV cache sized for this model.
+    /// Creates an empty KV cache sized for this model, with capacity reserved for
+    /// the full context window so steady-state decode appends never reallocate.
     pub fn new_cache(&self) -> KvCache {
-        KvCache::new(self.config.num_layers, self.config.hidden)
+        let mut cache = KvCache::new(self.config.num_layers, self.config.hidden);
+        cache.reserve(self.config.max_seq_len);
+        cache
     }
 
     /// Embeds tokens starting at absolute position `start_pos`.
@@ -221,13 +225,20 @@ impl TinyLm {
     /// Panics if any token id is out of range or the positions exceed
     /// `max_seq_len`.
     pub fn embed(&self, tokens: &[TokenId], start_pos: usize) -> Mat {
+        let mut out = Mat::zeros(tokens.len(), self.config.hidden);
+        self.embed_into(tokens, start_pos, &mut out);
+        out
+    }
+
+    /// Allocation-free embedding into a pre-shaped matrix.
+    fn embed_into(&self, tokens: &[TokenId], start_pos: usize, out: &mut Mat) {
         assert!(
             start_pos + tokens.len() <= self.config.max_seq_len,
             "sequence length {} exceeds max_seq_len {}",
             start_pos + tokens.len(),
             self.config.max_seq_len
         );
-        let mut out = Mat::zeros(tokens.len(), self.config.hidden);
+        debug_assert_eq!(out.shape(), (tokens.len(), self.config.hidden));
         for (i, &tok) in tokens.iter().enumerate() {
             assert!(
                 (tok as usize) < self.config.vocab_size,
@@ -240,7 +251,6 @@ impl TinyLm {
                 row[d] = emb[d] + pos[d];
             }
         }
-        out
     }
 
     /// Runs the model over `tokens` (new positions), using and extending `cache`.
@@ -275,6 +285,41 @@ impl TinyLm {
             last_hidden,
             layer_outputs,
         }
+    }
+
+    /// Allocation-free incremental forward pass into a [`DecodeWorkspace`].
+    ///
+    /// Numerically identical to [`TinyLm::forward`] (the two share every kernel),
+    /// but every temporary lives in `ws`: after the call `ws.logits()` holds the
+    /// logits for the new positions and `ws.last_hidden()` the last-layer hidden
+    /// states. Keys/values for the new positions are appended to `cache`.
+    pub fn forward_into(&self, tokens: &[TokenId], cache: &mut KvCache, ws: &mut DecodeWorkspace) {
+        let start_pos = cache.seq_len();
+        ws.prepare(tokens.len());
+        self.embed_into(tokens, start_pos, &mut ws.hidden);
+        for (idx, layer) in self.layers.iter().enumerate() {
+            layer.forward_cached_into(
+                &ws.hidden,
+                cache.layer_mut(idx),
+                &mut ws.scratch,
+                &mut ws.next_hidden,
+            );
+            std::mem::swap(&mut ws.hidden, &mut ws.next_hidden);
+        }
+        crate::ops::rmsnorm_into(&ws.hidden, &self.final_norm, &mut ws.norm_out);
+        ws.norm_out.matmul_into(&self.lm_head, &mut ws.logits);
+    }
+
+    /// Zero-allocation single-token decode step: forwards `token` through the
+    /// model and returns the logits row (`1 x vocab`) held in the workspace.
+    pub fn decode_step<'ws>(
+        &self,
+        token: TokenId,
+        cache: &mut KvCache,
+        ws: &'ws mut DecodeWorkspace,
+    ) -> &'ws Mat {
+        self.forward_into(&[token], cache, ws);
+        ws.logits()
     }
 
     /// Convenience wrapper: full forward over a prompt with a fresh cache.
@@ -375,6 +420,7 @@ impl TinyLm {
 mod tests {
     use super::*;
     use crate::ops::cross_entropy_weighted;
+    use crate::workspace::DecodeWorkspace;
 
     fn small_model() -> TinyLm {
         TinyLm::new(ModelConfig::micro(), 99)
@@ -423,6 +469,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn workspace_forward_is_bit_identical_to_allocating_forward() {
+        // The allocation-free decode path and the convenience API must agree bit
+        // for bit: speculative verification depends on it.
+        let model = small_model();
+        let tokens: Vec<TokenId> = vec![4, 1, 9, 2, 6];
+
+        let (full, _) = model.prefill(&tokens, false);
+        let mut cache = model.new_cache();
+        let mut ws = DecodeWorkspace::new(&model.config);
+        model.forward_into(&tokens, &mut cache, &mut ws);
+        assert_eq!(ws.logits().as_slice(), full.logits.as_slice());
+        assert_eq!(ws.last_hidden().as_slice(), full.last_hidden.as_slice());
+
+        // Single-token decode steps also match the allocating path exactly.
+        let mut cache_a = model.new_cache();
+        let _ = model.forward(&tokens, &mut cache_a, false);
+        let mut cache_b = model.new_cache();
+        model.forward_into(&tokens, &mut cache_b, &mut ws);
+        let a = model.forward(&[7], &mut cache_a, false);
+        let b = model.decode_step(7, &mut cache_b, &mut ws);
+        assert_eq!(a.logits.as_slice(), b.as_slice());
     }
 
     #[test]

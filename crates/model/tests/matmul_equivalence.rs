@@ -1,0 +1,171 @@
+//! Property-based equivalence suite for the register-tiled matmul kernels.
+//!
+//! The optimised kernels (`matmul` / `matmul_transposed` / `transposed_matmul`
+//! and their `_into` variants, including the rows==1 mat-vec shape) must agree
+//! with a naive triple-loop reference within 1e-5 across random shapes,
+//! including empty matrices and degenerate `1xN` / `Nx1` operands.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlt_model::Mat;
+
+/// Naive i-j-k reference product `a * b`.
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn assert_close(label: &str, fast: &Mat, reference: &Mat) {
+    assert_eq!(fast.shape(), reference.shape(), "{label}: shape mismatch");
+    for (i, (x, y)) in fast
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice().iter())
+        .enumerate()
+    {
+        assert!(
+            (x - y).abs() < 1e-5,
+            "{label}: element {i} diverged: fast={x}, naive={y}"
+        );
+    }
+}
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mat::random_uniform(rows, cols, 1.0, &mut rng)
+}
+
+proptest! {
+    /// Blocked `matmul` (and the rows==1 mat-vec shape it subsumes) matches the
+    /// naive reference for arbitrary `m x k * k x n` shapes, including zero and
+    /// one-sized dimensions.
+    #[test]
+    fn matmul_matches_naive_reference(
+        m in 0usize..24,
+        k in 0usize..70,
+        n in 0usize..70,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_mat(m, k, seed);
+        let b = random_mat(k, n, seed.wrapping_add(1));
+        assert_close("matmul", &a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    /// The mat-vec fast-path shape (`1 x k`) agrees with the naive reference and
+    /// with the corresponding row of a taller product.
+    #[test]
+    fn matvec_row_matches_naive_and_batched(
+        k in 1usize..70,
+        n in 1usize..70,
+        extra_rows in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_mat(extra_rows, k, seed);
+        let b = random_mat(k, n, seed.wrapping_add(1));
+        let row0 = a.slice_rows(0, 1);
+        let single = row0.matmul(&b);
+        assert_close("matvec", &single, &naive_matmul(&row0, &b));
+        let full = a.matmul(&b);
+        prop_assert_eq!(single.row(0), full.row(0));
+    }
+
+    /// `matmul_transposed` equals `a * transpose(b)` computed naively.
+    #[test]
+    fn matmul_transposed_matches_naive_reference(
+        m in 0usize..24,
+        k in 0usize..70,
+        n in 0usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_mat(m, k, seed);
+        let b = random_mat(n, k, seed.wrapping_add(1));
+        assert_close(
+            "matmul_transposed",
+            &a.matmul_transposed(&b),
+            &naive_matmul(&a, &b.transpose()),
+        );
+    }
+
+    /// `transposed_matmul` equals `transpose(a) * b` computed naively.
+    #[test]
+    fn transposed_matmul_matches_naive_reference(
+        m in 0usize..24,
+        k in 0usize..70,
+        n in 0usize..70,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_mat(k, m, seed);
+        let b = random_mat(k, n, seed.wrapping_add(1));
+        assert_close(
+            "transposed_matmul",
+            &a.transposed_matmul(&b),
+            &naive_matmul(&a.transpose(), &b),
+        );
+    }
+
+    /// The `_into` variants overwrite stale buffer contents and agree with the
+    /// allocating forms exactly.
+    #[test]
+    fn into_variants_overwrite_and_match(
+        m in 1usize..12,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_mat(m, k, seed);
+        let b = random_mat(k, n, seed.wrapping_add(1));
+        let mut out = Mat::full(m, n, f32::MAX);
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out.as_slice(), a.matmul(&b).as_slice());
+
+        let c = random_mat(n, k, seed.wrapping_add(2));
+        let mut out_t = Mat::full(m, n, f32::MAX);
+        a.matmul_transposed_into(&c, &mut out_t);
+        prop_assert_eq!(out_t.as_slice(), a.matmul_transposed(&c).as_slice());
+
+        let d = random_mat(m, n, seed.wrapping_add(3));
+        let mut out_tm = Mat::full(k, n, f32::MAX);
+        a.transposed_matmul_into(&d, &mut out_tm);
+        prop_assert_eq!(out_tm.as_slice(), a.transposed_matmul(&d).as_slice());
+    }
+}
+
+/// Explicit degenerate shapes (not left to chance in the random sweep).
+#[test]
+fn degenerate_shapes_match_reference() {
+    for &(m, k, n) in &[
+        (0usize, 0usize, 0usize),
+        (0, 5, 3),
+        (3, 0, 4),
+        (2, 7, 0),
+        (1, 17, 1),
+        (1, 1, 33),
+        (33, 1, 1),
+    ] {
+        let a = random_mat(m, k, 7);
+        let b = random_mat(k, n, 8);
+        assert_close("degenerate matmul", &a.matmul(&b), &naive_matmul(&a, &b));
+        let bt = random_mat(n, k, 9);
+        assert_close(
+            "degenerate matmul_transposed",
+            &a.matmul_transposed(&bt),
+            &naive_matmul(&a, &bt.transpose()),
+        );
+        let at = random_mat(k, m, 10);
+        assert_close(
+            "degenerate transposed_matmul",
+            &at.transposed_matmul(&random_mat(k, n, 11)),
+            &naive_matmul(&at.transpose(), &random_mat(k, n, 11)),
+        );
+    }
+}

@@ -30,10 +30,10 @@ pub use mab::{BegMabConfig, BegMabSelector, StepObservation};
 pub use manager::{AdaptiveSdManager, DrafterChoice, SdDecision, SdManagerConfig};
 pub use ngram::{NgramConfig, NgramDrafter};
 pub use sim_engine::{
-    fixed_batch_speedup, simulate_rollout, single_request_throughput, RolloutProfile, SdMode,
-    SimRolloutConfig, TimelinePoint,
+    fixed_batch_speedup, simulate_rollout, simulate_rollout_batch, single_request_throughput,
+    RolloutProfile, SdMode, SimRolloutConfig, TimelinePoint,
 };
 pub use spec::{
-    measure_acceptance, speculative_generate, vanilla_generate, GenerationResult, SdStrategy,
-    SpecDrafter,
+    batch_seed, generate_batch, measure_acceptance, speculative_generate, vanilla_generate,
+    GenerationResult, SdStrategy, SpecDrafter,
 };

@@ -263,6 +263,25 @@ pub fn simulate_rollout(config: &SimRolloutConfig, response_lengths: &[usize]) -
     }
 }
 
+/// Simulates many independent rollouts on the shared worker pool
+/// ([`tlt_model::parallel_map`]), one per response-length group.
+///
+/// Group `i` runs with `config.seed + i` so every group has an independent,
+/// reproducible exploration stream; profiles are merged back in group order, making
+/// the result identical to a sequential loop over [`simulate_rollout`] with the
+/// same per-group seeds, regardless of worker count.
+pub fn simulate_rollout_batch(
+    config: &SimRolloutConfig,
+    response_length_groups: &[Vec<usize>],
+) -> Vec<RolloutProfile> {
+    let groups: Vec<&[usize]> = response_length_groups.iter().map(Vec::as_slice).collect();
+    tlt_model::parallel_map(groups, |i, lengths| {
+        let mut group_config = config.clone();
+        group_config.seed = config.seed.wrapping_add(i as u64);
+        simulate_rollout(&group_config, lengths)
+    })
+}
+
 /// Speedup of speculative decoding over vanilla decoding at a *fixed* batch size,
 /// reproducing the grid of Table 4 / Figure 13(b): every request in the batch decodes
 /// the same number of tokens, with and without SD.
@@ -501,6 +520,25 @@ mod tests {
         let b = simulate_rollout(&config, &lengths);
         assert_eq!(a.total_time_s, b.total_time_s);
         assert_eq!(a.timeline.len(), b.timeline.len());
+    }
+
+    #[test]
+    fn batch_simulation_matches_sequential_per_group_seeds() {
+        let cost = qwen32b_cost();
+        let config = SimRolloutConfig::vanilla(cost).with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        });
+        let groups: Vec<Vec<usize>> = (0..4).map(|i| longtail_lengths(16, 10 + i)).collect();
+        let parallel = simulate_rollout_batch(&config, &groups);
+        assert_eq!(parallel.len(), groups.len());
+        for (i, group) in groups.iter().enumerate() {
+            let mut seq_config = config.clone();
+            seq_config.seed = config.seed.wrapping_add(i as u64);
+            let sequential = simulate_rollout(&seq_config, group);
+            assert_eq!(parallel[i].total_time_s, sequential.total_time_s);
+            assert_eq!(parallel[i].total_tokens, sequential.total_tokens);
+            assert_eq!(parallel[i].timeline.len(), sequential.timeline.len());
+        }
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //! sufficient to measure acceptance behaviour and to property-test losslessness.
 
 use crate::ngram::NgramDrafter;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tlt_draft::{DraftModel, FeatureSource};
+use tlt_draft::{DraftModel, DraftScratch, DraftState, FeatureSource};
 use tlt_model::{
-    probs_from_logits, sample_from_probs, sample_from_residual, Mat, SamplingParams, TinyLm,
-    TokenId,
+    parallel_map, probs_from_logits_into, sample_from_probs, sample_from_residual, DecodeWorkspace,
+    Mat, SamplingParams, TinyLm, TokenId,
 };
 
 /// A speculative-decoding configuration tuple — the "arm" of the BEG-MAB tuner.
@@ -117,6 +118,9 @@ impl GenerationResult {
 }
 
 /// Generates `max_new` tokens autoregressively with the target model only.
+///
+/// Runs on a reusable [`DecodeWorkspace`], so every step after the first is
+/// allocation-free; results are bit-identical to the allocating forward path.
 pub fn vanilla_generate<R: Rng>(
     target: &TinyLm,
     prompt: &[TokenId],
@@ -127,12 +131,14 @@ pub fn vanilla_generate<R: Rng>(
 ) -> GenerationResult {
     assert!(!prompt.is_empty(), "prompt must be non-empty");
     let mut cache = target.new_cache();
-    let mut out = target.forward(prompt, &mut cache, false);
+    let mut ws = DecodeWorkspace::new(&target.config);
+    target.forward_into(prompt, &mut cache, &mut ws);
+    let mut probs = Vec::with_capacity(target.config.vocab_size);
     let mut tokens = Vec::new();
     let mut steps = 0usize;
     for _ in 0..max_new {
-        let last_row = out.logits.rows() - 1;
-        let probs = probs_from_logits(out.logits.row(last_row), params);
+        let last_row = ws.logits().rows() - 1;
+        probs_from_logits_into(ws.logits().row(last_row), params, &mut probs);
         let next = sample_from_probs(&probs, rng) as TokenId;
         tokens.push(next);
         steps += 1;
@@ -142,7 +148,7 @@ pub fn vanilla_generate<R: Rng>(
         if cache.seq_len() + 1 >= target.config.max_seq_len {
             break;
         }
-        out = target.forward(&[next], &mut cache, false);
+        target.forward_into(&[next], &mut cache, &mut ws);
     }
     GenerationResult {
         tokens,
@@ -184,20 +190,37 @@ pub fn speculative_generate<R: Rng>(
     let depth = strategy.draft_depth.max(1);
 
     let mut cache = target.new_cache();
-    let prefill = target.forward(prompt, &mut cache, true);
-    let mut features = FeatureSource::LastLayer.extract(&prefill.layer_outputs.expect("hidden"));
+    let mut ws = DecodeWorkspace::new(&target.config);
+    let mut draft_scratch = match drafter {
+        SpecDrafter::Learned(model) => Some(DraftScratch::new(target, model.feature_source)),
+        SpecDrafter::ModelFree(_) => None,
+    };
+    let mut draft_state: Option<DraftState> = None;
+    target.forward_into(prompt, &mut cache, &mut ws);
+    // The drafter consumes last-layer features of every committed position; grow an
+    // owned copy in place (reserved up front so appends never reallocate).
+    let mut features = Mat::zeros(0, target.config.hidden);
+    features.reserve_rows(
+        (prompt.len() + max_new + depth + 1).min(target.config.max_seq_len),
+        target.config.hidden,
+    );
+    features.extend_rows_range(ws.last_hidden(), 0, ws.last_hidden().rows());
     let mut all_tokens: Vec<TokenId> = prompt.to_vec();
 
     // Sample the first generated token from the prompt's final distribution; it
     // becomes the "pending" token (committed but not yet in the target KV cache).
-    let first_probs = probs_from_logits(prefill.logits.row(prefill.logits.rows() - 1), params);
-    let mut pending: TokenId = sample_from_probs(&first_probs, rng) as TokenId;
+    let mut probs = Vec::with_capacity(target.config.vocab_size);
+    probs_from_logits_into(ws.logits().row(ws.logits().rows() - 1), params, &mut probs);
+    let mut pending: TokenId = sample_from_probs(&probs, rng) as TokenId;
     let mut generated: Vec<TokenId> = vec![pending];
 
     let mut accept_lengths = Vec::new();
     let mut position_attempts = vec![0usize; depth];
     let mut position_accepted = vec![0usize; depth];
     let mut target_steps = 1usize; // the prefill produced one sampled token
+    let mut draft_tokens: Vec<TokenId> = Vec::with_capacity(depth);
+    let mut draft_dists: Vec<Vec<f32>> = Vec::new(); // per-position buffers, reused
+    let mut block: Vec<TokenId> = Vec::with_capacity(depth + 1);
 
     while generated.len() < max_new && Some(pending) != eos {
         // Budget left, bounded by the model's positional table.
@@ -210,22 +233,42 @@ pub fn speculative_generate<R: Rng>(
             break;
         }
         let draft_len = depth.min(room.saturating_sub(1));
+        while draft_dists.len() < draft_len {
+            draft_dists.push(Vec::with_capacity(target.config.vocab_size));
+        }
 
         // --- Drafting stage ---
-        let mut draft_tokens: Vec<TokenId> = Vec::with_capacity(draft_len);
-        let mut draft_dists: Vec<Vec<f32>> = Vec::with_capacity(draft_len);
+        draft_tokens.clear();
         match drafter {
             SpecDrafter::Learned(model) => {
+                let scratch = draft_scratch.as_mut().expect("scratch for learned drafter");
                 all_tokens.push(pending);
-                let mut state =
-                    model.begin_draft(target, &features, &all_tokens[..features.rows()]);
+                let state = match draft_state.as_mut() {
+                    Some(state) => {
+                        // Re-prime only the newly committed positions; KV entries
+                        // for older positions are bit-identical across rounds.
+                        model.resume_draft(
+                            target,
+                            &features,
+                            &all_tokens[..features.rows()],
+                            state,
+                            scratch,
+                        );
+                        state
+                    }
+                    None => draft_state.insert(model.begin_draft_with(
+                        target,
+                        &features,
+                        &all_tokens[..features.rows()],
+                        scratch,
+                    )),
+                };
                 all_tokens.pop();
                 let mut last = pending;
-                for _ in 0..draft_len {
-                    let logits = model.draft_step(target, &mut state, last);
-                    let probs = probs_from_logits(&logits, params);
-                    let tok = sample_from_probs(&probs, rng) as TokenId;
-                    draft_dists.push(probs);
+                for dist in draft_dists.iter_mut().take(draft_len) {
+                    let logits = model.draft_step_into(target, state, last, scratch);
+                    probs_from_logits_into(logits, params, dist);
+                    let tok = sample_from_probs(dist, rng) as TokenId;
                     draft_tokens.push(tok);
                     last = tok;
                 }
@@ -234,33 +277,32 @@ pub fn speculative_generate<R: Rng>(
                 let mut context: Vec<TokenId> = all_tokens.clone();
                 context.push(pending);
                 let proposed = ngram.draft(&context);
-                for tok in proposed.into_iter().take(draft_len) {
-                    let mut one_hot = vec![0.0f32; target.config.vocab_size];
+                for (d, tok) in proposed.into_iter().take(draft_len).enumerate() {
+                    let one_hot = &mut draft_dists[d];
+                    one_hot.clear();
+                    one_hot.resize(target.config.vocab_size, 0.0);
                     one_hot[tok as usize] = 1.0;
-                    draft_dists.push(one_hot);
                     draft_tokens.push(tok);
                 }
             }
         }
 
         // --- Verification stage: target processes [pending, d_1, ..., d_k] at once ---
-        let mut block: Vec<TokenId> = Vec::with_capacity(draft_tokens.len() + 1);
+        block.clear();
         block.push(pending);
         block.extend_from_slice(&draft_tokens);
         let pre_verify_len = cache.seq_len();
-        let out = target.forward(&block, &mut cache, true);
+        target.forward_into(&block, &mut cache, &mut ws);
         target_steps += 1;
-        let block_features =
-            FeatureSource::LastLayer.extract(&out.layer_outputs.expect("hidden requested"));
 
         // Accept/reject drafted tokens with lossless rejection sampling.
         let mut accepted = 0usize;
         let mut next_pending: Option<TokenId> = None;
         for (i, &tok) in draft_tokens.iter().enumerate() {
-            let target_probs = probs_from_logits(out.logits.row(i), params);
+            probs_from_logits_into(ws.logits().row(i), params, &mut probs);
             let q = &draft_dists[i];
             position_attempts[i] += 1;
-            let p_tok = target_probs[tok as usize];
+            let p_tok = probs[tok as usize];
             let q_tok = q[tok as usize].max(f32::EPSILON);
             let accept = if params.is_greedy() {
                 p_tok >= 1.0 - f32::EPSILON
@@ -272,9 +314,9 @@ pub fn speculative_generate<R: Rng>(
                 position_accepted[i] += 1;
             } else {
                 let replacement = if params.is_greedy() {
-                    tlt_model::argmax(&target_probs) as TokenId
+                    tlt_model::argmax(&probs) as TokenId
                 } else {
-                    sample_from_residual(&target_probs, q, rng) as TokenId
+                    sample_from_residual(&probs, q, rng) as TokenId
                 };
                 next_pending = Some(replacement);
                 break;
@@ -283,8 +325,8 @@ pub fn speculative_generate<R: Rng>(
         if next_pending.is_none() {
             // Every drafted token accepted: sample the bonus token from the target's
             // distribution after the last drafted token.
-            let bonus_probs = probs_from_logits(out.logits.row(draft_tokens.len()), params);
-            next_pending = Some(sample_from_probs(&bonus_probs, rng) as TokenId);
+            probs_from_logits_into(ws.logits().row(draft_tokens.len()), params, &mut probs);
+            next_pending = Some(sample_from_probs(&probs, rng) as TokenId);
         }
         let next_pending = next_pending.expect("pending token chosen");
 
@@ -294,7 +336,7 @@ pub fn speculative_generate<R: Rng>(
         cache.truncate(pre_verify_len + committed_in_block);
         all_tokens.push(pending);
         all_tokens.extend_from_slice(&draft_tokens[..accepted]);
-        features = Mat::vstack(&[&features, &block_features.slice_rows(0, committed_in_block)]);
+        features.extend_rows_range(ws.last_hidden(), 0, committed_in_block);
 
         for &tok in &draft_tokens[..accepted] {
             generated.push(tok);
@@ -322,6 +364,42 @@ pub fn speculative_generate<R: Rng>(
         position_attempts,
         position_accepted,
     }
+}
+
+/// Derives the per-sequence RNG seed for [`generate_batch`]: a fixed odd-constant
+/// hash of the sequence index mixed into the base seed.
+pub fn batch_seed(base_seed: u64, index: usize) -> u64 {
+    base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Generates one response per prompt on the shared worker pool
+/// ([`tlt_model::parallel_map`]), each sequence with its own KV cache, decode
+/// workspace, and RNG seeded by [`batch_seed`].
+///
+/// Results are merged back in prompt order, so the output is identical to calling
+/// [`vanilla_generate`] / [`speculative_generate`] sequentially with the same
+/// per-index seeds — worker count only changes wall-clock time.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_batch(
+    target: &TinyLm,
+    drafter: Option<&SpecDrafter<'_>>,
+    prompts: &[Vec<TokenId>],
+    max_new: usize,
+    strategy: SdStrategy,
+    params: SamplingParams,
+    eos: Option<TokenId>,
+    base_seed: u64,
+) -> Vec<GenerationResult> {
+    let items: Vec<&[TokenId]> = prompts.iter().map(Vec::as_slice).collect();
+    parallel_map(items, |i, prompt| {
+        let mut rng = StdRng::seed_from_u64(batch_seed(base_seed, i));
+        match drafter {
+            Some(d) => {
+                speculative_generate(target, d, prompt, max_new, strategy, params, eos, &mut rng)
+            }
+            None => vanilla_generate(target, prompt, max_new, params, eos, &mut rng),
+        }
+    })
 }
 
 /// Measures per-position acceptance rates of a drafter against a target over a set of
@@ -498,6 +576,60 @@ mod tests {
             .sum::<f64>()
             / 2.0;
         assert!(tv < 0.15, "total-variation distance too large: {tv}");
+    }
+
+    #[test]
+    fn generate_batch_matches_sequential_generation() {
+        let (target, drafter) = setup();
+        let params = SamplingParams {
+            temperature: 0.8,
+            top_k: None,
+        };
+        let prompts: Vec<Vec<TokenId>> = (0..6u32).map(|i| vec![i + 1, 3, i % 5 + 2]).collect();
+        let base_seed = 77;
+
+        // Speculative batch: parallel merge must reproduce the sequential loop.
+        let spec_batch = generate_batch(
+            &target,
+            Some(&SpecDrafter::Learned(&drafter)),
+            &prompts,
+            16,
+            SdStrategy::default(),
+            params,
+            None,
+            base_seed,
+        );
+        for (i, prompt) in prompts.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(batch_seed(base_seed, i));
+            let sequential = speculative_generate(
+                &target,
+                &SpecDrafter::Learned(&drafter),
+                prompt,
+                16,
+                SdStrategy::default(),
+                params,
+                None,
+                &mut rng,
+            );
+            assert_eq!(spec_batch[i], sequential, "sequence {i}");
+        }
+
+        // Vanilla batch uses the same per-index seeding.
+        let vanilla_batch = generate_batch(
+            &target,
+            None,
+            &prompts,
+            16,
+            SdStrategy::default(),
+            params,
+            None,
+            base_seed,
+        );
+        for (i, prompt) in prompts.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(batch_seed(base_seed, i));
+            let sequential = vanilla_generate(&target, prompt, 16, params, None, &mut rng);
+            assert_eq!(vanilla_batch[i], sequential, "sequence {i}");
+        }
     }
 
     #[test]

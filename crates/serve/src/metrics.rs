@@ -5,14 +5,23 @@ use serde::{Deserialize, Serialize};
 
 /// Percentile of a float sample with linear interpolation (`q` in `[0, 100]`).
 /// Returns `0.0` for an empty slice.
+///
+/// Sorts a copy on every call; when several percentiles of the same series are
+/// needed, sort once and use [`percentile_sorted`] (or build a whole
+/// [`LatencySummary`]) instead of re-sorting per percentile.
 pub fn percentile_f64(values: &[f64], q: f64) -> f64 {
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    sort_latencies(&mut sorted);
     percentile_sorted(&sorted, q)
 }
 
+/// Sorts a latency series ascending (all values must be finite).
+pub fn sort_latencies(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+}
+
 /// Percentile of an already ascending-sorted sample.
-fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -46,17 +55,23 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// Summarises a sample; all-zero when empty.
     pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.to_vec();
+        Self::from_unsorted_mut(&mut sorted)
+    }
+
+    /// Summarises a sample by sorting it in place (no copy): every percentile is
+    /// read from the same sorted buffer, so the series is sorted exactly once.
+    pub fn from_unsorted_mut(values: &mut [f64]) -> Self {
         if values.is_empty() {
             return LatencySummary::default();
         }
-        let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sort_latencies(values);
         LatencySummary {
-            p50_s: percentile_sorted(&sorted, 50.0),
-            p95_s: percentile_sorted(&sorted, 95.0),
-            p99_s: percentile_sorted(&sorted, 99.0),
-            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            max_s: *sorted.last().expect("non-empty"),
+            p50_s: percentile_sorted(values, 50.0),
+            p95_s: percentile_sorted(values, 95.0),
+            p99_s: percentile_sorted(values, 99.0),
+            mean_s: values.iter().sum::<f64>() / values.len() as f64,
+            max_s: *values.last().expect("non-empty"),
         }
     }
 }
@@ -153,9 +168,9 @@ impl ServeReport {
         });
         let makespan_s = completed.last().map(|r| r.finish_s).unwrap_or(0.0);
         let total_output_tokens: u64 = completed.iter().map(|r| r.output_len as u64).sum();
-        let ttfts: Vec<f64> = completed.iter().map(CompletedRequest::ttft_s).collect();
-        let tpots: Vec<f64> = completed.iter().map(CompletedRequest::tpot_s).collect();
-        let e2es: Vec<f64> = completed.iter().map(CompletedRequest::e2e_s).collect();
+        let mut ttfts: Vec<f64> = completed.iter().map(CompletedRequest::ttft_s).collect();
+        let mut tpots: Vec<f64> = completed.iter().map(CompletedRequest::tpot_s).collect();
+        let mut e2es: Vec<f64> = completed.iter().map(CompletedRequest::e2e_s).collect();
         let met = completed.iter().filter(|r| slo.met(r)).count();
         let denom = makespan_s.max(1e-9);
         ServeReport {
@@ -163,9 +178,9 @@ impl ServeReport {
             makespan_s,
             total_output_tokens,
             throughput_tokens_per_s: total_output_tokens as f64 / denom,
-            ttft: LatencySummary::from_values(&ttfts),
-            tpot: LatencySummary::from_values(&tpots),
-            e2e: LatencySummary::from_values(&e2es),
+            ttft: LatencySummary::from_unsorted_mut(&mut ttfts),
+            tpot: LatencySummary::from_unsorted_mut(&mut tpots),
+            e2e: LatencySummary::from_unsorted_mut(&mut e2es),
             slo_attainment: if completed.is_empty() {
                 0.0
             } else {
@@ -225,6 +240,21 @@ mod tests {
         assert_eq!(percentile_f64(&v, 100.0), 40.0);
         assert_eq!(percentile_f64(&v, 50.0), 25.0);
         assert_eq!(percentile_f64(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_come_from_one_sorted_buffer() {
+        // p50/p95/p99 of a summary must equal the individually computed
+        // percentiles, and from_unsorted_mut must not copy (it sorts in place).
+        let values: Vec<f64> = (0..57).map(|i| ((i * 37) % 57) as f64 * 0.1).collect();
+        let summary = LatencySummary::from_values(&values);
+        assert_eq!(summary.p50_s, percentile_f64(&values, 50.0));
+        assert_eq!(summary.p95_s, percentile_f64(&values, 95.0));
+        assert_eq!(summary.p99_s, percentile_f64(&values, 99.0));
+        let mut in_place = values.clone();
+        let summary2 = LatencySummary::from_unsorted_mut(&mut in_place);
+        assert_eq!(summary, summary2);
+        assert!(in_place.windows(2).all(|w| w[0] <= w[1]), "sorted in place");
     }
 
     #[test]

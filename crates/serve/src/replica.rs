@@ -218,29 +218,33 @@ impl Replica {
                 }
             }
             StepWork::Decode { tokens_per_seq } => {
-                let mut finished = Vec::new();
-                for (i, entry) in self.running.iter_mut().enumerate() {
+                // Single in-order pass: finished entries drain straight into the
+                // completed log (in admission order) and survivors keep their
+                // batch order — no per-removal swap_remove shuffling.
+                let replica_index = self.index;
+                let completed = &mut self.completed;
+                let completed_count = &mut self.completed_count;
+                self.running.retain_mut(|entry| {
                     let committed = tokens_per_seq.min(entry.remaining());
                     entry.generated += committed;
                     if entry.remaining() <= 1e-9 {
-                        finished.push(i);
+                        *completed_count += 1;
+                        completed.push(CompletedRequest {
+                            id: entry.req.id,
+                            replica: replica_index,
+                            arrival_s: entry.req.arrival_s,
+                            admitted_s: entry.admitted_s,
+                            first_token_s: entry.first_token_s.unwrap_or(now),
+                            finish_s: now,
+                            prompt_len: entry.req.prompt_len,
+                            output_len: entry.req.output_len,
+                            preemptions: entry.preemptions,
+                        });
+                        false
+                    } else {
+                        true
                     }
-                }
-                for &i in finished.iter().rev() {
-                    let entry = self.running.swap_remove(i);
-                    self.completed_count += 1;
-                    self.completed.push(CompletedRequest {
-                        id: entry.req.id,
-                        replica: self.index,
-                        arrival_s: entry.req.arrival_s,
-                        admitted_s: entry.admitted_s,
-                        first_token_s: entry.first_token_s.unwrap_or(now),
-                        finish_s: now,
-                        prompt_len: entry.req.prompt_len,
-                        output_len: entry.req.output_len,
-                        preemptions: entry.preemptions,
-                    });
-                }
+                });
             }
         }
         self.start_step(now);
@@ -320,16 +324,46 @@ impl Replica {
 
     /// Evicts most-recently-admitted requests back to the queue front until the
     /// actual KV footprint fits the budget again (optimistic admission only).
+    ///
+    /// Victims are chosen in a single pass — indices sorted once by descending
+    /// admission sequence — instead of an O(n) max scan per eviction, and removed
+    /// with one order-preserving retain pass. Eviction order (most recently
+    /// admitted first) and the resulting queue-front order (victims ascending by
+    /// admission sequence, ahead of everything already queued) are pinned by the
+    /// `preemption_evicts_most_recent_first` test.
     fn preempt_until_fitting(&mut self) {
-        while self.kv_in_use() > self.kv_budget && self.running.len() > 1 {
-            let victim_idx = self
-                .running
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, e)| e.admit_seq)
-                .map(|(i, _)| i)
-                .expect("non-empty running batch");
-            let victim = self.running.swap_remove(victim_idx);
+        let mut kv_in_use = self.kv_in_use();
+        if kv_in_use <= self.kv_budget || self.running.len() <= 1 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.running.len()).collect();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.running[i].admit_seq));
+        let mut evicted = vec![false; self.running.len()];
+        let mut evicted_count = 0usize;
+        for &i in &order {
+            if kv_in_use <= self.kv_budget || self.running.len() - evicted_count <= 1 {
+                break;
+            }
+            kv_in_use -= self.running[i].kv_tokens();
+            evicted[i] = true;
+            evicted_count += 1;
+        }
+        if evicted_count == 0 {
+            return;
+        }
+        // One pass rebuilds the surviving batch in order; victims move (no
+        // clones) into slots addressed by their original index. The first
+        // `evicted_count` entries of `order` are exactly the victims in eviction
+        // order (most recently admitted first), so pushing them to the queue
+        // front in that sequence leaves the front ascending by admission order.
+        let mut slots: Vec<Option<RunningEntry>> = self.running.drain(..).map(Some).collect();
+        for (slot, &was_evicted) in slots.iter_mut().zip(evicted.iter()) {
+            if !was_evicted {
+                self.running.push(slot.take().expect("unconsumed slot"));
+            }
+        }
+        for &i in &order[..evicted_count] {
+            let victim = slots[i].take().expect("victim slot");
             self.preemptions += 1;
             self.queue.push_front(QueuedEntry {
                 req: victim.req,
@@ -590,6 +624,46 @@ mod tests {
         let completed = replica.take_completed();
         assert_eq!(completed.len(), 1);
         assert_eq!(completed[0].id, 1);
+    }
+
+    #[test]
+    fn preemption_evicts_most_recent_first() {
+        // Pins the eviction policy: victims are chosen by descending admission
+        // sequence, survivors keep their batch order, and the queue front holds
+        // the victims in ascending admission order (so the earliest-admitted
+        // victim is re-admitted first).
+        let mut replica = Replica::new(&config().with_preemption(), 0);
+        replica.kv_budget = 3_000;
+        for (seq, id) in [(0u64, 10u64), (1, 11), (2, 12), (3, 13)] {
+            replica.running.push(RunningEntry {
+                req: request(id, 0.0, 1_000, 64),
+                generated: 0.0,
+                first_token_s: Some(0.5),
+                admitted_s: 0.1,
+                preemptions: 0,
+                prefill_pending: false,
+                admit_seq: seq,
+            });
+        }
+        // 4 x 1000 KV tokens against a 3000 budget: exactly one eviction, and it
+        // must be the most recently admitted entry.
+        replica.preempt_until_fitting();
+        assert_eq!(replica.running.len(), 3);
+        let seqs: Vec<u64> = replica.running.iter().map(|e| e.admit_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "survivors keep batch order");
+        assert_eq!(replica.queue.len(), 1);
+        assert_eq!(replica.queue[0].req.id, 13);
+        assert_eq!(replica.queue[0].preemptions, 1);
+
+        // Tighten the budget: two more evictions (seq 2 then seq 1); the queue
+        // front ends up ascending by admission sequence, ahead of request 13.
+        replica.kv_budget = 1_000;
+        replica.preempt_until_fitting();
+        assert_eq!(replica.running.len(), 1);
+        assert_eq!(replica.running[0].admit_seq, 0);
+        let ids: Vec<u64> = replica.queue.iter().map(|e| e.req.id).collect();
+        assert_eq!(ids, vec![11, 12, 13]);
+        assert_eq!(replica.preemptions, 3);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Asserts the workspace decode path performs **zero heap allocations** in steady
+//! state, via a counting global allocator.
+//!
+//! The first decode step after a prefill may still grow workspace buffers (they
+//! are sized lazily); every subsequent step must allocate nothing: embeddings,
+//! per-layer temporaries, attention scores, logits, KV appends, and sampling all
+//! run out of preallocated memory.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use tlt_model::{
+    probs_from_logits_into, sample_from_probs, DecodeWorkspace, ModelConfig, SamplingParams, TinyLm,
+};
+
+thread_local! {
+    /// Per-thread allocation counter: the libtest harness runs tests (and its own
+    /// bookkeeping) on several threads at once, so a process-global counter would
+    /// pick up unrelated allocations and flake. Const-initialised so reading it
+    /// inside the allocator never allocates.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump_thread_count() {
+    // `try_with` tolerates TLS teardown; a missed count there is harmless (the
+    // measuring sections only run on live test threads).
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump_thread_count();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump_thread_count();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations performed by the *current* thread so far.
+fn allocation_count() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_decode_steps_allocate_nothing() {
+    let model = TinyLm::new(ModelConfig::tiny(), 42);
+    let mut cache = model.new_cache();
+    let mut ws = DecodeWorkspace::new(&model.config);
+    let prompt = [3u32, 1, 4, 1, 5];
+    model.forward_into(&prompt, &mut cache, &mut ws);
+
+    // Warm-up: the first single-token step may still size buffers.
+    let _ = model.decode_step(9, &mut cache, &mut ws);
+
+    let before = allocation_count();
+    for i in 0..32u32 {
+        let logits = model.decode_step(i % 90, &mut cache, &mut ws);
+        assert_eq!(logits.rows(), 1);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state decode steps must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_sampling_loop_allocates_nothing() {
+    // The full vanilla-generation inner loop — decode step, probability
+    // conversion into a reused buffer, and sampling — is allocation-free too.
+    let model = TinyLm::new(ModelConfig::tiny(), 43);
+    let mut cache = model.new_cache();
+    let mut ws = DecodeWorkspace::new(&model.config);
+    let mut probs = Vec::with_capacity(model.config.vocab_size);
+    let mut rng = StdRng::seed_from_u64(7);
+    let params = SamplingParams::rollout();
+    model.forward_into(&[1, 2, 3], &mut cache, &mut ws);
+    let mut next = 5u32;
+    // Warm-up step sizes the single-row buffers.
+    model.forward_into(&[next], &mut cache, &mut ws);
+
+    let before = allocation_count();
+    for _ in 0..32 {
+        probs_from_logits_into(ws.logits().row(0), params, &mut probs);
+        next = sample_from_probs(&probs, &mut rng) as u32;
+        model.forward_into(&[next], &mut cache, &mut ws);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "the decode-sample loop must not allocate in steady state"
+    );
+}
+
+/// Sanity check that the counting allocator actually observes allocations (so a
+/// zero count above means "no allocations", not "broken instrumentation").
+#[test]
+fn counting_allocator_observes_allocations() {
+    let before = allocation_count();
+    let v: Vec<u8> = Vec::with_capacity(4096);
+    std::hint::black_box(&v);
+    let after = allocation_count();
+    assert!(after > before, "allocator instrumentation must count");
+    drop(v);
+}
