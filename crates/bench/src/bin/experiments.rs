@@ -8,6 +8,7 @@
 //! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
 //! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
 //! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_3.json]
+//! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json]
 //! ```
 //!
 //! `--json <path>` additionally writes every produced table as machine-readable
@@ -60,7 +61,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: experiments [--quick] [--json <path>] [all | perf | {}]",
+            "usage: experiments [--quick] [--json <path>] [all | perf | chaos | {}]",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(2);
@@ -112,6 +113,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // `chaos` is a standalone subcommand: it runs the pinned fault-injection
+    // scenario matrix, prints (and optionally exports) the per-scenario
+    // invariant verdicts, and exits non-zero if any invariant was violated —
+    // the contract the `chaos-suite` CI job gates on.
+    if selected.iter().any(|s| s == "chaos") {
+        if selected.len() > 1 {
+            eprintln!("error: 'chaos' cannot be combined with other selectors");
+            usage();
+        }
+        let failures = chaos(json_path.as_deref());
+        std::process::exit(if failures == 0 { 0 } else { 1 });
     }
 
     for sel in &selected {
@@ -1116,6 +1130,52 @@ fn table8(scale: Scale, report: &mut Report) {
         ]);
     }
     report.add(t);
+}
+
+/// Chaos suite: runs the pinned fault-injection scenario matrix and reports the
+/// invariant verdict per scenario. Returns the number of failing scenarios.
+fn chaos(json_path: Option<&str>) -> usize {
+    use tlt::chaos::{chaos_summary_rows, run_chaos_matrix, CHAOS_SUMMARY_HEADER};
+    println!("TLT chaos suite: pinned fault-injection scenario matrix");
+    let outcomes = run_chaos_matrix();
+    let mut report = Report::new();
+    let mut t = Table::new(
+        "Chaos — pinned scenario matrix (invariants: conservation, KV budget, \
+         coordinator, losslessness, checkpoint guard, determinism, drain)",
+        &CHAOS_SUMMARY_HEADER,
+    );
+    for row in chaos_summary_rows(&outcomes) {
+        t.add_row(row);
+    }
+    report.add(t);
+    let mut failures = 0usize;
+    for outcome in &outcomes {
+        if !outcome.invariants.passed() {
+            failures += 1;
+            for v in &outcome.invariants.violations {
+                eprintln!(
+                    "FAIL {}: [{}] {}",
+                    outcome.scenario.name, v.invariant, v.detail
+                );
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        match report.write_json(path) {
+            Ok(()) => println!("\nwrote the chaos matrix as JSON to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write JSON to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "\n{} scenarios, {} passed, {} failed",
+        outcomes.len(),
+        outcomes.len() - failures,
+        failures
+    );
+    failures
 }
 
 /// Serving study: throughput-latency trade-off of SD policies across arrival

@@ -1,0 +1,617 @@
+//! The discrete-event chaos runner: drives the serve frontend, the worker
+//! coordinator, and the drafter checkpoint pipeline through one scenario's
+//! fault schedule, checking invariants as it goes.
+//!
+//! Every scenario is executed **twice** and the two runs compared bit-for-bit —
+//! seed-determinism is itself one of the checked invariants, so a fault path
+//! that consults wall-clock time or unseeded randomness fails the matrix.
+
+use crate::invariants::{check_conservation, check_coordinator, InvariantReport};
+use crate::scenario::{FaultKind, Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use tlt_coord::{Coordinator, CoordinatorConfig, CoordinatorStats, WorkerEvent, WorkerState};
+use tlt_draft::{
+    serialize_trainable, validate_trainable, DraftModel, DrafterVault, FeatureSource, SwapOutcome,
+};
+use tlt_gpusim::{GpuType, LlmCostModel};
+use tlt_model::{ModelConfig, ModelSpec, SamplingParams, TinyLm};
+use tlt_rollout::{
+    speculative_generate_with_swap, vanilla_generate, SdManagerConfig, SdMode, SdStrategy,
+    SpecDrafter,
+};
+use tlt_serve::{ServeConfig, ServeReport, ServeRequest, ServeSim};
+
+/// Drafter checkpoint-pipeline counters observed during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct DrafterFaultStats {
+    /// Checkpoints adopted (validated, newer, swapped in).
+    pub swaps: u64,
+    /// Candidates rejected as corrupt.
+    pub rejected_corrupt: u64,
+    /// Candidates rejected as stale.
+    pub rejected_stale: u64,
+    /// Rollbacks to the last known-good state.
+    pub rollbacks: u64,
+}
+
+/// Everything one scenario run produced.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Requests in the (storm-merged) arrival stream.
+    pub arrivals: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests dropped at admission (could never fit a KV budget).
+    pub dropped: usize,
+    /// Failed-over requests re-delivered to a replica.
+    pub requeued: u64,
+    /// Crash faults applied.
+    pub crashes: u64,
+    /// Restart faults applied.
+    pub restarts: u64,
+    /// Coordinator counters at the end of the run.
+    pub coordinator: CoordinatorStats,
+    /// Drafter checkpoint-pipeline counters.
+    pub drafter: DrafterFaultStats,
+    /// The serving report of the (first) run.
+    pub report: ServeReport,
+    /// The invariant verdict.
+    pub invariants: InvariantReport,
+}
+
+/// Raw artifacts of a single execution, kept for cross-run comparison.
+struct RunArtifacts {
+    report: ServeReport,
+    requeued: u64,
+    crashes: u64,
+    restarts: u64,
+    orphaned: usize,
+    drained: bool,
+    dropped_ids: Vec<u64>,
+    kv_peaks: Vec<(usize, usize)>,
+    coordinator: CoordinatorStats,
+    drafter: DrafterFaultStats,
+    live_drafter: DraftModel,
+    violations: InvariantReport,
+}
+
+fn serve_config(scenario: &Scenario) -> ServeConfig {
+    let cost = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1);
+    let mut config = ServeConfig::new(cost, scenario.replicas).with_balancer(scenario.balancer);
+    if scenario.adaptive_sd {
+        config = config.with_sd_mode(SdMode::Adaptive {
+            config: SdManagerConfig::default(),
+        });
+    }
+    if scenario.preemption {
+        config = config.with_preemption();
+    }
+    config.max_output_tokens = 256;
+    config.seed = scenario.seed;
+    config
+}
+
+/// The drafter-side state the fault injector manipulates.
+struct DrafterPipeline {
+    target: TinyLm,
+    live: DraftModel,
+    vault: DrafterVault,
+    /// Version counter for "freshly trained" checkpoints.
+    next_version: u64,
+    trained_seed: u64,
+}
+
+impl DrafterPipeline {
+    fn new(seed: u64) -> Self {
+        let target = TinyLm::new(ModelConfig::micro(), seed.wrapping_add(1));
+        let live = DraftModel::new(&target, FeatureSource::LastLayer, seed.wrapping_add(2));
+        DrafterPipeline {
+            target,
+            live,
+            vault: DrafterVault::new(),
+            next_version: 1,
+            trained_seed: seed.wrapping_add(3),
+        }
+    }
+
+    /// A "freshly trained" checkpoint: new weights at the next version.
+    fn trained_candidate(&mut self) -> Vec<u8> {
+        self.trained_seed = self.trained_seed.wrapping_add(1);
+        let mut trained =
+            DraftModel::new(&self.target, FeatureSource::LastLayer, self.trained_seed);
+        trained.version = self.next_version;
+        self.next_version += 1;
+        serialize_trainable(&trained).to_vec()
+    }
+
+    /// Training preempted: the halted session hands over its newest checkpoint
+    /// and serving adopts it. Reports whether the swap succeeded.
+    fn on_training_preempt(&mut self, violations: &mut InvariantReport) {
+        let candidate = self.trained_candidate();
+        match self.vault.try_swap(&mut self.live, &candidate) {
+            SwapOutcome::Swapped { .. } => {}
+            other => violations.violate(
+                "checkpoint-guard",
+                format!("fresh checkpoint rejected: {other:?}"),
+            ),
+        }
+    }
+
+    /// A corrupt checkpoint arrives: both a truncated and a NaN-poisoned
+    /// variant must be rejected, the live drafter must be untouched, and a
+    /// last-good rollback must restore damaged weights bit-exactly.
+    fn on_corrupt_checkpoint(&mut self, violations: &mut InvariantReport) {
+        if self.vault.last_good_version() == 0 {
+            self.vault.commit(&self.live);
+        }
+        let before = self.live.clone();
+        let good = self.trained_candidate();
+
+        let mut truncated = good.clone();
+        truncated.truncate(truncated.len().saturating_sub(7));
+        if !matches!(
+            self.vault.try_swap(&mut self.live, &truncated),
+            SwapOutcome::RejectedCorrupt { .. }
+        ) {
+            violations.violate(
+                "checkpoint-guard",
+                "truncated checkpoint was not rejected".to_string(),
+            );
+        }
+
+        let mut poisoned = good;
+        // Poison the first fusion weight (after the version + shape headers).
+        let offset = 8 + 16;
+        poisoned[offset..offset + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        if !matches!(
+            self.vault.try_swap(&mut self.live, &poisoned),
+            SwapOutcome::RejectedCorrupt { .. }
+        ) {
+            violations.violate(
+                "checkpoint-guard",
+                "NaN-poisoned checkpoint was not rejected".to_string(),
+            );
+        }
+        if self.live != before {
+            violations.violate(
+                "checkpoint-guard",
+                "rejected checkpoint still mutated the live drafter".to_string(),
+            );
+        }
+
+        // Simulate a damaged in-memory drafter and roll back to last-good.
+        let pristine = serialize_trainable(&self.live);
+        for w in self.live.fusion.weight.as_mut_slice() {
+            *w = 0.0;
+        }
+        if !self.vault.restore_last_good(&mut self.live) {
+            violations.violate(
+                "checkpoint-guard",
+                "no last-good state to roll back to".to_string(),
+            );
+        }
+        // The vault's last-good is the most recent *committed* state, which by
+        // construction here equals the pre-damage live state.
+        if serialize_trainable(&self.live) != pristine {
+            violations.violate(
+                "checkpoint-guard",
+                "rollback did not restore the drafter bit-exactly".to_string(),
+            );
+        }
+    }
+
+    /// A stale checkpoint (not newer than the live drafter) must be rejected.
+    fn on_stale_checkpoint(&mut self, violations: &mut InvariantReport) {
+        let mut stale = self.live.clone();
+        stale.version = self.live.version; // same version: not newer
+        let data = serialize_trainable(&stale);
+        if !matches!(
+            self.vault.try_swap(&mut self.live, &data),
+            SwapOutcome::RejectedStale { .. }
+        ) {
+            violations.violate(
+                "checkpoint-guard",
+                "stale checkpoint was not rejected".to_string(),
+            );
+        }
+    }
+}
+
+/// Mirrors replica health/work onto coordinator worker states, emitting only
+/// transitions (so promotion counts stay meaningful).
+struct CoordinatorMirror {
+    coord: Coordinator,
+    reported: Vec<WorkerState>,
+}
+
+impl CoordinatorMirror {
+    fn new(workers: usize) -> Self {
+        CoordinatorMirror {
+            coord: Coordinator::new(workers, CoordinatorConfig::default()),
+            reported: vec![WorkerState::Busy; workers],
+        }
+    }
+
+    fn sync(&mut self, sim: &ServeSim, now: f64, violations: &mut InvariantReport) {
+        for (i, replica) in sim.replicas().iter().enumerate() {
+            let desired = if !replica.is_up() {
+                WorkerState::Failed
+            } else if replica.has_work() {
+                WorkerState::Busy
+            } else {
+                WorkerState::Idle
+            };
+            if desired != self.reported[i] {
+                self.coord.handle_event(
+                    WorkerEvent::StateChanged {
+                        worker: i,
+                        state: desired,
+                        at: now,
+                    },
+                    now,
+                );
+                self.reported[i] = desired;
+            }
+        }
+        check_coordinator(violations, &self.coord, "sync");
+    }
+
+    /// The end-of-run sweep: a preemption must always succeed, return every
+    /// live worker to BUSY, and leave failed workers failed.
+    fn final_sweep(&mut self, violations: &mut InvariantReport) {
+        self.coord.preempt_for_rollout();
+        check_coordinator(violations, &self.coord, "final-preempt");
+        if self.coord.training_session().is_some() {
+            violations.violate(
+                "coordinator-consistency",
+                "session survived the final preemption".to_string(),
+            );
+        }
+        for w in 0..self.coord.num_workers() {
+            let state = self.coord.worker_state(w);
+            let expected_failed = self.reported[w] == WorkerState::Failed;
+            let consistent = if expected_failed {
+                state == WorkerState::Failed
+            } else {
+                state == WorkerState::Busy
+            };
+            if !consistent {
+                violations.violate(
+                    "coordinator-consistency",
+                    format!("worker {w} is {state} after the final preemption"),
+                );
+            }
+        }
+    }
+}
+
+fn run_once(scenario: &Scenario) -> RunArtifacts {
+    let config = serve_config(scenario);
+    let arrivals = scenario.arrival_stream();
+    let faults = scenario.runtime_faults();
+    let mut sim = ServeSim::new(&config);
+    let mut mirror = CoordinatorMirror::new(scenario.replicas);
+    let mut drafter = DrafterPipeline::new(scenario.seed);
+    let mut violations = InvariantReport::new();
+
+    let mut ai = 0usize;
+    let mut fi = 0usize;
+    loop {
+        let t_arrival = arrivals.get(ai).map(|a| a.time_s()).unwrap_or(f64::MAX);
+        let t_fault = faults.get(fi).map(|f| f.at_s).unwrap_or(f64::MAX);
+        let t_step = sim.next_event_s();
+        if t_arrival == f64::MAX && t_fault == f64::MAX && t_step == f64::MAX {
+            break;
+        }
+        if sim.event_budget_exhausted() {
+            // advance_before can no longer make progress; bail out and let the
+            // `drained` invariant report the leftover work instead of spinning.
+            violations.violate(
+                "drained",
+                "event budget exhausted before the schedule completed".to_string(),
+            );
+            break;
+        }
+        // Tie order: faults, then arrivals, then step completions.
+        if t_fault <= t_arrival && t_fault <= t_step {
+            sim.advance_before(t_fault);
+            sim.advance_now(t_fault);
+            match faults[fi].kind {
+                FaultKind::ReplicaCrash { replica } => {
+                    sim.crash_replica(replica);
+                }
+                FaultKind::ReplicaRestart { replica } => sim.restart_replica(replica),
+                FaultKind::SlowReplica { replica, factor } => sim.set_slow_factor(replica, factor),
+                FaultKind::TrainingPreempt => {
+                    mirror.coord.preempt_for_rollout();
+                    mirror.reported = mirror
+                        .reported
+                        .iter()
+                        .map(|&s| {
+                            if s == WorkerState::Failed {
+                                WorkerState::Failed
+                            } else {
+                                WorkerState::Busy
+                            }
+                        })
+                        .collect();
+                    drafter.on_training_preempt(&mut violations);
+                }
+                FaultKind::CheckpointCorrupt => drafter.on_corrupt_checkpoint(&mut violations),
+                FaultKind::CheckpointStale => drafter.on_stale_checkpoint(&mut violations),
+                FaultKind::ArrivalStorm { .. } => {
+                    unreachable!("storms are folded into the arrival stream")
+                }
+            }
+            fi += 1;
+            mirror.sync(&sim, t_fault, &mut violations);
+        } else if t_arrival <= t_step {
+            sim.advance_before(t_arrival);
+            sim.offer(ServeRequest::from_arrival(&arrivals[ai]));
+            ai += 1;
+            mirror.sync(&sim, t_arrival, &mut violations);
+        } else {
+            let horizon = t_arrival.min(t_fault);
+            sim.advance_before(horizon);
+            mirror.sync(&sim, sim.now_s(), &mut violations);
+        }
+    }
+    mirror.final_sweep(&mut violations);
+
+    let (crashes, restarts) = sim.fault_counts();
+    let requeued = sim.requeued();
+    let orphaned = sim.orphaned();
+    let drained = !sim.has_work();
+    let dropped_ids = sim.dropped_ids();
+    let kv_peaks = sim
+        .replicas()
+        .iter()
+        .map(|r| (r.peak_kv_tokens(), r.kv_budget()))
+        .collect();
+    let (swaps, rejected_corrupt, rejected_stale, rollbacks) = drafter.vault.counters();
+    RunArtifacts {
+        report: sim.into_report(),
+        requeued,
+        crashes,
+        restarts,
+        orphaned,
+        drained,
+        dropped_ids,
+        kv_peaks,
+        coordinator: mirror.coord.stats(),
+        drafter: DrafterFaultStats {
+            swaps,
+            rejected_corrupt,
+            rejected_stale,
+            rollbacks,
+        },
+        live_drafter: drafter.live,
+        violations,
+    }
+}
+
+/// Token-level losslessness probe: with the *post-fault* serving drafter, greedy
+/// speculative decoding — including a mid-generation swap to a second drafter —
+/// must emit exactly the vanilla sequence.
+fn check_losslessness(scenario: &Scenario, live: &DraftModel, report: &mut InvariantReport) {
+    if validate_trainable(&serialize_trainable(live)).is_err() {
+        report.violate(
+            "losslessness",
+            "post-fault serving drafter holds invalid weights".to_string(),
+        );
+        return;
+    }
+    let target = TinyLm::new(ModelConfig::micro(), scenario.seed.wrapping_add(1));
+    let other = DraftModel::new(
+        &target,
+        FeatureSource::LastLayer,
+        scenario.seed.wrapping_add(9),
+    );
+    let params = SamplingParams::greedy();
+    let strategy = SdStrategy {
+        draft_depth: 4,
+        top_k: 1,
+        tokens_to_verify: 4,
+    };
+    for p in 0..3u64 {
+        let prompt: Vec<u32> = vec![1 + (p as u32 % 5), 4, 2, 8];
+        let mut rng = StdRng::seed_from_u64(p);
+        let vanilla = vanilla_generate(&target, &prompt, 24, params, None, &mut rng);
+        let spec_live = SpecDrafter::Learned(live);
+        let spec_other = SpecDrafter::Learned(&other);
+        let mut rng = StdRng::seed_from_u64(p + 100);
+        let swapped = speculative_generate_with_swap(
+            &target,
+            &[(2, &spec_live), (usize::MAX, &spec_other)],
+            &prompt,
+            24,
+            strategy,
+            params,
+            None,
+            &mut rng,
+        );
+        if swapped.tokens != vanilla.tokens {
+            report.violate(
+                "losslessness",
+                format!(
+                    "prompt {p}: speculative output diverged across a drafter swap \
+                     ({} vs {} tokens)",
+                    swapped.tokens.len(),
+                    vanilla.tokens.len()
+                ),
+            );
+        }
+    }
+}
+
+fn check_determinism(a: &RunArtifacts, b: &RunArtifacts, report: &mut InvariantReport) {
+    if a.report.completed != b.report.completed {
+        report.violate(
+            "seed-determinism",
+            "per-request completion records differ between identical runs".to_string(),
+        );
+    }
+    if a.report.makespan_s != b.report.makespan_s
+        || a.report.throughput_tokens_per_s != b.report.throughput_tokens_per_s
+    {
+        report.violate(
+            "seed-determinism",
+            "aggregate metrics differ between identical runs".to_string(),
+        );
+    }
+    if (a.requeued, a.crashes, a.restarts, a.orphaned)
+        != (b.requeued, b.crashes, b.restarts, b.orphaned)
+    {
+        report.violate(
+            "seed-determinism",
+            "fault accounting differs between identical runs".to_string(),
+        );
+    }
+    if a.coordinator != b.coordinator {
+        report.violate(
+            "seed-determinism",
+            "coordinator stats differ between identical runs".to_string(),
+        );
+    }
+    if a.drafter != b.drafter || a.live_drafter != b.live_drafter {
+        report.violate(
+            "seed-determinism",
+            "drafter pipeline state differs between identical runs".to_string(),
+        );
+    }
+}
+
+/// Runs one scenario (twice, for the determinism invariant) and returns the
+/// outcome with its invariant verdict.
+pub fn run_scenario(scenario: &Scenario) -> ChaosOutcome {
+    let arrivals = scenario.arrival_stream();
+    let first = run_once(scenario);
+    let second = run_once(scenario);
+
+    let mut invariants = first.violations.clone();
+
+    // Request conservation: every arrival completes or drops exactly once.
+    let arrival_ids: Vec<u64> = arrivals.iter().map(|a| a.id).collect();
+    let completed_ids: Vec<u64> = first.report.completed.iter().map(|r| r.id).collect();
+    check_conservation(
+        &mut invariants,
+        &arrival_ids,
+        &completed_ids,
+        &first.dropped_ids,
+    );
+
+    // KV budget: no replica ever started a step over budget.
+    for (replica, &(peak, budget)) in first.kv_peaks.iter().enumerate() {
+        if peak > budget {
+            invariants.violate(
+                "kv-budget",
+                format!("replica {replica} peaked at {peak} KV tokens (budget {budget})"),
+            );
+        }
+    }
+
+    // The deployment drained (nothing queued, running, in flight, or orphaned).
+    if !first.drained {
+        invariants.violate(
+            "drained",
+            format!(
+                "work left behind at end of schedule ({} orphaned)",
+                first.orphaned
+            ),
+        );
+    }
+
+    check_losslessness(scenario, &first.live_drafter, &mut invariants);
+    check_determinism(&first, &second, &mut invariants);
+
+    ChaosOutcome {
+        scenario: scenario.clone(),
+        arrivals: arrivals.len(),
+        completed: first.report.completed.len(),
+        dropped: first.report.dropped,
+        requeued: first.requeued,
+        crashes: first.crashes,
+        restarts: first.restarts,
+        coordinator: first.coordinator,
+        drafter: first.drafter,
+        report: first.report,
+        invariants,
+    }
+}
+
+/// Runs every scenario in the pinned matrix.
+pub fn run_pinned_matrix() -> Vec<ChaosOutcome> {
+    crate::scenario::pinned_matrix()
+        .iter()
+        .map(run_scenario)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn baseline_scenario_passes_every_invariant() {
+        let outcome = run_scenario(
+            &Scenario::builder("unit-baseline")
+                .seed(1)
+                .arrivals(4.0, 5.0)
+                .build(),
+        );
+        assert!(
+            outcome.invariants.passed(),
+            "violations: {:?}",
+            outcome.invariants.violations
+        );
+        assert_eq!(outcome.completed + outcome.dropped, outcome.arrivals);
+        assert_eq!(outcome.crashes, 0);
+    }
+
+    #[test]
+    fn crash_scenario_requeues_and_still_conserves() {
+        let outcome = run_scenario(
+            &Scenario::builder("unit-crash")
+                .seed(2)
+                .replicas(3)
+                .arrivals(20.0, 6.0)
+                .crash(2.5, 1)
+                .build(),
+        );
+        assert!(
+            outcome.invariants.passed(),
+            "violations: {:?}",
+            outcome.invariants.violations
+        );
+        assert!(outcome.requeued > 0, "the crash must drain live requests");
+        assert_eq!(outcome.crashes, 1);
+        assert!(outcome.coordinator.workers_failed >= 1);
+    }
+
+    #[test]
+    fn checkpoint_faults_are_rejected_and_counted() {
+        let outcome = run_scenario(
+            &Scenario::builder("unit-ckpt")
+                .seed(3)
+                .arrivals(3.0, 5.0)
+                .preempt_training(1.0)
+                .corrupt_checkpoint(2.0)
+                .stale_checkpoint(3.0)
+                .build(),
+        );
+        assert!(
+            outcome.invariants.passed(),
+            "violations: {:?}",
+            outcome.invariants.violations
+        );
+        assert_eq!(outcome.drafter.swaps, 1, "the preempt commit swaps once");
+        assert_eq!(outcome.drafter.rejected_corrupt, 2, "both corrupt variants");
+        assert_eq!(outcome.drafter.rejected_stale, 1);
+        assert_eq!(outcome.drafter.rollbacks, 1);
+    }
+}

@@ -1,0 +1,521 @@
+//! The scenario DSL: composable fault schedules over a serving deployment.
+//!
+//! A [`Scenario`] is a pure value — a workload (seeded Poisson arrivals), a
+//! deployment shape, and a time-ordered list of [`FaultEvent`]s — built through
+//! [`ScenarioBuilder`]. Identical scenarios replay identically; the pinned
+//! [`pinned_matrix`] is the repository's standing chaos suite.
+
+use serde::Serialize;
+use tlt_serve::BalancerPolicy;
+use tlt_workload::{
+    generate_arrivals, merge_arrival_streams, shift_arrivals, ArrivalConfig, LengthDistribution,
+    RateCurve, RequestArrival,
+};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultKind {
+    /// Kill a replica: its in-flight step is lost and every held request fails
+    /// over to the survivors (or the orphan buffer if none are up).
+    ReplicaCrash {
+        /// Which replica dies.
+        replica: usize,
+    },
+    /// Bring a crashed replica back; orphaned requests are re-delivered.
+    ReplicaRestart {
+        /// Which replica restarts.
+        replica: usize,
+    },
+    /// Degrade a replica's step durations by a multiplicative factor.
+    SlowReplica {
+        /// Which replica becomes a straggler.
+        replica: usize,
+        /// Step-duration multiplier (> 1.0 is slower).
+        factor: f64,
+    },
+    /// Preempt any ongoing drafter-training session for rollout work; the
+    /// training side commits a fresh drafter checkpoint on the way out.
+    TrainingPreempt,
+    /// Deliver a corrupt drafter checkpoint (bit-flipped and truncated
+    /// variants); the serving drafter must reject it and keep the last good.
+    CheckpointCorrupt,
+    /// Deliver a stale drafter checkpoint (not newer than the live drafter);
+    /// it must be rejected as stale.
+    CheckpointStale,
+    /// Inject a burst of extra arrivals at this point in the timeline.
+    ArrivalStorm {
+        /// Burst arrival rate (requests per second).
+        burst_rps: f64,
+        /// Burst duration in seconds.
+        duration_s: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short display label.
+    pub fn label(&self) -> String {
+        match self {
+            FaultKind::ReplicaCrash { replica } => format!("crash(r{replica})"),
+            FaultKind::ReplicaRestart { replica } => format!("restart(r{replica})"),
+            FaultKind::SlowReplica { replica, factor } => {
+                format!("slow(r{replica},x{factor})")
+            }
+            FaultKind::TrainingPreempt => "preempt-training".to_string(),
+            FaultKind::CheckpointCorrupt => "ckpt-corrupt".to_string(),
+            FaultKind::CheckpointStale => "ckpt-stale".to_string(),
+            FaultKind::ArrivalStorm {
+                burst_rps,
+                duration_s,
+            } => format!("storm({burst_rps}rps,{duration_s}s)"),
+        }
+    }
+}
+
+/// A fault scheduled at a point on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultEvent {
+    /// Simulated time the fault fires, in seconds.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete chaos scenario: deployment, workload, and fault schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct Scenario {
+    /// Scenario name (unique within a matrix).
+    pub name: String,
+    /// Seed for the arrival stream, replica tuners, and the token-level
+    /// losslessness probe.
+    pub seed: u64,
+    /// Number of replicas behind the frontend.
+    pub replicas: usize,
+    /// Base arrival rate in requests per second.
+    pub rps: f64,
+    /// Arrival horizon in simulated seconds.
+    pub horizon_s: f64,
+    /// Request routing policy.
+    pub balancer: BalancerPolicy,
+    /// Whether the replicas run the adaptive SD manager (vanilla decoding
+    /// otherwise).
+    pub adaptive_sd: bool,
+    /// Optimistic KV admission with preemption (conservative otherwise).
+    pub preemption: bool,
+    /// Fault schedule, sorted by time.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl Scenario {
+    /// Starts building a scenario with sane defaults: 2 replicas,
+    /// join-shortest-queue, 6 req/s over 10 s, vanilla decoding, conservative
+    /// admission, no faults.
+    pub fn builder(name: &str) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.to_string(),
+                seed: 2026,
+                replicas: 2,
+                rps: 6.0,
+                horizon_s: 10.0,
+                balancer: BalancerPolicy::JoinShortestQueue,
+                adaptive_sd: false,
+                preemption: false,
+                faults: Vec::new(),
+            },
+        }
+    }
+
+    /// The complete arrival stream: the base Poisson stream merged with every
+    /// scheduled storm burst, re-indexed into one timeline.
+    pub fn arrival_stream(&self) -> Vec<RequestArrival> {
+        let lengths = LengthDistribution::LongTailMixture {
+            mu: 4.0,
+            sigma: 0.8,
+            truncation_mass: 0.02,
+            max_len: 256,
+        };
+        let base = generate_arrivals(&ArrivalConfig {
+            curve: RateCurve::Constant { rps: self.rps },
+            horizon_s: self.horizon_s,
+            prompt_len_range: (64, 192),
+            output_lengths: lengths.clone(),
+            seed: self.seed,
+        });
+        let mut streams = vec![base];
+        for (i, fault) in self.faults.iter().enumerate() {
+            if let FaultKind::ArrivalStorm {
+                burst_rps,
+                duration_s,
+            } = fault.kind
+            {
+                let mut burst = generate_arrivals(&ArrivalConfig {
+                    curve: RateCurve::Constant { rps: burst_rps },
+                    horizon_s: duration_s,
+                    prompt_len_range: (64, 192),
+                    output_lengths: lengths.clone(),
+                    seed: self.seed ^ (0x0057_0412 + i as u64),
+                });
+                shift_arrivals(&mut burst, fault.at_s);
+                streams.push(burst);
+            }
+        }
+        merge_arrival_streams(streams)
+    }
+
+    /// The faults in schedule order, storms excluded (storms are folded into
+    /// the arrival stream, not replayed at runtime).
+    pub fn runtime_faults(&self) -> Vec<FaultEvent> {
+        self.faults
+            .iter()
+            .filter(|f| !matches!(f.kind, FaultKind::ArrivalStorm { .. }))
+            .copied()
+            .collect()
+    }
+
+    /// Compact schedule description, e.g. `crash(r1)@3 restart(r1)@6`.
+    pub fn schedule_label(&self) -> String {
+        if self.faults.is_empty() {
+            return "none".to_string();
+        }
+        self.faults
+            .iter()
+            .map(|f| format!("{}@{}", f.kind.label(), f.at_s))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Fluent builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the scenario seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Sets the number of replicas.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        self.scenario.replicas = replicas;
+        self
+    }
+
+    /// Sets the base arrival rate and horizon.
+    pub fn arrivals(mut self, rps: f64, horizon_s: f64) -> Self {
+        assert!(
+            rps > 0.0 && horizon_s > 0.0,
+            "rate and horizon must be positive"
+        );
+        self.scenario.rps = rps;
+        self.scenario.horizon_s = horizon_s;
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn balancer(mut self, policy: BalancerPolicy) -> Self {
+        self.scenario.balancer = policy;
+        self
+    }
+
+    /// Enables the adaptive speculative-decoding manager on every replica.
+    pub fn adaptive_sd(mut self) -> Self {
+        self.scenario.adaptive_sd = true;
+        self
+    }
+
+    /// Enables optimistic KV admission with preemption.
+    pub fn preemption(mut self) -> Self {
+        self.scenario.preemption = true;
+        self
+    }
+
+    /// Schedules an arbitrary fault.
+    pub fn fault(mut self, at_s: f64, kind: FaultKind) -> Self {
+        assert!(at_s >= 0.0, "fault time must be non-negative");
+        self.scenario.faults.push(FaultEvent { at_s, kind });
+        self
+    }
+
+    /// Schedules a replica crash.
+    pub fn crash(self, at_s: f64, replica: usize) -> Self {
+        self.fault(at_s, FaultKind::ReplicaCrash { replica })
+    }
+
+    /// Schedules a replica restart.
+    pub fn restart(self, at_s: f64, replica: usize) -> Self {
+        self.fault(at_s, FaultKind::ReplicaRestart { replica })
+    }
+
+    /// Schedules a slow-down (or, with `factor = 1.0`, a speed restore).
+    pub fn slow(self, at_s: f64, replica: usize, factor: f64) -> Self {
+        self.fault(at_s, FaultKind::SlowReplica { replica, factor })
+    }
+
+    /// Schedules a training preemption (commits a fresh drafter checkpoint).
+    pub fn preempt_training(self, at_s: f64) -> Self {
+        self.fault(at_s, FaultKind::TrainingPreempt)
+    }
+
+    /// Schedules delivery of a corrupt drafter checkpoint.
+    pub fn corrupt_checkpoint(self, at_s: f64) -> Self {
+        self.fault(at_s, FaultKind::CheckpointCorrupt)
+    }
+
+    /// Schedules delivery of a stale drafter checkpoint.
+    pub fn stale_checkpoint(self, at_s: f64) -> Self {
+        self.fault(at_s, FaultKind::CheckpointStale)
+    }
+
+    /// Schedules an arrival storm.
+    pub fn storm(self, at_s: f64, burst_rps: f64, duration_s: f64) -> Self {
+        self.fault(
+            at_s,
+            FaultKind::ArrivalStorm {
+                burst_rps,
+                duration_s,
+            },
+        )
+    }
+
+    /// Finalises the scenario: validates replica indices, sorts the fault
+    /// schedule by time (stable, so same-time faults keep insertion order), and
+    /// rejects impossible schedules (crashing a replica that is already down,
+    /// restarting one that never crashed) so authoring mistakes fail loudly at
+    /// build time instead of panicking deep inside the harness.
+    pub fn build(mut self) -> Scenario {
+        for fault in &self.scenario.faults {
+            let replica = match fault.kind {
+                FaultKind::ReplicaCrash { replica }
+                | FaultKind::ReplicaRestart { replica }
+                | FaultKind::SlowReplica { replica, .. } => replica,
+                _ => 0,
+            };
+            assert!(
+                replica < self.scenario.replicas,
+                "fault targets replica {replica} but the deployment has {}",
+                self.scenario.replicas
+            );
+        }
+        self.scenario
+            .faults
+            .sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite fault times"));
+        let mut up = vec![true; self.scenario.replicas];
+        for fault in &self.scenario.faults {
+            match fault.kind {
+                FaultKind::ReplicaCrash { replica } => {
+                    assert!(
+                        up[replica],
+                        "crash of replica {replica} at t={}: it is already down",
+                        fault.at_s
+                    );
+                    up[replica] = false;
+                }
+                FaultKind::ReplicaRestart { replica } => {
+                    assert!(
+                        !up[replica],
+                        "restart of replica {replica} at t={}: it never crashed",
+                        fault.at_s
+                    );
+                    up[replica] = true;
+                }
+                _ => {}
+            }
+        }
+        self.scenario
+    }
+}
+
+/// The pinned scenario matrix: the standing chaos suite every PR must keep
+/// green (run by `experiments -- chaos` and the `chaos-suite` CI job). Each
+/// scenario is deliberately small — the whole matrix (with its double-run
+/// determinism check) finishes in seconds.
+pub fn pinned_matrix() -> Vec<Scenario> {
+    vec![
+        Scenario::builder("baseline-no-faults")
+            .seed(11)
+            .replicas(2)
+            .arrivals(6.0, 8.0)
+            .build(),
+        Scenario::builder("crash-failover")
+            .seed(12)
+            .replicas(3)
+            .arrivals(8.0, 8.0)
+            .crash(3.0, 1)
+            .build(),
+        Scenario::builder("crash-then-restart")
+            .seed(13)
+            .replicas(2)
+            .arrivals(14.0, 10.0)
+            .crash(3.0, 0)
+            .restart(6.0, 0)
+            .build(),
+        Scenario::builder("rolling-crashes")
+            .seed(14)
+            .replicas(3)
+            .arrivals(7.0, 12.0)
+            .crash(2.0, 0)
+            .restart(4.5, 0)
+            .crash(6.0, 1)
+            .restart(8.5, 1)
+            .crash(9.0, 2)
+            .restart(10.5, 2)
+            .build(),
+        Scenario::builder("lone-replica-crash-recovers")
+            .seed(15)
+            .replicas(1)
+            .arrivals(6.0, 4.0)
+            .crash(2.0, 0)
+            .restart(3.5, 0)
+            .build(),
+        Scenario::builder("slow-replica-straggler")
+            .seed(16)
+            .replicas(2)
+            .arrivals(6.0, 10.0)
+            .slow(2.0, 1, 4.0)
+            .slow(7.0, 1, 1.0)
+            .build(),
+        Scenario::builder("training-preempt-churn")
+            .seed(17)
+            .replicas(3)
+            .arrivals(2.0, 10.0)
+            .preempt_training(2.5)
+            .preempt_training(5.0)
+            .preempt_training(7.5)
+            .build(),
+        Scenario::builder("checkpoint-corrupt")
+            .seed(18)
+            .replicas(2)
+            .arrivals(5.0, 8.0)
+            .adaptive_sd()
+            .preempt_training(2.0)
+            .corrupt_checkpoint(4.0)
+            .build(),
+        Scenario::builder("checkpoint-stale")
+            .seed(19)
+            .replicas(2)
+            .arrivals(5.0, 8.0)
+            .adaptive_sd()
+            .preempt_training(2.0)
+            .stale_checkpoint(4.0)
+            .build(),
+        Scenario::builder("arrival-storm")
+            .seed(20)
+            .replicas(2)
+            .arrivals(4.0, 12.0)
+            .adaptive_sd()
+            .storm(4.0, 30.0, 2.0)
+            .build(),
+        Scenario::builder("storm-under-preemption")
+            .seed(21)
+            .replicas(2)
+            .arrivals(4.0, 12.0)
+            .preemption()
+            .storm(3.0, 40.0, 2.0)
+            .build(),
+        Scenario::builder("kitchen-sink")
+            .seed(22)
+            .replicas(3)
+            .arrivals(12.0, 14.0)
+            .adaptive_sd()
+            .slow(1.0, 2, 3.0)
+            .preempt_training(2.0)
+            .crash(3.0, 1)
+            .storm(4.0, 25.0, 2.0)
+            .corrupt_checkpoint(5.0)
+            .restart(6.5, 1)
+            .stale_checkpoint(7.0)
+            .crash(8.0, 0)
+            .preempt_training(9.0)
+            .restart(10.0, 0)
+            .slow(11.0, 2, 1.0)
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_faults_and_validates_targets() {
+        let s = Scenario::builder("t")
+            .replicas(3)
+            .restart(6.0, 1)
+            .crash(3.0, 1)
+            .build();
+        assert_eq!(s.faults[0].kind, FaultKind::ReplicaCrash { replica: 1 });
+        assert_eq!(s.faults[1].kind, FaultKind::ReplicaRestart { replica: 1 });
+        assert!(s.schedule_label().contains("crash(r1)@3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault targets replica")]
+    fn out_of_range_fault_target_panics() {
+        let _ = Scenario::builder("t").replicas(2).crash(1.0, 5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "never crashed")]
+    fn restart_without_a_crash_is_rejected_at_build_time() {
+        let _ = Scenario::builder("t").replicas(1).restart(1.0, 0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_crash_is_rejected_at_build_time() {
+        let _ = Scenario::builder("t")
+            .replicas(2)
+            .crash(1.0, 0)
+            .crash(2.0, 0)
+            .build();
+    }
+
+    #[test]
+    fn storms_extend_the_arrival_stream_deterministically() {
+        let base = Scenario::builder("b").seed(7).arrivals(5.0, 10.0).build();
+        let stormy = Scenario::builder("s")
+            .seed(7)
+            .arrivals(5.0, 10.0)
+            .storm(4.0, 40.0, 1.5)
+            .build();
+        let plain = base.arrival_stream();
+        let with_storm = stormy.arrival_stream();
+        assert!(with_storm.len() > plain.len() + 20);
+        assert_eq!(with_storm, stormy.arrival_stream());
+        for (i, a) in with_storm.iter().enumerate() {
+            assert_eq!(a.id, i as u64);
+        }
+        assert!(
+            stormy.runtime_faults().is_empty(),
+            "storms are not runtime faults"
+        );
+    }
+
+    #[test]
+    fn pinned_matrix_has_unique_names_and_covers_every_fault_kind() {
+        let matrix = pinned_matrix();
+        let mut names: Vec<&str> = matrix.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate scenario names");
+        let has = |pred: &dyn Fn(&FaultKind) -> bool| {
+            matrix
+                .iter()
+                .flat_map(|s| s.faults.iter())
+                .any(|f| pred(&f.kind))
+        };
+        assert!(has(&|k| matches!(k, FaultKind::ReplicaCrash { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::ReplicaRestart { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::SlowReplica { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::TrainingPreempt)));
+        assert!(has(&|k| matches!(k, FaultKind::CheckpointCorrupt)));
+        assert!(has(&|k| matches!(k, FaultKind::CheckpointStale)));
+        assert!(has(&|k| matches!(k, FaultKind::ArrivalStorm { .. })));
+    }
+}

@@ -48,8 +48,17 @@ pub struct CoordinatorStats {
     pub sessions_preempted: u64,
     /// Number of workers promoted to training over the run.
     pub workers_promoted: u64,
+    /// Number of workers that left a session early (failure or rollout work),
+    /// without the whole session being preempted.
+    pub members_departed: u64,
     /// Total state-transition events processed.
     pub events_processed: u64,
+    /// Worker-failure events processed.
+    pub workers_failed: u64,
+    /// Times the training leader died and a surviving member was re-elected.
+    pub leader_reelections: u64,
+    /// Sessions dissolved because their last member failed or left.
+    pub sessions_dissolved: u64,
 }
 
 /// The centralized coordinator (runs on "rank 0").
@@ -133,12 +142,82 @@ impl Coordinator {
                 }
                 self.states[worker] = state;
                 match state {
-                    WorkerState::Idle => self.maybe_start_or_join_training(worker, now_s),
-                    WorkerState::Busy => Vec::new(),
-                    WorkerState::Training => Vec::new(),
+                    WorkerState::Idle => {
+                        if prev == WorkerState::Training {
+                            // A worker that stopped training (finished or locally
+                            // preempted) leaves the session and sits out until the
+                            // next promotion sweep — instantly re-promoting the
+                            // worker that just told us it stopped would be churn.
+                            self.remove_from_session(worker)
+                        } else {
+                            self.maybe_start_or_join_training(worker, now_s)
+                        }
+                    }
+                    WorkerState::Busy => {
+                        // A training member that picked up rollout work leaves its
+                        // session (hard preemption of one member): the membership
+                        // must not dangle, and a dead leader's seat is re-elected.
+                        if prev == WorkerState::Training {
+                            self.remove_from_session(worker)
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                    WorkerState::Training => {
+                        // A promoted worker acking StartTraining is idempotent
+                        // (it is already a member). An uninvited training report
+                        // joins the active session if one exists; with no active
+                        // session it is rejected — a worker cannot spot-train
+                        // outside a coordinated session, so membership always
+                        // covers every TRAINING worker.
+                        match self.session.as_mut() {
+                            Some(session) => {
+                                if !session.members.contains(&worker) {
+                                    session.members.push(worker);
+                                    self.stats.workers_promoted += 1;
+                                }
+                            }
+                            None => self.states[worker] = prev,
+                        }
+                        Vec::new()
+                    }
+                    WorkerState::Failed => {
+                        self.stats.workers_failed += 1;
+                        self.active_requests[worker] = 0;
+                        self.remove_from_session(worker)
+                    }
                 }
             }
         }
+    }
+
+    /// Removes a worker from the active training session (if it is a member):
+    /// the session dissolves when it was the last member, and a new leader —
+    /// the lowest-indexed survivor — is elected when the departing worker led
+    /// the session. Returns the commands issued (at most one leader promotion).
+    fn remove_from_session(&mut self, worker: usize) -> Vec<(usize, CoordinatorCommand)> {
+        let mut commands = Vec::new();
+        let Some(session) = self.session.as_mut() else {
+            return commands;
+        };
+        let Some(pos) = session.members.iter().position(|&w| w == worker) else {
+            return commands;
+        };
+        session.members.remove(pos);
+        self.stats.members_departed += 1;
+        if session.members.is_empty() {
+            self.session = None;
+            self.stats.sessions_dissolved += 1;
+        } else if session.leader == worker {
+            let new_leader = *session.members.iter().min().expect("non-empty members");
+            session.leader = new_leader;
+            self.stats.leader_reelections += 1;
+            commands.push((
+                new_leader,
+                CoordinatorCommand::StartTraining { leader: true },
+            ));
+        }
+        commands
     }
 
     fn maybe_start_or_join_training(
@@ -188,8 +267,10 @@ impl Coordinator {
     }
 
     /// Called when the rollout stage completes (or new rollout work arrives): any
-    /// ongoing training is halted gracefully and every worker is returned to BUSY
-    /// for the next stage. Returns the issued commands.
+    /// ongoing training is halted gracefully and every *live* worker is returned
+    /// to BUSY for the next stage — failed workers stay failed (a preemption must
+    /// not resurrect a crashed worker) and receive no rollout command. Returns
+    /// the issued commands.
     pub fn preempt_for_rollout(&mut self) -> Vec<(usize, CoordinatorCommand)> {
         let mut commands = Vec::new();
         if let Some(session) = self.session.take() {
@@ -199,6 +280,9 @@ impl Coordinator {
             }
         }
         for (w, state) in self.states.iter_mut().enumerate() {
+            if *state == WorkerState::Failed {
+                continue;
+            }
             *state = WorkerState::Busy;
             commands.push((w, CoordinatorCommand::StartRollout));
         }
@@ -315,6 +399,115 @@ mod tests {
         );
         assert!(commands.is_empty());
         assert_eq!(coord.worker_state(0), WorkerState::Busy);
+    }
+
+    fn failed_event(worker: usize, at: f64) -> WorkerEvent {
+        WorkerEvent::StateChanged {
+            worker,
+            state: WorkerState::Failed,
+            at,
+        }
+    }
+
+    #[test]
+    fn leader_failure_reelects_the_lowest_surviving_member() {
+        let mut coord = Coordinator::new(4, CoordinatorConfig::default());
+        coord.handle_event(idle_event(1, 0.0), 0.0); // leader
+        coord.handle_event(idle_event(3, 1.0), 1.0);
+        coord.handle_event(idle_event(2, 2.0), 2.0);
+        let commands = coord.handle_event(failed_event(1, 3.0), 3.0);
+        assert_eq!(
+            commands,
+            vec![(2, CoordinatorCommand::StartTraining { leader: true })]
+        );
+        let session = coord.training_session().expect("session survives");
+        assert_eq!(session.leader, 2);
+        assert_eq!(session.members, vec![3, 2]);
+        assert_eq!(coord.worker_state(1), WorkerState::Failed);
+        assert_eq!(coord.stats().leader_reelections, 1);
+        assert_eq!(coord.stats().workers_failed, 1);
+    }
+
+    #[test]
+    fn non_leader_failure_just_shrinks_the_session() {
+        let mut coord = Coordinator::new(3, CoordinatorConfig::default());
+        coord.handle_event(idle_event(0, 0.0), 0.0);
+        coord.handle_event(idle_event(2, 1.0), 1.0);
+        let commands = coord.handle_event(failed_event(2, 2.0), 2.0);
+        assert!(commands.is_empty());
+        let session = coord.training_session().expect("session survives");
+        assert_eq!(session.leader, 0);
+        assert_eq!(session.members, vec![0]);
+        assert_eq!(coord.stats().leader_reelections, 0);
+    }
+
+    #[test]
+    fn last_member_failure_dissolves_the_session() {
+        let mut coord = Coordinator::new(2, CoordinatorConfig::default());
+        coord.handle_event(idle_event(0, 0.0), 0.0);
+        let commands = coord.handle_event(failed_event(0, 1.0), 1.0);
+        assert!(commands.is_empty());
+        assert!(coord.training_session().is_none());
+        assert_eq!(coord.stats().sessions_dissolved, 1);
+        // A later idle worker starts a brand-new session.
+        coord.handle_event(idle_event(1, 2.0), 2.0);
+        assert_eq!(coord.training_session().unwrap().leader, 1);
+        assert_eq!(coord.stats().sessions_started, 2);
+    }
+
+    #[test]
+    fn preemption_does_not_resurrect_failed_workers() {
+        let mut coord = Coordinator::new(3, CoordinatorConfig::default());
+        coord.handle_event(idle_event(0, 0.0), 0.0);
+        coord.handle_event(failed_event(2, 1.0), 1.0);
+        let commands = coord.preempt_for_rollout();
+        assert_eq!(coord.worker_state(2), WorkerState::Failed, "stays failed");
+        assert!(
+            !commands.iter().any(|(w, _)| *w == 2),
+            "no command to a dead worker"
+        );
+        assert_eq!(coord.worker_state(0), WorkerState::Busy);
+        assert_eq!(coord.worker_state(1), WorkerState::Busy);
+    }
+
+    #[test]
+    fn training_member_picking_up_rollout_work_leaves_the_session() {
+        let mut coord = Coordinator::new(3, CoordinatorConfig::default());
+        coord.handle_event(idle_event(0, 0.0), 0.0); // leader
+        coord.handle_event(idle_event(1, 1.0), 1.0);
+        // Worker 0 (the leader) reports Busy: hard preemption of one member.
+        let commands = coord.handle_event(
+            WorkerEvent::StateChanged {
+                worker: 0,
+                state: WorkerState::Busy,
+                at: 2.0,
+            },
+            2.0,
+        );
+        assert_eq!(
+            commands,
+            vec![(1, CoordinatorCommand::StartTraining { leader: true })]
+        );
+        let session = coord.training_session().expect("session survives");
+        assert_eq!(session.leader, 1);
+        assert_eq!(session.members, vec![1]);
+        assert_eq!(coord.stats().members_departed, 1);
+    }
+
+    #[test]
+    fn failed_worker_restarts_through_idle_and_rejoins_training() {
+        let mut coord = Coordinator::new(2, CoordinatorConfig::default());
+        coord.handle_event(idle_event(0, 0.0), 0.0);
+        coord.handle_event(failed_event(1, 1.0), 1.0);
+        // A failed worker cannot be promoted directly...
+        assert_eq!(coord.worker_state(1), WorkerState::Failed);
+        // ...but after restarting into Idle it joins the running session.
+        let commands = coord.handle_event(idle_event(1, 2.0), 2.0);
+        assert_eq!(
+            commands,
+            vec![(1, CoordinatorCommand::StartTraining { leader: false })]
+        );
+        assert_eq!(coord.training_session().unwrap().members, vec![0, 1]);
     }
 
     #[test]

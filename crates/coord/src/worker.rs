@@ -17,6 +17,9 @@ pub enum WorkerState {
     Idle,
     /// Running opportunistic drafter training.
     Training,
+    /// Crashed / unreachable; holds no work and cannot be promoted until it
+    /// reports back as Busy or Idle (restart).
+    Failed,
 }
 
 impl fmt::Display for WorkerState {
@@ -25,6 +28,7 @@ impl fmt::Display for WorkerState {
             WorkerState::Busy => "BUSY",
             WorkerState::Idle => "IDLE",
             WorkerState::Training => "TRAINING",
+            WorkerState::Failed => "FAILED",
         };
         f.write_str(s)
     }
@@ -37,9 +41,16 @@ impl WorkerState {
     /// Training → Idle (preempted or finished), Idle → Busy (new rollout step),
     /// Training → Busy (hard preemption when rollout work arrives immediately),
     /// Busy → Busy / Idle → Idle (idempotent notifications) are allowed.
-    /// Busy → Training is *not* allowed: a worker must drain first.
+    /// Any state can transition to Failed (crashes don't ask permission), and a
+    /// Failed worker restarts into Busy or Idle.
+    /// Busy → Training is *not* allowed (a worker must drain first), and neither
+    /// is Failed → Training (a crashed worker must restart and re-idle first).
     pub fn can_transition_to(self, next: WorkerState) -> bool {
-        !matches!((self, next), (WorkerState::Busy, WorkerState::Training))
+        !matches!(
+            (self, next),
+            (WorkerState::Busy, WorkerState::Training)
+                | (WorkerState::Failed, WorkerState::Training)
+        )
     }
 }
 
@@ -83,9 +94,25 @@ mod tests {
     }
 
     #[test]
+    fn failures_can_happen_anywhere_but_recovery_goes_through_restart() {
+        for state in [
+            WorkerState::Busy,
+            WorkerState::Idle,
+            WorkerState::Training,
+            WorkerState::Failed,
+        ] {
+            assert!(state.can_transition_to(WorkerState::Failed), "{state}");
+        }
+        assert!(WorkerState::Failed.can_transition_to(WorkerState::Busy));
+        assert!(WorkerState::Failed.can_transition_to(WorkerState::Idle));
+        assert!(!WorkerState::Failed.can_transition_to(WorkerState::Training));
+    }
+
+    #[test]
     fn display_matches_paper_labels() {
         assert_eq!(WorkerState::Busy.to_string(), "BUSY");
         assert_eq!(WorkerState::Idle.to_string(), "IDLE");
         assert_eq!(WorkerState::Training.to_string(), "TRAINING");
+        assert_eq!(WorkerState::Failed.to_string(), "FAILED");
     }
 }

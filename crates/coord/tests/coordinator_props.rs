@@ -1,0 +1,183 @@
+//! Property tests for the coordinator's session bookkeeping under arbitrary
+//! event sequences: promotions never double-count a worker, preemption halts
+//! every member, and the promotion counters conserve exactly.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tlt_coord::{Coordinator, CoordinatorCommand, CoordinatorConfig, WorkerEvent, WorkerState};
+
+const WORKERS: usize = 5;
+
+/// Decodes one fuzz opcode into a coordinator interaction and applies it.
+/// Returns the issued commands.
+fn apply(coord: &mut Coordinator, op: u64, now: f64) -> Vec<(usize, CoordinatorCommand)> {
+    let worker = (op / 7) as usize % WORKERS;
+    let state = match op % 7 {
+        0 | 1 => WorkerState::Idle,
+        2 => WorkerState::Busy,
+        3 => WorkerState::Training,
+        4 => WorkerState::Failed,
+        5 => return coord.preempt_for_rollout(),
+        _ => {
+            return coord.handle_event(
+                WorkerEvent::ActiveRequests {
+                    worker,
+                    running: (op % 13) as usize,
+                },
+                now,
+            )
+        }
+    };
+    coord.handle_event(
+        WorkerEvent::StateChanged {
+            worker,
+            state,
+            at: now,
+        },
+        now,
+    )
+}
+
+fn members_of(coord: &Coordinator) -> Vec<usize> {
+    coord
+        .training_session()
+        .map(|s| s.members.clone())
+        .unwrap_or_default()
+}
+
+/// The session structure invariants that must hold after *every* event:
+/// members are unique, the leader is a member, every member is TRAINING, and
+/// every TRAINING worker is a member.
+fn assert_session_consistent(coord: &Coordinator) {
+    if let Some(session) = coord.training_session() {
+        let set: BTreeSet<usize> = session.members.iter().copied().collect();
+        assert_eq!(
+            set.len(),
+            session.members.len(),
+            "duplicate session member: {:?}",
+            session.members
+        );
+        assert!(
+            session.members.contains(&session.leader),
+            "leader {} not a member of {:?}",
+            session.leader,
+            session.members
+        );
+        for &m in &session.members {
+            assert_eq!(
+                coord.worker_state(m),
+                WorkerState::Training,
+                "member {m} not TRAINING"
+            );
+        }
+    }
+    for w in 0..coord.num_workers() {
+        if coord.worker_state(w) == WorkerState::Training {
+            assert!(
+                coord
+                    .training_session()
+                    .is_some_and(|s| s.members.contains(&w)),
+                "TRAINING worker {w} outside the session"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Random event sequences never double-promote: the session stays
+    /// structurally consistent after every event, and a StartTraining command
+    /// is never issued to a worker that is already training (except the
+    /// leader-handover notification to an existing member).
+    #[test]
+    fn random_event_sequences_never_double_promote(
+        ops in collection::vec(0u64..100_000, 1..80),
+    ) {
+        let mut coord = Coordinator::new(WORKERS, CoordinatorConfig::default());
+        for (i, &op) in ops.iter().enumerate() {
+            let members_before: BTreeSet<usize> = members_of(&coord).into_iter().collect();
+            let commands = apply(&mut coord, op, i as f64);
+            for (w, cmd) in &commands {
+                if let CoordinatorCommand::StartTraining { leader } = cmd {
+                    prop_assert!(
+                        !members_before.contains(w) || *leader,
+                        "double promotion of worker {w} (op {op})"
+                    );
+                }
+            }
+            assert_session_consistent(&coord);
+        }
+    }
+
+    /// Preemption halts the whole session: afterwards no worker is TRAINING, the
+    /// session is gone, every previous member received PreemptTraining, every
+    /// live worker received StartRollout, and failed workers stay failed.
+    #[test]
+    fn every_preemption_halts_all_member_sessions(
+        ops in collection::vec(0u64..100_000, 1..60),
+    ) {
+        let mut coord = Coordinator::new(WORKERS, CoordinatorConfig::default());
+        for (i, &op) in ops.iter().enumerate() {
+            apply(&mut coord, op, i as f64);
+        }
+        let members: BTreeSet<usize> = members_of(&coord).into_iter().collect();
+        let failed: BTreeSet<usize> = (0..WORKERS)
+            .filter(|&w| coord.worker_state(w) == WorkerState::Failed)
+            .collect();
+        let commands = coord.preempt_for_rollout();
+        prop_assert!(coord.training_session().is_none());
+        for w in 0..WORKERS {
+            prop_assert!(coord.worker_state(w) != WorkerState::Training);
+            let expected = if failed.contains(&w) {
+                WorkerState::Failed
+            } else {
+                WorkerState::Busy
+            };
+            prop_assert_eq!(coord.worker_state(w), expected, "worker {}", w);
+        }
+        for &m in &members {
+            prop_assert!(
+                commands.contains(&(m, CoordinatorCommand::PreemptTraining)),
+                "member {} not preempted", m
+            );
+        }
+        for w in 0..WORKERS {
+            let got_rollout = commands.contains(&(w, CoordinatorCommand::StartRollout));
+            prop_assert_eq!(got_rollout, !failed.contains(&w), "worker {}", w);
+        }
+    }
+
+    /// Conservation: every promotion is eventually accounted for — a promoted
+    /// worker either departed its session early, was halted by a preemption, or
+    /// is still a member. `workers_promoted` equals exactly the sum of those
+    /// three buckets, and total member additions observed from outside match
+    /// the counter.
+    #[test]
+    fn promotion_counters_conserve(
+        ops in collection::vec(0u64..100_000, 1..100),
+    ) {
+        let mut coord = Coordinator::new(WORKERS, CoordinatorConfig::default());
+        let mut observed_promotions = 0u64;
+        let mut preempted_members = 0u64;
+        for (i, &op) in ops.iter().enumerate() {
+            let before: BTreeSet<usize> = members_of(&coord).into_iter().collect();
+            let is_preempt = op % 7 == 5;
+            if is_preempt {
+                preempted_members += before.len() as u64;
+            }
+            apply(&mut coord, op, i as f64);
+            let after: BTreeSet<usize> = members_of(&coord).into_iter().collect();
+            observed_promotions += after.difference(&before).count() as u64;
+        }
+        let stats = coord.stats();
+        prop_assert_eq!(stats.workers_promoted, observed_promotions);
+        let current_members = members_of(&coord).len() as u64;
+        prop_assert_eq!(
+            stats.workers_promoted,
+            stats.members_departed + preempted_members + current_members,
+            "promoted must equal departed + preempted + still-member"
+        );
+        prop_assert_eq!(stats.events_processed, ops.iter().filter(|&&op| op % 7 != 5).count() as u64);
+    }
+}

@@ -28,7 +28,10 @@ pub mod strategy;
 pub mod trainer;
 
 pub use acceptance::AcceptanceProfile;
-pub use checkpoint::{CheckpointMode, CheckpointReport, CheckpointStore};
+pub use checkpoint::{
+    restore_trainable, serialize_trainable, try_restore_trainable, validate_trainable,
+    CheckpointError, CheckpointMode, CheckpointReport, CheckpointStore, DrafterVault, SwapOutcome,
+};
 pub use data_buffer::{DataBuffer, DataBufferConfig, TrainingSample};
 pub use model::{DraftGrads, DraftModel, DraftScratch, DraftState, FeatureSource, Linear};
 pub use packing::{pack_sequences, packing_stats, PackingPlan, PackingStats};

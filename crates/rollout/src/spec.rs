@@ -179,22 +179,67 @@ pub fn speculative_generate<R: Rng>(
     eos: Option<TokenId>,
     rng: &mut R,
 ) -> GenerationResult {
+    speculative_generate_with_swap(
+        target,
+        &[(usize::MAX, drafter)],
+        prompt,
+        max_new,
+        strategy,
+        params,
+        eos,
+        rng,
+    )
+}
+
+/// Chain speculative decoding whose proposing drafter changes mid-generation:
+/// `schedule` is a list of `(rounds, drafter)` segments — each drafter proposes
+/// for its round budget, then the next takes over (the final drafter runs to
+/// completion regardless of its budget). This is the hot-swap path the chaos
+/// harness exercises: a checkpoint swap (or a fallback to the last good drafter)
+/// between speculative rounds. The swap resets only the *drafter's* KV state;
+/// the target-side verification is untouched, so the rejection-sampling rule
+/// keeps the output distribution bit-identical to vanilla decoding no matter
+/// when — or how often — the drafter changes.
+///
+/// # Panics
+///
+/// Panics if the prompt or schedule is empty, or if any learned drafter uses a
+/// multi-layer feature source.
+#[allow(clippy::too_many_arguments)]
+pub fn speculative_generate_with_swap<R: Rng>(
+    target: &TinyLm,
+    schedule: &[(usize, &SpecDrafter<'_>)],
+    prompt: &[TokenId],
+    max_new: usize,
+    strategy: SdStrategy,
+    params: SamplingParams,
+    eos: Option<TokenId>,
+    rng: &mut R,
+) -> GenerationResult {
     assert!(!prompt.is_empty(), "prompt must be non-empty");
-    if let SpecDrafter::Learned(model) = drafter {
-        assert_eq!(
-            model.feature_source,
-            FeatureSource::LastLayer,
-            "token-level engine requires a last-layer drafter"
-        );
+    assert!(
+        !schedule.is_empty(),
+        "schedule must name at least one drafter"
+    );
+    for (_, drafter) in schedule {
+        if let SpecDrafter::Learned(model) = drafter {
+            assert_eq!(
+                model.feature_source,
+                FeatureSource::LastLayer,
+                "token-level engine requires a last-layer drafter"
+            );
+        }
     }
     let depth = strategy.draft_depth.max(1);
 
     let mut cache = target.new_cache();
     let mut ws = DecodeWorkspace::new(&target.config);
-    let mut draft_scratch = match drafter {
-        SpecDrafter::Learned(model) => Some(DraftScratch::new(target, model.feature_source)),
-        SpecDrafter::ModelFree(_) => None,
-    };
+    // Per-segment drafter bookkeeping: the scratch and incremental KV state are
+    // rebuilt whenever the active drafter changes (a swapped-in drafter primes
+    // its own KV from the committed features on its first round).
+    let mut segment = 0usize;
+    let mut rounds_in_segment = 0usize;
+    let mut draft_scratch: Option<DraftScratch> = None;
     let mut draft_state: Option<DraftState> = None;
     target.forward_into(prompt, &mut cache, &mut ws);
     // The drafter consumes last-layer features of every committed position; grow an
@@ -223,6 +268,16 @@ pub fn speculative_generate<R: Rng>(
     let mut block: Vec<TokenId> = Vec::with_capacity(depth + 1);
 
     while generated.len() < max_new && Some(pending) != eos {
+        // Hot-swap point: once the active segment's round budget is spent, the
+        // next drafter takes over with a fresh drafter-side KV state.
+        if segment + 1 < schedule.len() && rounds_in_segment >= schedule[segment].0 {
+            segment += 1;
+            rounds_in_segment = 0;
+            draft_state = None;
+            draft_scratch = None;
+        }
+        let drafter = schedule[segment].1;
+        rounds_in_segment += 1;
         // Budget left, bounded by the model's positional table.
         let room = target
             .config
@@ -241,7 +296,8 @@ pub fn speculative_generate<R: Rng>(
         draft_tokens.clear();
         match drafter {
             SpecDrafter::Learned(model) => {
-                let scratch = draft_scratch.as_mut().expect("scratch for learned drafter");
+                let scratch = draft_scratch
+                    .get_or_insert_with(|| DraftScratch::new(target, model.feature_source));
                 all_tokens.push(pending);
                 let state = match draft_state.as_mut() {
                     Some(state) => {
@@ -533,6 +589,79 @@ mod tests {
             vanilla.target_steps
         );
         assert!(spec.mean_accept_length() >= 1.0);
+    }
+
+    #[test]
+    fn drafter_swap_mid_generation_is_bit_lossless_under_greedy() {
+        // The chaos-harness guarantee: swapping the drafter between speculative
+        // rounds (checkpoint adoption or last-good fallback) must not change a
+        // single output token. Exercise learned->learned and learned->ngram
+        // swaps at several swap points.
+        let (target, drafter_a) = setup();
+        let drafter_b = DraftModel::new(&target, FeatureSource::LastLayer, 77);
+        let mut ngram = NgramDrafter::new(crate::ngram::NgramConfig::default());
+        ngram.observe(&[1, 5, 9, 2, 4, 1, 5, 9]);
+        let params = SamplingParams::greedy();
+        let prompt: Vec<TokenId> = vec![1, 5, 9, 2];
+        let mut rng = StdRng::seed_from_u64(0);
+        let vanilla = vanilla_generate(&target, &prompt, 28, params, None, &mut rng);
+        let spec_a = SpecDrafter::Learned(&drafter_a);
+        let spec_b = SpecDrafter::Learned(&drafter_b);
+        let spec_n = SpecDrafter::ModelFree(&ngram);
+        let schedules: Vec<Vec<(usize, &SpecDrafter)>> = vec![
+            vec![(2, &spec_a), (usize::MAX, &spec_b)],
+            vec![(1, &spec_a), (1, &spec_b), (usize::MAX, &spec_a)],
+            vec![(2, &spec_a), (usize::MAX, &spec_n)],
+            vec![(1, &spec_n), (usize::MAX, &spec_a)],
+        ];
+        for (i, schedule) in schedules.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(1);
+            let swapped = speculative_generate_with_swap(
+                &target,
+                schedule,
+                &prompt,
+                28,
+                SdStrategy::default(),
+                params,
+                None,
+                &mut rng,
+            );
+            assert_eq!(swapped.tokens, vanilla.tokens, "schedule {i}");
+        }
+    }
+
+    #[test]
+    fn single_segment_schedule_matches_plain_speculative_generate() {
+        let (target, drafter) = setup();
+        let params = SamplingParams {
+            temperature: 0.8,
+            top_k: None,
+        };
+        let prompt: Vec<TokenId> = vec![2, 7, 2, 7];
+        let spec = SpecDrafter::Learned(&drafter);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let plain = speculative_generate(
+            &target,
+            &spec,
+            &prompt,
+            24,
+            SdStrategy::default(),
+            params,
+            None,
+            &mut rng_a,
+        );
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let scheduled = speculative_generate_with_swap(
+            &target,
+            &[(usize::MAX, &spec)],
+            &prompt,
+            24,
+            SdStrategy::default(),
+            params,
+            None,
+            &mut rng_b,
+        );
+        assert_eq!(plain, scheduled);
     }
 
     #[test]

@@ -77,22 +77,49 @@ impl LoadBalancer {
     ///
     /// Panics if `loads` is empty.
     pub fn pick(&mut self, loads: &[ReplicaLoad]) -> usize {
+        self.pick_among(loads, None)
+    }
+
+    /// Picks among the eligible (up) replicas only: `eligible[i] == false` makes
+    /// replica `i` invisible to this dispatch, so crashed replicas receive no
+    /// traffic. Round-robin advances past ineligible slots (and keeps its cursor
+    /// moving, so routing stays deterministic across crash/restart sequences);
+    /// the load-based policies filter before taking their minimum. `None` means
+    /// every replica is eligible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty, if `eligible` has a different length, or if no
+    /// replica is eligible.
+    pub fn pick_among(&mut self, loads: &[ReplicaLoad], eligible: Option<&[bool]>) -> usize {
         assert!(!loads.is_empty(), "need at least one replica");
+        if let Some(e) = eligible {
+            assert_eq!(e.len(), loads.len(), "eligibility mask length mismatch");
+            assert!(e.iter().any(|&up| up), "no eligible replica to route to");
+        }
+        let is_eligible = |i: usize| eligible.map(|e| e[i]).unwrap_or(true);
         match self.policy {
             BalancerPolicy::RoundRobin => {
-                let idx = self.rr_next % loads.len();
-                self.rr_next = (self.rr_next + 1) % loads.len();
-                idx
+                for _ in 0..loads.len() {
+                    let idx = self.rr_next % loads.len();
+                    self.rr_next = (self.rr_next + 1) % loads.len();
+                    if is_eligible(idx) {
+                        return idx;
+                    }
+                }
+                unreachable!("an eligible replica exists");
             }
             BalancerPolicy::JoinShortestQueue => loads
                 .iter()
                 .enumerate()
+                .filter(|(i, _)| is_eligible(*i))
                 .min_by_key(|(i, l)| (l.total_requests(), *i))
                 .map(|(i, _)| i)
                 .expect("non-empty"),
             BalancerPolicy::LeastOutstandingTokens => loads
                 .iter()
                 .enumerate()
+                .filter(|(i, _)| is_eligible(*i))
                 .min_by_key(|(i, l)| (l.outstanding_tokens, *i))
                 .map(|(i, _)| i)
                 .expect("non-empty"),
@@ -141,5 +168,33 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn empty_loads_panic() {
         LoadBalancer::new(BalancerPolicy::RoundRobin).pick(&[]);
+    }
+
+    #[test]
+    fn pick_among_skips_ineligible_replicas() {
+        let loads = vec![ReplicaLoad::default(); 3];
+        // Round-robin keeps cycling but never lands on the down replica, and
+        // resumes including it once it is back.
+        let mut rr = LoadBalancer::new(BalancerPolicy::RoundRobin);
+        let up = [true, false, true];
+        let picks: Vec<usize> = (0..4).map(|_| rr.pick_among(&loads, Some(&up))).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+        let resumed: Vec<usize> = (0..3).map(|_| rr.pick(&loads)).collect();
+        assert_eq!(resumed, vec![0, 1, 2], "restart rejoins the rotation");
+
+        // Load-based policies filter before taking their minimum.
+        let mut jsq = LoadBalancer::new(BalancerPolicy::JoinShortestQueue);
+        let skewed = vec![load(0, 0, 0), load(5, 5, 0), load(1, 1, 0)];
+        assert_eq!(jsq.pick_among(&skewed, Some(&[false, true, true])), 2);
+        let mut lot = LoadBalancer::new(BalancerPolicy::LeastOutstandingTokens);
+        let tokens = vec![load(0, 0, 10), load(0, 0, 50), load(0, 0, 90)];
+        assert_eq!(lot.pick_among(&tokens, Some(&[false, true, true])), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no eligible replica")]
+    fn all_ineligible_panics() {
+        let loads = vec![ReplicaLoad::default(); 2];
+        LoadBalancer::new(BalancerPolicy::RoundRobin).pick_among(&loads, Some(&[false, false]));
     }
 }

@@ -1,68 +1,273 @@
 //! Multi-replica frontend: merges the arrival stream with replica step events into
 //! one deterministic discrete-event simulation.
+//!
+//! The frontend is exposed at two levels. [`simulate_serving`] is the closed-form
+//! entry point: feed it a sorted arrival stream and get the aggregate SLO report.
+//! Underneath sits [`ServeSim`], a steppable simulation the chaos harness drives
+//! directly: external events (arrivals, crashes, restarts, slow-downs) are applied
+//! at the caller's chosen times between [`ServeSim::advance_before`] calls, and
+//! the frontend guarantees **request conservation** across faults — a crashed
+//! replica's requests are re-queued onto surviving replicas (or parked in an
+//! orphan buffer until a replica comes back), never lost and never duplicated.
 
 use crate::balancer::LoadBalancer;
 use crate::config::ServeConfig;
 use crate::metrics::ServeReport;
-use crate::replica::Replica;
+use crate::replica::{FailoverRequest, Replica};
 use crate::request::ServeRequest;
+use std::collections::VecDeque;
 use tlt_workload::RequestArrival;
 
 /// Hard cap on processed events; prevents pathological configurations from
 /// spinning forever.
 const MAX_EVENTS: u64 = 200_000_000;
 
+/// A steppable multi-replica serving simulation with failure semantics.
+#[derive(Debug)]
+pub struct ServeSim {
+    replicas: Vec<Replica>,
+    balancer: LoadBalancer,
+    slo: crate::metrics::SloSpec,
+    now_s: f64,
+    /// Per-request routing decisions, in offer order (`(request id, replica)`).
+    routing: Vec<(u64, usize)>,
+    /// Failed-over requests waiting for any replica to come back up.
+    orphans: VecDeque<FailoverRequest>,
+    requeued: u64,
+    crashes: u64,
+    restarts: u64,
+    events: u64,
+}
+
+impl ServeSim {
+    /// Builds an idle deployment described by `config`.
+    pub fn new(config: &ServeConfig) -> Self {
+        ServeSim {
+            replicas: (0..config.num_replicas)
+                .map(|i| Replica::new(config, i))
+                .collect(),
+            balancer: LoadBalancer::new(config.balancer),
+            slo: config.slo,
+            now_s: 0.0,
+            routing: Vec::new(),
+            orphans: VecDeque::new(),
+            requeued: 0,
+            crashes: 0,
+            restarts: 0,
+            events: 0,
+        }
+    }
+
+    /// Current simulated time (the latest event applied).
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Time of the next replica step completion (`f64::MAX` when all idle).
+    pub fn next_event_s(&self) -> f64 {
+        self.replicas
+            .iter()
+            .map(Replica::next_event_s)
+            .fold(f64::MAX, f64::min)
+    }
+
+    /// Whether any request is still queued, running, in flight, or orphaned.
+    pub fn has_work(&self) -> bool {
+        !self.orphans.is_empty() || self.replicas.iter().any(Replica::has_work)
+    }
+
+    /// Whether the hard event budget has been exhausted. Once true,
+    /// [`ServeSim::advance_before`] makes no further progress — callers driving
+    /// their own event loop must stop instead of re-polling forever.
+    pub fn event_budget_exhausted(&self) -> bool {
+        self.events > MAX_EVENTS
+    }
+
+    /// The replicas, for inspection (peak KV, drop ids, health).
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Per-request routing decisions in offer order. Failover re-deliveries are
+    /// not recorded here (they are counted by [`ServeSim::requeued`]), so the
+    /// trace pins exactly the balancer's arrival-routing behaviour.
+    pub fn routing_trace(&self) -> &[(u64, usize)] {
+        &self.routing
+    }
+
+    /// Failed-over requests re-delivered to a replica so far.
+    pub fn requeued(&self) -> u64 {
+        self.requeued
+    }
+
+    /// Crash / restart events applied so far.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        (self.crashes, self.restarts)
+    }
+
+    /// Failed-over requests still waiting for a replica to come back.
+    pub fn orphaned(&self) -> usize {
+        self.orphans.len()
+    }
+
+    /// Ids dropped at admission across all replicas.
+    pub fn dropped_ids(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .flat_map(|r| r.dropped_ids().iter().copied())
+            .collect()
+    }
+
+    fn eligibility(&self) -> Vec<bool> {
+        self.replicas.iter().map(Replica::is_up).collect()
+    }
+
+    /// Routes one arriving request (must be offered in non-decreasing arrival
+    /// order, after advancing the simulation past earlier step events). With
+    /// zero healthy replicas the arrival is parked in the orphan buffer — never
+    /// rejected — and delivered through the balancer by the next restart; parked
+    /// arrivals get no routing-trace entry (they are counted by
+    /// [`ServeSim::requeued`] on delivery).
+    pub fn offer(&mut self, req: ServeRequest) {
+        let now = req.arrival_s;
+        self.now_s = self.now_s.max(now);
+        let eligible = self.eligibility();
+        self.events += 1;
+        if !eligible.iter().any(|&up| up) {
+            self.orphans.push_back(FailoverRequest {
+                req,
+                generated: 0.0,
+                first_token_s: None,
+                admitted_s: None,
+                preemptions: 0,
+            });
+            return;
+        }
+        let loads: Vec<_> = self.replicas.iter().map(Replica::load).collect();
+        let target = self.balancer.pick_among(&loads, Some(&eligible));
+        self.routing.push((req.id, target));
+        self.replicas[target].enqueue(req, now);
+    }
+
+    /// Advances the clock to `t` without processing events. External actors
+    /// (fault injectors) call this before applying an action at `t` so that any
+    /// resulting re-queues and restarts are stamped with the action's time, not
+    /// the last internal event's.
+    pub fn advance_now(&mut self, t: f64) {
+        self.now_s = self.now_s.max(t);
+    }
+
+    /// Processes every replica step event strictly before `t` (arrivals and
+    /// faults at `t` therefore win ties, matching the original frontend rule).
+    pub fn advance_before(&mut self, t: f64) {
+        loop {
+            let (idx, t_step) = self.soonest_step();
+            if t_step >= t || self.events > MAX_EVENTS {
+                break;
+            }
+            self.now_s = t_step;
+            self.replicas[idx].on_step_complete(t_step);
+            self.events += 1;
+        }
+    }
+
+    /// Runs every remaining step event until the deployment drains (or the event
+    /// budget is exhausted). Orphans can only be re-delivered by a restart, so
+    /// they are left untouched here.
+    pub fn run_until_drained(&mut self) {
+        self.advance_before(f64::MAX);
+    }
+
+    fn soonest_step(&self) -> (usize, f64) {
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.next_event_s()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite or MAX"))
+            .expect("at least one replica")
+    }
+
+    /// Crashes `replica` at the current time and re-queues every request it held
+    /// onto surviving replicas through the balancer (orphaning them if no replica
+    /// is up). Returns how many requests were drained.
+    pub fn crash_replica(&mut self, replica: usize) -> usize {
+        let now = self.now_s;
+        let drained = self.replicas[replica].crash(now);
+        self.crashes += 1;
+        let n = drained.len();
+        for fo in drained {
+            self.deliver_failover(fo, now);
+        }
+        n
+    }
+
+    /// Restarts a crashed `replica` at the current time and re-delivers any
+    /// orphaned requests through the balancer (which can now see it).
+    pub fn restart_replica(&mut self, replica: usize) {
+        let now = self.now_s;
+        self.replicas[replica].restart(now);
+        self.restarts += 1;
+        while let Some(fo) = self.orphans.pop_front() {
+            self.deliver_failover(fo, now);
+        }
+    }
+
+    /// Sets the step-duration multiplier of one replica (a straggler runs slower
+    /// than 1.0x); takes effect from its next scheduled step.
+    pub fn set_slow_factor(&mut self, replica: usize, factor: f64) {
+        self.replicas[replica].set_slow_factor(factor);
+    }
+
+    fn deliver_failover(&mut self, fo: FailoverRequest, now: f64) {
+        let eligible = self.eligibility();
+        if !eligible.iter().any(|&up| up) {
+            self.orphans.push_back(fo);
+            return;
+        }
+        let loads: Vec<_> = self.replicas.iter().map(Replica::load).collect();
+        let target = self.balancer.pick_among(&loads, Some(&eligible));
+        self.replicas[target].enqueue_failover(fo, now);
+        self.requeued += 1;
+        self.events += 1;
+    }
+
+    /// Consumes the simulation and builds the aggregate SLO report.
+    pub fn into_report(mut self) -> ServeReport {
+        let completed: Vec<_> = self
+            .replicas
+            .iter_mut()
+            .flat_map(Replica::take_completed)
+            .collect();
+        let dropped: usize = self.replicas.iter().map(Replica::dropped).sum();
+        let makespan_s = completed.iter().map(|r| r.finish_s).fold(0.0f64, f64::max);
+        let stats = self.replicas.iter().map(|r| r.stats(makespan_s)).collect();
+        ServeReport::build(completed, dropped, stats, self.slo)
+    }
+}
+
 /// Simulates serving the `arrivals` stream on the deployment described by `config`
 /// and returns the aggregate SLO report. Arrivals must be sorted by time (as
 /// produced by [`tlt_workload::generate_arrivals`]); the simulation runs until
 /// every admitted request has drained.
 pub fn simulate_serving(config: &ServeConfig, arrivals: &[RequestArrival]) -> ServeReport {
-    let mut replicas: Vec<Replica> = (0..config.num_replicas)
-        .map(|i| Replica::new(config, i))
-        .collect();
-    let mut balancer = LoadBalancer::new(config.balancer);
-    let mut next_arrival = 0usize;
-    let mut events = 0u64;
+    simulate_serving_traced(config, arrivals).0
+}
 
-    loop {
-        let t_arrival = arrivals
-            .get(next_arrival)
-            .map(|a| a.time_s())
-            .unwrap_or(f64::MAX);
-        let (step_idx, t_step) = replicas
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i, r.next_event_s()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite or MAX"))
-            .expect("at least one replica");
-        if t_arrival == f64::MAX && t_step == f64::MAX {
-            break;
-        }
-        // Arrivals win ties so the routed request is visible to the step that
-        // starts at the same instant.
-        if t_arrival <= t_step {
-            let loads: Vec<_> = replicas.iter().map(Replica::load).collect();
-            let target = balancer.pick(&loads);
-            let req = ServeRequest::from_arrival(&arrivals[next_arrival]);
-            replicas[target].enqueue(req, t_arrival);
-            next_arrival += 1;
-        } else {
-            replicas[step_idx].on_step_complete(t_step);
-        }
-        events += 1;
-        if events > MAX_EVENTS {
-            break;
-        }
+/// Like [`simulate_serving`], but also returns the frontend's per-request routing
+/// trace (`(request id, replica)` in arrival order) so balancer behaviour can be
+/// pinned by golden tests.
+pub fn simulate_serving_traced(
+    config: &ServeConfig,
+    arrivals: &[RequestArrival],
+) -> (ServeReport, Vec<(u64, usize)>) {
+    let mut sim = ServeSim::new(config);
+    for arrival in arrivals {
+        sim.advance_before(arrival.time_s());
+        sim.offer(ServeRequest::from_arrival(arrival));
     }
-
-    let completed: Vec<_> = replicas
-        .iter_mut()
-        .flat_map(Replica::take_completed)
-        .collect();
-    let dropped: usize = replicas.iter().map(Replica::dropped).sum();
-    let makespan_s = completed.iter().map(|r| r.finish_s).fold(0.0f64, f64::max);
-    let stats = replicas.iter().map(|r| r.stats(makespan_s)).collect();
-    ServeReport::build(completed, dropped, stats, config.slo)
+    sim.run_until_drained();
+    let trace = sim.routing_trace().to_vec();
+    (sim.into_report(), trace)
 }
 
 #[cfg(test)]
@@ -194,5 +399,97 @@ mod tests {
         let report = simulate_serving(&qwen7b_config(2), &[]);
         assert!(report.completed.is_empty());
         assert_eq!(report.makespan_s, 0.0);
+    }
+
+    #[test]
+    fn routing_trace_covers_every_arrival_exactly_once() {
+        let stream = arrivals(6.0, 15.0, 6);
+        let (report, trace) = simulate_serving_traced(&qwen7b_config(3), &stream);
+        assert_eq!(trace.len(), stream.len());
+        for (i, (id, replica)) in trace.iter().enumerate() {
+            assert_eq!(*id, stream[i].id);
+            assert!(*replica < 3);
+        }
+        assert_eq!(report.completed.len(), stream.len());
+    }
+
+    #[test]
+    fn crashing_a_replica_mid_run_fails_over_without_loss_or_duplication() {
+        let config = qwen7b_config(3);
+        let stream = arrivals(8.0, 12.0, 7);
+        let mut sim = ServeSim::new(&config);
+        let crash_at = 5.0;
+        let mut crashed = false;
+        for arrival in &stream {
+            let t = arrival.time_s();
+            if !crashed && t >= crash_at {
+                sim.advance_before(crash_at);
+                let drained = sim.crash_replica(1);
+                assert!(drained > 0, "crash mid-run should drain live requests");
+                crashed = true;
+            }
+            sim.advance_before(t);
+            sim.offer(ServeRequest::from_arrival(arrival));
+        }
+        sim.run_until_drained();
+        assert!(crashed);
+        assert!(sim.requeued() > 0);
+        assert_eq!(sim.orphaned(), 0, "survivors absorb every failover");
+        assert!(!sim.replicas()[1].is_up());
+        let report = sim.into_report();
+        let mut ids: Vec<u64> = report.completed.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            stream.len(),
+            "every request completes exactly once"
+        );
+    }
+
+    #[test]
+    fn single_replica_crash_orphans_then_restart_recovers() {
+        let config = qwen7b_config(1);
+        let stream = arrivals(4.0, 4.0, 8);
+        let mut sim = ServeSim::new(&config);
+        for arrival in &stream {
+            sim.advance_before(arrival.time_s());
+            sim.offer(ServeRequest::from_arrival(arrival));
+        }
+        sim.advance_before(4.5);
+        let drained = sim.crash_replica(0);
+        assert!(drained > 0);
+        assert_eq!(sim.orphaned(), drained, "no survivor: requests parked");
+        assert_eq!(
+            sim.next_event_s(),
+            f64::MAX,
+            "down replica schedules nothing"
+        );
+        sim.restart_replica(0);
+        assert_eq!(sim.orphaned(), 0);
+        sim.run_until_drained();
+        let report = sim.into_report();
+        assert_eq!(report.completed.len(), stream.len());
+    }
+
+    #[test]
+    fn slow_replica_receives_less_jsq_traffic() {
+        let config = qwen7b_config(2);
+        let stream = arrivals(8.0, 20.0, 9);
+        let mut sim = ServeSim::new(&config);
+        sim.set_slow_factor(1, 4.0);
+        for arrival in &stream {
+            sim.advance_before(arrival.time_s());
+            sim.offer(ServeRequest::from_arrival(arrival));
+        }
+        sim.run_until_drained();
+        let report = sim.into_report();
+        assert_eq!(report.completed.len(), stream.len());
+        assert!(
+            report.replicas[0].completed > report.replicas[1].completed,
+            "JSQ should shift load off the straggler: {} vs {}",
+            report.replicas[0].completed,
+            report.replicas[1].completed
+        );
     }
 }

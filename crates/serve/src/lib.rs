@@ -43,7 +43,7 @@ pub mod request;
 
 pub use balancer::{BalancerPolicy, LoadBalancer, ReplicaLoad};
 pub use config::ServeConfig;
-pub use frontend::simulate_serving;
+pub use frontend::{simulate_serving, simulate_serving_traced, ServeSim};
 pub use metrics::{percentile_f64, LatencySummary, ReplicaStats, ServeReport, SloSpec};
-pub use replica::Replica;
+pub use replica::{FailoverRequest, Replica};
 pub use request::{CompletedRequest, ServeRequest};

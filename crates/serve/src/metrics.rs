@@ -119,6 +119,8 @@ pub struct ReplicaStats {
     pub mean_accept_length: f64,
     /// Total preemption events.
     pub preemptions: u64,
+    /// Times this replica crashed (fault injection).
+    pub crashes: u64,
     /// Largest running batch observed.
     pub peak_running: usize,
     /// Largest KV-token footprint observed.

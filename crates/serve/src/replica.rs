@@ -9,6 +9,13 @@
 //! (running batch plus queue depth), so speculation switches itself off exactly when
 //! a backlog guarantees large batches — the paper's elastic-SD insight applied to
 //! online serving.
+//!
+//! Replicas also model production failures: [`Replica::crash`] takes the engine
+//! down, aborts the in-flight step (its work is lost — commits only happen at step
+//! completion) and drains every held request into [`FailoverRequest`] records the
+//! frontend re-queues onto survivors; [`Replica::restart`] brings the engine back
+//! (resuming any work queued meanwhile) and [`Replica::set_slow_factor`] degrades
+//! step durations to model a straggler.
 
 use crate::balancer::ReplicaLoad;
 use crate::config::ServeConfig;
@@ -45,6 +52,25 @@ impl QueuedEntry {
     fn prefill_tokens(&self) -> usize {
         self.req.prompt_len + self.generated.ceil() as usize
     }
+}
+
+/// A request drained from a crashed replica, carrying enough lifecycle state to
+/// resume on a survivor without losing latency accounting: tokens already
+/// streamed to the client keep their `generated` credit (the surviving replica
+/// recomputes the KV for them in one prefill, like a preemption restore) and the
+/// original arrival / first-token timestamps are preserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverRequest {
+    /// The original request.
+    pub req: ServeRequest,
+    /// Output tokens already produced (and delivered) before the crash.
+    pub generated: f64,
+    /// When the first output token was produced, if it was.
+    pub first_token_s: Option<f64>,
+    /// When the request was first admitted into a prefill batch, if it was.
+    pub admitted_s: Option<f64>,
+    /// Preemption count, already incremented for the crash-forced recompute.
+    pub preemptions: u32,
 }
 
 /// A request in the running batch.
@@ -100,6 +126,10 @@ pub struct Replica {
     running: Vec<RunningEntry>,
     step: Option<PendingStep>,
     admit_seq: u64,
+    /// Whether the engine is serving (false between `crash` and `restart`).
+    up: bool,
+    /// Step-duration multiplier (> 1.0 models a straggler replica).
+    slow_factor: f64,
     // Accounting.
     busy_s: f64,
     decode_steps: u64,
@@ -107,9 +137,11 @@ pub struct Replica {
     accept_sum: f64,
     accept_count: u64,
     preemptions: u64,
+    crashes: u64,
     peak_running: usize,
     peak_kv_tokens: usize,
     dropped: usize,
+    dropped_ids: Vec<u64>,
     completed_count: usize,
     completed: Vec<CompletedRequest>,
 }
@@ -136,17 +168,111 @@ impl Replica {
             running: Vec::new(),
             step: None,
             admit_seq: 0,
+            up: true,
+            slow_factor: 1.0,
             busy_s: 0.0,
             decode_steps: 0,
             sd_steps: 0,
             accept_sum: 0.0,
             accept_count: 0,
             preemptions: 0,
+            crashes: 0,
             peak_running: 0,
             peak_kv_tokens: 0,
             dropped: 0,
+            dropped_ids: Vec::new(),
             completed_count: 0,
             completed: Vec::new(),
+        }
+    }
+
+    /// Whether the replica is serving (false between [`Replica::crash`] and
+    /// [`Replica::restart`]).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The KV-token budget this replica admits against.
+    pub fn kv_budget(&self) -> usize {
+        self.kv_budget
+    }
+
+    /// Sets the step-duration multiplier (a straggler runs at `factor > 1.0`).
+    /// Takes effect from the next scheduled step; the in-flight step keeps the
+    /// duration it was scheduled with.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn set_slow_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slow factor must be finite and positive"
+        );
+        self.slow_factor = factor;
+    }
+
+    /// Crashes the replica at time `now`: the in-flight step is aborted (its
+    /// uncommitted work is lost), and every held request — running batch first in
+    /// admission order, then the queue front-to-back — is drained into
+    /// [`FailoverRequest`] records for the frontend to re-queue on survivors.
+    /// Requests keep their arrival / first-token timestamps and `generated`
+    /// credit (already-delivered tokens are not re-produced; a survivor
+    /// recomputes their KV in one prefill, exactly like a preemption restore).
+    pub fn crash(&mut self, _now: f64) -> Vec<FailoverRequest> {
+        self.up = false;
+        self.step = None;
+        self.crashes += 1;
+        let mut drained = Vec::with_capacity(self.running.len() + self.queue.len());
+        for entry in self.running.drain(..) {
+            drained.push(FailoverRequest {
+                req: entry.req,
+                generated: entry.generated,
+                first_token_s: entry.first_token_s,
+                admitted_s: Some(entry.admitted_s),
+                preemptions: entry.preemptions + 1,
+            });
+        }
+        for entry in self.queue.drain(..) {
+            drained.push(FailoverRequest {
+                req: entry.req,
+                generated: entry.generated,
+                first_token_s: entry.first_token_s,
+                admitted_s: entry.admitted_s,
+                // A queued request holds no KV, so the crash costs it nothing.
+                preemptions: entry.preemptions,
+            });
+        }
+        drained
+    }
+
+    /// Restarts a crashed replica at time `now`. Any work enqueued while the
+    /// replica was down (or re-delivered orphans) starts immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is already up.
+    pub fn restart(&mut self, now: f64) {
+        assert!(!self.up, "restart requires a crashed replica");
+        self.up = true;
+        debug_assert!(self.step.is_none(), "a crashed replica holds no step");
+        if !self.queue.is_empty() {
+            self.start_step(now);
+        }
+    }
+
+    /// Re-queues a request drained from a crashed replica, preserving its
+    /// lifecycle state. Starts a step immediately if the replica is idle.
+    pub fn enqueue_failover(&mut self, fo: FailoverRequest, now: f64) {
+        self.queue.push_back(QueuedEntry {
+            req: fo.req,
+            generated: fo.generated,
+            first_token_s: fo.first_token_s,
+            admitted_s: fo.admitted_s,
+            preemptions: fo.preemptions,
+        });
+        if self.up && self.step.is_none() {
+            self.start_step(now);
         }
     }
 
@@ -190,13 +316,17 @@ impl Replica {
         self.step.is_some() || !self.queue.is_empty() || !self.running.is_empty()
     }
 
-    /// Accepts a request at time `now`, starting a step immediately if idle. The
+    /// Accepts a request at time `now`, starting a step immediately if idle (and
+    /// up — a down replica holds the request until [`Replica::restart`]). The
     /// request's output length is clamped to the deployment's per-request cap so
-    /// conservative KV admission's worst-case reservation really is a worst case.
+    /// conservative KV admission's worst-case reservation really is a worst case,
+    /// and a zero-token prompt is clamped to one token so every admitted request
+    /// goes through a real prefill (its first token has a well-defined time).
     pub fn enqueue(&mut self, mut req: ServeRequest, now: f64) {
+        req.prompt_len = req.prompt_len.max(1);
         req.output_len = req.output_len.min(self.config.max_output_tokens).max(1);
         self.queue.push_back(QueuedEntry::fresh(req));
-        if self.step.is_none() {
+        if self.up && self.step.is_none() {
             self.start_step(now);
         }
     }
@@ -290,14 +420,22 @@ impl Replica {
                 break;
             }
             let need = self.admission_need(front);
+            // A request that cannot fit even an otherwise-empty replica will never
+            // be admittable: drop it instead of wedging the queue. Under
+            // optimistic admission the prefill may fit today but the request's
+            // full footprint (prompt + clamped output) can still exceed the whole
+            // budget — running it alone would overflow KV with nothing left to
+            // preempt, so it is just as impossible.
+            let impossible = need > self.kv_budget
+                || (self.config.preemption
+                    && front.req.prompt_len + front.req.output_len > self.kv_budget);
+            if impossible {
+                let entry = self.queue.pop_front().expect("front exists");
+                self.dropped += 1;
+                self.dropped_ids.push(entry.req.id);
+                continue;
+            }
             if reserved + need > self.kv_budget {
-                // A request that cannot fit even an otherwise-empty replica will
-                // never be admittable: drop it instead of wedging the queue.
-                if self.running.is_empty() && admitted == 0 && need > self.kv_budget {
-                    self.queue.pop_front();
-                    self.dropped += 1;
-                    continue;
-                }
                 break;
             }
             let chunk = front.prefill_tokens();
@@ -385,7 +523,7 @@ impl Replica {
         self.peak_running = self.peak_running.max(self.running.len());
         self.peak_kv_tokens = self.peak_kv_tokens.max(self.kv_in_use());
         if prefill_tokens > 0 {
-            let duration = self.config.cost.prefill_time(1, prefill_tokens);
+            let duration = self.config.cost.prefill_time(1, prefill_tokens) * self.slow_factor;
             self.step = Some(PendingStep {
                 work: StepWork::Prefill,
                 finish_s: now + duration,
@@ -426,7 +564,10 @@ impl Replica {
 
         self.decode_steps += 1;
         let (duration, tokens_per_seq) = match decision {
-            SdDecision::Vanilla => (self.config.cost.decode_step_time(batch, avg_context), 1.0),
+            SdDecision::Vanilla => (
+                self.config.cost.decode_step_time(batch, avg_context) * self.slow_factor,
+                1.0,
+            ),
             SdDecision::Speculative { drafter, strategy } => {
                 let profile = match drafter {
                     DrafterChoice::Learned => &self.config.acceptance,
@@ -443,7 +584,7 @@ impl Replica {
                     strategy.draft_depth,
                     strategy.tokens_to_verify,
                     avg_context,
-                );
+                ) * self.slow_factor;
                 if let Some(m) = self.manager.as_mut() {
                     m.record(
                         &strategy,
@@ -477,6 +618,21 @@ impl Replica {
         self.dropped
     }
 
+    /// Ids of the requests dropped at admission (in drop order).
+    pub fn dropped_ids(&self) -> &[u64] {
+        &self.dropped_ids
+    }
+
+    /// Times this replica has crashed.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Largest KV-token footprint observed at a step start (post-preemption).
+    pub fn peak_kv_tokens(&self) -> usize {
+        self.peak_kv_tokens
+    }
+
     /// Final accounting for this replica; `makespan_s` normalises utilisation.
     pub fn stats(&self, makespan_s: f64) -> ReplicaStats {
         ReplicaStats {
@@ -500,6 +656,7 @@ impl Replica {
                 self.accept_sum / self.accept_count as f64
             },
             preemptions: self.preemptions,
+            crashes: self.crashes,
             peak_running: self.peak_running,
             peak_kv_tokens: self.peak_kv_tokens,
         }
@@ -712,6 +869,177 @@ mod tests {
             sd_end < vanilla_end * 0.7,
             "SD should speed up small batches: {sd_end} vs {vanilla_end}"
         );
+    }
+
+    #[test]
+    fn zero_token_request_is_clamped_and_still_prefills() {
+        // Regression: a zero-length prompt used to be admitted with a 0-token
+        // prefill, skipping the prefill step entirely and leaving the entry
+        // `prefill_pending` through its whole decode. Both dimensions now clamp
+        // to one token, so the request goes through a real prefill and completes
+        // exactly once.
+        let mut replica = Replica::new(&config(), 0);
+        replica.enqueue(request(0, 0.0, 0, 0), 0.0);
+        drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].prompt_len, 1);
+        assert_eq!(completed[0].output_len, 1);
+        assert!(completed[0].first_token_s > 0.0, "a prefill step ran");
+        assert!(completed[0].finish_s >= completed[0].first_token_s);
+    }
+
+    #[test]
+    fn preemption_during_prefill_returns_victim_to_queue_cleanly() {
+        // Regression: a victim evicted while its admitting prefill is still
+        // pending must go back to the queue with no first-token timestamp (it
+        // never produced one) and its original admission time preserved, so it
+        // re-prefills from scratch on re-admission.
+        let mut replica = Replica::new(&config().with_preemption(), 0);
+        replica.kv_budget = 1_500;
+        for (seq, id) in [(0u64, 20u64), (1, 21)] {
+            replica.running.push(RunningEntry {
+                req: request(id, 0.0, 1_000, 64),
+                generated: 0.0,
+                first_token_s: None,
+                admitted_s: 0.25,
+                preemptions: 0,
+                prefill_pending: seq == 1,
+                admit_seq: seq,
+            });
+        }
+        replica.preempt_until_fitting();
+        assert_eq!(replica.running.len(), 1);
+        assert_eq!(replica.running[0].req.id, 20);
+        assert_eq!(replica.queue.len(), 1);
+        let victim = &replica.queue[0];
+        assert_eq!(victim.req.id, 21);
+        assert_eq!(victim.first_token_s, None);
+        assert_eq!(victim.admitted_s, Some(0.25));
+        assert_eq!(victim.preemptions, 1);
+        assert_eq!(victim.prefill_tokens(), 1_000, "re-prefills from scratch");
+    }
+
+    #[test]
+    fn restart_with_a_non_empty_queue_starts_work_immediately() {
+        // Regression: requests enqueued while the replica is down must start as
+        // soon as the replica restarts, not wait for the next enqueue.
+        let mut replica = Replica::new(&config(), 0);
+        let drained = replica.crash(0.0);
+        assert!(drained.is_empty());
+        replica.enqueue(request(0, 0.5, 256, 8), 0.5);
+        assert_eq!(
+            replica.next_event_s(),
+            f64::MAX,
+            "down replica schedules nothing"
+        );
+        replica.restart(1.0);
+        assert!(
+            replica.next_event_s() < f64::MAX,
+            "restart kicks the queued work"
+        );
+        drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 1);
+        assert!(completed[0].admitted_s >= 1.0);
+    }
+
+    #[test]
+    fn crash_drains_everything_preserving_progress_and_order() {
+        let mut replica = Replica::new(&config(), 0);
+        replica.enqueue(request(0, 0.0, 256, 64), 0.0);
+        replica.enqueue(request(1, 0.0, 256, 64), 0.0);
+        // Three events: prefill of request 0, prefill of request 1 (admitted
+        // after the first prefill), then one decode step committing a token to
+        // both.
+        let t1 = replica.next_event_s();
+        replica.on_step_complete(t1);
+        let t2 = replica.next_event_s();
+        replica.on_step_complete(t2);
+        let t3 = replica.next_event_s();
+        replica.on_step_complete(t3);
+        let drained = replica.crash(t3 + 0.001);
+        assert!(!replica.is_up());
+        assert_eq!(replica.crashes(), 1);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(
+            drained.iter().map(|f| f.req.id).collect::<Vec<_>>(),
+            vec![0, 1],
+            "running batch drains in admission order"
+        );
+        let first_tokens = [Some(t1), Some(t2)];
+        for (fo, expected_first) in drained.iter().zip(first_tokens) {
+            assert_eq!(fo.generated, 1.0, "streamed tokens keep their credit");
+            assert_eq!(fo.first_token_s, expected_first);
+            assert_eq!(fo.preemptions, 1, "crash counts as a forced recompute");
+        }
+        // Failover onto a fresh replica completes both with original timestamps.
+        let mut survivor = Replica::new(&config(), 1);
+        for fo in drained {
+            survivor.enqueue_failover(fo, t3 + 0.001);
+        }
+        drain(&mut survivor);
+        let completed = survivor.take_completed();
+        assert_eq!(completed.len(), 2);
+        for (r, expected_first) in completed.iter().zip(first_tokens) {
+            assert_eq!(
+                Some(r.first_token_s),
+                expected_first,
+                "original first-token time preserved"
+            );
+            assert_eq!(r.output_len, 64);
+            assert_eq!(r.preemptions, 1);
+        }
+    }
+
+    #[test]
+    fn crash_during_prefill_drains_pending_entries_without_first_token() {
+        let mut replica = Replica::new(&config(), 0);
+        replica.enqueue(request(7, 0.0, 512, 16), 0.0);
+        // The prefill step is in flight; crash before it completes.
+        assert!(replica.next_event_s() < f64::MAX);
+        let drained = replica.crash(0.001);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].first_token_s, None);
+        assert_eq!(drained[0].generated, 0.0);
+        assert_eq!(replica.next_event_s(), f64::MAX, "in-flight step aborted");
+    }
+
+    #[test]
+    fn slow_factor_stretches_the_whole_run_proportionally() {
+        let run = |factor: f64| {
+            let mut replica = Replica::new(&config(), 0);
+            replica.set_slow_factor(factor);
+            replica.enqueue(request(0, 0.0, 512, 32), 0.0);
+            drain(&mut replica)
+        };
+        let normal = run(1.0);
+        let slowed = run(3.0);
+        assert!(
+            (slowed - 3.0 * normal).abs() < 1e-9 * slowed.max(1.0),
+            "3x straggler: {slowed} vs 3 x {normal}"
+        );
+    }
+
+    #[test]
+    fn optimistic_admission_drops_requests_that_can_never_fit_alone() {
+        // Regression: under optimistic admission a request whose prompt fits but
+        // whose full footprint exceeds the entire budget used to be admitted and
+        // then grow past the KV budget with nothing left to preempt.
+        let mut cfg = config().with_preemption();
+        cfg.kv_memory_fraction = 0.25;
+        cfg.max_output_tokens = usize::MAX >> 1;
+        let budget = cfg.kv_token_budget();
+        let mut replica = Replica::new(&cfg, 0);
+        replica.enqueue(request(0, 0.0, 512, budget + 1), 0.0);
+        replica.enqueue(request(1, 0.0, 512, 128), 0.0);
+        drain(&mut replica);
+        assert_eq!(replica.dropped(), 1);
+        assert_eq!(replica.dropped_ids(), &[0]);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].id, 1);
+        assert!(replica.peak_kv_tokens() <= budget);
     }
 
     #[test]

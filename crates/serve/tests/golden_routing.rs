@@ -1,0 +1,64 @@
+//! Golden-trace snapshot tests for the frontend's balancers: one pinned
+//! per-replica assignment sequence per policy, over a fixed 12-request arrival
+//! set on 3 replicas. A balancer refactor that silently reshuffles routing
+//! breaks these exact sequences.
+
+use tlt_gpusim::{GpuType, LlmCostModel};
+use tlt_model::ModelSpec;
+use tlt_serve::{simulate_serving_traced, BalancerPolicy, ServeConfig};
+use tlt_workload::RequestArrival;
+
+fn config(policy: BalancerPolicy) -> ServeConfig {
+    ServeConfig::new(
+        LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1),
+        3,
+    )
+    .with_balancer(policy)
+}
+
+/// A fixed arrival set: 12 requests, 150 ms apart, mixed prompt and output
+/// sizes — small enough that routing decisions interleave with live decodes.
+fn pinned_arrivals() -> Vec<RequestArrival> {
+    (0..12u64)
+        .map(|i| RequestArrival {
+            id: i,
+            time_ns: i * 150_000_000,
+            prompt_len: 256 + (i as usize % 3) * 128,
+            output_len: [64, 192, 48, 256][i as usize % 4],
+        })
+        .collect()
+}
+
+fn trace_for(policy: BalancerPolicy) -> Vec<usize> {
+    let (report, trace) = simulate_serving_traced(&config(policy), &pinned_arrivals());
+    assert_eq!(report.completed.len(), 12, "{}", policy.name());
+    assert_eq!(trace.len(), 12, "{}", policy.name());
+    for (i, (id, _)) in trace.iter().enumerate() {
+        assert_eq!(*id, i as u64, "{}", policy.name());
+    }
+    trace.into_iter().map(|(_, replica)| replica).collect()
+}
+
+#[test]
+fn round_robin_assignment_sequence_is_pinned() {
+    assert_eq!(
+        trace_for(BalancerPolicy::RoundRobin),
+        vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]
+    );
+}
+
+#[test]
+fn join_shortest_queue_assignment_sequence_is_pinned() {
+    assert_eq!(
+        trace_for(BalancerPolicy::JoinShortestQueue),
+        vec![0, 1, 2, 0, 0, 2, 1, 0, 2, 1, 1, 2]
+    );
+}
+
+#[test]
+fn least_outstanding_tokens_assignment_sequence_is_pinned() {
+    assert_eq!(
+        trace_for(BalancerPolicy::LeastOutstandingTokens),
+        vec![0, 1, 2, 0, 2, 2, 1, 1, 2, 0, 2, 2]
+    );
+}

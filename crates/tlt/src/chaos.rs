@@ -1,0 +1,75 @@
+//! Chaos pipeline: runs the pinned fault-injection scenario matrix from
+//! [`tlt_chaos`] and summarises per-scenario outcomes for the experiments
+//! harness (`experiments -- chaos [--json <path>]`) and the `chaos-suite` CI
+//! job.
+
+pub use tlt_chaos::{
+    pinned_matrix, run_scenario, ChaosOutcome, FaultKind, InvariantReport, Scenario,
+    ScenarioBuilder, INVARIANTS,
+};
+
+/// Runs every scenario in the pinned matrix and returns the outcomes in matrix
+/// order.
+pub fn run_chaos_matrix() -> Vec<ChaosOutcome> {
+    tlt_chaos::run_pinned_matrix()
+}
+
+/// One summary row per scenario: name, schedule, request accounting, fault
+/// accounting, and the invariant verdict — the `verdict` cell is literally
+/// `PASS` or `FAIL(n)` so downstream tooling can gate on it.
+pub fn chaos_summary_rows(outcomes: &[ChaosOutcome]) -> Vec<Vec<String>> {
+    outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.scenario.name.clone(),
+                o.scenario.schedule_label(),
+                format!("{}", o.arrivals),
+                format!("{}", o.completed),
+                format!("{}", o.dropped),
+                format!("{}", o.requeued),
+                format!("{}", o.crashes),
+                format!("{}", o.restarts),
+                format!(
+                    "{}/{}/{}",
+                    o.drafter.swaps, o.drafter.rejected_corrupt, o.drafter.rejected_stale
+                ),
+                o.invariants.verdict(),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`chaos_summary_rows`].
+pub const CHAOS_SUMMARY_HEADER: [&str; 10] = [
+    "scenario",
+    "schedule",
+    "arrivals",
+    "completed",
+    "dropped",
+    "requeued",
+    "crashes",
+    "restarts",
+    "ckpt s/c/s",
+    "verdict",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_rows_carry_a_verdict_per_scenario() {
+        let outcome = run_scenario(
+            &Scenario::builder("summary-probe")
+                .seed(5)
+                .arrivals(4.0, 4.0)
+                .build(),
+        );
+        let rows = chaos_summary_rows(&[outcome]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), CHAOS_SUMMARY_HEADER.len());
+        assert_eq!(rows[0][0], "summary-probe");
+        assert_eq!(rows[0].last().unwrap(), "PASS");
+    }
+}

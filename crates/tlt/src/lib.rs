@@ -16,15 +16,18 @@
 //! * [`tlt_serve`] — the online continuous-batching serving subsystem,
 //! * [`tlt_rl`] — GRPO and its siblings,
 //! * [`tlt_coord`] — the worker coordinator and spot-task scheduling,
+//! * [`tlt_chaos`] — deterministic fault injection and the invariant harness,
 //!
-//! and exposes three end-to-end pipelines:
+//! and exposes four end-to-end pipelines:
 //!
 //! * [`pipeline`] — timing-level simulation of the paper's full-size models on
 //!   simulated GPU clusters (Figures 1/11/14, Tables 2-5),
 //! * [`adaptive`] — token-level RL training of the tiny model with speculative
 //!   rollouts and adaptive drafter training (Figures 12/15/16, Tables 6-8),
 //! * [`serve`] — online serving under open-loop load with SLO metrics, comparing
-//!   speculative-decoding policies across arrival rates.
+//!   speculative-decoding policies across arrival rates,
+//! * [`chaos`] — the pinned fault-injection scenario matrix with its
+//!   invariant-checking harness.
 //!
 //! ```no_run
 //! use tlt::{ExperimentConfig, SystemKind, run_experiment};
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod chaos;
 pub mod config;
 pub mod pipeline;
 pub mod serve;
@@ -51,6 +55,7 @@ pub mod serve;
 pub use adaptive::{
     run_token_experiment, DrafterAccuracyPoint, TokenExperimentConfig, TokenExperimentReport,
 };
+pub use chaos::run_chaos_matrix;
 pub use config::{ExperimentConfig, SystemKind};
 pub use pipeline::{run_comparison, run_experiment, ExperimentResult, StepBreakdown};
 pub use serve::{run_serving, run_serving_comparison, ServingExperimentConfig, ServingSdPolicy};

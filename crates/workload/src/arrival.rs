@@ -213,6 +213,38 @@ pub fn generate_arrivals(config: &ArrivalConfig) -> Vec<RequestArrival> {
     out
 }
 
+/// Shifts every arrival in the stream forward by `offset_s` seconds (used to
+/// place a generated burst at an injection point on another stream's timeline).
+pub fn shift_arrivals(arrivals: &mut [RequestArrival], offset_s: f64) {
+    assert!(offset_s >= 0.0, "offset must be non-negative");
+    let offset_ns = (offset_s * 1e9) as u64;
+    for a in arrivals {
+        a.time_ns += offset_ns;
+    }
+}
+
+/// Merges several arrival streams into one timeline and re-assigns ids in
+/// arrival order (ties broken by stream index, then original id, so the merge
+/// is fully deterministic). The result satisfies the same contract as
+/// [`generate_arrivals`]: sorted by time with sequential ids — which is what
+/// the serving frontend's request-conservation invariant is checked against.
+pub fn merge_arrival_streams(streams: Vec<Vec<RequestArrival>>) -> Vec<RequestArrival> {
+    let mut merged: Vec<(usize, RequestArrival)> = streams
+        .into_iter()
+        .enumerate()
+        .flat_map(|(s, stream)| stream.into_iter().map(move |a| (s, a)))
+        .collect();
+    merged.sort_by_key(|(s, a)| (a.time_ns, *s, a.id));
+    merged
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, mut a))| {
+            a.id = i as u64;
+            a
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +370,26 @@ mod tests {
             assert!((100..=200).contains(&a.prompt_len));
             assert!((1..=2048).contains(&a.output_len));
         }
+    }
+
+    #[test]
+    fn merged_streams_are_sorted_with_sequential_ids() {
+        let base = generate_arrivals(&ArrivalConfig::constant(10.0, 10.0, 1));
+        let mut burst = generate_arrivals(&ArrivalConfig::constant(40.0, 2.0, 2));
+        shift_arrivals(&mut burst, 4.0);
+        let n = base.len() + burst.len();
+        let merged = merge_arrival_streams(vec![base.clone(), burst.clone()]);
+        assert_eq!(merged.len(), n);
+        for (i, a) in merged.iter().enumerate() {
+            assert_eq!(a.id, i as u64);
+        }
+        for pair in merged.windows(2) {
+            assert!(pair[0].time_ns <= pair[1].time_ns);
+        }
+        // The burst lands entirely inside [4, 6) seconds.
+        assert!(burst.iter().all(|a| (4.0..6.0).contains(&a.time_s())));
+        // Merging is deterministic.
+        assert_eq!(merged, merge_arrival_streams(vec![base, burst]));
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub mod longtail;
 pub mod tasks;
 pub mod trace;
 
-pub use arrival::{generate_arrivals, ArrivalConfig, RateCurve, RequestArrival};
+pub use arrival::{
+    generate_arrivals, merge_arrival_streams, shift_arrivals, ArrivalConfig, RateCurve,
+    RequestArrival,
+};
 pub use longtail::{length_histogram, percentile, LengthDistribution, LengthStats};
 pub use tasks::{ReasoningTask, TaskGenerator, Vocabulary};
 pub use trace::{synthesize_bytedance_trace, TraceConfig, TraceStep, TraceSummary};

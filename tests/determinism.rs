@@ -1,7 +1,8 @@
 //! Deterministic-seeding guarantees: the whole stack is a pure function of its
 //! seeds. Two runs with identical seeds must produce bit-identical outputs, at
 //! the timing level (`run_experiment`), at the token level
-//! (`speculative_generate`), and at the serving level (`run_serving`).
+//! (`speculative_generate`), at the serving level (`run_serving`), and under
+//! injected faults (`tlt::chaos`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,6 +115,43 @@ fn different_serving_seeds_change_the_arrival_stream() {
     let rb = run_serving(&b, ServingSdPolicy::Adaptive);
     assert_ne!(ra.completed.len(), 0);
     assert_ne!(ra.completed, rb.completed);
+}
+
+#[test]
+fn chaos_runs_are_bit_identical_per_seed_and_scenario() {
+    // Same seed + same fault schedule => bit-identical per-request records and
+    // metrics, even across crashes, failover re-queues, storms and checkpoint
+    // faults. (run_scenario additionally self-checks this as the
+    // seed-determinism invariant; here we assert it from the outside.)
+    let scenario = tlt::chaos::Scenario::builder("determinism-probe")
+        .seed(31)
+        .replicas(3)
+        .arrivals(12.0, 8.0)
+        .adaptive_sd()
+        .crash(2.0, 1)
+        .storm(3.0, 30.0, 1.0)
+        .restart(4.5, 1)
+        .corrupt_checkpoint(5.0)
+        .build();
+    let a = tlt::chaos::run_scenario(&scenario);
+    let b = tlt::chaos::run_scenario(&scenario);
+    assert!(a.invariants.passed(), "{:?}", a.invariants.violations);
+    assert!(b.invariants.passed());
+    assert_eq!(a.report.completed, b.report.completed);
+    assert_eq!(a.report.makespan_s, b.report.makespan_s);
+    assert_eq!(
+        a.report.throughput_tokens_per_s,
+        b.report.throughput_tokens_per_s
+    );
+    assert_eq!(a.requeued, b.requeued);
+    assert_eq!(a.coordinator, b.coordinator);
+    assert_eq!(a.drafter, b.drafter);
+
+    // A different seed genuinely changes the run.
+    let mut other = scenario.clone();
+    other.seed += 1;
+    let c = tlt::chaos::run_scenario(&other);
+    assert_ne!(a.report.completed, c.report.completed);
 }
 
 #[test]

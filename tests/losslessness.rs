@@ -7,7 +7,8 @@ use rand::SeedableRng;
 use tlt_draft::{DraftModel, FeatureSource};
 use tlt_model::{ModelConfig, SamplingParams, TinyLm};
 use tlt_rollout::{
-    speculative_generate, vanilla_generate, NgramConfig, NgramDrafter, SdStrategy, SpecDrafter,
+    speculative_generate, speculative_generate_with_swap, vanilla_generate, NgramConfig,
+    NgramDrafter, SdStrategy, SpecDrafter,
 };
 use tlt_workload::TaskGenerator;
 
@@ -68,6 +69,40 @@ proptest! {
             &mut rng,
         );
         prop_assert_eq!(spec.tokens, vanilla.tokens);
+    }
+
+    /// Swapping the drafter mid-generation — the chaos harness's checkpoint
+    /// adoption / last-good fallback path — never changes a single output token
+    /// under greedy decoding, for arbitrary prompts, drafter pairs and swap
+    /// points.
+    #[test]
+    fn greedy_speculative_equals_vanilla_across_a_mid_run_drafter_swap(
+        prompt in proptest::collection::vec(0u32..32, 1..6),
+        seed_a in 0u64..40,
+        seed_b in 40u64..80,
+        swap_after in 1usize..5,
+        max_new in 8usize..40,
+    ) {
+        let target = TinyLm::new(ModelConfig::micro(), 1234);
+        let drafter_a = DraftModel::new(&target, FeatureSource::LastLayer, seed_a);
+        let drafter_b = DraftModel::new(&target, FeatureSource::LastLayer, seed_b);
+        let params = SamplingParams::greedy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let vanilla = vanilla_generate(&target, &prompt, max_new, params, None, &mut rng);
+        let spec_a = SpecDrafter::Learned(&drafter_a);
+        let spec_b = SpecDrafter::Learned(&drafter_b);
+        let mut rng = StdRng::seed_from_u64(1);
+        let swapped = speculative_generate_with_swap(
+            &target,
+            &[(swap_after, &spec_a), (usize::MAX, &spec_b)],
+            &prompt,
+            max_new,
+            SdStrategy { draft_depth: 4, top_k: 1, tokens_to_verify: 4 },
+            params,
+            None,
+            &mut rng,
+        );
+        prop_assert_eq!(swapped.tokens, vanilla.tokens);
     }
 
     /// Rewards computed on speculative rollouts equal rewards computed on vanilla
