@@ -7,7 +7,7 @@
 //! cargo run -p tlt-bench --release --bin experiments -- all [--quick]
 //! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
 //! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
-//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_3.json]
+//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_4.json]
 //! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json]
 //! ```
 //!
@@ -22,8 +22,8 @@
 //! reproduction target. See EXPERIMENTS.md for the paper-vs-measured comparison.
 
 use tlt::{
-    run_comparison, run_experiment, run_serving_comparison, run_token_experiment,
-    ServingExperimentConfig, SystemKind, TokenExperimentConfig,
+    run_comparison, run_experiment, run_prefix_sharing_comparison, run_serving_comparison,
+    run_token_experiment, ServingExperimentConfig, SystemKind, TokenExperimentConfig,
 };
 use tlt_bench::report::{Report, Table};
 use tlt_bench::setups::{
@@ -61,15 +61,17 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: experiments [--quick] [--json <path>] [all | perf | chaos | {}]",
+            "usage: experiments [--quick] [--json <path>] [--prefix-share <0..1>] \
+             [all | perf | chaos | {}]",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(2);
     };
-    // Extract `--json <path>` before selector parsing so the path is not
-    // mistaken for an experiment name.
+    // Extract `--json <path>` and `--prefix-share <f>` before selector parsing
+    // so their values are not mistaken for experiment names.
     let mut args: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut prefix_share = 0.0f64;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         if arg == "--json" {
@@ -77,6 +79,14 @@ fn main() {
                 Some(path) if !path.starts_with("--") => json_path = Some(path),
                 _ => {
                     eprintln!("error: --json requires a path");
+                    usage();
+                }
+            }
+        } else if arg == "--prefix-share" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if (0.0..=1.0).contains(&v) => prefix_share = v,
+                _ => {
+                    eprintln!("error: --prefix-share requires a fraction in [0, 1]");
                     usage();
                 }
             }
@@ -105,7 +115,7 @@ fn main() {
             eprintln!("error: 'perf' cannot be combined with other selectors");
             usage();
         }
-        let path = json_path.unwrap_or_else(|| "BENCH_3.json".to_string());
+        let path = json_path.unwrap_or_else(|| "BENCH_4.json".to_string());
         match tlt_bench::run_perf(scale, &path) {
             Ok(_) => return,
             Err(e) => {
@@ -191,7 +201,7 @@ fn main() {
         table8(scale, &mut report);
     }
     if want("serving") {
-        serving(scale, &mut report);
+        serving(scale, &mut report, prefix_share);
     }
 
     if let Some(path) = json_path {
@@ -1140,8 +1150,9 @@ fn chaos(json_path: Option<&str>) -> usize {
     let outcomes = run_chaos_matrix();
     let mut report = Report::new();
     let mut t = Table::new(
-        "Chaos — pinned scenario matrix (invariants: conservation, KV budget, \
-         coordinator, losslessness, checkpoint guard, determinism, drain)",
+        "Chaos — pinned scenario matrix (invariants: conservation, KV block budget, \
+         KV-pool conservation, coordinator, losslessness, checkpoint guard, \
+         determinism, drain)",
         &CHAOS_SUMMARY_HEADER,
     );
     for row in chaos_summary_rows(&outcomes) {
@@ -1180,15 +1191,29 @@ fn chaos(json_path: Option<&str>) -> usize {
 
 /// Serving study: throughput-latency trade-off of SD policies across arrival
 /// rates on the `tlt-serve` online subsystem (Qwen-7B replicas on H100, bursty
-/// load, join-shortest-queue routing).
-fn serving(scale: Scale, report: &mut Report) {
+/// load, join-shortest-queue routing). With `--prefix-share > 0` the
+/// deployment switches to paged block-granular KV accounting, that fraction of
+/// requests carries a 512-token shared system prompt, and the table (and JSON
+/// export) reports the prefix-hit rate and pool utilisation per run, plus a
+/// paged-vs-token goodput comparison at the tight KV budget.
+fn serving(scale: Scale, report: &mut Report, prefix_share: f64) {
     let (replicas, rates): (usize, &[f64]) = if scale == Scale::Full {
         (2, &[2.0, 6.0, 10.0, 16.0, 24.0])
     } else {
         (2, &[4.0, 10.0])
     };
+    let prefix_len = 512usize;
+    let title = if prefix_share > 0.0 {
+        format!(
+            "Serving — SD policy sweep over arrival rate (Qwen-7B x2 H100 replicas, bursty load, \
+             paged KV, prefix share {prefix_share:.2} x {prefix_len} tokens)"
+        )
+    } else {
+        "Serving — SD policy sweep over arrival rate (Qwen-7B x2 H100 replicas, bursty load)"
+            .to_string()
+    };
     let mut t = Table::new(
-        "Serving — SD policy sweep over arrival rate (Qwen-7B x2 H100 replicas, bursty load)",
+        &title,
         &[
             "rate (req/s)",
             "policy",
@@ -1201,10 +1226,15 @@ fn serving(scale: Scale, report: &mut Report) {
             "SLO %",
             "SD steps %",
             "mean util",
+            "prefix hit %",
+            "pool util",
         ],
     );
     for &rate in rates {
-        let config = ServingExperimentConfig::qwen7b_bursty(replicas, rate);
+        let mut config = ServingExperimentConfig::qwen7b_bursty(replicas, rate);
+        if prefix_share > 0.0 {
+            config = config.with_prefix_share(prefix_share, prefix_len);
+        }
         for (policy, r) in run_serving_comparison(&config) {
             t.add_row(vec![
                 format!("{rate:.0}"),
@@ -1218,10 +1248,39 @@ fn serving(scale: Scale, report: &mut Report) {
                 format!("{:.1}", r.slo_attainment * 100.0),
                 format!("{:.1}", r.mean_sd_fraction() * 100.0),
                 format!("{:.2}", r.mean_utilization()),
+                format!("{:.1}", r.mean_prefix_hit_rate() * 100.0),
+                format!("{:.3}", r.mean_pool_utilization()),
             ]);
         }
     }
     report.add(t);
+    if prefix_share > 0.0 {
+        let (paged, tokens) = run_prefix_sharing_comparison(1, 16.0, prefix_share, 768);
+        let mut cmp = Table::new(
+            "Serving — paged block admission vs flat token budget (tight KV, shared prompts)",
+            &[
+                "admission",
+                "goodput (req/s)",
+                "TTFT p99 (s)",
+                "prefix hit %",
+                "pool util",
+            ],
+        );
+        for (name, r) in [("token budget", &tokens), ("paged blocks", &paged)] {
+            cmp.add_row(vec![
+                name.to_string(),
+                format!("{:.2}", r.goodput_rps),
+                format!("{:.3}", r.ttft.p99_s),
+                format!("{:.1}", r.mean_prefix_hit_rate() * 100.0),
+                format!("{:.3}", r.mean_pool_utilization()),
+            ]);
+        }
+        report.add(cmp);
+        println!(
+            "paged vs token goodput: {:.2} vs {:.2} req/s",
+            paged.goodput_rps, tokens.goodput_rps
+        );
+    }
     println!(
         "SLO: TTFT <= 1.0 s and TPOT <= 20 ms; goodput counts SLO-meeting completions per second."
     );

@@ -4,7 +4,7 @@
 //! the tiny-model substrate and writes the measured numbers as machine-readable
 //! JSON (via the same [`JsonValue`] writer the experiment tables use), so every
 //! PR can append a comparable point to the repository's perf trajectory
-//! (`BENCH_3.json` for this change). Workload *definitions* are pinned: names,
+//! (`BENCH_4.json` for this change). Workload *definitions* are pinned: names,
 //! shapes, seeds, and token budgets must stay stable across PRs so the series
 //! stays comparable; only the measured values change.
 
@@ -16,7 +16,7 @@ use std::time::Instant;
 use tlt_draft::{DraftModel, DrafterTrainer, FeatureSource, TrainerConfig, TrainingSample};
 use tlt_model::{DecodeWorkspace, Mat, ModelConfig, SamplingParams, TinyLm};
 use tlt_rollout::{
-    generate_batch, simulate_rollout_batch, speculative_generate, vanilla_generate,
+    generate_batch, generate_group, simulate_rollout_batch, speculative_generate, vanilla_generate,
     SdManagerConfig, SdMode, SdStrategy, SimRolloutConfig, SpecDrafter,
 };
 
@@ -168,6 +168,44 @@ pub fn run_perf_workloads(scale: Scale) -> Vec<PerfPoint> {
         reps: batch_reps,
     });
 
+    // --- Paged KV: rollout group forking one shared prompt KV (8 continuations) ---
+    let mut pool = target.new_paged_pool(16, 4096);
+    let group_prompt = [1u32, 5, 9, 2, 7, 3, 8, 4];
+    let t = time_per_rep(batch_reps, || {
+        let _ = generate_group(
+            &target,
+            None,
+            &group_prompt,
+            8,
+            32,
+            SdStrategy::default(),
+            params,
+            None,
+            7,
+            &mut pool,
+            None,
+        );
+    });
+    points.push(PerfPoint {
+        name: "paged_group_generate_8x32",
+        metric: "generated tokens per second across the forked group",
+        value: 8.0 * 32.0 / t,
+        unit: "tokens/s",
+        reps: batch_reps,
+    });
+
+    // --- Paged KV serving: goodput of block admission + prefix sharing vs the
+    //     flat token budget at a tight KV budget (deterministic simulation;
+    //     the recorded value is the paged/token goodput ratio, > 1 = win) ---
+    let (paged, tokens) = tlt::run_prefix_sharing_comparison(1, 16.0, 0.6, 768);
+    points.push(PerfPoint {
+        name: "paged_vs_token_goodput_ratio",
+        metric: "goodput ratio, paged blocks over token budget (60% shared prompts)",
+        value: paged.goodput_rps / tokens.goodput_rps.max(1e-9),
+        unit: "x",
+        reps: 1,
+    });
+
     // --- Drafter training: one EAGLE iteration over 4 microbatched samples ---
     let mut rng = StdRng::seed_from_u64(5);
     let samples: Vec<TrainingSample> = (0..4)
@@ -236,7 +274,7 @@ pub fn run_perf_workloads(scale: Scale) -> Vec<PerfPoint> {
 /// Serialises perf points as the `BENCH_<n>.json` document.
 pub fn perf_report_json(points: &[PerfPoint], scale: Scale) -> JsonValue {
     JsonValue::object(vec![
-        ("bench", JsonValue::Number(3.0)),
+        ("bench", JsonValue::Number(4.0)),
         ("schema", JsonValue::string("tlt-perf-v1")),
         (
             "scale",

@@ -11,9 +11,15 @@ pub const INVARIANTS: &[&str] = &[
     // Every arrival completes or is dropped exactly once — nothing lost to a
     // crash, nothing duplicated by a failover.
     "request-conservation",
-    // No replica ever starts a step with more KV tokens resident than its
-    // budget (post-preemption accounting).
+    // No replica ever starts a step with more KV blocks charged than its
+    // pool budget (post-preemption accounting; block units under paged
+    // accounting, tokens under the legacy flat budget).
     "kv-budget",
+    // Block conservation on every replica's KV pool: shared-prefix refcounts
+    // sum to the running requests referencing them, charges never exceed
+    // capacity, and after a full drain every block is free (no leaks — the
+    // prefix cache holds only unreferenced, reclaimable groups).
+    "kv-pool-conservation",
     // The coordinator's training-session bookkeeping stays structurally
     // consistent after every event, and a final preemption always succeeds
     // (no deadlock, no double-promotion, no resurrection of failed workers).

@@ -81,7 +81,12 @@ struct RunArtifacts {
 
 fn serve_config(scenario: &Scenario) -> ServeConfig {
     let cost = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1);
-    let mut config = ServeConfig::new(cost, scenario.replicas).with_balancer(scenario.balancer);
+    // The whole matrix runs on paged (block-granular) KV accounting, so every
+    // scenario exercises the pool: admission in blocks, shared prefixes
+    // charged once, blocks freed on crash/drain.
+    let mut config = ServeConfig::new(cost, scenario.replicas)
+        .with_balancer(scenario.balancer)
+        .with_paged_kv(16);
     if scenario.adaptive_sd {
         config = config.with_sd_mode(SdMode::Adaptive {
             config: SdManagerConfig::default(),
@@ -367,11 +372,28 @@ fn run_once(scenario: &Scenario) -> RunArtifacts {
     let orphaned = sim.orphaned();
     let drained = !sim.has_work();
     let dropped_ids = sim.dropped_ids();
+    // KV budget is checked in block units (the matrix runs paged accounting).
     let kv_peaks = sim
         .replicas()
         .iter()
-        .map(|r| (r.peak_kv_tokens(), r.kv_budget()))
+        .map(|r| (r.peak_kv_blocks(), r.kv_block_budget()))
         .collect();
+    // Pool conservation: refcounts coherent on every replica, and — once the
+    // deployment has drained — no block left referenced (leak check).
+    for (i, replica) in sim.replicas().iter().enumerate() {
+        if let Err(detail) = replica.kv_pool_check() {
+            violations.violate("kv-pool-conservation", format!("replica {i}: {detail}"));
+        }
+        if drained && replica.kv_pool_leaked() > 0 {
+            violations.violate(
+                "kv-pool-conservation",
+                format!(
+                    "replica {i} leaked {} blocks after the full drain",
+                    replica.kv_pool_leaked()
+                ),
+            );
+        }
+    }
     let (swaps, rejected_corrupt, rejected_stale, rollbacks) = drafter.vault.counters();
     RunArtifacts {
         report: sim.into_report(),
@@ -504,12 +526,13 @@ pub fn run_scenario(scenario: &Scenario) -> ChaosOutcome {
         &first.dropped_ids,
     );
 
-    // KV budget: no replica ever started a step over budget.
+    // KV budget: no replica ever started a step with more blocks charged
+    // than its pool holds.
     for (replica, &(peak, budget)) in first.kv_peaks.iter().enumerate() {
         if peak > budget {
             invariants.violate(
                 "kv-budget",
-                format!("replica {replica} peaked at {peak} KV tokens (budget {budget})"),
+                format!("replica {replica} peaked at {peak} KV blocks (pool budget {budget})"),
             );
         }
     }

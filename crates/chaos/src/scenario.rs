@@ -9,7 +9,7 @@ use serde::Serialize;
 use tlt_serve::BalancerPolicy;
 use tlt_workload::{
     generate_arrivals, merge_arrival_streams, shift_arrivals, ArrivalConfig, LengthDistribution,
-    RateCurve, RequestArrival,
+    RateCurve, RequestArrival, SharedPrefixSpec,
 };
 
 /// One kind of injected fault.
@@ -101,6 +101,9 @@ pub struct Scenario {
     pub adaptive_sd: bool,
     /// Optimistic KV admission with preemption (conservative otherwise).
     pub preemption: bool,
+    /// Shared system prompt carried by a fraction of the arrivals (exercises
+    /// shared-block accounting on the paged KV pool under faults).
+    pub prefix: Option<SharedPrefixSpec>,
     /// Fault schedule, sorted by time.
     pub faults: Vec<FaultEvent>,
 }
@@ -120,6 +123,7 @@ impl Scenario {
                 balancer: BalancerPolicy::JoinShortestQueue,
                 adaptive_sd: false,
                 preemption: false,
+                prefix: None,
                 faults: Vec::new(),
             },
         }
@@ -139,6 +143,7 @@ impl Scenario {
             horizon_s: self.horizon_s,
             prompt_len_range: (64, 192),
             output_lengths: lengths.clone(),
+            prefix: self.prefix,
             seed: self.seed,
         });
         let mut streams = vec![base];
@@ -153,6 +158,7 @@ impl Scenario {
                     horizon_s: duration_s,
                     prompt_len_range: (64, 192),
                     output_lengths: lengths.clone(),
+                    prefix: self.prefix,
                     seed: self.seed ^ (0x0057_0412 + i as u64),
                 });
                 shift_arrivals(&mut burst, fault.at_s);
@@ -231,6 +237,13 @@ impl ScenarioBuilder {
     /// Enables optimistic KV admission with preemption.
     pub fn preemption(mut self) -> Self {
         self.scenario.preemption = true;
+        self
+    }
+
+    /// Gives `share` of the arrivals a shared system prompt of `len` tokens.
+    pub fn prefix_share(mut self, share: f64, len: usize) -> Self {
+        assert!((0.0..=1.0).contains(&share), "share must be in [0, 1]");
+        self.scenario.prefix = Some(SharedPrefixSpec { share, len });
         self
     }
 
@@ -351,6 +364,7 @@ pub fn pinned_matrix() -> Vec<Scenario> {
             .seed(13)
             .replicas(2)
             .arrivals(14.0, 10.0)
+            .prefix_share(0.6, 96)
             .crash(3.0, 0)
             .restart(6.0, 0)
             .build(),
@@ -415,6 +429,7 @@ pub fn pinned_matrix() -> Vec<Scenario> {
             .replicas(2)
             .arrivals(4.0, 12.0)
             .preemption()
+            .prefix_share(0.5, 128)
             .storm(3.0, 40.0, 2.0)
             .build(),
         Scenario::builder("kitchen-sink")

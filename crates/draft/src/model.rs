@@ -329,7 +329,7 @@ impl DraftModel {
             .input
             .matmul_into(&self.fusion.weight, &mut scratch.fused);
         self.layer
-            .append_kv(&scratch.fused, &mut state.kv, &mut scratch.layer);
+            .append_kv(&scratch.fused, &mut state.kv, 0, &mut scratch.layer);
         state.committed = until;
     }
 
@@ -370,6 +370,7 @@ impl DraftModel {
         self.layer.forward_cached_into(
             &scratch.fused,
             &mut state.kv,
+            0,
             &mut scratch.layer,
             &mut scratch.feature,
         );

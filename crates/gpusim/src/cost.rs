@@ -151,6 +151,43 @@ impl LlmCostModel {
         base.total_s + self.tp_comm_seconds((batch * prompt_len) as f64)
     }
 
+    /// Kernel work of prefilling only the `novel_len` tokens not already
+    /// resident in the KV cache, attending over `cached_len` reused positions.
+    ///
+    /// Compute (FLOPs, KV writes, activations, launches) is charged for the
+    /// novel tokens alone — the paged prefix cache means reused tokens are
+    /// never recomputed — while the cached context costs one read of its KV
+    /// bytes (the attention of every novel token walks the shared blocks).
+    /// With `cached_len == 0` this is exactly [`LlmCostModel::prefill_work`].
+    pub fn prefill_work_cached(
+        &self,
+        batch: usize,
+        novel_len: usize,
+        cached_len: usize,
+    ) -> KernelWork {
+        let tokens = (batch * novel_len) as f64;
+        let flops = self.model.flops_per_token() * tokens / self.tp as f64;
+        let bytes = self.weight_bytes_per_gpu()
+            + tokens * self.model.kv_bytes_per_token() / self.tp as f64
+            + (batch * cached_len) as f64 * self.model.kv_bytes_per_token() / self.tp as f64
+            + tokens * self.model.hidden as f64 * BF16_BYTES;
+        let launches = (self.model.num_layers * 8 + 4) as f64;
+        KernelWork::new(flops, bytes, launches)
+    }
+
+    /// Time to prefill `novel_len` novel tokens against `cached_len` reused
+    /// KV positions. Equal to [`LlmCostModel::prefill_time`] when nothing is
+    /// cached, and strictly cheaper than prefilling `novel_len + cached_len`
+    /// tokens from scratch otherwise.
+    pub fn prefill_time_cached(&self, batch: usize, novel_len: usize, cached_len: usize) -> f64 {
+        let base = estimate_time(
+            self.prefill_work_cached(batch, novel_len, cached_len),
+            &self.gpu,
+            self.mode,
+        );
+        base.total_s + self.tp_comm_seconds((batch * novel_len) as f64)
+    }
+
     /// Kernel work of one drafter decode step (one drafted token per sequence),
     /// accounting for the drafter's (possibly multi-layer) sequential depth.
     pub fn drafter_decode_work(&self, drafter: &DraftModelSpec, batch: usize) -> KernelWork {
@@ -376,6 +413,25 @@ mod tests {
         let rtx3090 = ratio(GpuType::Rtx3090);
         assert!(rtx3090 > a100 * 0.95, "3090 {rtx3090} vs a100 {a100}");
         assert!(a100 > h100 * 0.8, "a100 {a100} vs h100 {h100}");
+    }
+
+    #[test]
+    fn cached_prefill_charges_only_novel_tokens() {
+        let cost = qwen7b_h100();
+        // Nothing cached: identical to the plain prefill cost.
+        assert_eq!(
+            cost.prefill_time_cached(1, 512, 0),
+            cost.prefill_time(1, 512)
+        );
+        // A 512-token system prompt already resident: prefilling the 128
+        // novel tokens is strictly cheaper than prefilling all 640 from
+        // scratch, but dearer than 128 tokens with no context to read.
+        let reused = cost.prefill_time_cached(1, 128, 512);
+        assert!(reused < cost.prefill_time(1, 640));
+        assert!(reused >= cost.prefill_time(1, 128));
+        // More reuse never costs more.
+        assert!(cost.prefill_time_cached(1, 128, 2048) >= reused);
+        assert!(cost.prefill_time_cached(1, 128, 2048) < cost.prefill_time(1, 128 + 2048));
     }
 
     #[test]

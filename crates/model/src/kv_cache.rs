@@ -6,6 +6,31 @@
 
 use crate::tensor::Mat;
 
+/// Backend-neutral KV storage interface the model decodes through.
+///
+/// Two backends implement it: the contiguous [`KvCache`] (one `Vec` per layer)
+/// and the paged [`crate::paged_kv::PagedKv`] view (block tables over a shared
+/// [`crate::paged_kv::PagedKvPool`]). Rows are always read in position order
+/// (`kv_key(layer, 0..len)`), so both backends produce bit-identical attention
+/// output. A bare [`LayerKvCache`] also implements the trait as a single-layer
+/// store (layer index 0), which is how the drafter's own KV runs through the
+/// shared layer kernels.
+pub trait KvStore {
+    /// Positions cached across every layer (the sequence length).
+    fn kv_seq_len(&self) -> usize;
+    /// Positions cached for `layer` (equal to [`KvStore::kv_seq_len`] between
+    /// forward passes; lower layers lead during a pass).
+    fn kv_len(&self, layer: usize) -> usize;
+    /// Appends one key/value row per new position to `layer`.
+    fn kv_append(&mut self, layer: usize, keys: &Mat, values: &Mat);
+    /// Key row of `layer` at position `idx`.
+    fn kv_key(&self, layer: usize, idx: usize) -> &[f32];
+    /// Value row of `layer` at position `idx`.
+    fn kv_value(&self, layer: usize, idx: usize) -> &[f32];
+    /// Rolls every layer back to `new_len` positions.
+    fn kv_truncate(&mut self, new_len: usize);
+}
+
 /// Per-layer key/value cache holding one row per cached position.
 #[derive(Debug, Clone, Default)]
 pub struct LayerKvCache {
@@ -113,6 +138,44 @@ impl LayerKvCache {
     pub fn memory_bytes(&self) -> usize {
         (self.keys.len() + self.values.len()) * std::mem::size_of::<f32>()
     }
+
+    /// Positions the cache can hold before its key buffer reallocates — what
+    /// [`LayerKvCache::reserve`] actually obtained.
+    pub fn capacity_positions(&self) -> usize {
+        self.keys.capacity() / self.hidden.max(1)
+    }
+}
+
+impl KvStore for LayerKvCache {
+    fn kv_seq_len(&self) -> usize {
+        self.len
+    }
+
+    fn kv_len(&self, layer: usize) -> usize {
+        debug_assert_eq!(layer, 0, "LayerKvCache is a single-layer store");
+        self.len
+    }
+
+    fn kv_append(&mut self, layer: usize, keys: &Mat, values: &Mat) {
+        debug_assert_eq!(layer, 0, "LayerKvCache is a single-layer store");
+        self.append_rows(keys, values);
+    }
+
+    #[inline]
+    fn kv_key(&self, layer: usize, idx: usize) -> &[f32] {
+        debug_assert_eq!(layer, 0, "LayerKvCache is a single-layer store");
+        self.key(idx)
+    }
+
+    #[inline]
+    fn kv_value(&self, layer: usize, idx: usize) -> &[f32] {
+        debug_assert_eq!(layer, 0, "LayerKvCache is a single-layer store");
+        self.value(idx)
+    }
+
+    fn kv_truncate(&mut self, new_len: usize) {
+        self.truncate(new_len);
+    }
 }
 
 /// Full-model KV cache: one [`LayerKvCache`] per decoder layer.
@@ -173,6 +236,34 @@ impl KvCache {
     /// Total memory footprint across layers in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.layers.iter().map(LayerKvCache::memory_bytes).sum()
+    }
+}
+
+impl KvStore for KvCache {
+    fn kv_seq_len(&self) -> usize {
+        self.seq_len()
+    }
+
+    fn kv_len(&self, layer: usize) -> usize {
+        self.layers[layer].len()
+    }
+
+    fn kv_append(&mut self, layer: usize, keys: &Mat, values: &Mat) {
+        self.layers[layer].append_rows(keys, values);
+    }
+
+    #[inline]
+    fn kv_key(&self, layer: usize, idx: usize) -> &[f32] {
+        self.layers[layer].key(idx)
+    }
+
+    #[inline]
+    fn kv_value(&self, layer: usize, idx: usize) -> &[f32] {
+        self.layers[layer].value(idx)
+    }
+
+    fn kv_truncate(&mut self, new_len: usize) {
+        self.truncate(new_len);
     }
 }
 

@@ -3,14 +3,15 @@
 //!
 //! Two execution modes are provided:
 //!
-//! * [`DecoderLayer::forward_cached`] — incremental decoding against a
-//!   [`LayerKvCache`], used by the rollout engines (supports multi-token inputs so
-//!   speculative verification can score a whole drafted block in one call).
+//! * [`DecoderLayer::forward_cached`] — incremental decoding against any
+//!   [`KvStore`] backend (contiguous or paged), used by the rollout engines
+//!   (supports multi-token inputs so speculative verification can score a whole
+//!   drafted block in one call).
 //! * [`DecoderLayer::forward_train`] / [`DecoderLayer::backward`] — full-sequence
 //!   causal forward with recorded intermediates and an exact manual backward pass,
 //!   used by drafter training and the last-layer policy-gradient update.
 
-use crate::kv_cache::LayerKvCache;
+use crate::kv_cache::KvStore;
 use crate::ops::{
     rmsnorm_backward, rmsnorm_forward, rmsnorm_into, silu, softmax_in_place, swiglu_backward,
     swiglu_forward, RmsNormCache, SwiGluCache,
@@ -225,36 +226,40 @@ impl DecoderLayer {
     }
 
     /// Incremental forward pass over `new_hidden` (one row per new position),
-    /// attending to everything already in `cache` plus the new positions causally.
-    /// Keys/values for the new positions are appended to `cache`.
+    /// attending to everything already cached for `layer` in `kv` plus the new
+    /// positions causally. Keys/values for the new positions are appended.
     ///
     /// Convenience wrapper over [`DecoderLayer::forward_cached_into`] that
     /// allocates a fresh scratch and output; hot loops should hold a
     /// [`LayerScratch`] (or a full `DecodeWorkspace`) and call the `_into`
     /// variant directly.
-    pub fn forward_cached(&self, new_hidden: &Mat, cache: &mut LayerKvCache) -> Mat {
+    pub fn forward_cached<K: KvStore>(&self, new_hidden: &Mat, kv: &mut K, layer: usize) -> Mat {
         let mut scratch = LayerScratch::new(
             self.config.hidden,
             self.config.ffn_hidden,
-            cache.len() + new_hidden.rows(),
+            kv.kv_len(layer) + new_hidden.rows(),
         );
         let mut out = Mat::zeros(new_hidden.rows(), self.config.hidden);
-        self.forward_cached_into(new_hidden, cache, &mut scratch, &mut out);
+        self.forward_cached_into(new_hidden, kv, layer, &mut scratch, &mut out);
         out
     }
 
     /// Allocation-free incremental forward pass: identical numerics to
     /// [`DecoderLayer::forward_cached`], with every temporary taken from
     /// `scratch` and the result written into `out` (resized in place).
-    pub fn forward_cached_into(
+    ///
+    /// Generic over the KV backend: the contiguous and paged stores walk the
+    /// same position order, so their outputs are bit-identical.
+    pub fn forward_cached_into<K: KvStore>(
         &self,
         new_hidden: &Mat,
-        cache: &mut LayerKvCache,
+        kv: &mut K,
+        layer: usize,
         scratch: &mut LayerScratch,
         out: &mut Mat,
     ) {
         let cfg = &self.config;
-        let past = cache.len();
+        let past = kv.kv_len(layer);
         let n_new = new_hidden.rows();
         scratch.prepare(n_new, (past + n_new) * cfg.num_heads);
         out.set_rows(n_new, cfg.hidden);
@@ -263,7 +268,7 @@ impl DecoderLayer {
         scratch.normed.matmul_into(&self.wq, &mut scratch.q);
         scratch.normed.matmul_into(&self.wk, &mut scratch.k);
         scratch.normed.matmul_into(&self.wv, &mut scratch.v);
-        cache.append_rows(&scratch.k, &scratch.v);
+        kv.kv_append(layer, &scratch.k, &scratch.v);
 
         let head_dim = cfg.head_dim();
         let scale = 1.0 / (head_dim as f32).sqrt();
@@ -277,7 +282,7 @@ impl DecoderLayer {
             let q_row = scratch.q.row(i);
             let scores = &mut scratch.scores[..visible * cfg.num_heads];
             for j in 0..visible {
-                let k_row = cache.key(j);
+                let k_row = kv.kv_key(layer, j);
                 for (h, (qs, ks)) in q_row
                     .chunks_exact(head_dim)
                     .zip(k_row.chunks_exact(head_dim))
@@ -291,7 +296,7 @@ impl DecoderLayer {
             }
             let out_row = scratch.attn_out.row_mut(i);
             for j in 0..visible {
-                let v_row = cache.value(j);
+                let v_row = kv.kv_value(layer, j);
                 for (h, (os, vs)) in out_row
                     .chunks_exact_mut(head_dim)
                     .zip(v_row.chunks_exact(head_dim))
@@ -329,18 +334,19 @@ impl DecoderLayer {
         scratch.resid1.add_into(&scratch.mlp_out, out);
     }
 
-    /// Computes and appends only the key/value rows for `new_hidden` to `cache`,
-    /// skipping the query projection, attention, and MLP entirely.
+    /// Computes and appends only the key/value rows for `new_hidden` to the
+    /// store, skipping the query projection, attention, and MLP entirely.
     ///
     /// Keys and values are per-position functions of the input (`rmsnorm(x) @ wk`
     /// / `@ wv`), so the appended rows are bit-identical to what a full
     /// [`DecoderLayer::forward_cached_into`] pass would cache. Used by the drafter
     /// to prime its context KV from target features, where the layer *output* for
     /// those positions is never consumed.
-    pub fn append_kv(
+    pub fn append_kv<K: KvStore>(
         &self,
         new_hidden: &Mat,
-        cache: &mut LayerKvCache,
+        kv: &mut K,
+        layer: usize,
         scratch: &mut LayerScratch,
     ) {
         let n_new = new_hidden.rows();
@@ -348,7 +354,7 @@ impl DecoderLayer {
         rmsnorm_into(new_hidden, &self.attn_norm, &mut scratch.normed);
         scratch.normed.matmul_into(&self.wk, &mut scratch.k);
         scratch.normed.matmul_into(&self.wv, &mut scratch.v);
-        cache.append_rows(&scratch.k, &scratch.v);
+        kv.kv_append(layer, &scratch.k, &scratch.v);
     }
 
     /// Full-sequence causal forward pass that records all intermediates needed by
@@ -551,6 +557,7 @@ impl DecoderLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kv_cache::LayerKvCache;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -605,7 +612,7 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..seq.rows() {
             let step = seq.slice_rows(i, i + 1);
-            let out = layer.forward_cached(&step, &mut cache);
+            let out = layer.forward_cached(&step, &mut cache, 0);
             rows.push(out);
         }
         for (i, row) in rows.iter().enumerate() {
@@ -626,14 +633,14 @@ mod tests {
 
         let mut cache_a = LayerKvCache::new(8);
         let prefix = seq.slice_rows(0, 3);
-        let _ = layer.forward_cached(&prefix, &mut cache_a);
+        let _ = layer.forward_cached(&prefix, &mut cache_a, 0);
         let block = seq.slice_rows(3, 6);
-        let block_out = layer.forward_cached(&block, &mut cache_a);
+        let block_out = layer.forward_cached(&block, &mut cache_a, 0);
 
         let mut cache_b = LayerKvCache::new(8);
         let mut singles = Vec::new();
         for i in 0..6 {
-            let out = layer.forward_cached(&seq.slice_rows(i, i + 1), &mut cache_b);
+            let out = layer.forward_cached(&seq.slice_rows(i, i + 1), &mut cache_b, 0);
             singles.push(out);
         }
         for i in 0..3 {

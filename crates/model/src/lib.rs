@@ -39,6 +39,7 @@ pub mod kv_cache;
 pub mod layers;
 pub mod ops;
 pub mod optim;
+pub mod paged_kv;
 pub mod par;
 pub mod sampling;
 pub mod spec;
@@ -47,9 +48,12 @@ pub mod transformer;
 pub mod workspace;
 
 pub use kl::{kl_divergence, mean_sampled_kl, KlEstimator};
-pub use kv_cache::{KvCache, LayerKvCache};
+pub use kv_cache::{KvCache, KvStore, LayerKvCache};
 pub use layers::{DecoderLayer, DecoderLayerGrads, LayerConfig};
 pub use optim::{Adam, AdamConfig};
+pub use paged_kv::{
+    BlockId, BlockLedger, PagedKv, PagedKvCache, PagedKvPool, PoolStats, PrefixIndex, SharedGroup,
+};
 pub use par::{max_workers, parallel_map};
 pub use sampling::{
     argmax, probs_from_logits, probs_from_logits_into, sample_from_probs, sample_from_residual,

@@ -8,7 +8,7 @@
 //! staleness after policy updates, drafter recovery under continued training — are
 //! produced by this model rather than being hard-coded.
 
-use crate::kv_cache::KvCache;
+use crate::kv_cache::{KvCache, KvStore};
 use crate::layers::{DecoderLayer, DecoderLayerGrads, LayerConfig, LayerTrainCache};
 use crate::ops::{rmsnorm_backward, rmsnorm_forward, RmsNormCache};
 use crate::tensor::Mat;
@@ -218,6 +218,37 @@ impl TinyLm {
         cache
     }
 
+    /// Creates an empty KV cache whose up-front reservation is capped at
+    /// `budget_positions` instead of the full context window. Use this when the
+    /// contiguous backend runs under a paged pool budget
+    /// ([`crate::paged_kv::PagedKvPool::capacity_positions`]): reserving the
+    /// whole `max_seq_len` would silently over-reserve past the pool size.
+    pub fn new_cache_budgeted(&self, budget_positions: usize) -> KvCache {
+        let mut cache = KvCache::new(self.config.num_layers, self.config.hidden);
+        cache.reserve(self.config.max_seq_len.min(budget_positions));
+        cache
+    }
+
+    /// Creates a paged KV pool sized for `capacity_positions` positions of this
+    /// model's geometry (shared across every sequence decoding from it).
+    pub fn new_paged_pool(
+        &self,
+        block_size: usize,
+        capacity_positions: usize,
+    ) -> crate::paged_kv::PagedKvPool {
+        crate::paged_kv::PagedKvPool::with_position_capacity(
+            self.config.num_layers,
+            self.config.hidden,
+            block_size,
+            capacity_positions,
+        )
+    }
+
+    /// Creates an empty paged per-sequence cache for this model.
+    pub fn new_paged_cache(&self) -> crate::paged_kv::PagedKvCache {
+        crate::paged_kv::PagedKvCache::new(self.config.num_layers)
+    }
+
     /// Embeds tokens starting at absolute position `start_pos`.
     ///
     /// # Panics
@@ -255,16 +286,18 @@ impl TinyLm {
 
     /// Runs the model over `tokens` (new positions), using and extending `cache`.
     ///
-    /// The cache determines the starting position: `cache.seq_len()` positions are
-    /// assumed to have been processed already. When `collect_hidden` is true the
-    /// per-layer outputs are returned (needed to build drafter training features).
-    pub fn forward(
+    /// The cache determines the starting position: `cache.kv_seq_len()` positions
+    /// are assumed to have been processed already. When `collect_hidden` is true
+    /// the per-layer outputs are returned (needed to build drafter training
+    /// features). Generic over the KV backend; the contiguous and paged stores
+    /// produce bit-identical output.
+    pub fn forward<K: KvStore>(
         &self,
         tokens: &[TokenId],
-        cache: &mut KvCache,
+        cache: &mut K,
         collect_hidden: bool,
     ) -> ForwardOutput {
-        let start_pos = cache.seq_len();
+        let start_pos = cache.kv_seq_len();
         let mut hidden = self.embed(tokens, start_pos);
         let mut layer_outputs = if collect_hidden {
             Some(vec![hidden.clone()])
@@ -272,7 +305,7 @@ impl TinyLm {
             None
         };
         for (idx, layer) in self.layers.iter().enumerate() {
-            hidden = layer.forward_cached(&hidden, cache.layer_mut(idx));
+            hidden = layer.forward_cached(&hidden, cache, idx);
             if let Some(outs) = layer_outputs.as_mut() {
                 outs.push(hidden.clone());
             }
@@ -293,17 +326,17 @@ impl TinyLm {
     /// but every temporary lives in `ws`: after the call `ws.logits()` holds the
     /// logits for the new positions and `ws.last_hidden()` the last-layer hidden
     /// states. Keys/values for the new positions are appended to `cache`.
-    pub fn forward_into(&self, tokens: &[TokenId], cache: &mut KvCache, ws: &mut DecodeWorkspace) {
-        let start_pos = cache.seq_len();
+    pub fn forward_into<K: KvStore>(
+        &self,
+        tokens: &[TokenId],
+        cache: &mut K,
+        ws: &mut DecodeWorkspace,
+    ) {
+        let start_pos = cache.kv_seq_len();
         ws.prepare(tokens.len());
         self.embed_into(tokens, start_pos, &mut ws.hidden);
         for (idx, layer) in self.layers.iter().enumerate() {
-            layer.forward_cached_into(
-                &ws.hidden,
-                cache.layer_mut(idx),
-                &mut ws.scratch,
-                &mut ws.next_hidden,
-            );
+            layer.forward_cached_into(&ws.hidden, cache, idx, &mut ws.scratch, &mut ws.next_hidden);
             std::mem::swap(&mut ws.hidden, &mut ws.next_hidden);
         }
         crate::ops::rmsnorm_into(&ws.hidden, &self.final_norm, &mut ws.norm_out);
@@ -312,10 +345,10 @@ impl TinyLm {
 
     /// Zero-allocation single-token decode step: forwards `token` through the
     /// model and returns the logits row (`1 x vocab`) held in the workspace.
-    pub fn decode_step<'ws>(
+    pub fn decode_step<'ws, K: KvStore>(
         &self,
         token: TokenId,
-        cache: &mut KvCache,
+        cache: &mut K,
         ws: &'ws mut DecodeWorkspace,
     ) -> &'ws Mat {
         self.forward_into(&[token], cache, ws);
@@ -367,7 +400,7 @@ impl TinyLm {
         // throwaway cache (full causal forward).
         let mut scratch = self.new_cache();
         for (idx, layer) in self.layers[..self.layers.len() - 1].iter().enumerate() {
-            hidden = layer.forward_cached(&hidden, scratch.layer_mut(idx));
+            hidden = layer.forward_cached(&hidden, &mut scratch, idx);
         }
         let last_layer_input = hidden.clone();
         let last = self.layers.last().expect("at least one layer");
@@ -493,6 +526,58 @@ mod tests {
         let a = model.forward(&[7], &mut cache_a, false);
         let b = model.decode_step(7, &mut cache_b, &mut ws);
         assert_eq!(a.logits.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn paged_forward_is_bit_identical_to_contiguous() {
+        use crate::paged_kv::PagedKv;
+        let model = small_model();
+        let tokens: Vec<TokenId> = vec![3, 9, 1, 7, 2, 8, 4];
+
+        let mut contiguous = model.new_cache();
+        let full = model.forward(&tokens, &mut contiguous, false);
+
+        // Block size 4 forces the 7-token prompt to straddle a block boundary.
+        let mut pool = model.new_paged_pool(4, 64);
+        let mut cache = model.new_paged_cache();
+        let mut kv = PagedKv {
+            pool: &mut pool,
+            cache: &mut cache,
+        };
+        let paged = model.forward(&tokens, &mut kv, false);
+        assert_eq!(paged.logits.as_slice(), full.logits.as_slice());
+        assert_eq!(paged.last_hidden.as_slice(), full.last_hidden.as_slice());
+
+        // Incremental decode steps agree bit for bit too, through a rollback.
+        let a = model.forward(&[5], &mut contiguous, false);
+        let b = model.forward(&[5], &mut kv, false);
+        assert_eq!(a.logits.as_slice(), b.logits.as_slice());
+        contiguous.truncate(tokens.len());
+        kv.kv_truncate(tokens.len());
+        let a = model.forward(&[6, 2], &mut contiguous, false);
+        let b = model.forward(&[6, 2], &mut kv, false);
+        assert_eq!(a.logits.as_slice(), b.logits.as_slice());
+
+        cache.release(&mut pool);
+        assert_eq!(pool.blocks_in_use(), 0);
+        assert!(pool.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn budgeted_cache_reserves_at_most_the_pool_capacity() {
+        let model = small_model();
+        let pool = model.new_paged_pool(8, 40);
+        let cache = model.new_cache_budgeted(pool.capacity_positions());
+        for layer in 0..model.config.num_layers {
+            let got = cache.layer(layer).capacity_positions();
+            assert!(
+                got >= pool.capacity_positions() && got < model.config.max_seq_len,
+                "layer {layer} reserved {got} positions"
+            );
+        }
+        // The unbudgeted constructor still reserves the full context window.
+        let full = model.new_cache();
+        assert!(full.layer(0).capacity_positions() >= model.config.max_seq_len);
     }
 
     #[test]

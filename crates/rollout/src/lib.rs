@@ -34,6 +34,6 @@ pub use sim_engine::{
     RolloutProfile, SdMode, SimRolloutConfig, TimelinePoint,
 };
 pub use spec::{
-    batch_seed, generate_batch, measure_acceptance, speculative_generate,
+    batch_seed, generate_batch, generate_group, measure_acceptance, speculative_generate,
     speculative_generate_with_swap, vanilla_generate, GenerationResult, SdStrategy, SpecDrafter,
 };

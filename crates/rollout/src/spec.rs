@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use tlt_draft::{DraftModel, DraftScratch, DraftState, FeatureSource};
 use tlt_model::{
     parallel_map, probs_from_logits_into, sample_from_probs, sample_from_residual, DecodeWorkspace,
-    Mat, SamplingParams, TinyLm, TokenId,
+    KvStore, Mat, PagedKv, PagedKvCache, PagedKvPool, PrefixIndex, SamplingParams, TinyLm, TokenId,
 };
 
 /// A speculative-decoding configuration tuple — the "arm" of the BEG-MAB tuner.
@@ -133,22 +133,55 @@ pub fn vanilla_generate<R: Rng>(
     let mut cache = target.new_cache();
     let mut ws = DecodeWorkspace::new(&target.config);
     target.forward_into(prompt, &mut cache, &mut ws);
+    let prompt_logits = ws.logits().row(ws.logits().rows() - 1).to_vec();
+    vanilla_continue(
+        target,
+        &mut cache,
+        &mut ws,
+        &prompt_logits,
+        max_new,
+        params,
+        eos,
+        rng,
+    )
+}
+
+/// The decode loop of [`vanilla_generate`], continuing from a cache that
+/// already holds the prompt KV. `prompt_logits` is the logits row of the
+/// prompt's final position (where the first sample comes from). Generic over
+/// the KV backend, which is how a paged rollout group continues from a forked
+/// shared prompt.
+#[allow(clippy::too_many_arguments)]
+fn vanilla_continue<K: KvStore, R: Rng>(
+    target: &TinyLm,
+    cache: &mut K,
+    ws: &mut DecodeWorkspace,
+    prompt_logits: &[f32],
+    max_new: usize,
+    params: SamplingParams,
+    eos: Option<TokenId>,
+    rng: &mut R,
+) -> GenerationResult {
     let mut probs = Vec::with_capacity(target.config.vocab_size);
     let mut tokens = Vec::new();
     let mut steps = 0usize;
-    for _ in 0..max_new {
-        let last_row = ws.logits().rows() - 1;
-        probs_from_logits_into(ws.logits().row(last_row), params, &mut probs);
+    for i in 0..max_new {
+        if i == 0 {
+            probs_from_logits_into(prompt_logits, params, &mut probs);
+        } else {
+            let last_row = ws.logits().rows() - 1;
+            probs_from_logits_into(ws.logits().row(last_row), params, &mut probs);
+        }
         let next = sample_from_probs(&probs, rng) as TokenId;
         tokens.push(next);
         steps += 1;
         if Some(next) == eos {
             break;
         }
-        if cache.seq_len() + 1 >= target.config.max_seq_len {
+        if cache.kv_seq_len() + 1 >= target.config.max_seq_len {
             break;
         }
-        target.forward_into(&[next], &mut cache, &mut ws);
+        target.forward_into(&[next], cache, ws);
     }
     GenerationResult {
         tokens,
@@ -234,13 +267,6 @@ pub fn speculative_generate_with_swap<R: Rng>(
 
     let mut cache = target.new_cache();
     let mut ws = DecodeWorkspace::new(&target.config);
-    // Per-segment drafter bookkeeping: the scratch and incremental KV state are
-    // rebuilt whenever the active drafter changes (a swapped-in drafter primes
-    // its own KV from the committed features on its first round).
-    let mut segment = 0usize;
-    let mut rounds_in_segment = 0usize;
-    let mut draft_scratch: Option<DraftScratch> = None;
-    let mut draft_state: Option<DraftState> = None;
     target.forward_into(prompt, &mut cache, &mut ws);
     // The drafter consumes last-layer features of every committed position; grow an
     // owned copy in place (reserved up front so appends never reallocate).
@@ -250,12 +276,57 @@ pub fn speculative_generate_with_swap<R: Rng>(
         target.config.hidden,
     );
     features.extend_rows_range(ws.last_hidden(), 0, ws.last_hidden().rows());
+    let prompt_logits = ws.logits().row(ws.logits().rows() - 1).to_vec();
+    speculative_continue(
+        target,
+        schedule,
+        prompt,
+        max_new,
+        strategy,
+        params,
+        eos,
+        rng,
+        &mut cache,
+        &mut ws,
+        features,
+        &prompt_logits,
+    )
+}
+
+/// The speculative rounds of [`speculative_generate_with_swap`], continuing
+/// from a cache that already holds the prompt KV, the target's last-layer
+/// `features` for every cached position, and the logits row of the prompt's
+/// final position. Generic over the KV backend, which is how a paged rollout
+/// group runs speculative continuations off one forked shared prompt.
+#[allow(clippy::too_many_arguments)]
+fn speculative_continue<K: KvStore, R: Rng>(
+    target: &TinyLm,
+    schedule: &[(usize, &SpecDrafter<'_>)],
+    prompt: &[TokenId],
+    max_new: usize,
+    strategy: SdStrategy,
+    params: SamplingParams,
+    eos: Option<TokenId>,
+    rng: &mut R,
+    cache: &mut K,
+    ws: &mut DecodeWorkspace,
+    mut features: Mat,
+    prompt_logits: &[f32],
+) -> GenerationResult {
+    let depth = strategy.draft_depth.max(1);
+    // Per-segment drafter bookkeeping: the scratch and incremental KV state are
+    // rebuilt whenever the active drafter changes (a swapped-in drafter primes
+    // its own KV from the committed features on its first round).
+    let mut segment = 0usize;
+    let mut rounds_in_segment = 0usize;
+    let mut draft_scratch: Option<DraftScratch> = None;
+    let mut draft_state: Option<DraftState> = None;
     let mut all_tokens: Vec<TokenId> = prompt.to_vec();
 
     // Sample the first generated token from the prompt's final distribution; it
     // becomes the "pending" token (committed but not yet in the target KV cache).
     let mut probs = Vec::with_capacity(target.config.vocab_size);
-    probs_from_logits_into(ws.logits().row(ws.logits().rows() - 1), params, &mut probs);
+    probs_from_logits_into(prompt_logits, params, &mut probs);
     let mut pending: TokenId = sample_from_probs(&probs, rng) as TokenId;
     let mut generated: Vec<TokenId> = vec![pending];
 
@@ -282,7 +353,7 @@ pub fn speculative_generate_with_swap<R: Rng>(
         let room = target
             .config
             .max_seq_len
-            .saturating_sub(cache.seq_len() + 1)
+            .saturating_sub(cache.kv_seq_len() + 1)
             .min(max_new - generated.len());
         if room == 0 {
             break;
@@ -347,8 +418,8 @@ pub fn speculative_generate_with_swap<R: Rng>(
         block.clear();
         block.push(pending);
         block.extend_from_slice(&draft_tokens);
-        let pre_verify_len = cache.seq_len();
-        target.forward_into(&block, &mut cache, &mut ws);
+        let pre_verify_len = cache.kv_seq_len();
+        target.forward_into(&block, cache, ws);
         target_steps += 1;
 
         // Accept/reject drafted tokens with lossless rejection sampling.
@@ -389,7 +460,7 @@ pub fn speculative_generate_with_swap<R: Rng>(
         // Commit: pending + accepted drafted tokens enter the sequence; roll the KV
         // cache back past the rejected suffix.
         let committed_in_block = 1 + accepted;
-        cache.truncate(pre_verify_len + committed_in_block);
+        cache.kv_truncate(pre_verify_len + committed_in_block);
         all_tokens.push(pending);
         all_tokens.extend_from_slice(&draft_tokens[..accepted]);
         features.extend_rows_range(ws.last_hidden(), 0, committed_in_block);
@@ -456,6 +527,139 @@ pub fn generate_batch(
             None => vanilla_generate(target, prompt, max_new, params, eos, &mut rng),
         }
     })
+}
+
+/// Generates a GRPO-style rollout group on a paged KV pool: the prompt is
+/// prefilled **once**, its KV blocks are forked (refcount bumps, no copies)
+/// across all `group_size` continuations, and each continuation decodes
+/// against its fork — the first divergent append copies on write. With a
+/// [`PrefixIndex`], vanilla groups additionally match the prompt against
+/// blocks left resident by earlier groups and start prefill at the divergence
+/// point (speculative groups always prefill the whole prompt because the
+/// drafter consumes the target's features for every prompt position).
+///
+/// Continuation `i` draws from an RNG seeded with [`batch_seed`]`(base_seed, i)`,
+/// so the results are **bit-identical** to calling [`vanilla_generate`] /
+/// [`speculative_generate`] per continuation with those seeds — sharing only
+/// removes recomputation. On return every block the group held has been
+/// released; only blocks the index keeps resident survive.
+///
+/// # Panics
+///
+/// Panics if the prompt is empty, the group is empty, or the pool runs out of
+/// blocks (size it for roughly
+/// `prompt + group_size * (max_new + draft_depth + block_size)` positions).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_group(
+    target: &TinyLm,
+    drafter: Option<&SpecDrafter<'_>>,
+    prompt: &[TokenId],
+    group_size: usize,
+    max_new: usize,
+    strategy: SdStrategy,
+    params: SamplingParams,
+    eos: Option<TokenId>,
+    base_seed: u64,
+    pool: &mut PagedKvPool,
+    mut index: Option<&mut PrefixIndex>,
+) -> Vec<GenerationResult> {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    assert!(group_size > 0, "group must hold at least one continuation");
+    let mut ws = DecodeWorkspace::new(&target.config);
+    let mut base = target.new_paged_cache();
+
+    // Prefix reuse: adopt resident blocks covering a full-block prefix of the
+    // prompt, keeping at least the final prompt token novel so the prefill
+    // pass still produces the logits the first sample comes from.
+    let mut novel_start = 0usize;
+    if drafter.is_none() {
+        if let Some(index) = index.as_deref_mut() {
+            // Cap reuse at prompt_len - 1 so the final prompt token stays
+            // novel and the prefill pass still produces the first logits.
+            let (blocks, first_novel) =
+                index.lookup_capped(pool, prompt, prompt.len().saturating_sub(1));
+            novel_start = first_novel;
+            if !blocks.is_empty() {
+                base = PagedKvCache::from_shared(
+                    blocks,
+                    novel_start,
+                    target.config.num_layers,
+                    pool.block_size(),
+                );
+            }
+        }
+    }
+    {
+        let mut kv = PagedKv {
+            pool: &mut *pool,
+            cache: &mut base,
+        };
+        target.forward_into(&prompt[novel_start..], &mut kv, &mut ws);
+    }
+    let base_features = ws.last_hidden().clone();
+    let prompt_logits = ws.logits().row(ws.logits().rows() - 1).to_vec();
+
+    // Leave the prompt's full blocks resident for future groups.
+    if let Some(index) = index {
+        index.insert(pool, prompt, base.full_blocks(pool.block_size()));
+    }
+
+    let depth = strategy.draft_depth.max(1);
+    let mut results = Vec::with_capacity(group_size);
+    for i in 0..group_size {
+        let mut rng = StdRng::seed_from_u64(batch_seed(base_seed, i));
+        let mut continuation = base.fork(pool);
+        let result = match drafter {
+            None => {
+                let mut kv = PagedKv {
+                    pool: &mut *pool,
+                    cache: &mut continuation,
+                };
+                vanilla_continue(
+                    target,
+                    &mut kv,
+                    &mut ws,
+                    &prompt_logits,
+                    max_new,
+                    params,
+                    eos,
+                    &mut rng,
+                )
+            }
+            Some(d) => {
+                debug_assert_eq!(novel_start, 0, "speculative groups prefill fully");
+                let mut features = Mat::zeros(0, target.config.hidden);
+                features.reserve_rows(
+                    (prompt.len() + max_new + depth + 1).min(target.config.max_seq_len),
+                    target.config.hidden,
+                );
+                features.extend_rows_range(&base_features, 0, base_features.rows());
+                let schedule = [(usize::MAX, d)];
+                let mut kv = PagedKv {
+                    pool: &mut *pool,
+                    cache: &mut continuation,
+                };
+                speculative_continue(
+                    target,
+                    &schedule,
+                    prompt,
+                    max_new,
+                    strategy,
+                    params,
+                    eos,
+                    &mut rng,
+                    &mut kv,
+                    &mut ws,
+                    features,
+                    &prompt_logits,
+                )
+            }
+        };
+        continuation.release(pool);
+        results.push(result);
+    }
+    base.release(pool);
+    results
 }
 
 /// Measures per-position acceptance rates of a drafter against a target over a set of
@@ -759,6 +963,147 @@ mod tests {
             let sequential = vanilla_generate(&target, prompt, 16, params, None, &mut rng);
             assert_eq!(vanilla_batch[i], sequential, "sequence {i}");
         }
+    }
+
+    #[test]
+    fn generate_group_matches_per_sequence_generation_bit_for_bit() {
+        let (target, drafter) = setup();
+        let params = SamplingParams {
+            temperature: 0.8,
+            top_k: None,
+        };
+        let prompt: Vec<TokenId> = vec![3, 1, 4, 1, 5];
+        let base_seed = 41;
+        let group = 5usize;
+
+        // Vanilla group: one shared prefill, five forked continuations.
+        let mut pool = target.new_paged_pool(4, 2048);
+        let results = generate_group(
+            &target,
+            None,
+            &prompt,
+            group,
+            20,
+            SdStrategy::default(),
+            params,
+            None,
+            base_seed,
+            &mut pool,
+            None,
+        );
+        for (i, result) in results.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(batch_seed(base_seed, i));
+            let solo = vanilla_generate(&target, &prompt, 20, params, None, &mut rng);
+            assert_eq!(result, &solo, "vanilla continuation {i}");
+        }
+        assert_eq!(pool.blocks_in_use(), 0, "group released every block");
+        assert!(pool.check_conservation().is_ok());
+
+        // Speculative group: forked prompt KV through full speculative rounds
+        // (drafter KV resumes across rounds via resume_draft).
+        let results = generate_group(
+            &target,
+            Some(&SpecDrafter::Learned(&drafter)),
+            &prompt,
+            group,
+            20,
+            SdStrategy::default(),
+            params,
+            None,
+            base_seed,
+            &mut pool,
+            None,
+        );
+        for (i, result) in results.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(batch_seed(base_seed, i));
+            let solo = speculative_generate(
+                &target,
+                &SpecDrafter::Learned(&drafter),
+                &prompt,
+                20,
+                SdStrategy::default(),
+                params,
+                None,
+                &mut rng,
+            );
+            assert_eq!(result, &solo, "speculative continuation {i}");
+        }
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn prefix_index_lets_a_second_group_prefill_only_the_divergent_suffix() {
+        let (target, _) = setup();
+        let params = SamplingParams::greedy();
+        let base_seed = 17;
+        let mut pool = target.new_paged_pool(4, 2048);
+        let mut index = tlt_model::PrefixIndex::new(4);
+
+        // Two prompts sharing an 8-token (two-block) system prefix.
+        let system: Vec<TokenId> = vec![2, 7, 1, 8, 2, 8, 1, 8];
+        let mut prompt_a = system.clone();
+        prompt_a.extend_from_slice(&[3, 5]);
+        let mut prompt_b = system.clone();
+        prompt_b.extend_from_slice(&[9, 4, 6]);
+
+        let first = generate_group(
+            &target,
+            None,
+            &prompt_a,
+            2,
+            12,
+            SdStrategy::default(),
+            params,
+            None,
+            base_seed,
+            &mut pool,
+            Some(&mut index),
+        );
+        assert_eq!(index.resident_blocks(), 2, "system prefix left resident");
+        let second = generate_group(
+            &target,
+            None,
+            &prompt_b,
+            2,
+            12,
+            SdStrategy::default(),
+            params,
+            None,
+            base_seed,
+            &mut pool,
+            Some(&mut index),
+        );
+        // The second group matched the two resident system blocks: its prefill
+        // started at position 8, and the outputs are still bit-identical to
+        // per-sequence generation with a cold cache.
+        assert!(index.hit_rate() > 0.0, "second lookup must hit");
+        for (i, result) in second.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(batch_seed(base_seed, i));
+            let solo = vanilla_generate(&target, &prompt_b, 12, params, None, &mut rng);
+            assert_eq!(result, &solo, "reused-prefix continuation {i}");
+        }
+        // Rerunning prompt A hits its own full-block prefix too.
+        let replay = generate_group(
+            &target,
+            None,
+            &prompt_a,
+            2,
+            12,
+            SdStrategy::default(),
+            params,
+            None,
+            base_seed,
+            &mut pool,
+            Some(&mut index),
+        );
+        assert_eq!(replay, first, "prefix reuse is invisible in the output");
+
+        // Only the resident index blocks survive; releasing the index drains
+        // the pool completely.
+        assert_eq!(pool.blocks_in_use(), index.resident_blocks());
+        index.release_all(&mut pool);
+        assert_eq!(pool.blocks_in_use(), 0);
+        assert!(pool.check_conservation().is_ok());
     }
 
     #[test]

@@ -8,6 +8,32 @@ use tlt_gpusim::LlmCostModel;
 use tlt_model::DraftModelSpec;
 use tlt_rollout::SdMode;
 
+/// How a replica accounts KV memory at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KvAccounting {
+    /// Legacy flat token budget: every request charges its full token
+    /// footprint; identical prefixes are charged once per request.
+    Tokens,
+    /// Paged block accounting: footprints round up to whole blocks, shared
+    /// prefixes are charged once per replica (PagedAttention-style), prefill
+    /// only pays for tokens not already resident, and preemption/admission
+    /// operate in block units.
+    Paged {
+        /// Tokens per KV block.
+        block_size: usize,
+    },
+}
+
+impl KvAccounting {
+    /// The block size, if paged.
+    pub fn block_size(&self) -> Option<usize> {
+        match self {
+            KvAccounting::Tokens => None,
+            KvAccounting::Paged { block_size } => Some(*block_size),
+        }
+    }
+}
+
 /// Configuration of a multi-replica serving deployment.
 ///
 /// Every replica is one tensor-parallel instance of the target model described by
@@ -42,6 +68,9 @@ pub struct ServeConfig {
     /// the most recently admitted request when KV overflows (vLLM-style recompute).
     /// When false, admission reserves `prompt + max_output_tokens` up front.
     pub preemption: bool,
+    /// KV accounting granularity (flat tokens or paged blocks with prefix
+    /// sharing).
+    pub kv_accounting: KvAccounting,
     /// Latency SLO used for goodput accounting.
     pub slo: SloSpec,
     /// Seed for the per-replica tuner exploration streams.
@@ -67,6 +96,7 @@ impl ServeConfig {
             max_prefill_tokens: 8192,
             max_output_tokens: 4096,
             preemption: false,
+            kv_accounting: KvAccounting::Tokens,
             slo: SloSpec::interactive(),
             seed: 0,
         }
@@ -88,6 +118,26 @@ impl ServeConfig {
     pub fn with_preemption(mut self) -> Self {
         self.preemption = true;
         self
+    }
+
+    /// Same configuration with paged (block-granular) KV accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn with_paged_kv(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        self.kv_accounting = KvAccounting::Paged { block_size };
+        self
+    }
+
+    /// KV capacity of one replica in blocks under paged accounting (the token
+    /// budget divided by the block size; zero under token accounting).
+    pub fn kv_block_budget(&self) -> usize {
+        match self.kv_accounting {
+            KvAccounting::Tokens => 0,
+            KvAccounting::Paged { block_size } => self.kv_token_budget() / block_size,
+        }
     }
 
     /// KV-cache capacity of one replica, in tokens: the memory left after weights

@@ -297,6 +297,7 @@ mod tests {
                 truncation_mass: 0.02,
                 max_len: 2048,
             },
+            prefix: None,
             seed,
         })
     }

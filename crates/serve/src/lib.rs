@@ -42,7 +42,7 @@ pub mod replica;
 pub mod request;
 
 pub use balancer::{BalancerPolicy, LoadBalancer, ReplicaLoad};
-pub use config::ServeConfig;
+pub use config::{KvAccounting, ServeConfig};
 pub use frontend::{simulate_serving, simulate_serving_traced, ServeSim};
 pub use metrics::{percentile_f64, LatencySummary, ReplicaStats, ServeReport, SloSpec};
 pub use replica::{FailoverRequest, Replica};

@@ -125,6 +125,15 @@ pub struct ReplicaStats {
     pub peak_running: usize,
     /// Largest KV-token footprint observed.
     pub peak_kv_tokens: usize,
+    /// KV capacity in blocks (0 under token accounting).
+    pub kv_block_budget: usize,
+    /// Largest number of KV blocks charged (0 under token accounting).
+    pub peak_kv_blocks: usize,
+    /// Peak pool utilisation, `peak_kv_blocks / kv_block_budget` (0 under
+    /// token accounting).
+    pub pool_utilization: f64,
+    /// Fraction of admitted prompt tokens served from resident prefix blocks.
+    pub prefix_hit_rate: f64,
 }
 
 /// Aggregate result of one serving simulation.
@@ -212,6 +221,29 @@ impl ServeReport {
                 .iter()
                 .map(|r| r.sd_step_fraction)
                 .sum::<f64>()
+                / self.replicas.len() as f64
+        }
+    }
+
+    /// Mean peak pool utilisation across replicas (0 under token accounting).
+    pub fn mean_pool_utilization(&self) -> f64 {
+        if self.replicas.is_empty() {
+            0.0
+        } else {
+            self.replicas
+                .iter()
+                .map(|r| r.pool_utilization)
+                .sum::<f64>()
+                / self.replicas.len() as f64
+        }
+    }
+
+    /// Mean prefix-cache hit rate across replicas.
+    pub fn mean_prefix_hit_rate(&self) -> f64 {
+        if self.replicas.is_empty() {
+            0.0
+        } else {
+            self.replicas.iter().map(|r| r.prefix_hit_rate).sum::<f64>()
                 / self.replicas.len() as f64
         }
     }

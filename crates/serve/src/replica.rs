@@ -18,12 +18,13 @@
 //! step durations to model a straggler.
 
 use crate::balancer::ReplicaLoad;
-use crate::config::ServeConfig;
+use crate::config::{KvAccounting, ServeConfig};
 use crate::metrics::ReplicaStats;
 use crate::request::{CompletedRequest, ServeRequest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use tlt_model::paged_kv::{BlockLedger, PoolStats};
 use tlt_rollout::{AdaptiveSdManager, DrafterChoice, SdDecision, SdMode, StepObservation};
 
 /// A request waiting in the admission queue (possibly preempted mid-decode).
@@ -85,17 +86,44 @@ struct RunningEntry {
     prefill_pending: bool,
     /// Admission sequence number; preemption evicts the most recent first.
     admit_seq: u64,
+    /// Full-block shared-prefix tokens this entry references under paged
+    /// accounting (charged once per replica, not per entry).
+    shared_tokens: usize,
 }
 
 impl RunningEntry {
-    /// Current KV footprint in tokens.
+    /// Current KV footprint in tokens (per-sequence attention context).
     fn kv_tokens(&self) -> usize {
         self.req.prompt_len + self.generated.ceil() as usize
+    }
+
+    /// Tokens this entry stores privately under paged accounting (everything
+    /// beyond the shared full-block prefix).
+    fn private_tokens(&self) -> usize {
+        self.kv_tokens() - self.shared_tokens
     }
 
     fn remaining(&self) -> f64 {
         self.req.output_len as f64 - self.generated
     }
+}
+
+/// Outcome of planning one paged admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PagedAdmission {
+    /// Can never fit an empty replica: drop.
+    Impossible,
+    /// Does not fit the blocks left right now: stop admitting.
+    OverBudget,
+    /// Fits; `cached` prompt tokens come from resident prefix blocks.
+    Admit {
+        /// Prompt tokens served from the resident prefix cache.
+        cached: usize,
+        /// Private blocks the entry reserves.
+        private_blocks: usize,
+        /// Full shared-prefix blocks (charged once per replica).
+        shared_blocks: usize,
+    },
 }
 
 /// What the in-flight step will do when it completes.
@@ -120,6 +148,9 @@ pub struct Replica {
     index: usize,
     config: ServeConfig,
     kv_budget: usize,
+    /// Block-granular accounting under [`KvAccounting::Paged`]; `None` keeps
+    /// the legacy flat-token behaviour bit for bit.
+    ledger: Option<BlockLedger>,
     manager: Option<AdaptiveSdManager>,
     rng: StdRng,
     queue: VecDeque<QueuedEntry>,
@@ -140,6 +171,8 @@ pub struct Replica {
     crashes: u64,
     peak_running: usize,
     peak_kv_tokens: usize,
+    prefix_hit_tokens: u64,
+    admitted_prompt_tokens: u64,
     dropped: usize,
     dropped_ids: Vec<u64>,
     completed_count: usize,
@@ -154,9 +187,17 @@ impl Replica {
             _ => None,
         };
         let kv_budget = config.kv_token_budget();
+        let ledger = match config.kv_accounting {
+            KvAccounting::Tokens => None,
+            KvAccounting::Paged { block_size } => {
+                assert!(block_size > 0, "paged KV block size must be non-zero");
+                Some(BlockLedger::new(block_size, kv_budget / block_size))
+            }
+        };
         Replica {
             index,
             kv_budget,
+            ledger,
             manager,
             rng: StdRng::seed_from_u64(
                 config
@@ -179,6 +220,8 @@ impl Replica {
             crashes: 0,
             peak_running: 0,
             peak_kv_tokens: 0,
+            prefix_hit_tokens: 0,
+            admitted_prompt_tokens: 0,
             dropped: 0,
             dropped_ids: Vec::new(),
             completed_count: 0,
@@ -223,6 +266,11 @@ impl Replica {
         self.up = false;
         self.step = None;
         self.crashes += 1;
+        // The crash wipes the replica's KV pool: every block — private
+        // footprints and the resident prefix cache alike — is freed.
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.reset();
+        }
         let mut drained = Vec::with_capacity(self.running.len() + self.queue.len());
         for entry in self.running.drain(..) {
             drained.push(FailoverRequest {
@@ -325,6 +373,7 @@ impl Replica {
     pub fn enqueue(&mut self, mut req: ServeRequest, now: f64) {
         req.prompt_len = req.prompt_len.max(1);
         req.output_len = req.output_len.min(self.config.max_output_tokens).max(1);
+        req.prefix_len = req.prefix_len.min(req.prompt_len);
         self.queue.push_back(QueuedEntry::fresh(req));
         if self.up && self.step.is_none() {
             self.start_step(now);
@@ -350,15 +399,25 @@ impl Replica {
             StepWork::Decode { tokens_per_seq } => {
                 // Single in-order pass: finished entries drain straight into the
                 // completed log (in admission order) and survivors keep their
-                // batch order — no per-removal swap_remove shuffling.
+                // batch order — no per-removal swap_remove shuffling. Finished
+                // entries drop their shared-prefix reference; the blocks stay
+                // resident for future admissions until pool pressure reclaims
+                // them.
                 let replica_index = self.index;
                 let completed = &mut self.completed;
                 let completed_count = &mut self.completed_count;
+                let ledger = &mut self.ledger;
                 self.running.retain_mut(|entry| {
                     let committed = tokens_per_seq.min(entry.remaining());
                     entry.generated += committed;
                     if entry.remaining() <= 1e-9 {
                         *completed_count += 1;
+                        if entry.shared_tokens > 0 {
+                            ledger
+                                .as_mut()
+                                .expect("shared tokens imply paged accounting")
+                                .release_shared(entry.req.prefix_id);
+                        }
                         completed.push(CompletedRequest {
                             id: entry.req.id,
                             replica: replica_index,
@@ -378,6 +437,39 @@ impl Replica {
             }
         }
         self.start_step(now);
+    }
+
+    /// Refreshes the ledger's view of the running batch's private footprint
+    /// (and with it the pool-utilisation peak).
+    fn sync_ledger(&mut self) {
+        let Some(ledger) = self.ledger.as_ref() else {
+            return;
+        };
+        let private = self.private_blocks_in_use(ledger);
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.sync_private(private);
+        }
+    }
+
+    /// Actual private (unshared) blocks the running batch occupies.
+    fn private_blocks_in_use(&self, ledger: &BlockLedger) -> usize {
+        self.running
+            .iter()
+            .map(|e| ledger.blocks_for(e.private_tokens()))
+            .sum()
+    }
+
+    /// Full-block tokens of `req`'s shared prefix under paged accounting
+    /// (partial blocks stay private; 0 under token accounting or without a
+    /// prefix).
+    fn shared_prefix_tokens(&self, req: &ServeRequest) -> usize {
+        match &self.ledger {
+            Some(ledger) if req.prefix_id != 0 => {
+                let bs = ledger.block_size();
+                (req.prefix_len.min(req.prompt_len) / bs) * bs
+            }
+            _ => 0,
+        }
     }
 
     /// KV tokens a queued entry needs at admission time: its current footprint under
@@ -404,47 +496,188 @@ impl Replica {
             .sum()
     }
 
-    /// Current KV footprint of the running batch (actual tokens resident).
+    /// Current KV footprint of the running batch (actual tokens resident,
+    /// counting shared prefixes once per referencing entry — the per-sequence
+    /// attention context the cost model sees).
     fn kv_in_use(&self) -> usize {
         self.running.iter().map(RunningEntry::kv_tokens).sum()
     }
 
-    /// Moves admittable queued requests into the running batch; returns the packed
-    /// prompt tokens of the admitted set (0 when nothing was admitted).
-    fn try_admit(&mut self, now: f64) -> usize {
-        let mut reserved = self.reserved_tokens();
+    /// Private blocks reserved by the running batch under paged accounting
+    /// (worst case under conservative admission, actual footprint under
+    /// optimistic admission). Shared groups are charged by the ledger.
+    fn reserved_private_blocks(&self, ledger: &BlockLedger) -> usize {
+        self.running
+            .iter()
+            .map(|e| {
+                let tokens = if self.config.preemption {
+                    e.private_tokens()
+                } else {
+                    e.req.prompt_len - e.shared_tokens + self.config.max_output_tokens
+                };
+                ledger.blocks_for(tokens)
+            })
+            .sum()
+    }
+
+    /// Actual blocks charged right now: per-entry private footprints (rounded
+    /// up to whole blocks) plus the resident shared groups, charged once.
+    fn blocks_in_use(&self, ledger: &BlockLedger) -> usize {
+        self.private_blocks_in_use(ledger) + ledger.shared_blocks()
+    }
+
+    /// Plans the paged admission of `entry` against the current reservations
+    /// without mutating anything.
+    fn plan_paged_admission(
+        &self,
+        entry: &QueuedEntry,
+        reserved_private_blocks: usize,
+    ) -> PagedAdmission {
+        let ledger = self.ledger.as_ref().expect("paged accounting");
+        let budget = ledger.capacity_blocks();
+        let shared = self.shared_prefix_tokens(&entry.req);
+        let shared_blocks = shared / ledger.block_size();
+        // A request that cannot fit even an otherwise-empty replica will never
+        // be admittable: drop it instead of wedging the queue (the paged
+        // analogue of the token-mode impossibility rule, with the shared
+        // prefix charged once).
+        let lone_private = if self.config.preemption {
+            entry.req.prompt_len - shared + entry.req.output_len
+        } else {
+            entry.req.prompt_len - shared + self.config.max_output_tokens
+        };
+        if ledger.blocks_for(lone_private) + shared_blocks > budget {
+            return PagedAdmission::Impossible;
+        }
+        // Only the blocks already resident hold materialised KV a prefill can
+        // reuse; a longer clamped prefix must compute — and charge — the
+        // extension blocks itself (the group grows at admission).
+        let reused_blocks = if shared_blocks > 0 {
+            shared_blocks.min(ledger.resident_blocks_of(entry.req.prefix_id))
+        } else {
+            0
+        };
+        let private_need = if self.config.preemption {
+            entry.prefill_tokens() - shared
+        } else {
+            entry.req.prompt_len - shared + self.config.max_output_tokens
+        };
+        let private_blocks = ledger.blocks_for(private_need);
+        let need = private_blocks + (shared_blocks - reused_blocks);
+        if reserved_private_blocks + ledger.shared_blocks() + need > budget {
+            return PagedAdmission::OverBudget;
+        }
+        // Reused resident blocks mean their KV is already materialised: the
+        // prefill skips those tokens (keeping at least one novel token so the
+        // step still produces first-token logits). The first request of a
+        // group pays the full prefill and leaves the blocks resident.
+        let cached =
+            (reused_blocks * ledger.block_size()).min(entry.prefill_tokens().saturating_sub(1));
+        PagedAdmission::Admit {
+            cached,
+            private_blocks,
+            shared_blocks,
+        }
+    }
+
+    /// Moves admittable queued requests into the running batch; returns the
+    /// packed `(novel, cached)` prompt tokens of the admitted set — `novel`
+    /// tokens must be computed by the prefill step, `cached` tokens are served
+    /// from resident prefix blocks and only re-read by attention.
+    fn try_admit(&mut self, now: f64) -> (usize, usize) {
+        let mut reserved_tokens = if self.ledger.is_none() {
+            self.reserved_tokens()
+        } else {
+            0
+        };
+        let mut reserved_private_blocks = match &self.ledger {
+            Some(ledger) => self.reserved_private_blocks(ledger),
+            None => 0,
+        };
         let mut prefill_tokens = 0usize;
+        let mut cached_tokens = 0usize;
         let mut admitted = 0usize;
-        while let Some(front) = self.queue.front() {
+        loop {
             if self.running.len() >= self.config.max_running_requests {
                 break;
             }
-            let need = self.admission_need(front);
-            // A request that cannot fit even an otherwise-empty replica will never
-            // be admittable: drop it instead of wedging the queue. Under
-            // optimistic admission the prefill may fit today but the request's
-            // full footprint (prompt + clamped output) can still exceed the whole
-            // budget — running it alone would overflow KV with nothing left to
-            // preempt, so it is just as impossible.
-            let impossible = need > self.kv_budget
-                || (self.config.preemption
-                    && front.req.prompt_len + front.req.output_len > self.kv_budget);
-            if impossible {
-                let entry = self.queue.pop_front().expect("front exists");
-                self.dropped += 1;
-                self.dropped_ids.push(entry.req.id);
-                continue;
-            }
-            if reserved + need > self.kv_budget {
+            let Some(front) = self.queue.front().cloned() else {
                 break;
-            }
-            let chunk = front.prefill_tokens();
+            };
+            // Decide admissibility under the active accounting mode.
+            let paged = self.ledger.is_some();
+            let (entry_cached, entry_private_blocks, entry_shared_blocks) = if paged {
+                let mut plan = self.plan_paged_admission(&front, reserved_private_blocks);
+                if plan == PagedAdmission::OverBudget {
+                    // Reclaim prefix-cache groups nothing references — except
+                    // the front request's own group, whose eviction would buy
+                    // no headroom (its blocks move straight back into `need`)
+                    // while destroying the cache hit — and retry once.
+                    let keep = (front.req.prefix_id != 0).then_some(front.req.prefix_id);
+                    let freed = match self.ledger.as_mut() {
+                        Some(ledger) => ledger.evict_unreferenced_except(keep),
+                        None => 0,
+                    };
+                    if freed > 0 {
+                        plan = self.plan_paged_admission(&front, reserved_private_blocks);
+                    }
+                }
+                match plan {
+                    PagedAdmission::Impossible => {
+                        let entry = self.queue.pop_front().expect("front exists");
+                        self.dropped += 1;
+                        self.dropped_ids.push(entry.req.id);
+                        continue;
+                    }
+                    PagedAdmission::OverBudget => break,
+                    PagedAdmission::Admit {
+                        cached,
+                        private_blocks,
+                        shared_blocks,
+                    } => (cached, private_blocks, shared_blocks),
+                }
+            } else {
+                let need = self.admission_need(&front);
+                // A request that cannot fit even an otherwise-empty replica will never
+                // be admittable: drop it instead of wedging the queue. Under
+                // optimistic admission the prefill may fit today but the request's
+                // full footprint (prompt + clamped output) can still exceed the whole
+                // budget — running it alone would overflow KV with nothing left to
+                // preempt, so it is just as impossible.
+                let impossible = need > self.kv_budget
+                    || (self.config.preemption
+                        && front.req.prompt_len + front.req.output_len > self.kv_budget);
+                if impossible {
+                    let entry = self.queue.pop_front().expect("front exists");
+                    self.dropped += 1;
+                    self.dropped_ids.push(entry.req.id);
+                    continue;
+                }
+                if reserved_tokens + need > self.kv_budget {
+                    break;
+                }
+                reserved_tokens += need;
+                (0, 0, 0)
+            };
+            let chunk = front.prefill_tokens() - entry_cached;
             if admitted > 0 && prefill_tokens + chunk > self.config.max_prefill_tokens {
                 break;
             }
             let entry = self.queue.pop_front().expect("front exists");
-            reserved += need;
+            let shared = self.shared_prefix_tokens(&entry.req);
+            if let Some(ledger) = self.ledger.as_mut() {
+                reserved_private_blocks += entry_private_blocks;
+                if entry_shared_blocks > 0 {
+                    ledger.admit_shared(entry.req.prefix_id, entry_shared_blocks);
+                }
+            }
             prefill_tokens += chunk;
+            cached_tokens += entry_cached;
+            // Hit-rate accounting is over *prompt* tokens: preemption-lost
+            // output tokens are recomputed by the prefill but can never come
+            // from the prefix cache, so they stay out of the denominator.
+            self.prefix_hit_tokens += entry_cached.min(entry.req.prompt_len) as u64;
+            self.admitted_prompt_tokens += entry.req.prompt_len as u64;
             admitted += 1;
             self.running.push(RunningEntry {
                 admitted_s: entry.admitted_s.unwrap_or(now),
@@ -454,10 +687,11 @@ impl Replica {
                 preemptions: entry.preemptions,
                 prefill_pending: true,
                 admit_seq: self.admit_seq,
+                shared_tokens: shared,
             });
             self.admit_seq += 1;
         }
-        prefill_tokens
+        (prefill_tokens, cached_tokens)
     }
 
     /// Evicts most-recently-admitted requests back to the queue front until the
@@ -470,19 +704,67 @@ impl Replica {
     /// admission sequence, ahead of everything already queued) are pinned by the
     /// `preemption_evicts_most_recent_first` test.
     fn preempt_until_fitting(&mut self) {
-        let mut kv_in_use = self.kv_in_use();
-        if kv_in_use <= self.kv_budget || self.running.len() <= 1 {
+        // Under paged accounting the fitting check runs in block units against
+        // the ledger. Unreferenced prefix-cache groups stay resident until
+        // there is actual pressure; when the batch is over budget they are
+        // reclaimed before any running work is evicted.
+        let (budget, mut kv_in_use) = match &self.ledger {
+            Some(ledger) => (ledger.capacity_blocks(), self.blocks_in_use(ledger)),
+            None => (self.kv_budget, self.kv_in_use()),
+        };
+        if kv_in_use > budget {
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.evict_unreferenced();
+            }
+            if let Some(ledger) = &self.ledger {
+                kv_in_use = self.blocks_in_use(ledger);
+            }
+        }
+        if kv_in_use <= budget || self.running.len() <= 1 {
             return;
+        }
+        let footprint = |replica: &Replica, i: usize| -> usize {
+            match &replica.ledger {
+                Some(ledger) => ledger.blocks_for(replica.running[i].private_tokens()),
+                None => replica.running[i].kv_tokens(),
+            }
+        };
+        // Remaining running references per shared group: evicting a group's
+        // last referencing victim frees the group's blocks too (reclaimed by
+        // the trailing sweep), so the loop credits them and stops earlier.
+        let mut group_refs: Vec<(u64, usize)> = Vec::new();
+        if self.ledger.is_some() {
+            for e in self.running.iter().filter(|e| e.shared_tokens > 0) {
+                match group_refs.iter_mut().find(|(id, _)| *id == e.req.prefix_id) {
+                    Some((_, refs)) => *refs += 1,
+                    None => group_refs.push((e.req.prefix_id, 1)),
+                }
+            }
         }
         let mut order: Vec<usize> = (0..self.running.len()).collect();
         order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.running[i].admit_seq));
         let mut evicted = vec![false; self.running.len()];
         let mut evicted_count = 0usize;
         for &i in &order {
-            if kv_in_use <= self.kv_budget || self.running.len() - evicted_count <= 1 {
+            if kv_in_use <= budget || self.running.len() - evicted_count <= 1 {
                 break;
             }
-            kv_in_use -= self.running[i].kv_tokens();
+            kv_in_use -= footprint(self, i);
+            if self.running[i].shared_tokens > 0 {
+                if let Some((_, refs)) = group_refs
+                    .iter_mut()
+                    .find(|(id, _)| *id == self.running[i].req.prefix_id)
+                {
+                    *refs -= 1;
+                    if *refs == 0 {
+                        if let Some(ledger) = &self.ledger {
+                            kv_in_use = kv_in_use.saturating_sub(
+                                ledger.resident_blocks_of(self.running[i].req.prefix_id),
+                            );
+                        }
+                    }
+                }
+            }
             evicted[i] = true;
             evicted_count += 1;
         }
@@ -503,6 +785,11 @@ impl Replica {
         for &i in &order[..evicted_count] {
             let victim = slots[i].take().expect("victim slot");
             self.preemptions += 1;
+            if let Some(ledger) = self.ledger.as_mut() {
+                if victim.shared_tokens > 0 {
+                    ledger.release_shared(victim.req.prefix_id);
+                }
+            }
             self.queue.push_front(QueuedEntry {
                 req: victim.req,
                 generated: victim.generated,
@@ -510,6 +797,11 @@ impl Replica {
                 admitted_s: Some(victim.admitted_s),
                 preemptions: victim.preemptions + 1,
             });
+        }
+        // Eviction may have orphaned a shared group; if the batch still does
+        // not fit, reclaim those blocks too.
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.evict_unreferenced();
         }
     }
 
@@ -519,11 +811,18 @@ impl Replica {
         if self.config.preemption {
             self.preempt_until_fitting();
         }
-        let prefill_tokens = self.try_admit(now);
+        let (prefill_tokens, cached_tokens) = self.try_admit(now);
         self.peak_running = self.peak_running.max(self.running.len());
         self.peak_kv_tokens = self.peak_kv_tokens.max(self.kv_in_use());
+        self.sync_ledger();
         if prefill_tokens > 0 {
-            let duration = self.config.cost.prefill_time(1, prefill_tokens) * self.slow_factor;
+            // The prefill computes only the novel tokens; resident prefix
+            // blocks are re-read by attention but never recomputed.
+            let duration = self
+                .config
+                .cost
+                .prefill_time_cached(1, prefill_tokens, cached_tokens)
+                * self.slow_factor;
             self.step = Some(PendingStep {
                 work: StepWork::Prefill,
                 finish_s: now + duration,
@@ -633,6 +932,64 @@ impl Replica {
         self.peak_kv_tokens
     }
 
+    /// KV capacity in blocks (0 under token accounting).
+    pub fn kv_block_budget(&self) -> usize {
+        self.ledger.as_ref().map_or(0, BlockLedger::capacity_blocks)
+    }
+
+    /// Largest number of KV blocks charged at a step start (0 under token
+    /// accounting).
+    pub fn peak_kv_blocks(&self) -> usize {
+        self.ledger
+            .as_ref()
+            .map_or(0, BlockLedger::peak_in_use_blocks)
+    }
+
+    /// Pool accounting snapshot under paged accounting.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.ledger.as_ref().map(BlockLedger::stats)
+    }
+
+    /// Fraction of admitted prompt tokens served from resident prefix blocks.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.admitted_prompt_tokens == 0 {
+            0.0
+        } else {
+            self.prefix_hit_tokens as f64 / self.admitted_prompt_tokens as f64
+        }
+    }
+
+    /// Structural check of the block ledger: shared refcounts must equal the
+    /// running entries referencing each prefix, charges must stay within
+    /// capacity. `Ok` under token accounting.
+    pub fn kv_pool_check(&self) -> Result<(), String> {
+        match &self.ledger {
+            Some(ledger) => {
+                let expected_refs = self.running.iter().filter(|e| e.shared_tokens > 0).count();
+                ledger.check_conservation(expected_refs)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Blocks that are neither free nor reclaimable: private footprints of
+    /// running work plus shared groups still referenced. Zero after a full
+    /// drain — the pool-leak assertion the chaos matrix enforces.
+    pub fn kv_pool_leaked(&self) -> usize {
+        match &self.ledger {
+            Some(ledger) => {
+                let referenced: usize = ledger
+                    .shared_groups()
+                    .iter()
+                    .filter(|g| g.refs > 0)
+                    .map(|g| g.blocks)
+                    .sum();
+                self.private_blocks_in_use(ledger) + referenced
+            }
+            None => 0,
+        }
+    }
+
     /// Final accounting for this replica; `makespan_s` normalises utilisation.
     pub fn stats(&self, makespan_s: f64) -> ReplicaStats {
         ReplicaStats {
@@ -659,6 +1016,10 @@ impl Replica {
             crashes: self.crashes,
             peak_running: self.peak_running,
             peak_kv_tokens: self.peak_kv_tokens,
+            kv_block_budget: self.kv_block_budget(),
+            peak_kv_blocks: self.peak_kv_blocks(),
+            pool_utilization: self.ledger.as_ref().map_or(0.0, BlockLedger::utilization),
+            prefix_hit_rate: self.prefix_hit_rate(),
         }
     }
 }
@@ -682,6 +1043,8 @@ mod tests {
             arrival_s,
             prompt_len: prompt,
             output_len: output,
+            prefix_id: 0,
+            prefix_len: 0,
         }
     }
 
@@ -800,6 +1163,7 @@ mod tests {
                 preemptions: 0,
                 prefill_pending: false,
                 admit_seq: seq,
+                shared_tokens: 0,
             });
         }
         // 4 x 1000 KV tokens against a 3000 budget: exactly one eviction, and it
@@ -906,6 +1270,7 @@ mod tests {
                 preemptions: 0,
                 prefill_pending: seq == 1,
                 admit_seq: seq,
+                shared_tokens: 0,
             });
         }
         replica.preempt_until_fitting();
@@ -1040,6 +1405,197 @@ mod tests {
         assert_eq!(completed.len(), 1);
         assert_eq!(completed[0].id, 1);
         assert!(replica.peak_kv_tokens() <= budget);
+    }
+
+    fn prefixed_request(id: u64, prompt: usize, prefix: usize, output: usize) -> ServeRequest {
+        ServeRequest {
+            id,
+            arrival_s: 0.0,
+            prompt_len: prompt,
+            output_len: output,
+            prefix_id: 1,
+            prefix_len: prefix,
+        }
+    }
+
+    #[test]
+    fn shared_prefix_admits_strictly_more_at_a_fixed_block_budget() {
+        // The capacity win, pinned: at the same block budget, a workload whose
+        // requests share a system prompt admits strictly more concurrent
+        // requests than one with disjoint prompts — and never exceeds the
+        // pool. (Conservative admission; shared blocks charged once.)
+        let mut cfg = config().with_paged_kv(16);
+        cfg.kv_memory_fraction = 0.25;
+        cfg.max_output_tokens = 2048;
+        let budget = cfg.kv_block_budget();
+        assert!(
+            budget > 256,
+            "test needs a budget over 256 blocks: {budget}"
+        );
+
+        let run = |shared: bool| {
+            let mut replica = Replica::new(&cfg, 0);
+            let n = (budget / 64 + 16) as u64;
+            for i in 0..n {
+                let req = if shared {
+                    prefixed_request(i, 2048, 2048, 64)
+                } else {
+                    request(i, 0.0, 2048, 64)
+                };
+                replica.enqueue(req, 0.0);
+            }
+            drain(&mut replica);
+            assert_eq!(replica.take_completed().len(), n as usize);
+            assert!(
+                replica.peak_kv_blocks() <= replica.kv_block_budget(),
+                "pool exceeded: {} > {}",
+                replica.peak_kv_blocks(),
+                replica.kv_block_budget()
+            );
+            assert!(replica.kv_pool_check().is_ok());
+            assert_eq!(replica.kv_pool_leaked(), 0, "blocks leaked after drain");
+            (replica.peak_running, replica.prefix_hit_rate())
+        };
+        let (disjoint_admitted, disjoint_hits) = run(false);
+        let (shared_admitted, shared_hits) = run(true);
+        assert!(
+            shared_admitted > disjoint_admitted,
+            "sharing must admit strictly more: {shared_admitted} vs {disjoint_admitted}"
+        );
+        assert_eq!(disjoint_hits, 0.0);
+        assert!(
+            shared_hits > 0.0,
+            "later admissions hit the resident prefix"
+        );
+    }
+
+    #[test]
+    fn resident_prefix_shortens_the_second_requests_prefill() {
+        // First request of a prefix group pays the full prefill and leaves the
+        // blocks resident; the next request prefills only its novel tokens.
+        let cfg = config().with_paged_kv(16);
+        let mut replica = Replica::new(&cfg, 0);
+        replica.enqueue(prefixed_request(0, 1024, 1024, 4), 0.0);
+        let t_first_prefill = replica.next_event_s();
+        drain(&mut replica);
+        let cold = replica.take_completed();
+        assert_eq!(cold.len(), 1);
+
+        // Same replica, same prompt shape: the prefix is now resident.
+        let arrive = replica.next_event_s().min(10.0);
+        replica.enqueue(prefixed_request(1, 1024, 1024, 4), arrive);
+        let warm_prefill = replica.next_event_s() - arrive;
+        drain(&mut replica);
+        let warm = replica.take_completed();
+        assert_eq!(warm.len(), 1);
+        assert!(
+            warm_prefill < (t_first_prefill - 0.0) * 0.5,
+            "warm prefill {warm_prefill} should be far below cold {t_first_prefill}"
+        );
+        assert!(replica.prefix_hit_rate() > 0.0);
+        let stats = replica.stats(10.0);
+        assert!(stats.pool_utilization > 0.0 && stats.pool_utilization <= 1.0);
+        assert!(stats.prefix_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn growing_prefix_charges_the_extension_and_reuses_only_resident_blocks() {
+        // Regression: prefix lengths are clamped per request, so one group id
+        // can carry different full-block counts. A longer prefix must charge
+        // (and prefill) the blocks beyond what is resident — reusing only the
+        // materialised part — instead of treating the whole prefix as cached.
+        let cfg = config().with_paged_kv(16);
+        let mut replica = Replica::new(&cfg, 0);
+        replica.enqueue(prefixed_request(0, 256, 256, 4), 0.0);
+        drain(&mut replica);
+        assert_eq!(replica.take_completed().len(), 1);
+        assert_eq!(
+            replica.pool_stats().expect("paged").in_use_blocks,
+            16,
+            "short prefix leaves 16 blocks resident"
+        );
+
+        replica.enqueue(prefixed_request(1, 768, 768, 4), 100.0);
+        drain(&mut replica);
+        assert_eq!(replica.take_completed().len(), 1);
+        // Only the resident 256 tokens were reusable; the 512-token extension
+        // was computed by the second request's own prefill.
+        let expected_hit = 256.0 / (256.0 + 768.0);
+        assert!(
+            (replica.prefix_hit_rate() - expected_hit).abs() < 1e-9,
+            "hit rate {} should count only resident blocks ({expected_hit})",
+            replica.prefix_hit_rate()
+        );
+        assert_eq!(
+            replica.pool_stats().expect("paged").in_use_blocks,
+            48,
+            "the group grew to the longer prefix"
+        );
+        assert!(replica.kv_pool_check().is_ok());
+    }
+
+    #[test]
+    fn prefix_cache_survives_steps_without_pressure_under_preemption() {
+        // Regression: the resident prefix cache is reclaimed only under
+        // actual pool pressure — an idle, nearly empty replica must not wipe
+        // it at every step start just because preemption is enabled.
+        let cfg = config().with_preemption().with_paged_kv(16);
+        let mut replica = Replica::new(&cfg, 0);
+        replica.enqueue(prefixed_request(0, 256, 256, 4), 0.0);
+        drain(&mut replica);
+        assert_eq!(
+            replica.pool_stats().expect("paged").in_use_blocks,
+            16,
+            "group stays resident with no pressure"
+        );
+        replica.enqueue(prefixed_request(1, 256, 256, 4), 50.0);
+        drain(&mut replica);
+        assert!(
+            replica.prefix_hit_rate() > 0.0,
+            "the second request hits the surviving cache"
+        );
+    }
+
+    #[test]
+    fn paged_preemption_under_pressure_completes_everything_within_the_pool() {
+        let mut cfg = config().with_preemption().with_paged_kv(16);
+        cfg.kv_memory_fraction = 0.25;
+        cfg.max_output_tokens = 16_384;
+        let budget = cfg.kv_block_budget();
+        let n = ((budget * 16) / 5_000).max(4) as u64;
+        let mut replica = Replica::new(&cfg, 0);
+        for i in 0..n {
+            let mut req = prefixed_request(i, 1_024, 512, 16_384);
+            req.arrival_s = 0.0;
+            replica.enqueue(req, 0.0);
+        }
+        drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), n as usize, "all requests finish");
+        assert!(replica.preemptions > 0, "KV pressure must preempt");
+        assert!(replica.peak_kv_blocks() <= replica.kv_block_budget());
+        assert!(replica.kv_pool_check().is_ok());
+        assert_eq!(replica.kv_pool_leaked(), 0);
+    }
+
+    #[test]
+    fn crash_frees_every_block_including_the_prefix_cache() {
+        let cfg = config().with_paged_kv(16);
+        let mut replica = Replica::new(&cfg, 0);
+        replica.enqueue(prefixed_request(0, 1024, 1024, 64), 0.0);
+        replica.enqueue(prefixed_request(1, 1024, 1024, 64), 0.0);
+        let t = replica.next_event_s();
+        replica.on_step_complete(t);
+        assert!(replica.pool_stats().expect("paged").in_use_blocks > 0);
+        let drained = replica.crash(t + 0.01);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(
+            replica.pool_stats().expect("paged").in_use_blocks,
+            0,
+            "crash frees private and resident blocks alike"
+        );
+        assert_eq!(replica.kv_pool_leaked(), 0);
+        assert!(replica.kv_pool_check().is_ok());
     }
 
     #[test]

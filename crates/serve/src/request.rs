@@ -15,6 +15,12 @@ pub struct ServeRequest {
     pub prompt_len: usize,
     /// Number of output tokens this request will generate.
     pub output_len: usize,
+    /// Shared-prefix group the prompt starts with (0 = none). Requests with
+    /// the same non-zero id share one resident block group under paged KV
+    /// accounting.
+    pub prefix_id: u64,
+    /// Tokens of the prompt belonging to the shared prefix.
+    pub prefix_len: usize,
 }
 
 impl ServeRequest {
@@ -25,6 +31,8 @@ impl ServeRequest {
             arrival_s: a.time_s(),
             prompt_len: a.prompt_len.max(1),
             output_len: a.output_len.max(1),
+            prefix_id: a.prefix_id,
+            prefix_len: a.prefix_len.min(a.prompt_len.max(1)),
         }
     }
 }
@@ -120,10 +128,14 @@ mod tests {
             time_ns: 1_500_000_000,
             prompt_len: 0,
             output_len: 0,
+            prefix_id: 3,
+            prefix_len: 40,
         };
         let r = ServeRequest::from_arrival(&a);
         assert_eq!(r.prompt_len, 1);
         assert_eq!(r.output_len, 1);
+        assert_eq!(r.prefix_id, 3);
+        assert_eq!(r.prefix_len, 1, "prefix clamped to the prompt");
         assert!((r.arrival_s - 1.5).abs() < 1e-12);
     }
 }

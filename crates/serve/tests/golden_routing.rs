@@ -25,6 +25,8 @@ fn pinned_arrivals() -> Vec<RequestArrival> {
             time_ns: i * 150_000_000,
             prompt_len: 256 + (i as usize % 3) * 128,
             output_len: [64, 192, 48, 256][i as usize % 4],
+            prefix_id: 0,
+            prefix_len: 0,
         })
         .collect()
 }

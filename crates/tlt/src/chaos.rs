@@ -34,6 +34,8 @@ pub fn chaos_summary_rows(outcomes: &[ChaosOutcome]) -> Vec<Vec<String>> {
                     "{}/{}/{}",
                     o.drafter.swaps, o.drafter.rejected_corrupt, o.drafter.rejected_stale
                 ),
+                format!("{:.3}", o.report.mean_pool_utilization()),
+                format!("{:.3}", o.report.mean_prefix_hit_rate()),
                 o.invariants.verdict(),
             ]
         })
@@ -41,7 +43,7 @@ pub fn chaos_summary_rows(outcomes: &[ChaosOutcome]) -> Vec<Vec<String>> {
 }
 
 /// Column headers matching [`chaos_summary_rows`].
-pub const CHAOS_SUMMARY_HEADER: [&str; 10] = [
+pub const CHAOS_SUMMARY_HEADER: [&str; 12] = [
     "scenario",
     "schedule",
     "arrivals",
@@ -51,6 +53,8 @@ pub const CHAOS_SUMMARY_HEADER: [&str; 10] = [
     "crashes",
     "restarts",
     "ckpt s/c/s",
+    "pool util",
+    "prefix hit",
     "verdict",
 ];
 

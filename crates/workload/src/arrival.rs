@@ -124,6 +124,22 @@ impl RateCurve {
     }
 }
 
+/// Shared system-prompt specification for an arrival stream: each request
+/// independently carries the shared prefix with probability `share`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedPrefixSpec {
+    /// Fraction of requests whose prompt starts with the shared prefix,
+    /// in `[0, 1]`.
+    pub share: f64,
+    /// Length of the shared prefix in tokens (clamped to the prompt length).
+    pub len: usize,
+}
+
+impl SharedPrefixSpec {
+    /// The prefix-group id stamped on sharing requests (0 means "no prefix").
+    pub const GROUP_ID: u64 = 1;
+}
+
 /// Configuration of one arrival stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalConfig {
@@ -135,6 +151,10 @@ pub struct ArrivalConfig {
     pub prompt_len_range: (usize, usize),
     /// Output (response) lengths follow this long-tail distribution.
     pub output_lengths: LengthDistribution,
+    /// Optional shared system prompt. `None` leaves the stream — including
+    /// its RNG draws — bit-identical to streams generated before prefix
+    /// support existed.
+    pub prefix: Option<SharedPrefixSpec>,
     /// Seed determining the entire stream.
     pub seed: u64,
 }
@@ -152,8 +172,15 @@ impl ArrivalConfig {
                 truncation_mass: 0.02,
                 max_len: 4096,
             },
+            prefix: None,
             seed,
         }
+    }
+
+    /// Same stream with a shared system prompt carried by `share` of requests.
+    pub fn with_prefix(mut self, share: f64, len: usize) -> Self {
+        self.prefix = Some(SharedPrefixSpec { share, len });
+        self
     }
 }
 
@@ -168,6 +195,10 @@ pub struct RequestArrival {
     pub prompt_len: usize,
     /// Target output length in tokens.
     pub output_len: usize,
+    /// Shared-prefix group the prompt starts with (0 = none).
+    pub prefix_id: u64,
+    /// Tokens of the prompt belonging to the shared prefix.
+    pub prefix_len: usize,
 }
 
 impl RequestArrival {
@@ -199,13 +230,25 @@ pub fn generate_arrivals(config: &ArrivalConfig) -> Vec<RequestArrival> {
         }
         let keep: f64 = rng.gen_range(0.0..1.0);
         if keep < config.curve.rate_at(t) / peak {
+            let prompt_len = rng.gen_range(lo..=hi);
+            let output_len = config.output_lengths.sample(&mut rng);
+            // The prefix coin is only drawn when a prefix is configured, so
+            // legacy configs reproduce their historical streams bit for bit.
+            let (prefix_id, prefix_len) = match config.prefix {
+                Some(spec) if rng.gen_range(0.0..1.0) < spec.share.clamp(0.0, 1.0) => {
+                    (SharedPrefixSpec::GROUP_ID, spec.len.min(prompt_len))
+                }
+                _ => (0, 0),
+            };
             out.push(RequestArrival {
                 id,
                 // Quantised to integer nanoseconds so arrival times are exactly
                 // representable and comparisons are reproducible everywhere.
                 time_ns: (t * 1e9) as u64,
-                prompt_len: rng.gen_range(lo..=hi),
-                output_len: config.output_lengths.sample(&mut rng),
+                prompt_len,
+                output_len,
+                prefix_id,
+                prefix_len,
             });
             id += 1;
         }
@@ -255,6 +298,7 @@ mod tests {
             horizon_s,
             prompt_len_range: (64, 128),
             output_lengths: LengthDistribution::Constant { len: 100 },
+            prefix: None,
             seed,
         })
         .len()
@@ -357,6 +401,7 @@ mod tests {
                 truncation_mass: 0.05,
                 max_len: 2048,
             },
+            prefix: None,
             seed: 7,
         };
         let arrivals = generate_arrivals(&config);
@@ -370,6 +415,34 @@ mod tests {
             assert!((100..=200).contains(&a.prompt_len));
             assert!((1..=2048).contains(&a.output_len));
         }
+    }
+
+    #[test]
+    fn shared_prefix_is_sampled_at_the_configured_share() {
+        let base = ArrivalConfig::constant(50.0, 40.0, 5);
+        let none = generate_arrivals(&base);
+        assert!(none.iter().all(|a| a.prefix_id == 0 && a.prefix_len == 0));
+
+        let all = generate_arrivals(&base.clone().with_prefix(1.0, 128));
+        assert!(!all.is_empty());
+        for a in &all {
+            assert_eq!(a.prefix_id, SharedPrefixSpec::GROUP_ID);
+            assert_eq!(a.prefix_len, 128.min(a.prompt_len));
+        }
+
+        let half = generate_arrivals(&base.clone().with_prefix(0.5, 10_000));
+        let with = half.iter().filter(|a| a.prefix_id != 0).count();
+        let frac = with as f64 / half.len() as f64;
+        assert!((0.35..0.65).contains(&frac), "share came out at {frac}");
+        // The prefix never exceeds the prompt it is part of.
+        assert!(half
+            .iter()
+            .all(|a| a.prefix_len <= a.prompt_len && (a.prefix_id == 0) == (a.prefix_len == 0)));
+
+        // Timing and lengths of the no-prefix stream are unchanged by prefix
+        // support existing at all (no extra RNG draw without a prefix).
+        let replay = generate_arrivals(&base);
+        assert_eq!(none, replay);
     }
 
     #[test]

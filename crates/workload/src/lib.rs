@@ -27,7 +27,7 @@ pub mod trace;
 
 pub use arrival::{
     generate_arrivals, merge_arrival_streams, shift_arrivals, ArrivalConfig, RateCurve,
-    RequestArrival,
+    RequestArrival, SharedPrefixSpec,
 };
 pub use longtail::{length_histogram, percentile, LengthDistribution, LengthStats};
 pub use tasks::{ReasoningTask, TaskGenerator, Vocabulary};

@@ -1,0 +1,132 @@
+//! Property-based equivalence suite for the paged KV backend: random prompt
+//! forests (a shared prefix with divergent suffixes) must decode **bit
+//! identically** on the paged and contiguous backends — through plain
+//! decoding, prefix-index reuse across sequences, and full speculative rounds
+//! with incremental drafter KV (`resume_draft`) — and the block pool must
+//! come back empty (no leaks) with conserved refcounts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlt_draft::{DraftModel, FeatureSource};
+use tlt_model::{ModelConfig, PagedKv, PrefixIndex, SamplingParams, TinyLm};
+use tlt_rollout::{
+    batch_seed, generate_group, speculative_generate, vanilla_generate, SdStrategy, SpecDrafter,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// Chunked prefill on the paged backend reproduces the contiguous
+    /// backend's logits bit for bit at every position, including chunks that
+    /// straddle block boundaries and rollback/redo cycles.
+    #[test]
+    fn chunked_paged_prefill_is_bit_identical_to_contiguous(
+        prompt in proptest::collection::vec(0u32..32, 2..20),
+        chunk in 1usize..7,
+        rollback in 1usize..8,
+    ) {
+        let target = TinyLm::new(ModelConfig::micro(), 4242);
+        let mut contiguous = target.new_cache();
+        let reference = target.forward(&prompt, &mut contiguous, false);
+
+        let mut pool = target.new_paged_pool(4, 512);
+        let mut cache = target.new_paged_cache();
+        let mut kv = PagedKv { pool: &mut pool, cache: &mut cache };
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for piece in prompt.chunks(chunk) {
+            let out = target.forward(piece, &mut kv, false);
+            for r in 0..out.logits.rows() {
+                rows.push(out.logits.row(r).to_vec());
+            }
+        }
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(row.as_slice(), reference.logits.row(i), "position {}", i);
+        }
+
+        // Roll back a suffix and redo it: still bit-identical.
+        use tlt_model::KvStore;
+        let keep = prompt.len() - rollback.min(prompt.len() - 1);
+        kv.kv_truncate(keep);
+        contiguous.truncate(keep);
+        let redo_paged = target.forward(&prompt[keep..], &mut kv, false);
+        let redo_contiguous = target.forward(&prompt[keep..], &mut contiguous, false);
+        prop_assert_eq!(redo_paged.logits.as_slice(), redo_contiguous.logits.as_slice());
+
+        cache.release(&mut pool);
+        prop_assert_eq!(pool.blocks_in_use(), 0);
+        prop_assert!(pool.check_conservation().is_ok());
+    }
+
+    /// A random prompt forest — one shared prefix, several divergent suffixes
+    /// — decoded as paged rollout groups with prefix-index reuse emits exactly
+    /// the tokens per-sequence contiguous generation emits, seed for seed.
+    #[test]
+    fn prompt_forest_decodes_bit_identically_with_prefix_reuse(
+        prefix in proptest::collection::vec(0u32..32, 0..12),
+        suffixes in proptest::collection::vec(
+            proptest::collection::vec(0u32..32, 1..6), 1..5),
+        max_new in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let target = TinyLm::new(ModelConfig::micro(), 777);
+        let params = SamplingParams { temperature: 0.8, top_k: None };
+        let mut pool = target.new_paged_pool(4, 4096);
+        let mut index = PrefixIndex::new(4);
+        for suffix in &suffixes {
+            let mut prompt = prefix.clone();
+            prompt.extend_from_slice(suffix);
+            let group = generate_group(
+                &target, None, &prompt, 2, max_new, SdStrategy::default(),
+                params, None, seed, &mut pool, Some(&mut index),
+            );
+            for (i, result) in group.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(batch_seed(seed, i));
+                let solo = vanilla_generate(&target, &prompt, max_new, params, None, &mut rng);
+                prop_assert_eq!(result, &solo);
+            }
+        }
+        // Everything beyond the resident index blocks was released.
+        prop_assert_eq!(pool.blocks_in_use(), index.resident_blocks());
+        index.release_all(&mut pool);
+        prop_assert_eq!(pool.blocks_in_use(), 0);
+        prop_assert!(pool.check_conservation().is_ok());
+    }
+
+    /// Speculative rollout groups on the paged backend — forked prompt KV,
+    /// multiple speculative rounds, incremental drafter KV via `resume_draft`
+    /// — are bit-identical to per-sequence contiguous speculative decoding.
+    #[test]
+    fn speculative_paged_groups_match_contiguous_through_draft_rounds(
+        prompt in proptest::collection::vec(0u32..32, 1..8),
+        depth in 1usize..6,
+        drafter_seed in 0u64..50,
+        max_new in 8usize..28,
+        seed in 0u64..1000,
+    ) {
+        let target = TinyLm::new(ModelConfig::micro(), 777);
+        let drafter = DraftModel::new(&target, FeatureSource::LastLayer, drafter_seed);
+        let params = SamplingParams { temperature: 0.8, top_k: None };
+        let strategy = SdStrategy { draft_depth: depth, top_k: 1, tokens_to_verify: depth };
+        let mut pool = target.new_paged_pool(4, 4096);
+        let group = generate_group(
+            &target,
+            Some(&SpecDrafter::Learned(&drafter)),
+            &prompt, 3, max_new, strategy, params, None, seed, &mut pool, None,
+        );
+        for (i, result) in group.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(batch_seed(seed, i));
+            let solo = speculative_generate(
+                &target,
+                &SpecDrafter::Learned(&drafter),
+                &prompt, max_new, strategy, params, None, &mut rng,
+            );
+            prop_assert_eq!(result, &solo);
+            // Several speculative rounds ran, so the drafter's incremental KV
+            // path (resume_draft) was genuinely exercised.
+            prop_assert!(!result.accept_lengths.is_empty());
+        }
+        prop_assert_eq!(pool.blocks_in_use(), 0);
+        prop_assert!(pool.check_conservation().is_ok());
+    }
+}
