@@ -7,7 +7,8 @@
 //! cargo run -p tlt-bench --release --bin experiments -- all [--quick]
 //! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
 //! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
-//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_4.json]
+//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_5.json] \
+//!     [--autotune | --profile profiles/<target>.json]
 //! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json]
 //! ```
 //!
@@ -62,16 +63,18 @@ fn main() {
     let usage = || {
         eprintln!(
             "usage: experiments [--quick] [--json <path>] [--prefix-share <0..1>] \
-             [all | perf | chaos | {}]",
+             [--autotune] [--profile <path>] [all | perf | chaos | {}]",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(2);
     };
-    // Extract `--json <path>` and `--prefix-share <f>` before selector parsing
-    // so their values are not mistaken for experiment names.
+    // Extract value-carrying flags before selector parsing so their values are
+    // not mistaken for experiment names.
     let mut args: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut prefix_share = 0.0f64;
+    let mut autotune = false;
+    let mut profile_path: Option<String> = None;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         if arg == "--json" {
@@ -90,9 +93,23 @@ fn main() {
                     usage();
                 }
             }
+        } else if arg == "--autotune" {
+            autotune = true;
+        } else if arg == "--profile" {
+            match iter.next() {
+                Some(path) if !path.starts_with("--") => profile_path = Some(path),
+                _ => {
+                    eprintln!("error: --profile requires a path");
+                    usage();
+                }
+            }
         } else {
             args.push(arg);
         }
+    }
+    if autotune && profile_path.is_some() {
+        eprintln!("error: --autotune and --profile are mutually exclusive");
+        usage();
     }
     let scale = Scale::from_args(&args);
     let selected: Vec<String> = args
@@ -108,21 +125,73 @@ fn main() {
     }
 
     // `perf` is a standalone subcommand: it runs the pinned perf workloads and
-    // writes the BENCH trajectory JSON (default BENCH_3.json, overridable with
-    // --json) instead of regenerating paper tables.
+    // writes the BENCH trajectory JSON (default BENCH_5.json, overridable with
+    // --json) instead of regenerating paper tables. `--profile <path>` installs
+    // a committed dispatch profile first (how CI runs with a pinned table);
+    // `--autotune` re-tunes on this machine, installs the winners, and saves
+    // them to the target's default profile path.
     if selected.iter().any(|s| s == "perf") {
         if selected.len() > 1 {
             eprintln!("error: 'perf' cannot be combined with other selectors");
             usage();
         }
-        let path = json_path.unwrap_or_else(|| "BENCH_4.json".to_string());
-        match tlt_bench::run_perf(scale, &path) {
+        let dispatch_source = if let Some(profile) = &profile_path {
+            match tlt_model::load_profile(std::path::Path::new(profile)) {
+                Ok((target, table)) => {
+                    table.install();
+                    println!("installed dispatch profile {profile} (target {target})");
+                }
+                Err(e) => {
+                    eprintln!("error: failed to load dispatch profile {profile}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            format!("profile:{profile}")
+        } else if autotune {
+            let budget = if scale == Scale::Full {
+                tlt_model::AutotuneConfig::default()
+            } else {
+                tlt_model::AutotuneConfig::quick()
+            };
+            let report = tlt_model::autotune(&budget);
+            println!("autotune timings (best ns/call, * = selected):");
+            for t in &report.timings {
+                println!(
+                    "  {:>3} / {:<10} {:<10} {:>9} ns{}",
+                    t.op.name(),
+                    t.class.name(),
+                    t.variant,
+                    t.best_nanos,
+                    if t.selected { "  *" } else { "" }
+                );
+            }
+            report.table.install();
+            let path = tlt_model::autotune::default_profile_path();
+            let target = tlt_model::autotune::target_name();
+            if let Err(e) = tlt_model::save_profile(&path, &target, &report.table) {
+                eprintln!("error: failed to save dispatch profile: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "autotuned dispatch for {target}, saved to {}",
+                path.display()
+            );
+            "autotune".to_string()
+        } else {
+            "default".to_string()
+        };
+        let path = json_path.unwrap_or_else(|| "BENCH_5.json".to_string());
+        match tlt_bench::run_perf(scale, &path, &dispatch_source) {
             Ok(_) => return,
             Err(e) => {
                 eprintln!("error: failed to write perf report to {path}: {e}");
                 std::process::exit(1);
             }
         }
+    }
+    if autotune || profile_path.is_some() {
+        eprintln!("error: --autotune/--profile only apply to the 'perf' subcommand");
+        usage();
     }
 
     // `chaos` is a standalone subcommand: it runs the pinned fault-injection

@@ -24,19 +24,32 @@ pub enum GpuType {
     Rtx4090,
     /// NVIDIA GeForce RTX 3090.
     Rtx3090,
+    /// AMD Instinct MI300X (high-roofline part: more HBM capacity and
+    /// bandwidth than an H100 at comparable dense BF16 throughput).
+    Mi300x,
+    /// NVIDIA GH200 Grace CPU side (narrow-vector host processor: LPDDR5X
+    /// bandwidth, SVE2 vector throughput three orders below a tensor-core GPU).
+    GraceCpu,
+    /// SOPHON SG2044-class RISC-V server SoC (RVV 1.0 vectors, DDR5 bandwidth;
+    /// the heterogeneity end-point of the hardware sweep).
+    Sg2044,
 }
 
 impl GpuType {
-    /// All catalogued GPU types, data-center parts first.
-    pub fn all() -> [GpuType; 7] {
+    /// All catalogued accelerator types, data-center GPUs first, then consumer
+    /// parts, then the non-GPU heterogeneity end-points.
+    pub fn all() -> [GpuType; 10] {
         [
             GpuType::B200,
             GpuType::H100,
             GpuType::H20,
             GpuType::A100,
+            GpuType::Mi300x,
             GpuType::Rtx5090,
             GpuType::Rtx4090,
             GpuType::Rtx3090,
+            GpuType::GraceCpu,
+            GpuType::Sg2044,
         ]
     }
 
@@ -118,6 +131,33 @@ impl GpuType {
                 kernel_launch_us: 7.0,
                 nvlink_gbps: 0.0,
             },
+            GpuType::Mi300x => GpuSpec {
+                gpu_type: self,
+                name: "AMD Instinct MI300X",
+                memory_gb: 192.0,
+                memory_bandwidth_gbps: 5300.0,
+                bf16_tflops: 1307.0,
+                kernel_launch_us: 5.0,
+                nvlink_gbps: 448.0,
+            },
+            GpuType::GraceCpu => GpuSpec {
+                gpu_type: self,
+                name: "NVIDIA Grace CPU (72c)",
+                memory_gb: 480.0,
+                memory_bandwidth_gbps: 500.0,
+                bf16_tflops: 3.5,
+                kernel_launch_us: 1.0,
+                nvlink_gbps: 900.0,
+            },
+            GpuType::Sg2044 => GpuSpec {
+                gpu_type: self,
+                name: "SOPHON SG2044 (RISC-V)",
+                memory_gb: 128.0,
+                memory_bandwidth_gbps: 120.0,
+                bf16_tflops: 1.6,
+                kernel_launch_us: 1.0,
+                nvlink_gbps: 0.0,
+            },
         }
     }
 }
@@ -193,6 +233,29 @@ mod tests {
     fn consumer_gpus_have_no_nvlink() {
         assert_eq!(GpuType::Rtx4090.spec().nvlink_gbps, 0.0);
         assert!(GpuType::H100.spec().nvlink_gbps > 0.0);
+    }
+
+    #[test]
+    fn heterogeneity_endpoints_have_expected_rooflines() {
+        // MI300X is the high-roofline part: more bandwidth and capacity than
+        // an H100 with higher dense BF16 throughput.
+        let mi300x = GpuType::Mi300x.spec();
+        let h100 = GpuType::H100.spec();
+        assert!(mi300x.memory_bandwidth_gbps > h100.memory_bandwidth_gbps);
+        assert!(mi300x.bf16_tflops > h100.bf16_tflops);
+        // The narrow-vector and RISC-V parts sit far below every GPU in both
+        // compute and bandwidth, with the SG2044 the slowest of all.
+        let grace = GpuType::GraceCpu.spec();
+        let sg2044 = GpuType::Sg2044.spec();
+        let rtx3090 = GpuType::Rtx3090.spec();
+        assert!(grace.bf16_tflops < rtx3090.bf16_tflops / 10.0);
+        assert!(sg2044.bf16_tflops < grace.bf16_tflops);
+        assert!(sg2044.memory_bandwidth_gbps < grace.memory_bandwidth_gbps);
+        // Decode stays memory-bound everywhere: every part's ridge intensity
+        // is far above the ~2 FLOPs/byte of a mat-vec pass.
+        for gpu in GpuType::all() {
+            assert!(gpu.spec().ridge_intensity() > 2.0, "{:?}", gpu.spec().name);
+        }
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Micro-autotuner for the shape-class kernel dispatch.
+//!
+//! [`autotune`] times every kernel variant in [`crate::dispatch`] on one
+//! representative shape per (operation, shape class) pair and picks the
+//! fastest, with a deterministic budget: a fixed number of warmup and timed
+//! repetitions per candidate, fixed seeds for the operand data, and min-time
+//! selection (ties keep the earlier candidate, so the default wins when
+//! nothing beats it). Because every variant is bit-identical, tuning can never
+//! change results — only speed — and installing the winning table is safe at
+//! any point in a run.
+//!
+//! Tuned tables are persisted as per-target profiles
+//! (`profiles/<arch>-<os>.json`, schema `tlt-dispatch-v1`) so CI and the perf
+//! pipeline run with a *pinned* table instead of re-tuning on whatever
+//! hardware they land on. The profile format is a tiny hand-rolled JSON
+//! subset (objects and strings only) because the vendored serde shim carries
+//! no serializer backend; [`save_profile`] and [`load_profile`] round-trip
+//! through it exactly.
+
+use crate::dispatch::{ColKernel, DispatchTable, DotKernel, KernelOp, RowKernel, ShapeClass};
+use crate::tensor::Mat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Deterministic tuning budget: repetition counts per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutotuneConfig {
+    /// Untimed repetitions per candidate before measurement starts.
+    pub warmup_reps: usize,
+    /// Timed repetitions per candidate; the minimum is the candidate's score.
+    pub timed_reps: usize,
+}
+
+impl Default for AutotuneConfig {
+    fn default() -> Self {
+        AutotuneConfig {
+            warmup_reps: 2,
+            timed_reps: 7,
+        }
+    }
+}
+
+impl AutotuneConfig {
+    /// A reduced budget for smoke tests and CI.
+    pub fn quick() -> Self {
+        AutotuneConfig {
+            warmup_reps: 1,
+            timed_reps: 3,
+        }
+    }
+}
+
+/// One timed candidate from an autotune run.
+#[derive(Debug, Clone)]
+pub struct AutotuneTiming {
+    /// Which kernel family was timed.
+    pub op: KernelOp,
+    /// Which shape class the representative shape belongs to.
+    pub class: ShapeClass,
+    /// Profile-file name of the candidate variant.
+    pub variant: &'static str,
+    /// Best (minimum) time over the timed repetitions, in nanoseconds.
+    pub best_nanos: u128,
+    /// Whether this candidate won its (op, class) slot.
+    pub selected: bool,
+}
+
+/// Result of an autotune run: the winning table plus every measurement.
+#[derive(Debug, Clone)]
+pub struct AutotuneReport {
+    /// The fastest variant per (operation, shape class).
+    pub table: DispatchTable,
+    /// All candidate timings, in candidate order per slot.
+    pub timings: Vec<AutotuneTiming>,
+}
+
+/// Representative `(rows, k, n)` per shape class, shared by all three kernel
+/// families: the decode mat-vec, a drafter-sized small GEMM, a prefill-sized
+/// large GEMM, and a long-context reduction. These mirror the pinned perf
+/// workloads so the tuned table optimises what the benchmarks measure.
+fn representative_shape(class: ShapeClass) -> (usize, usize, usize) {
+    match class {
+        ShapeClass::MatVec => (1, 32, 96),
+        ShapeClass::SmallGemm => (20, 96, 32),
+        ShapeClass::LargeGemm => (96, 64, 128),
+        ShapeClass::LongK => (1, 2048, 96),
+    }
+}
+
+/// Inner iterations per timed repetition, chosen so each repetition performs
+/// roughly the same amount of arithmetic (~2 MFLOP) regardless of shape.
+/// Timing a single ~200ns mat-vec call would be dominated by timer overhead
+/// and the tuner would select noise; amortising over a deterministic,
+/// shape-derived count keeps the budget fixed per target.
+fn inner_reps(rows: usize, k: usize, n: usize) -> u32 {
+    let flops = 2.0 * rows.max(1) as f64 * k.max(1) as f64 * n.max(1) as f64;
+    (2.0e6 / flops).clamp(1.0, 1024.0) as u32
+}
+
+/// Times `inner` back-to-back calls of `f` per repetition over the configured
+/// budget and returns the minimum per-call time in nanoseconds.
+fn best_time<F: FnMut()>(config: &AutotuneConfig, inner: u32, mut f: F) -> u128 {
+    for _ in 0..config.warmup_reps {
+        f();
+    }
+    let mut best = u128::MAX;
+    for _ in 0..config.timed_reps.max(1) {
+        let start = Instant::now();
+        for _ in 0..inner.max(1) {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() / u128::from(inner.max(1)));
+    }
+    best
+}
+
+/// Benchmarks every kernel variant per shape class with a deterministic budget
+/// and returns the fastest table. Pure measurement: the caller decides whether
+/// to [`DispatchTable::install`] the result.
+pub fn autotune(config: &AutotuneConfig) -> AutotuneReport {
+    let mut table = DispatchTable::default();
+    let mut timings = Vec::new();
+
+    for class in ShapeClass::all() {
+        let (rows, k, n) = representative_shape(class);
+        let inner = inner_reps(rows, k, n);
+        let mut rng = StdRng::seed_from_u64(0x7a77 + class as u64);
+
+        // Row product: rows x k times k x n.
+        let a = Mat::random_uniform(rows, k, 1.0, &mut rng);
+        let b = Mat::random_uniform(k, n, 1.0, &mut rng);
+        let mut out = Mat::zeros(rows, n);
+        let mut best = u128::MAX;
+        for kernel in RowKernel::all() {
+            let nanos = best_time(config, inner, || a.matmul_into_using(&b, &mut out, kernel));
+            let selected = nanos < best;
+            if selected {
+                best = nanos;
+                table.row[class as usize] = kernel;
+            }
+            timings.push(AutotuneTiming {
+                op: KernelOp::RowProduct,
+                class,
+                variant: kernel.name(),
+                best_nanos: nanos,
+                selected,
+            });
+        }
+
+        // Dot product: rows x k times (n x k)^T.
+        let bt = Mat::random_uniform(n, k, 1.0, &mut rng);
+        let mut out_t = Mat::zeros(rows, n);
+        let mut best = u128::MAX;
+        for kernel in DotKernel::all() {
+            let nanos = best_time(config, inner, || {
+                a.matmul_transposed_into_using(&bt, &mut out_t, kernel)
+            });
+            let selected = nanos < best;
+            if selected {
+                best = nanos;
+                table.dot[class as usize] = kernel;
+            }
+            timings.push(AutotuneTiming {
+                op: KernelOp::DotProduct,
+                class,
+                variant: kernel.name(),
+                best_nanos: nanos,
+                selected,
+            });
+        }
+
+        // Column product: (k x rows)^T times k x n — the training backward
+        // contraction, with `k` as the shared row dimension.
+        let at = Mat::random_uniform(k, rows, 1.0, &mut rng);
+        let bc = Mat::random_uniform(k, n, 1.0, &mut rng);
+        let mut out_c = Mat::zeros(rows, n);
+        let mut best = u128::MAX;
+        for kernel in ColKernel::all() {
+            let nanos = best_time(config, inner, || {
+                at.transposed_matmul_into_using(&bc, &mut out_c, kernel)
+            });
+            let selected = nanos < best;
+            if selected {
+                best = nanos;
+                table.col[class as usize] = kernel;
+            }
+            timings.push(AutotuneTiming {
+                op: KernelOp::ColProduct,
+                class,
+                variant: kernel.name(),
+                best_nanos: nanos,
+                selected,
+            });
+        }
+    }
+
+    // `selected` above marks running winners; keep only the final winner per
+    // (op, class) slot.
+    for t in &mut timings {
+        let winner = match t.op {
+            KernelOp::RowProduct => table.row[t.class as usize].name(),
+            KernelOp::DotProduct => table.dot[t.class as usize].name(),
+            KernelOp::ColProduct => table.col[t.class as usize].name(),
+        };
+        t.selected = t.variant == winner;
+    }
+
+    AutotuneReport { table, timings }
+}
+
+/// Schema tag written to and required from every profile file.
+pub const PROFILE_SCHEMA: &str = "tlt-dispatch-v1";
+
+/// Canonical name of the machine this process runs on, e.g. `x86_64-linux`.
+pub fn target_name() -> String {
+    format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS)
+}
+
+/// Default committed profile location for a target: `profiles/<target>.json`
+/// relative to the working directory (the workspace root in CI).
+pub fn default_profile_path() -> PathBuf {
+    PathBuf::from("profiles").join(format!("{}.json", target_name()))
+}
+
+/// Renders a dispatch table as a `tlt-dispatch-v1` profile document.
+pub fn profile_json(target: &str, table: &DispatchTable) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{PROFILE_SCHEMA}\",\n"));
+    s.push_str(&format!("  \"target\": \"{}\",\n", escape(target)));
+    s.push_str("  \"table\": {\n");
+    for (oi, op) in KernelOp::all().into_iter().enumerate() {
+        s.push_str(&format!("    \"{}\": {{\n", op.name()));
+        for (ci, class) in ShapeClass::all().into_iter().enumerate() {
+            let variant = match op {
+                KernelOp::RowProduct => table.row[class as usize].name(),
+                KernelOp::DotProduct => table.dot[class as usize].name(),
+                KernelOp::ColProduct => table.col[class as usize].name(),
+            };
+            let comma = if ci + 1 < ShapeClass::all().len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "      \"{}\": \"{variant}\"{comma}\n",
+                class.name()
+            ));
+        }
+        let comma = if oi + 1 < KernelOp::all().len() {
+            ","
+        } else {
+            ""
+        };
+        s.push_str(&format!("    }}{comma}\n"));
+    }
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses a `tlt-dispatch-v1` profile document, returning the target name and
+/// the dispatch table. Strict: unknown schema tags, operations, shape classes,
+/// or variant names are errors, and every (op, class) slot must be present, so
+/// a stale committed profile fails loudly instead of half-applying.
+pub fn parse_profile(text: &str) -> Result<(String, DispatchTable), String> {
+    let root = JsonMini::parse(text)?;
+    let schema = root.get_str("schema")?;
+    if schema != PROFILE_SCHEMA {
+        return Err(format!(
+            "unsupported profile schema {schema:?} (expected {PROFILE_SCHEMA:?})"
+        ));
+    }
+    let target = root.get_str("target")?.to_string();
+    let table_obj = root.get_obj("table")?;
+    let mut table = DispatchTable::default();
+    let mut slots_seen = 0usize;
+    for (op_name, op_val) in table_obj.entries()? {
+        let op =
+            KernelOp::from_name(op_name).ok_or_else(|| format!("unknown kernel op {op_name:?}"))?;
+        let op_obj = op_val
+            .as_obj()
+            .ok_or_else(|| format!("op {op_name:?} is not an object"))?;
+        for (class_name, variant_val) in op_obj.entries()? {
+            let class = ShapeClass::from_name(class_name)
+                .ok_or_else(|| format!("unknown shape class {class_name:?}"))?;
+            let variant = variant_val
+                .as_str()
+                .ok_or_else(|| format!("variant for {op_name}/{class_name} is not a string"))?;
+            if !table.set_by_name(op, class, variant) {
+                return Err(format!(
+                    "unknown variant {variant:?} for {op_name}/{class_name}"
+                ));
+            }
+            slots_seen += 1;
+        }
+    }
+    let expected = KernelOp::all().len() * ShapeClass::all().len();
+    if slots_seen != expected {
+        return Err(format!(
+            "profile names {slots_seen} dispatch slots, expected {expected}"
+        ));
+    }
+    Ok((target, table))
+}
+
+/// Writes `table` to `path` as a `tlt-dispatch-v1` profile, creating parent
+/// directories as needed.
+pub fn save_profile(path: &Path, target: &str, table: &DispatchTable) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, profile_json(target, table))
+}
+
+/// Loads a `tlt-dispatch-v1` profile from `path`, returning the recorded
+/// target name and the table (not installed; the caller decides).
+pub fn load_profile(path: &Path) -> io::Result<(String, DispatchTable)> {
+    let text = std::fs::read_to_string(path)?;
+    parse_profile(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Minimal JSON value for the profile format: objects and strings only (all
+/// profile leaves are variant names). The vendored serde shim has no
+/// deserializer backend, and this ~60-line parser covers exactly the subset
+/// [`profile_json`] emits.
+enum JsonMini {
+    Str(String),
+    Obj(Vec<(String, JsonMini)>),
+}
+
+impl JsonMini {
+    fn parse(text: &str) -> Result<JsonMini, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = Self::parse_value(bytes, &mut pos)?;
+        Self::skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonMini, String> {
+        Self::skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => Self::parse_obj(bytes, pos),
+            Some(b'"') => Ok(JsonMini::Str(Self::parse_string(bytes, pos)?)),
+            Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonMini, String> {
+        *pos += 1; // consume '{'
+        let mut entries = Vec::new();
+        Self::skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(JsonMini::Obj(entries));
+        }
+        loop {
+            Self::skip_ws(bytes, pos);
+            let key = Self::parse_string(bytes, pos)?;
+            Self::skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {}", *pos));
+            }
+            *pos += 1;
+            let value = Self::parse_value(bytes, pos)?;
+            entries.push((key, value));
+            Self::skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(JsonMini::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = bytes.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => match bytes.get(*pos) {
+                    Some(&e @ (b'"' | b'\\' | b'/')) => {
+                        out.push(e as char);
+                        *pos += 1;
+                    }
+                    _ => return Err(format!("unsupported escape at byte {}", *pos)),
+                },
+                _ => out.push(c as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonMini::Str(s) => Some(s),
+            JsonMini::Obj(_) => None,
+        }
+    }
+
+    fn as_obj(&self) -> Option<&JsonMini> {
+        match self {
+            JsonMini::Obj(_) => Some(self),
+            JsonMini::Str(_) => None,
+        }
+    }
+
+    fn entries(&self) -> Result<&[(String, JsonMini)], String> {
+        match self {
+            JsonMini::Obj(e) => Ok(e),
+            JsonMini::Str(_) => Err("expected object".to_string()),
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<&JsonMini, String> {
+        self.entries()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    fn get_str(&self, key: &str) -> Result<&str, String> {
+        self.get(key)?
+            .as_str()
+            .ok_or_else(|| format!("key {key:?} is not a string"))
+    }
+
+    fn get_obj(&self, key: &str) -> Result<&JsonMini, String> {
+        self.get(key)?
+            .as_obj()
+            .ok_or_else(|| format!("key {key:?} is not an object"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_round_trips_exactly() {
+        let mut table = DispatchTable::default();
+        table.row[ShapeClass::MatVec as usize] = RowKernel::Axpy;
+        table.row[ShapeClass::LongK as usize] = RowKernel::KBlocked64;
+        table.dot[ShapeClass::LargeGemm as usize] = DotKernel::Dot8;
+        table.col[ShapeClass::SmallGemm as usize] = ColKernel::Tiled32;
+        let text = profile_json("x86_64-linux", &table);
+        let (target, parsed) = parse_profile(&text).expect("parse");
+        assert_eq!(target, "x86_64-linux");
+        assert_eq!(parsed, table);
+        // Serialising the parsed table reproduces the document byte for byte.
+        assert_eq!(profile_json(&target, &parsed), text);
+    }
+
+    #[test]
+    fn parse_rejects_bad_profiles() {
+        assert!(parse_profile("").is_err());
+        assert!(parse_profile("{\"schema\": \"nope\"}").is_err());
+        let missing_slots =
+            format!("{{\"schema\": \"{PROFILE_SCHEMA}\", \"target\": \"t\", \"table\": {{}}}}");
+        assert!(parse_profile(&missing_slots).is_err());
+        let table = DispatchTable::default();
+        let bad_variant = profile_json("t", &table).replace("tiled64", "tiled63");
+        assert!(parse_profile(&bad_variant).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let mut table = DispatchTable::default();
+        table.row[ShapeClass::MatVec as usize] = RowKernel::Axpy;
+        let dir = std::env::temp_dir().join("tlt-autotune-test");
+        let path = dir.join("profile.json");
+        save_profile(&path, "testbox", &table).expect("save");
+        let (target, loaded) = load_profile(&path).expect("load");
+        assert_eq!(target, "testbox");
+        assert_eq!(loaded, table);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn autotune_runs_within_budget_and_returns_valid_table() {
+        let report = autotune(&AutotuneConfig::quick());
+        // Every (op, class) slot timed every candidate and selected exactly one.
+        let slots = KernelOp::all().len() * ShapeClass::all().len();
+        let candidates = (RowKernel::all().len() + DotKernel::all().len() + ColKernel::all().len())
+            * ShapeClass::all().len();
+        assert_eq!(report.timings.len(), candidates);
+        let selected = report.timings.iter().filter(|t| t.selected).count();
+        assert_eq!(selected, slots);
+        // The report round-trips through the profile format.
+        let text = profile_json(&target_name(), &report.table);
+        let (_, parsed) = parse_profile(&text).expect("parse");
+        assert_eq!(parsed, report.table);
+    }
+}

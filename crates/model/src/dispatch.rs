@@ -1,0 +1,476 @@
+//! Shape-class kernel dispatch for the matmul micro-kernels.
+//!
+//! PR 3's register-tiled kernels used one fixed tile ladder (64/32/16) chosen
+//! for the dev machine. This module makes kernel selection a *dispatched*
+//! decision instead of a compile-time constant: every
+//! `matmul`/`matmul_transposed`/`transposed_matmul` call is classified into a
+//! [`ShapeClass`] (decode mat-vec, small/large GEMM, long-context reduction)
+//! and routed through a process-wide [`DispatchTable`] that names one kernel
+//! variant per (operation, shape class) pair.
+//!
+//! Every variant is **bit-identical** to the naive i-k-j reference: per output
+//! element the shared dimension `k` always advances in strictly increasing
+//! order and dot products always use the same 8-lane layout and pairwise
+//! reduction, so the table only changes *speed*, never results (enforced by
+//! the `dispatch_equivalence` proptest suite). The table itself is a bank of
+//! atomics — installing a profile is a handful of relaxed stores and looking a
+//! kernel up is one relaxed load, so steady-state decode stays allocation-free
+//! and the table can be swapped at runtime (e.g. by the micro-autotuner in
+//! [`mod@crate::autotune`]) without locking.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Number of shape classes (the width of each per-op dispatch row).
+pub const NUM_SHAPE_CLASSES: usize = 4;
+
+/// `k` at or above this length classifies as a long-context reduction
+/// (attention rows over a long KV history, long-k training contractions).
+pub const LONG_K_THRESHOLD: usize = 512;
+
+/// Output cells (`rows * n`) at or below this classify as a small GEMM.
+pub const SMALL_GEMM_CELLS: usize = 64 * 64;
+
+/// Shape class of one matmul-family call, derived from `(rows, k, n)` where
+/// `rows x k` contracts against `k x n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ShapeClass {
+    /// Long shared dimension (`k >= LONG_K_THRESHOLD`), any row count: the
+    /// long-context attention / long-k contraction profile.
+    LongK = 0,
+    /// Single output row (`rows == 1`): the decode mat-vec profile.
+    MatVec = 1,
+    /// At most [`SMALL_GEMM_CELLS`] output cells: small prefill / drafter GEMM.
+    SmallGemm = 2,
+    /// Everything larger: prefill and training GEMMs.
+    LargeGemm = 3,
+}
+
+impl ShapeClass {
+    /// All classes, in dispatch-row order.
+    pub fn all() -> [ShapeClass; NUM_SHAPE_CLASSES] {
+        [
+            ShapeClass::LongK,
+            ShapeClass::MatVec,
+            ShapeClass::SmallGemm,
+            ShapeClass::LargeGemm,
+        ]
+    }
+
+    /// Classifies a `rows x k` by `k x n` contraction.
+    #[inline]
+    pub fn classify(rows: usize, k: usize, n: usize) -> ShapeClass {
+        if k >= LONG_K_THRESHOLD {
+            ShapeClass::LongK
+        } else if rows == 1 {
+            ShapeClass::MatVec
+        } else if rows.saturating_mul(n) <= SMALL_GEMM_CELLS {
+            ShapeClass::SmallGemm
+        } else {
+            ShapeClass::LargeGemm
+        }
+    }
+
+    /// Stable profile-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeClass::LongK => "long_k",
+            ShapeClass::MatVec => "matvec",
+            ShapeClass::SmallGemm => "small_gemm",
+            ShapeClass::LargeGemm => "large_gemm",
+        }
+    }
+
+    /// Parses a profile-file name.
+    pub fn from_name(name: &str) -> Option<ShapeClass> {
+        ShapeClass::all().into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Kernel variant for the row-product family (`matmul`: each output row is
+/// `a_row * B`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RowKernel {
+    /// Register-tile ladder with 64-wide top tiles (the PR 3 fixed kernel).
+    Tiled64 = 0,
+    /// Ladder topping out at 32-wide tiles (less register/stack pressure).
+    Tiled32 = 1,
+    /// Ladder topping out at 16-wide tiles.
+    Tiled16 = 2,
+    /// Ladder topping out at 128-wide tiles (streams longer B segments).
+    Tiled128 = 3,
+    /// k-outer AXPY: zero the output row, then stream each B row once,
+    /// `out += a[k] * B[k, :]`. Perfectly sequential B traffic; the
+    /// specialised `rows == 1` mat-vec path.
+    Axpy = 4,
+    /// 64-wide ladder with the shared dimension blocked at
+    /// [`K_BLOCK`](crate::tensor::K_BLOCK) rows per pass, so each pass's B
+    /// working set stays cache-resident on long-k shapes.
+    KBlocked64 = 5,
+}
+
+impl RowKernel {
+    /// All variants, in autotune candidate order (default first).
+    pub fn all() -> [RowKernel; 6] {
+        [
+            RowKernel::Tiled64,
+            RowKernel::Tiled32,
+            RowKernel::Tiled16,
+            RowKernel::Tiled128,
+            RowKernel::Axpy,
+            RowKernel::KBlocked64,
+        ]
+    }
+
+    /// Stable profile-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowKernel::Tiled64 => "tiled64",
+            RowKernel::Tiled32 => "tiled32",
+            RowKernel::Tiled16 => "tiled16",
+            RowKernel::Tiled128 => "tiled128",
+            RowKernel::Axpy => "axpy",
+            RowKernel::KBlocked64 => "kblocked64",
+        }
+    }
+
+    /// Parses a profile-file name.
+    pub fn from_name(name: &str) -> Option<RowKernel> {
+        RowKernel::all().into_iter().find(|v| v.name() == name)
+    }
+
+    fn from_u8(v: u8) -> RowKernel {
+        RowKernel::all()
+            .into_iter()
+            .find(|k| *k as u8 == v)
+            .unwrap_or(RowKernel::Tiled64)
+    }
+}
+
+/// Kernel variant for the dot-product family (`matmul_transposed`: every
+/// output element is an independent dot product of two rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum DotKernel {
+    /// Four dot products per pass over the left row (the PR 3 fixed kernel).
+    Dot4 = 0,
+    /// One dot product at a time (lowest register pressure).
+    Dot1 = 1,
+    /// Eight dot products per pass (amortises the left-row loads further).
+    Dot8 = 2,
+}
+
+impl DotKernel {
+    /// All variants, in autotune candidate order (default first).
+    pub fn all() -> [DotKernel; 3] {
+        [DotKernel::Dot4, DotKernel::Dot1, DotKernel::Dot8]
+    }
+
+    /// Stable profile-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DotKernel::Dot4 => "dot4",
+            DotKernel::Dot1 => "dot1",
+            DotKernel::Dot8 => "dot8",
+        }
+    }
+
+    /// Parses a profile-file name.
+    pub fn from_name(name: &str) -> Option<DotKernel> {
+        DotKernel::all().into_iter().find(|v| v.name() == name)
+    }
+
+    fn from_u8(v: u8) -> DotKernel {
+        DotKernel::all()
+            .into_iter()
+            .find(|k| *k as u8 == v)
+            .unwrap_or(DotKernel::Dot4)
+    }
+}
+
+/// Kernel variant for the column-product family (`transposed_matmul`: each
+/// output row weights B's rows by one strided column of A — the training
+/// backward-pass contraction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ColKernel {
+    /// Register-tile ladder with 64-wide top tiles (the PR 3 fixed kernel).
+    Tiled64 = 0,
+    /// Ladder topping out at 32-wide tiles.
+    Tiled32 = 1,
+    /// k-outer AXPY over B rows with the strided A-column gather hoisted.
+    Axpy = 2,
+    /// 64-wide ladder with the shared dimension blocked at
+    /// [`K_BLOCK`](crate::tensor::K_BLOCK) rows per pass.
+    KBlocked64 = 3,
+}
+
+impl ColKernel {
+    /// All variants, in autotune candidate order (default first).
+    pub fn all() -> [ColKernel; 4] {
+        [
+            ColKernel::Tiled64,
+            ColKernel::Tiled32,
+            ColKernel::Axpy,
+            ColKernel::KBlocked64,
+        ]
+    }
+
+    /// Stable profile-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColKernel::Tiled64 => "tiled64",
+            ColKernel::Tiled32 => "tiled32",
+            ColKernel::Axpy => "axpy",
+            ColKernel::KBlocked64 => "kblocked64",
+        }
+    }
+
+    /// Parses a profile-file name.
+    pub fn from_name(name: &str) -> Option<ColKernel> {
+        ColKernel::all().into_iter().find(|v| v.name() == name)
+    }
+
+    fn from_u8(v: u8) -> ColKernel {
+        ColKernel::all()
+            .into_iter()
+            .find(|k| *k as u8 == v)
+            .unwrap_or(ColKernel::Tiled64)
+    }
+}
+
+/// The three dispatched matmul families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelOp {
+    /// `A * B` (each output row is `a_row * B`).
+    RowProduct,
+    /// `A * B^T` (independent dot products).
+    DotProduct,
+    /// `A^T * B` (B's rows weighted by a strided A column).
+    ColProduct,
+}
+
+impl KernelOp {
+    /// All ops, in profile order.
+    pub fn all() -> [KernelOp; 3] {
+        [
+            KernelOp::RowProduct,
+            KernelOp::DotProduct,
+            KernelOp::ColProduct,
+        ]
+    }
+
+    /// Stable profile-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelOp::RowProduct => "row",
+            KernelOp::DotProduct => "dot",
+            KernelOp::ColProduct => "col",
+        }
+    }
+
+    /// Parses a profile-file name.
+    pub fn from_name(name: &str) -> Option<KernelOp> {
+        KernelOp::all().into_iter().find(|o| o.name() == name)
+    }
+}
+
+/// One full kernel-selection table: a variant per (operation, shape class).
+///
+/// The default table reproduces PR 3's fixed kernels exactly (64/32/16 tile
+/// ladders and 4-wide dot passes for every class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchTable {
+    /// Row-product variant per shape class (indexed by `ShapeClass as usize`).
+    pub row: [RowKernel; NUM_SHAPE_CLASSES],
+    /// Dot-product variant per shape class.
+    pub dot: [DotKernel; NUM_SHAPE_CLASSES],
+    /// Column-product variant per shape class.
+    pub col: [ColKernel; NUM_SHAPE_CLASSES],
+}
+
+impl Default for DispatchTable {
+    fn default() -> Self {
+        DispatchTable {
+            row: [RowKernel::Tiled64; NUM_SHAPE_CLASSES],
+            dot: [DotKernel::Dot4; NUM_SHAPE_CLASSES],
+            col: [ColKernel::Tiled64; NUM_SHAPE_CLASSES],
+        }
+    }
+}
+
+impl DispatchTable {
+    /// Flat `(op, class, variant-name)` view in stable profile order.
+    pub fn entries(&self) -> Vec<(KernelOp, ShapeClass, &'static str)> {
+        let mut out = Vec::with_capacity(3 * NUM_SHAPE_CLASSES);
+        for class in ShapeClass::all() {
+            out.push((KernelOp::RowProduct, class, self.row[class as usize].name()));
+        }
+        for class in ShapeClass::all() {
+            out.push((KernelOp::DotProduct, class, self.dot[class as usize].name()));
+        }
+        for class in ShapeClass::all() {
+            out.push((KernelOp::ColProduct, class, self.col[class as usize].name()));
+        }
+        out
+    }
+
+    /// Sets the entry named by `(op, class)` from a profile-file variant name.
+    /// Returns false (leaving the table unchanged) for an unknown variant.
+    pub fn set_by_name(&mut self, op: KernelOp, class: ShapeClass, variant: &str) -> bool {
+        let i = class as usize;
+        match op {
+            KernelOp::RowProduct => match RowKernel::from_name(variant) {
+                Some(v) => {
+                    self.row[i] = v;
+                    true
+                }
+                None => false,
+            },
+            KernelOp::DotProduct => match DotKernel::from_name(variant) {
+                Some(v) => {
+                    self.dot[i] = v;
+                    true
+                }
+                None => false,
+            },
+            KernelOp::ColProduct => match ColKernel::from_name(variant) {
+                Some(v) => {
+                    self.col[i] = v;
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Installs this table as the process-wide active dispatch. Lock-free;
+    /// concurrent kernels may observe a mix of old and new entries, which is
+    /// safe because every variant is bit-identical.
+    pub fn install(&self) {
+        for class in ShapeClass::all() {
+            let i = class as usize;
+            ACTIVE_ROW[i].store(self.row[i] as u8, Ordering::Relaxed);
+            ACTIVE_DOT[i].store(self.dot[i] as u8, Ordering::Relaxed);
+            ACTIVE_COL[i].store(self.col[i] as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the currently installed process-wide table.
+    pub fn current() -> DispatchTable {
+        let mut t = DispatchTable::default();
+        for class in ShapeClass::all() {
+            let i = class as usize;
+            t.row[i] = RowKernel::from_u8(ACTIVE_ROW[i].load(Ordering::Relaxed));
+            t.dot[i] = DotKernel::from_u8(ACTIVE_DOT[i].load(Ordering::Relaxed));
+            t.col[i] = ColKernel::from_u8(ACTIVE_COL[i].load(Ordering::Relaxed));
+        }
+        t
+    }
+
+    /// Restores the default (PR 3 fixed-kernel) dispatch.
+    pub fn reset() {
+        DispatchTable::default().install();
+    }
+}
+
+// The active table. Initialisers are the `= 0` discriminants, i.e. the
+// defaults (Tiled64 / Dot4 / Tiled64), so a process that never installs a
+// table runs the PR 3 kernels unchanged.
+static ACTIVE_ROW: [AtomicU8; NUM_SHAPE_CLASSES] = [const { AtomicU8::new(0) }; NUM_SHAPE_CLASSES];
+static ACTIVE_DOT: [AtomicU8; NUM_SHAPE_CLASSES] = [const { AtomicU8::new(0) }; NUM_SHAPE_CLASSES];
+static ACTIVE_COL: [AtomicU8; NUM_SHAPE_CLASSES] = [const { AtomicU8::new(0) }; NUM_SHAPE_CLASSES];
+
+/// Active row-product variant for a `rows x k` by `k x n` call.
+/// One classification + one relaxed load; allocates nothing.
+#[inline]
+pub fn active_row_kernel(rows: usize, k: usize, n: usize) -> RowKernel {
+    let class = ShapeClass::classify(rows, k, n);
+    RowKernel::from_u8(ACTIVE_ROW[class as usize].load(Ordering::Relaxed))
+}
+
+/// Active dot-product variant for a `rows x k` by `(n x k)^T` call.
+#[inline]
+pub fn active_dot_kernel(rows: usize, k: usize, n: usize) -> DotKernel {
+    let class = ShapeClass::classify(rows, k, n);
+    DotKernel::from_u8(ACTIVE_DOT[class as usize].load(Ordering::Relaxed))
+}
+
+/// Active column-product variant for a `(k x rows)^T` by `k x n` call
+/// (`rows` is the output row count, `k` the shared row dimension).
+#[inline]
+pub fn active_col_kernel(rows: usize, k: usize, n: usize) -> ColKernel {
+    let class = ShapeClass::classify(rows, k, n);
+    ColKernel::from_u8(ACTIVE_COL[class as usize].load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_profiles() {
+        assert_eq!(ShapeClass::classify(1, 32, 96), ShapeClass::MatVec);
+        assert_eq!(ShapeClass::classify(1, 2048, 64), ShapeClass::LongK);
+        assert_eq!(ShapeClass::classify(64, 64, 64), ShapeClass::SmallGemm);
+        assert_eq!(ShapeClass::classify(128, 64, 256), ShapeClass::LargeGemm);
+        assert_eq!(ShapeClass::classify(20, 96, 32), ShapeClass::SmallGemm);
+        // Long k dominates the row count.
+        assert_eq!(ShapeClass::classify(8, 512, 8), ShapeClass::LongK);
+        // Degenerate shapes classify without panicking.
+        assert_eq!(ShapeClass::classify(0, 0, 0), ShapeClass::SmallGemm);
+        assert_eq!(
+            ShapeClass::classify(usize::MAX, 1, usize::MAX),
+            ShapeClass::LargeGemm
+        );
+    }
+
+    #[test]
+    fn names_round_trip_for_every_variant() {
+        for op in KernelOp::all() {
+            assert_eq!(KernelOp::from_name(op.name()), Some(op));
+        }
+        for c in ShapeClass::all() {
+            assert_eq!(ShapeClass::from_name(c.name()), Some(c));
+        }
+        for v in RowKernel::all() {
+            assert_eq!(RowKernel::from_name(v.name()), Some(v));
+        }
+        for v in DotKernel::all() {
+            assert_eq!(DotKernel::from_name(v.name()), Some(v));
+        }
+        for v in ColKernel::all() {
+            assert_eq!(ColKernel::from_name(v.name()), Some(v));
+        }
+        assert_eq!(RowKernel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn install_and_current_round_trip() {
+        let mut t = DispatchTable::default();
+        t.row[ShapeClass::MatVec as usize] = RowKernel::Axpy;
+        t.row[ShapeClass::LongK as usize] = RowKernel::KBlocked64;
+        t.dot[ShapeClass::SmallGemm as usize] = DotKernel::Dot8;
+        t.col[ShapeClass::LargeGemm as usize] = ColKernel::Tiled32;
+        t.install();
+        assert_eq!(DispatchTable::current(), t);
+        assert_eq!(active_row_kernel(1, 32, 96), RowKernel::Axpy);
+        assert_eq!(active_row_kernel(1, 4096, 64), RowKernel::KBlocked64);
+        DispatchTable::reset();
+        assert_eq!(DispatchTable::current(), DispatchTable::default());
+    }
+
+    #[test]
+    fn entries_cover_every_op_class_pair() {
+        let t = DispatchTable::default();
+        let entries = t.entries();
+        assert_eq!(entries.len(), 3 * NUM_SHAPE_CLASSES);
+        let mut t2 = DispatchTable::default();
+        for (op, class, name) in entries {
+            assert!(t2.set_by_name(op, class, name));
+        }
+        assert_eq!(t2, t);
+        assert!(!t2.set_by_name(KernelOp::RowProduct, ShapeClass::MatVec, "bogus"));
+    }
+}

@@ -34,6 +34,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod autotune;
+pub mod dispatch;
 pub mod kl;
 pub mod kv_cache;
 pub mod layers;
@@ -47,6 +49,10 @@ pub mod tensor;
 pub mod transformer;
 pub mod workspace;
 
+pub use autotune::{autotune, load_profile, save_profile, AutotuneConfig, AutotuneReport};
+pub use dispatch::{
+    ColKernel, DispatchTable, DotKernel, KernelOp, RowKernel, ShapeClass, NUM_SHAPE_CLASSES,
+};
 pub use kl::{kl_divergence, mean_sampled_kl, KlEstimator};
 pub use kv_cache::{KvCache, KvStore, LayerKvCache};
 pub use layers::{DecoderLayer, DecoderLayerGrads, LayerConfig};

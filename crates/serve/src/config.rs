@@ -75,6 +75,10 @@ pub struct ServeConfig {
     pub slo: SloSpec,
     /// Seed for the per-replica tuner exploration streams.
     pub seed: u64,
+    /// Per-replica cost-model overrides for heterogeneous fleets, as
+    /// `(replica_index, cost_model)` pairs. Replicas not listed use `cost`.
+    /// Later entries for the same index win.
+    pub replica_overrides: Vec<(usize, LlmCostModel)>,
 }
 
 impl ServeConfig {
@@ -99,6 +103,7 @@ impl ServeConfig {
             kv_accounting: KvAccounting::Tokens,
             slo: SloSpec::interactive(),
             seed: 0,
+            replica_overrides: Vec::new(),
         }
     }
 
@@ -129,6 +134,34 @@ impl ServeConfig {
         assert!(block_size > 0, "block size must be non-zero");
         self.kv_accounting = KvAccounting::Paged { block_size };
         self
+    }
+
+    /// Same configuration with replica `index` running on a different cost
+    /// model (heterogeneous fleet). The model geometry normally stays shared;
+    /// only the hardware half differs between replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `num_replicas`.
+    pub fn with_replica_cost(mut self, index: usize, cost: LlmCostModel) -> Self {
+        assert!(
+            index < self.num_replicas,
+            "replica override index {index} out of range for {} replicas",
+            self.num_replicas
+        );
+        self.replica_overrides.push((index, cost));
+        self
+    }
+
+    /// The cost model replica `index` runs with: its override when one is
+    /// registered, the fleet-wide `cost` otherwise.
+    pub fn cost_for(&self, index: usize) -> &LlmCostModel {
+        self.replica_overrides
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == index)
+            .map(|(_, c)| c)
+            .unwrap_or(&self.cost)
     }
 
     /// KV capacity of one replica in blocks under paged accounting (the token
@@ -185,6 +218,25 @@ mod tests {
         )
         .kv_token_budget();
         assert!(tp2 > tp1);
+    }
+
+    #[test]
+    fn replica_overrides_resolve_per_index() {
+        let a100 = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::A100.spec(), 1);
+        let config = ServeConfig::new(qwen7b_h100(), 3).with_replica_cost(1, a100.clone());
+        assert_eq!(config.cost_for(0).gpu.gpu_type, GpuType::H100);
+        assert_eq!(config.cost_for(1).gpu.gpu_type, GpuType::A100);
+        assert_eq!(config.cost_for(2).gpu.gpu_type, GpuType::H100);
+        // Later overrides for the same index win.
+        let config = config.with_replica_cost(1, qwen7b_h100());
+        assert_eq!(config.cost_for(1).gpu.gpu_type, GpuType::H100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn replica_override_index_out_of_range_panics() {
+        let a100 = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::A100.spec(), 1);
+        let _ = ServeConfig::new(qwen7b_h100(), 2).with_replica_cost(2, a100);
     }
 
     #[test]

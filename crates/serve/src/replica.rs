@@ -180,8 +180,14 @@ pub struct Replica {
 }
 
 impl Replica {
-    /// Creates replica `index` of a deployment.
+    /// Creates replica `index` of a deployment. When the deployment registers
+    /// a per-replica cost override for this index (heterogeneous fleet), the
+    /// replica's own config copy carries that cost model, so its step times
+    /// and KV budget reflect the hardware it actually runs on.
     pub fn new(config: &ServeConfig, index: usize) -> Self {
+        let mut config = config.clone();
+        config.cost = config.cost_for(index).clone();
+        let config = &config;
         let manager = match &config.sd_mode {
             SdMode::Adaptive { config: mc } => Some(AdaptiveSdManager::new(*mc)),
             _ => None,

@@ -59,6 +59,6 @@ pub use chaos::run_chaos_matrix;
 pub use config::{ExperimentConfig, SystemKind};
 pub use pipeline::{run_comparison, run_experiment, ExperimentResult, StepBreakdown};
 pub use serve::{
-    run_prefix_sharing_comparison, run_serving, run_serving_comparison, ServingExperimentConfig,
-    ServingSdPolicy,
+    run_heterogeneous_comparison, run_prefix_sharing_comparison, run_serving,
+    run_serving_comparison, ServingExperimentConfig, ServingSdPolicy,
 };

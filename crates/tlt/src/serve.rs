@@ -99,6 +99,9 @@ pub struct ServingExperimentConfig {
     pub slo: SloSpec,
     /// Seed for the arrival stream and the replicas' tuners.
     pub seed: u64,
+    /// Per-replica GPU overrides for heterogeneous fleets, as
+    /// `(replica_index, gpu)` pairs; replicas not listed run on `gpu`.
+    pub replica_gpus: Vec<(usize, GpuType)>,
 }
 
 impl ServingExperimentConfig {
@@ -135,7 +138,16 @@ impl ServingExperimentConfig {
                 tpot_s: 0.02,
             },
             seed: 2026,
+            replica_gpus: Vec::new(),
         }
+    }
+
+    /// Runs replica `index` on a different GPU (heterogeneous fleet); the
+    /// model geometry and TP degree stay fleet-wide.
+    pub fn with_replica_gpu(mut self, index: usize, gpu: GpuType) -> Self {
+        assert!(index < self.replicas, "replica index out of range");
+        self.replica_gpus.push((index, gpu));
+        self
     }
 
     /// Switches the deployment to paged (block-granular) KV accounting and
@@ -174,6 +186,12 @@ impl ServingExperimentConfig {
         config.kv_accounting = self.kv_accounting;
         config.slo = self.slo;
         config.seed = self.seed;
+        for &(index, gpu) in &self.replica_gpus {
+            config = config.with_replica_cost(
+                index,
+                LlmCostModel::new(self.model.clone(), gpu.spec(), self.tp),
+            );
+        }
         config
     }
 }
@@ -232,6 +250,42 @@ pub fn run_prefix_sharing_comparison(
         &arrivals,
     );
     (paged, tokens)
+}
+
+/// Serves one arrival stream on a heterogeneous fleet — replica `i` running on
+/// `fleet[i]` — once per balancer policy. Queue-aware routing sees the slow
+/// parts through their longer queues and shifts load toward the fast parts,
+/// while round-robin splits arrivals evenly regardless of hardware; the
+/// returned reports expose the resulting goodput and per-replica completion
+/// split. Returns `(policy, report)` pairs in [`BalancerPolicy`] comparison
+/// order (round-robin first).
+pub fn run_heterogeneous_comparison(
+    fleet: &[GpuType],
+    mean_rps: f64,
+) -> Vec<(BalancerPolicy, ServeReport)> {
+    assert!(!fleet.is_empty(), "need at least one replica");
+    let mut config = ServingExperimentConfig::qwen7b_bursty(fleet.len(), mean_rps);
+    for (i, &gpu) in fleet.iter().enumerate() {
+        if gpu != config.gpu {
+            config = config.with_replica_gpu(i, gpu);
+        }
+    }
+    let arrivals = config.arrivals();
+    [
+        BalancerPolicy::RoundRobin,
+        BalancerPolicy::JoinShortestQueue,
+        BalancerPolicy::LeastOutstandingTokens,
+    ]
+    .into_iter()
+    .map(|balancer| {
+        let mut c = config.clone();
+        c.balancer = balancer;
+        (
+            balancer,
+            simulate_serving(&c.serve_config(ServingSdPolicy::Disabled), &arrivals),
+        )
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -312,6 +366,60 @@ mod tests {
             0.0,
             "token mode has no pool"
         );
+    }
+
+    #[test]
+    fn queue_aware_routing_beats_round_robin_on_a_heterogeneous_fleet() {
+        // The pinned heterogeneity assertion: with one H100, one A100, and one
+        // RTX 4090 behind the frontend, queue-aware routing must match every
+        // request served by round-robin and post at least its goodput, and it
+        // must shift completions toward the fast part (the H100 replica
+        // finishing at least as many requests as the 4090 replica).
+        let fleet = [GpuType::H100, GpuType::A100, GpuType::Rtx4090];
+        let results = run_heterogeneous_comparison(&fleet, 12.0);
+        let get = |p: BalancerPolicy| {
+            results
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, r)| r)
+                .expect("policy present")
+        };
+        let rr = get(BalancerPolicy::RoundRobin);
+        let jsq = get(BalancerPolicy::JoinShortestQueue);
+        assert_eq!(rr.completed.len(), jsq.completed.len(), "lost requests");
+        assert!(
+            jsq.goodput_rps >= rr.goodput_rps,
+            "queue-aware routing must not lose to round-robin: {j} vs {r}",
+            j = jsq.goodput_rps,
+            r = rr.goodput_rps
+        );
+        assert!(
+            jsq.replicas[0].completed >= jsq.replicas[2].completed,
+            "H100 replica should complete at least as much as the RTX 4090: {} vs {}",
+            jsq.replicas[0].completed,
+            jsq.replicas[2].completed
+        );
+        // Round-robin ignores hardware, so its split stays near-even.
+        let rr_split: Vec<usize> = rr.replicas.iter().map(|r| r.completed).collect();
+        let max = *rr_split.iter().max().expect("non-empty");
+        let min = *rr_split.iter().min().expect("non-empty");
+        assert!(
+            max - min <= rr.completed.len() / 3,
+            "round-robin split unexpectedly skewed: {rr_split:?}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_replicas_get_hardware_specific_budgets() {
+        let config =
+            ServingExperimentConfig::qwen7b_bursty(2, 4.0).with_replica_gpu(1, GpuType::Rtx4090);
+        let serve = config.serve_config(ServingSdPolicy::Disabled);
+        assert_eq!(serve.cost_for(0).gpu.gpu_type, GpuType::H100);
+        assert_eq!(serve.cost_for(1).gpu.gpu_type, GpuType::Rtx4090);
+        // The 24 GB part admits against a far smaller KV budget than the H100.
+        let mut small = serve.clone();
+        small.cost = serve.cost_for(1).clone();
+        assert!(small.kv_token_budget() < serve.kv_token_budget() / 2);
     }
 
     #[test]

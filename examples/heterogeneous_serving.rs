@@ -1,0 +1,52 @@
+//! Heterogeneous serving: one arrival stream over a mixed fleet — an H100, an
+//! A100, and an RTX 4090 behind the same frontend — compared across balancer
+//! policies. Round-robin splits arrivals evenly regardless of hardware, so the
+//! consumer part becomes the bottleneck; queue-aware routing observes the slow
+//! replica through its longer queue and shifts load toward the fast parts.
+//!
+//! Run with `cargo run -p tlt --release --example heterogeneous_serving`.
+
+use tlt::run_heterogeneous_comparison;
+use tlt_gpusim::GpuType;
+
+fn main() {
+    let fleet = [GpuType::H100, GpuType::A100, GpuType::Rtx4090];
+    println!("fleet:");
+    for (i, gpu) in fleet.iter().enumerate() {
+        let spec = gpu.spec();
+        println!(
+            "  replica {i}: {:<22} {:>5.0} GB | {:>6.0} GB/s | {:>6.0} BF16 TFLOP/s",
+            spec.name, spec.memory_gb, spec.memory_bandwidth_gbps, spec.bf16_tflops
+        );
+    }
+
+    for &rate in &[6.0f64, 12.0] {
+        println!("\n=== bursty load, mean {rate:.0} req/s ===");
+        let results = run_heterogeneous_comparison(&fleet, rate);
+        for (policy, report) in &results {
+            let split: Vec<usize> = report.replicas.iter().map(|r| r.completed).collect();
+            println!(
+                "  {:<24} goodput {:>5.2} req/s | TTFT p99 {:>7.0} ms | SLO {:>5.1}% | \
+                 completions per replica {:?}",
+                format!("{policy:?}"),
+                report.goodput_rps,
+                report.ttft.p99_s * 1e3,
+                report.slo_attainment * 100.0,
+                split,
+            );
+        }
+        let rr = &results[0].1;
+        let jsq = &results[1].1;
+        assert!(
+            jsq.goodput_rps >= rr.goodput_rps,
+            "queue-aware routing lost to round-robin"
+        );
+    }
+
+    println!(
+        "\nQueue-aware balancers route around the slow consumer part without being told \
+         about the\nhardware: the RTX 4090's longer queue is signal enough. This is the \
+         serving-side payoff of\nper-replica spec overrides — fleets need not be uniform \
+         for the scheduler to stay efficient."
+    );
+}

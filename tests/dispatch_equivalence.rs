@@ -1,0 +1,220 @@
+//! Property tests for the shape-class kernel dispatch: every kernel variant —
+//! and whatever the active dispatch table selects — must be bit-identical to
+//! the naive i-k-j reference on arbitrary shapes, including 1xN mat-vecs, Nx1
+//! outputs, empty dimensions, and long-k contractions that cross the k-block
+//! and long-k classification boundaries. Also checks that autotune results
+//! survive a save → load round-trip unchanged, which is what lets CI pin a
+//! committed profile instead of re-tuning.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tlt_model::autotune::{parse_profile, profile_json};
+use tlt_model::{
+    autotune, AutotuneConfig, ColKernel, DispatchTable, DotKernel, Mat, RowKernel, ShapeClass,
+};
+
+/// Maps a drawn case onto a shape family covering every dispatch class and
+/// ladder edge: general shapes around the tile widths, decode mat-vec rows,
+/// Nx1 outputs, and shared dimensions that cross K_BLOCK (128) and the
+/// long-k classification threshold (512). Dimensions of zero are included.
+fn pick_shape(family: usize, m: usize, k: usize, n: usize) -> (usize, usize, usize) {
+    match family {
+        0 => (m % 5, k % 70, n % 70),
+        1 => (1, k % 70, n % 150),
+        2 => (1 + m % 4, 1 + k % 69, 1),
+        _ => (1 + m % 2, 500 + k % 60, 1 + n % 39),
+    }
+}
+
+fn random_mat(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Mat::from_vec(rows, cols, data)
+}
+
+/// Naive i-k-j reference `A * B`: the accumulation-order ground truth every
+/// kernel variant must reproduce bit for bit.
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Naive `A^T * B` with `k` (the shared row dimension) innermost-increasing.
+fn naive_transposed_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.cols(), b.cols());
+    for i in 0..a.cols() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.rows() {
+                acc += a.get(k, i) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Builds a fully random dispatch table from per-slot picks (mod the variant
+/// count, so any drawn integers are valid).
+fn table_from_picks(picks: &[usize]) -> DispatchTable {
+    let mut table = DispatchTable::default();
+    for class in ShapeClass::all() {
+        let i = class as usize;
+        table.row[i] = RowKernel::all()[picks[i] % RowKernel::all().len()];
+        table.dot[i] = DotKernel::all()[picks[4 + i] % DotKernel::all().len()];
+        table.col[i] = ColKernel::all()[picks[8 + i] % ColKernel::all().len()];
+    }
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn row_kernels_match_naive_reference(
+        family in 0usize..4,
+        m in 0usize..1000,
+        k in 0usize..1000,
+        n in 0usize..1000,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = pick_shape(family, m, k, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let reference = naive_matmul(&a, &b);
+        // The dispatch-routed entry point agrees with naive...
+        prop_assert_eq!(a.matmul(&b).as_slice(), reference.as_slice());
+        // ...and so does every variant, forced explicitly.
+        for kernel in RowKernel::all() {
+            let mut out = Mat::full(m, n, f32::NAN);
+            a.matmul_into_using(&b, &mut out, kernel);
+            prop_assert_eq!(out.as_slice(), reference.as_slice(), "{:?}", kernel);
+        }
+    }
+
+    #[test]
+    fn dot_kernels_match_naive_reference(
+        family in 0usize..4,
+        m in 0usize..1000,
+        k in 0usize..1000,
+        n in 0usize..1000,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = pick_shape(family, m, k, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        // The dot family shares an 8-lane accumulator with a pairwise
+        // reduction tree, so its bit-exact anchor is the default (Dot4)
+        // kernel rather than the scalar naive chain; naive still bounds the
+        // result approximately, guarding against shared semantic bugs.
+        let bt = b.transpose();
+        let mut reference = Mat::full(m, n, f32::NAN);
+        a.matmul_transposed_into_using(&bt, &mut reference, DotKernel::Dot4);
+        let naive = naive_matmul(&a, &b);
+        for (got, want) in reference.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert!((got - want).abs() <= 1e-4 * (1.0 + want.abs()));
+        }
+        prop_assert_eq!(a.matmul_transposed(&bt).as_slice(), reference.as_slice());
+        for kernel in DotKernel::all() {
+            let mut out = Mat::full(m, n, f32::NAN);
+            a.matmul_transposed_into_using(&bt, &mut out, kernel);
+            prop_assert_eq!(out.as_slice(), reference.as_slice(), "{:?}", kernel);
+        }
+    }
+
+    #[test]
+    fn col_kernels_match_naive_reference(
+        family in 0usize..4,
+        m in 0usize..1000,
+        k in 0usize..1000,
+        n in 0usize..1000,
+        seed in 0u64..1000,
+    ) {
+        // Treat the drawn (m, k, n) as A: k x m, B: k x n for A^T * B, so the
+        // long-k family exercises a tall shared row dimension here too.
+        let (m, k, n) = pick_shape(family, m, k, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let at = random_mat(k, m, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let reference = naive_transposed_matmul(&at, &b);
+        prop_assert_eq!(at.transposed_matmul(&b).as_slice(), reference.as_slice());
+        for kernel in ColKernel::all() {
+            let mut out = Mat::full(m, n, f32::NAN);
+            at.transposed_matmul_into_using(&b, &mut out, kernel);
+            prop_assert_eq!(out.as_slice(), reference.as_slice(), "{:?}", kernel);
+        }
+    }
+
+    #[test]
+    fn any_installed_table_leaves_results_unchanged(
+        picks in proptest::collection::vec(0usize..1000, 12..13),
+        family in 0usize..4,
+        m in 0usize..1000,
+        k in 0usize..1000,
+        n in 0usize..1000,
+        seed in 0u64..1000,
+    ) {
+        let table = table_from_picks(&picks);
+        let (m, k, n) = pick_shape(family, m, k, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        // References computed under the default table...
+        let bt = b.transpose();
+        let reference = a.matmul(&b);
+        let reference_t = a.matmul_transposed(&bt);
+        let reference_c = a.transposed_matmul(&a);
+        prop_assert_eq!(reference.as_slice(), naive_matmul(&a, &b).as_slice());
+        // ...then force the fully random table process-wide; results must not
+        // move. (Safe even with concurrent tests precisely *because* variants
+        // are bit-identical — that is the property under test.)
+        table.install();
+        let routed = a.matmul(&b);
+        let routed_t = a.matmul_transposed(&bt);
+        let routed_c = a.transposed_matmul(&a);
+        DispatchTable::reset();
+        prop_assert_eq!(routed.as_slice(), reference.as_slice());
+        prop_assert_eq!(routed_t.as_slice(), reference_t.as_slice());
+        prop_assert_eq!(routed_c.as_slice(), reference_c.as_slice());
+    }
+
+    #[test]
+    fn profile_round_trips_any_table(
+        picks in proptest::collection::vec(0usize..1000, 12..13),
+    ) {
+        let table = table_from_picks(&picks);
+        let text = profile_json("proptest-target", &table);
+        let (target, parsed) = parse_profile(&text).expect("parse");
+        prop_assert_eq!(target.as_str(), "proptest-target");
+        prop_assert_eq!(parsed, table);
+    }
+}
+
+/// Autotune must produce a table that survives save → load identically, and a
+/// second parse of the same document must agree — the contract that lets a
+/// committed `profiles/<target>.json` pin CI's kernel selection.
+#[test]
+fn autotune_save_load_round_trip_is_identity() {
+    let report = autotune(&AutotuneConfig::quick());
+    let dir = std::env::temp_dir().join("tlt-dispatch-roundtrip");
+    let path = dir.join("tuned.json");
+    let target = tlt_model::autotune::target_name();
+    tlt_model::save_profile(&path, &target, &report.table).expect("save");
+    let (loaded_target, loaded) = tlt_model::load_profile(&path).expect("load");
+    assert_eq!(loaded_target, target);
+    assert_eq!(loaded, report.table);
+    let (_, again) = tlt_model::load_profile(&path).expect("reload");
+    assert_eq!(again, loaded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
