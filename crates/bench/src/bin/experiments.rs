@@ -7,15 +7,23 @@
 //! cargo run -p tlt-bench --release --bin experiments -- all [--quick]
 //! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
 //! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
+//! cargo run -p tlt-bench --release --bin experiments -- serving --trace-out trace.json --metrics
 //! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_5.json] \
-//!     [--autotune | --profile profiles/<target>.json]
-//! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json]
+//!     [--autotune | --profile profiles/<target>.json] [--metrics]
+//! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json] \
+//!     [--trace-out chaos_trace.json]
 //! ```
 //!
 //! `--json <path>` additionally writes every produced table as machine-readable
 //! JSON so the bench trajectory can be tracked across PRs. The `perf` subcommand
 //! runs the pinned micro/e2e perf workloads instead and writes the repository's
 //! `BENCH_<n>.json` trajectory point (see `tlt_bench::perf`).
+//!
+//! `--trace-out <path>` (serving, chaos, perf) installs a `tlt-obs` flight
+//! recorder around the run and writes the retained events as Chrome
+//! `trace_event` JSON — load it in `chrome://tracing` or Perfetto. Traces are
+//! sim-time, so two runs with the same seed write byte-identical files.
+//! `--metrics` prints an extra metrics summary table for those subcommands.
 //!
 //! Absolute numbers come from the simulated substrate (roofline GPU model + tiny
 //! transformer), so they are not expected to match the paper's testbed; the *shape*
@@ -63,7 +71,8 @@ fn main() {
     let usage = || {
         eprintln!(
             "usage: experiments [--quick] [--json <path>] [--prefix-share <0..1>] \
-             [--autotune] [--profile <path>] [all | perf | chaos | {}]",
+             [--autotune] [--profile <path>] [--trace-out <path>] [--metrics] \
+             [all | perf | chaos | {}]",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(2);
@@ -75,9 +84,21 @@ fn main() {
     let mut prefix_share = 0.0f64;
     let mut autotune = false;
     let mut profile_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--json" {
+        if arg == "--trace-out" {
+            match iter.next() {
+                Some(path) if !path.starts_with("--") => trace_out = Some(path),
+                _ => {
+                    eprintln!("error: --trace-out requires a path");
+                    usage();
+                }
+            }
+        } else if arg == "--metrics" {
+            metrics = true;
+        } else if arg == "--json" {
             match iter.next() {
                 Some(path) if !path.starts_with("--") => json_path = Some(path),
                 _ => {
@@ -181,7 +202,25 @@ fn main() {
             "default".to_string()
         };
         let path = json_path.unwrap_or_else(|| "BENCH_5.json".to_string());
-        match tlt_bench::run_perf(scale, &path, &dispatch_source) {
+        // Both observability taps are strictly opt-in here: the committed perf
+        // trajectory (and the CI overhead gate) measures the disabled paths.
+        if metrics {
+            tlt_obs::hooks::reset();
+            tlt_obs::hooks::enable();
+        }
+        if trace_out.is_some() {
+            tlt_obs::install(tlt_obs::FlightRecorder::new(TRACE_EVENTS_PER_TRACK));
+        }
+        let result = tlt_bench::run_perf(scale, &path, &dispatch_source);
+        if let Some(trace_path) = &trace_out {
+            let events = tlt_obs::uninstall().map(|r| r.events()).unwrap_or_default();
+            write_trace(trace_path, &tlt_obs::chrome_trace(&events));
+        }
+        if metrics {
+            tlt_obs::hooks::disable();
+            perf_metrics_table().print();
+        }
+        match result {
             Ok(_) => return,
             Err(e) => {
                 eprintln!("error: failed to write perf report to {path}: {e}");
@@ -203,7 +242,7 @@ fn main() {
             eprintln!("error: 'chaos' cannot be combined with other selectors");
             usage();
         }
-        let failures = chaos(json_path.as_deref());
+        let failures = chaos(json_path.as_deref(), trace_out.as_deref(), metrics);
         std::process::exit(if failures == 0 { 0 } else { 1 });
     }
 
@@ -215,6 +254,12 @@ fn main() {
     }
     let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
     let want = |name: &str| run_all || selected.iter().any(|s| s == name);
+    // perf and chaos have already returned; of the table selectors only the
+    // serving study is instrumented.
+    if (trace_out.is_some() || metrics) && !want("serving") {
+        eprintln!("error: --trace-out/--metrics apply to the serving, chaos and perf subcommands");
+        usage();
+    }
 
     println!("TLT reproduction experiment harness (scale: {scale:?})");
     let mut report = Report::new();
@@ -270,7 +315,13 @@ fn main() {
         table8(scale, &mut report);
     }
     if want("serving") {
-        serving(scale, &mut report, prefix_share);
+        serving(
+            scale,
+            &mut report,
+            prefix_share,
+            trace_out.as_deref(),
+            metrics,
+        );
     }
 
     if let Some(path) = json_path {
@@ -1212,8 +1263,11 @@ fn table8(scale: Scale, report: &mut Report) {
 }
 
 /// Chaos suite: runs the pinned fault-injection scenario matrix and reports the
-/// invariant verdict per scenario. Returns the number of failing scenarios.
-fn chaos(json_path: Option<&str>) -> usize {
+/// invariant verdict per scenario. Any violated scenario prints its
+/// flight-recorder postmortem; `--trace-out` exports every scenario's retained
+/// events as one sectioned Chrome trace. Returns the number of failing
+/// scenarios.
+fn chaos(json_path: Option<&str>, trace_out: Option<&str>, metrics: bool) -> usize {
     use tlt::chaos::{chaos_summary_rows, run_chaos_matrix, CHAOS_SUMMARY_HEADER};
     println!("TLT chaos suite: pinned fault-injection scenario matrix");
     let outcomes = run_chaos_matrix();
@@ -1228,6 +1282,24 @@ fn chaos(json_path: Option<&str>) -> usize {
         t.add_row(row);
     }
     report.add(t);
+    if metrics {
+        let mut m = Table::new(
+            "Chaos — flight recorder (--metrics)",
+            &["scenario", "trace events", "postmortem"],
+        );
+        for outcome in &outcomes {
+            m.add_row(vec![
+                outcome.scenario.name.clone(),
+                format!("{}", outcome.trace.len()),
+                if outcome.postmortem.is_some() {
+                    "dumped".to_string()
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        report.add(m);
+    }
     let mut failures = 0usize;
     for outcome in &outcomes {
         if !outcome.invariants.passed() {
@@ -1238,7 +1310,17 @@ fn chaos(json_path: Option<&str>) -> usize {
                     outcome.scenario.name, v.invariant, v.detail
                 );
             }
+            if let Some(postmortem) = &outcome.postmortem {
+                eprint!("{postmortem}");
+            }
         }
+    }
+    if let Some(path) = trace_out {
+        let sections: Vec<(&str, &[tlt_obs::ObsEvent])> = outcomes
+            .iter()
+            .map(|o| (o.scenario.name.as_str(), o.trace.as_slice()))
+            .collect();
+        write_trace(path, &tlt_obs::chrome_trace_sections(&sections));
     }
     if let Some(path) = json_path {
         match report.write_json(path) {
@@ -1265,7 +1347,22 @@ fn chaos(json_path: Option<&str>) -> usize {
 /// requests carries a 512-token shared system prompt, and the table (and JSON
 /// export) reports the prefix-hit rate and pool utilisation per run, plus a
 /// paged-vs-token goodput comparison at the tight KV budget.
-fn serving(scale: Scale, report: &mut Report, prefix_share: f64) {
+///
+/// A per-replica stats table (completions, preemptions, failovers, crashes) is
+/// always part of the report and JSON export. With `--trace-out` the whole
+/// sweep runs under a flight recorder and the retained events are written as
+/// Chrome `trace_event` JSON (byte-identical across same-seed runs);
+/// `--metrics` adds an aggregate metrics summary table.
+fn serving(
+    scale: Scale,
+    report: &mut Report,
+    prefix_share: f64,
+    trace_out: Option<&str>,
+    metrics: bool,
+) {
+    if trace_out.is_some() {
+        tlt_obs::install(tlt_obs::FlightRecorder::new(TRACE_EVENTS_PER_TRACK));
+    }
     let (replicas, rates): (usize, &[f64]) = if scale == Scale::Full {
         (2, &[2.0, 6.0, 10.0, 16.0, 24.0])
     } else {
@@ -1299,12 +1396,46 @@ fn serving(scale: Scale, report: &mut Report, prefix_share: f64) {
             "pool util",
         ],
     );
+    let mut per_replica = Table::new(
+        "Serving — per-replica stats (registry-backed)",
+        &[
+            "rate (req/s)",
+            "policy",
+            "replica",
+            "completed",
+            "dropped",
+            "preemptions",
+            "failovers",
+            "crashes",
+            "peak batch",
+            "busy (s)",
+            "util",
+        ],
+    );
+    let mut totals = ServingTotals::default();
     for &rate in rates {
         let mut config = ServingExperimentConfig::qwen7b_bursty(replicas, rate);
         if prefix_share > 0.0 {
             config = config.with_prefix_share(prefix_share, prefix_len);
         }
         for (policy, r) in run_serving_comparison(&config) {
+            for s in &r.replicas {
+                per_replica.add_row(vec![
+                    format!("{rate:.0}"),
+                    policy.name().to_string(),
+                    format!("{}", s.replica),
+                    format!("{}", s.completed),
+                    format!("{}", s.dropped),
+                    format!("{}", s.preemptions),
+                    format!("{}", s.failovers),
+                    format!("{}", s.crashes),
+                    format!("{}", s.peak_running),
+                    format!("{:.2}", s.busy_s),
+                    format!("{:.2}", s.utilization),
+                ]);
+                totals.absorb(s);
+            }
+            totals.runs += 1;
             t.add_row(vec![
                 format!("{rate:.0}"),
                 policy.name().to_string(),
@@ -1323,6 +1454,7 @@ fn serving(scale: Scale, report: &mut Report, prefix_share: f64) {
         }
     }
     report.add(t);
+    report.add(per_replica);
     if prefix_share > 0.0 {
         let (paged, tokens) = run_prefix_sharing_comparison(1, 16.0, prefix_share, 768);
         let mut cmp = Table::new(
@@ -1350,7 +1482,112 @@ fn serving(scale: Scale, report: &mut Report, prefix_share: f64) {
             paged.goodput_rps, tokens.goodput_rps
         );
     }
+    let recorder = trace_out.map(|path| {
+        let recorder = tlt_obs::uninstall().expect("recorder installed for --trace-out");
+        write_trace(path, &tlt_obs::chrome_trace(&recorder.events()));
+        recorder
+    });
+    if metrics {
+        let mut m = Table::new(
+            "Serving — metrics summary (--metrics)",
+            &["metric", "value"],
+        );
+        m.add_row(vec!["runs".to_string(), format!("{}", totals.runs)]);
+        m.add_row(vec![
+            "completed".to_string(),
+            format!("{}", totals.completed),
+        ]);
+        m.add_row(vec!["dropped".to_string(), format!("{}", totals.dropped)]);
+        m.add_row(vec![
+            "preemptions".to_string(),
+            format!("{}", totals.preemptions),
+        ]);
+        m.add_row(vec![
+            "failovers".to_string(),
+            format!("{}", totals.failovers),
+        ]);
+        m.add_row(vec!["crashes".to_string(), format!("{}", totals.crashes)]);
+        m.add_row(vec!["busy_s".to_string(), format!("{:.2}", totals.busy_s)]);
+        if let Some(recorder) = &recorder {
+            m.add_row(vec![
+                "trace events recorded".to_string(),
+                format!("{}", recorder.recorded()),
+            ]);
+            m.add_row(vec![
+                "trace events retained".to_string(),
+                format!("{}", recorder.len()),
+            ]);
+        }
+        report.add(m);
+    }
     println!(
         "SLO: TTFT <= 1.0 s and TPOT <= 20 ms; goodput counts SLO-meeting completions per second."
     );
+}
+
+/// Sweep-wide accumulators behind the serving `--metrics` summary table.
+#[derive(Default)]
+struct ServingTotals {
+    runs: usize,
+    completed: usize,
+    dropped: usize,
+    preemptions: u64,
+    failovers: u64,
+    crashes: u64,
+    busy_s: f64,
+}
+
+impl ServingTotals {
+    fn absorb(&mut self, s: &tlt_serve::ReplicaStats) {
+        self.completed += s.completed;
+        self.dropped += s.dropped;
+        self.preemptions += s.preemptions;
+        self.failovers += s.failovers;
+        self.crashes += s.crashes;
+        self.busy_s += s.busy_s;
+    }
+}
+
+/// Ring capacity per track for `--trace-out` exports: enough to retain a full
+/// quick sweep while bounding a full-scale run's memory.
+const TRACE_EVENTS_PER_TRACK: usize = 65_536;
+
+/// Writes a Chrome trace document to `path`, exiting non-zero on I/O failure.
+fn write_trace(path: &str, doc: &tlt_bench::JsonValue) {
+    match std::fs::write(path, format!("{doc}\n")) {
+        Ok(()) => println!(
+            "wrote Chrome trace_event JSON to {path} (open in chrome://tracing or Perfetto)"
+        ),
+        Err(e) => {
+            eprintln!("error: failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `--metrics` table for `perf`: the process-global model decode hooks.
+fn perf_metrics_table() -> Table {
+    let c = tlt_obs::hooks::snapshot();
+    let mut t = Table::new(
+        "Perf — model decode-hook counters (--metrics)",
+        &["metric", "value"],
+    );
+    t.add_row(vec![
+        "decode_steps".to_string(),
+        format!("{}", c.decode_steps),
+    ]);
+    t.add_row(vec![
+        "prefill_tokens".to_string(),
+        format!("{}", c.prefill_tokens),
+    ]);
+    t.add_row(vec!["sd_rounds".to_string(), format!("{}", c.sd_rounds)]);
+    t.add_row(vec![
+        "sd_accepted_tokens".to_string(),
+        format!("{}", c.sd_accepted_tokens),
+    ]);
+    t.add_row(vec![
+        "mean_accept_per_round".to_string(),
+        format!("{:.3}", c.mean_accept_per_round()),
+    ]);
+    t
 }

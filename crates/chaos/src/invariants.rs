@@ -36,6 +36,10 @@ pub const INVARIANTS: &[&str] = &[
     // The deployment drains: no request is left queued, running or orphaned
     // when the schedule ends.
     "drained",
+    // Not a system property: a synthetic violation injected by
+    // `Scenario::forced_violation()` to self-test the alerting path — the
+    // flight-recorder postmortem must fire whenever any invariant breaks.
+    "postmortem-probe",
 ];
 
 /// One recorded invariant violation.

@@ -17,6 +17,10 @@ use tlt_draft::{
 };
 use tlt_gpusim::{GpuType, LlmCostModel};
 use tlt_model::{ModelConfig, ModelSpec, SamplingParams, TinyLm};
+use tlt_obs::{
+    install, record, render_postmortem, uninstall, EventKind, FlightRecorder, ObsEvent, Track,
+    DEFAULT_CAPACITY_PER_TRACK, NO_REQ,
+};
 use tlt_rollout::{
     speculative_generate_with_swap, vanilla_generate, SdManagerConfig, SdMode, SdStrategy,
     SpecDrafter,
@@ -61,6 +65,11 @@ pub struct ChaosOutcome {
     pub report: ServeReport,
     /// The invariant verdict.
     pub invariants: InvariantReport,
+    /// Flight-recorder events retained by the (first) run, for trace export.
+    pub trace: Vec<ObsEvent>,
+    /// The rendered flight-recorder dump; `Some` exactly when an invariant
+    /// broke. Names the violated invariants, then the last-N events per track.
+    pub postmortem: Option<String>,
 }
 
 /// Raw artifacts of a single execution, kept for cross-run comparison.
@@ -77,6 +86,7 @@ struct RunArtifacts {
     drafter: DrafterFaultStats,
     live_drafter: DraftModel,
     violations: InvariantReport,
+    events: Vec<ObsEvent>,
 }
 
 fn serve_config(scenario: &Scenario) -> ServeConfig {
@@ -260,6 +270,10 @@ impl CoordinatorMirror {
                     now,
                 );
                 self.reported[i] = desired;
+                record(
+                    ObsEvent::instant(now, Track::Coordinator, EventKind::WorkerState, NO_REQ)
+                        .with_args(i as f64, worker_state_code(desired)),
+                );
             }
         }
         check_coordinator(violations, &self.coord, "sync");
@@ -294,10 +308,24 @@ impl CoordinatorMirror {
     }
 }
 
+/// Trace-arg encoding of a coordinator worker state.
+fn worker_state_code(state: WorkerState) -> f64 {
+    match state {
+        WorkerState::Idle => 0.0,
+        WorkerState::Busy => 1.0,
+        WorkerState::Training => 2.0,
+        WorkerState::Failed => 3.0,
+    }
+}
+
 fn run_once(scenario: &Scenario) -> RunArtifacts {
     let config = serve_config(scenario);
     let arrivals = scenario.arrival_stream();
     let faults = scenario.runtime_faults();
+    // The whole run executes under a flight recorder, so a postmortem always
+    // has the last-N events per track. Any recorder the caller had installed
+    // (e.g. an `experiments` trace sweep) is stashed and restored on exit.
+    let outer_recorder = install(FlightRecorder::new(DEFAULT_CAPACITY_PER_TRACK));
     let mut sim = ServeSim::new(&config);
     let mut mirror = CoordinatorMirror::new(scenario.replicas);
     let mut drafter = DrafterPipeline::new(scenario.seed);
@@ -365,7 +393,25 @@ fn run_once(scenario: &Scenario) -> RunArtifacts {
             mirror.sync(&sim, sim.now_s(), &mut violations);
         }
     }
+    if scenario.probe_violation {
+        record(ObsEvent::instant(
+            sim.now_s(),
+            Track::Coordinator,
+            EventKind::Probe,
+            NO_REQ,
+        ));
+        violations.violate(
+            "postmortem-probe",
+            "forced violation probe (alerting-path self-test)".to_string(),
+        );
+    }
     mirror.final_sweep(&mut violations);
+    let events = uninstall()
+        .expect("flight recorder installed at run start")
+        .events();
+    if let Some(outer) = outer_recorder {
+        install(outer);
+    }
 
     let (crashes, restarts) = sim.fault_counts();
     let requeued = sim.requeued();
@@ -413,6 +459,7 @@ fn run_once(scenario: &Scenario) -> RunArtifacts {
         },
         live_drafter: drafter.live,
         violations,
+        events,
     }
 }
 
@@ -505,6 +552,12 @@ fn check_determinism(a: &RunArtifacts, b: &RunArtifacts, report: &mut InvariantR
             "drafter pipeline state differs between identical runs".to_string(),
         );
     }
+    if a.events != b.events {
+        report.violate(
+            "seed-determinism",
+            "flight-recorder traces differ between identical runs".to_string(),
+        );
+    }
 }
 
 /// Runs one scenario (twice, for the determinism invariant) and returns the
@@ -551,6 +604,21 @@ pub fn run_scenario(scenario: &Scenario) -> ChaosOutcome {
     check_losslessness(scenario, &first.live_drafter, &mut invariants);
     check_determinism(&first, &second, &mut invariants);
 
+    // Any violation dumps the flight recorder: the violated invariants first,
+    // then the last-N events per track — the operator-facing crash artifact.
+    let postmortem = (!invariants.passed()).then(|| {
+        let mut header = format!(
+            "scenario '{}' (seed {}): {}\n",
+            scenario.name,
+            scenario.seed,
+            invariants.verdict()
+        );
+        for v in &invariants.violations {
+            header.push_str(&format!("violated {}: {}\n", v.invariant, v.detail));
+        }
+        render_postmortem(&header, &first.events)
+    });
+
     ChaosOutcome {
         scenario: scenario.clone(),
         arrivals: arrivals.len(),
@@ -563,6 +631,8 @@ pub fn run_scenario(scenario: &Scenario) -> ChaosOutcome {
         drafter: first.drafter,
         report: first.report,
         invariants,
+        trace: first.events,
+        postmortem,
     }
 }
 
@@ -594,6 +664,31 @@ mod tests {
         );
         assert_eq!(outcome.completed + outcome.dropped, outcome.arrivals);
         assert_eq!(outcome.crashes, 0);
+        assert!(outcome.postmortem.is_none(), "no violation, no dump");
+        assert!(
+            !outcome.trace.is_empty(),
+            "the flight recorder runs on every scenario"
+        );
+    }
+
+    #[test]
+    fn forced_violation_dumps_a_postmortem_with_the_probe() {
+        let outcome = run_scenario(
+            &Scenario::builder("unit-probe")
+                .seed(4)
+                .arrivals(4.0, 5.0)
+                .forced_violation()
+                .build(),
+        );
+        assert!(!outcome.invariants.passed());
+        let dump = outcome
+            .postmortem
+            .expect("violation must dump the recorder");
+        assert!(dump.contains("flight recorder postmortem"));
+        assert!(dump.contains("scenario 'unit-probe'"));
+        assert!(dump.contains("violated postmortem-probe"));
+        assert!(dump.contains("probe"), "the probe event itself is retained");
+        assert!(dump.contains("-- frontend"), "frontend track present");
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct Scenario {
     pub prefix: Option<SharedPrefixSpec>,
     /// Fault schedule, sorted by time.
     pub faults: Vec<FaultEvent>,
+    /// Inject a synthetic `postmortem-probe` invariant violation at the end of
+    /// the run (self-test of the flight-recorder postmortem path; never set in
+    /// the pinned matrix).
+    pub probe_violation: bool,
 }
 
 impl Scenario {
@@ -125,6 +129,7 @@ impl Scenario {
                 preemption: false,
                 prefix: None,
                 faults: Vec::new(),
+                probe_violation: false,
             },
         }
     }
@@ -282,6 +287,15 @@ impl ScenarioBuilder {
     /// Schedules delivery of a stale drafter checkpoint.
     pub fn stale_checkpoint(self, at_s: f64) -> Self {
         self.fault(at_s, FaultKind::CheckpointStale)
+    }
+
+    /// Forces a synthetic `postmortem-probe` invariant violation at the end of
+    /// the run. The scenario is otherwise unchanged; the harness must respond
+    /// by dumping the flight recorder, so this is a self-test of the whole
+    /// alerting path (violation → postmortem → operator-readable dump).
+    pub fn forced_violation(mut self) -> Self {
+        self.scenario.probe_violation = true;
+        self
     }
 
     /// Schedules an arrival storm.

@@ -351,12 +351,14 @@ impl TinyLm {
         cache: &mut K,
         ws: &'ws mut DecodeWorkspace,
     ) -> &'ws Mat {
+        tlt_obs::hooks::on_decode_step();
         self.forward_into(&[token], cache, ws);
         ws.logits()
     }
 
     /// Convenience wrapper: full forward over a prompt with a fresh cache.
     pub fn prefill(&self, tokens: &[TokenId], collect_hidden: bool) -> (ForwardOutput, KvCache) {
+        tlt_obs::hooks::on_prefill_tokens(tokens.len());
         let mut cache = self.new_cache();
         let out = self.forward(tokens, &mut cache, collect_hidden);
         (out, cache)

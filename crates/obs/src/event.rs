@@ -1,0 +1,191 @@
+//! Event vocabulary for the flight recorder.
+//!
+//! Events are small `Copy` records stamped with **sim-time seconds**, never wall
+//! clock, so a trace is a pure function of the seed and is bit-identical across
+//! runs. Spans (prefill / decode / SD rounds) carry a duration and are recorded
+//! at step *completion*; instants (arrival, crash, failover, ...) have zero
+//! duration. Request-scoped events carry the request id in [`ObsEvent::req`];
+//! step-scoped events use [`NO_REQ`].
+
+/// Sentinel request id for events that are not tied to a single request.
+pub const NO_REQ: u64 = u64::MAX;
+
+/// Which timeline an event belongs to. Each track becomes one "process" row in
+/// the Chrome trace export and one section of a chaos postmortem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// The serving frontend: arrivals, routing, failover delivery.
+    Frontend,
+    /// One serving replica, by index.
+    Replica(u32),
+    /// The training-side coordinator mirror (leader election, checkpoints).
+    Coordinator,
+    /// The standalone speculative rollout loop. It has no sim clock, so its
+    /// events use the SD round index as the time axis.
+    Rollout,
+}
+
+impl Track {
+    /// Stable Chrome-trace `pid` for this track. Replicas start at 10 so the
+    /// fixed tracks keep their ids as replica count grows.
+    pub fn pid(&self) -> u64 {
+        match self {
+            Track::Frontend => 1,
+            Track::Coordinator => 2,
+            Track::Rollout => 3,
+            Track::Replica(i) => 10 + u64::from(*i),
+        }
+    }
+
+    /// Human-readable track name used in trace metadata and postmortems.
+    pub fn label(&self) -> String {
+        match self {
+            Track::Frontend => "frontend".to_string(),
+            Track::Coordinator => "coordinator".to_string(),
+            Track::Rollout => "rollout".to_string(),
+            Track::Replica(i) => format!("replica {i}"),
+        }
+    }
+}
+
+/// What happened. The per-kind meaning of the two scalar args is documented on
+/// each variant; [`EventKind::arg_names`] mirrors it for export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A request entered the frontend. `a` = routed replica (-1 if parked as an
+    /// orphan), `b` = prompt tokens.
+    Arrival,
+    /// A replica admitted a request from its queue into the running batch.
+    /// `a` = novel prompt tokens, `b` = prefix-cache hit tokens.
+    Admission,
+    /// A prefill batch step (span). `a` = batch size, `b` = queue depth after.
+    Prefill,
+    /// A plain decode batch step (span). `a` = batch size, `b` = tokens per
+    /// sequence committed this step.
+    Decode,
+    /// A speculative decode batch step (span). `a` = batch size, `b` = accepted
+    /// draft length for the step.
+    SdRound,
+    /// A request finished. `a` = output tokens, `b` = end-to-end seconds.
+    Completion,
+    /// A request was preempted back to the queue to free KV. `req` = victim.
+    Preemption,
+    /// A crash-drained request was re-enqueued on a surviving replica.
+    /// `a` = tokens already generated before the crash.
+    Failover,
+    /// The replica crashed. `a` = running requests drained, `b` = queued
+    /// requests drained.
+    Crash,
+    /// The replica came back up.
+    Restart,
+    /// One round of the standalone speculative loop (span over round index).
+    /// `a` = accepted tokens, `b` = draft length offered.
+    RolloutRound,
+    /// A coordinator worker changed state. `a` = worker index, `b` = state code
+    /// (0 idle, 1 busy, 2 training, 3 failed).
+    WorkerState,
+    /// Synthetic postmortem probe injected by `tlt-chaos` scenarios built with
+    /// `forced_violation()` — a self-test of the alerting path.
+    Probe,
+}
+
+impl EventKind {
+    /// Stable event name used in trace export and postmortems.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Arrival => "arrival",
+            EventKind::Admission => "admission",
+            EventKind::Prefill => "prefill",
+            EventKind::Decode => "decode",
+            EventKind::SdRound => "sd_round",
+            EventKind::Completion => "completion",
+            EventKind::Preemption => "preemption",
+            EventKind::Failover => "failover",
+            EventKind::Crash => "crash",
+            EventKind::Restart => "restart",
+            EventKind::RolloutRound => "rollout_round",
+            EventKind::WorkerState => "worker_state",
+            EventKind::Probe => "probe",
+        }
+    }
+
+    /// True for duration events (Chrome `ph:"X"`), false for instants (`"i"`).
+    pub fn is_span(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Prefill | EventKind::Decode | EventKind::SdRound | EventKind::RolloutRound
+        )
+    }
+
+    /// Names for the `a` / `b` args in exports; `""` means the arg is unused.
+    pub fn arg_names(&self) -> (&'static str, &'static str) {
+        match self {
+            EventKind::Arrival => ("replica", "prompt_tokens"),
+            EventKind::Admission => ("novel_tokens", "cached_tokens"),
+            EventKind::Prefill => ("batch", "queue_depth"),
+            EventKind::Decode => ("batch", "tokens_per_seq"),
+            EventKind::SdRound => ("batch", "accept_len"),
+            EventKind::Completion => ("output_tokens", "e2e_s"),
+            EventKind::Preemption => ("", ""),
+            EventKind::Failover => ("generated_tokens", ""),
+            EventKind::Crash => ("running", "queued"),
+            EventKind::Restart => ("", ""),
+            EventKind::RolloutRound => ("accepted", "draft_len"),
+            EventKind::WorkerState => ("worker", "state"),
+            EventKind::Probe => ("", ""),
+        }
+    }
+}
+
+/// One recorded event. `seq` is a global monotone counter assigned by the
+/// recorder at record time; it orders events across tracks in dumps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsEvent {
+    /// Global record order (assigned by the recorder; 0 until recorded).
+    pub seq: u64,
+    /// Sim-time start of the event, seconds.
+    pub ts_s: f64,
+    /// Duration in sim seconds; 0 for instants.
+    pub dur_s: f64,
+    /// Timeline the event belongs to.
+    pub track: Track,
+    /// What happened.
+    pub kind: EventKind,
+    /// Request id, or [`NO_REQ`] for step/replica-scoped events.
+    pub req: u64,
+    /// First scalar arg; meaning per [`EventKind::arg_names`].
+    pub a: f64,
+    /// Second scalar arg; meaning per [`EventKind::arg_names`].
+    pub b: f64,
+}
+
+impl ObsEvent {
+    /// A zero-duration event at `ts_s`.
+    pub fn instant(ts_s: f64, track: Track, kind: EventKind, req: u64) -> Self {
+        ObsEvent {
+            seq: 0,
+            ts_s,
+            dur_s: 0.0,
+            track,
+            kind,
+            req,
+            a: 0.0,
+            b: 0.0,
+        }
+    }
+
+    /// A duration event covering `[ts_s, ts_s + dur_s]`.
+    pub fn span(ts_s: f64, dur_s: f64, track: Track, kind: EventKind, req: u64) -> Self {
+        ObsEvent {
+            dur_s,
+            ..ObsEvent::instant(ts_s, track, kind, req)
+        }
+    }
+
+    /// Attach the two scalar args.
+    pub fn with_args(mut self, a: f64, b: f64) -> Self {
+        self.a = a;
+        self.b = b;
+        self
+    }
+}

@@ -1,0 +1,156 @@
+//! Minimal JSON document builder.
+//!
+//! The vendored `serde` shim has no serializer backend (its `Serialize` trait is a
+//! marker only), so machine-readable output is built through this tiny value tree
+//! instead. Rendering is deterministic: object keys keep insertion order and
+//! numbers use Rust's shortest-roundtrip float formatting, so identical results
+//! serialise to identical bytes.
+//!
+//! This is the single JSON emitter in the tree: `tlt-bench` report export and the
+//! Chrome `trace_event` writer in [`crate::trace`] both render through it.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> Self {
+        JsonValue::String(s.into())
+    }
+
+    /// A cell that is a number when it parses as one, a string otherwise.
+    /// Used to export table cells with their natural JSON type.
+    pub fn cell(s: &str) -> Self {
+        match s.trim().parse::<f64>() {
+            Ok(n) if n.is_finite() => JsonValue::Number(n),
+            _ => JsonValue::string(s),
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    write!(f, "{n}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            JsonValue::String(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                escape_into(&mut out, s);
+                f.write_str(&out)
+            }
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    escape_into(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(JsonValue::Bool(true).to_string(), "true");
+        assert_eq!(JsonValue::Number(1.5).to_string(), "1.5");
+        assert_eq!(JsonValue::Number(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::string("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            JsonValue::string("a\"b\\c\nd").to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn renders_nested_structures_in_order() {
+        let v = JsonValue::object(vec![
+            ("b", JsonValue::Number(2.0)),
+            (
+                "a",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(false)]),
+            ),
+        ]);
+        assert_eq!(v.to_string(), "{\"b\":2,\"a\":[null,false]}");
+    }
+
+    #[test]
+    fn cell_parses_numbers_but_not_units() {
+        assert_eq!(JsonValue::cell("42"), JsonValue::Number(42.0));
+        assert_eq!(JsonValue::cell(" 3.25 "), JsonValue::Number(3.25));
+        assert_eq!(JsonValue::cell("1.20x"), JsonValue::string("1.20x"));
+        assert_eq!(JsonValue::cell("OOM"), JsonValue::string("OOM"));
+    }
+}

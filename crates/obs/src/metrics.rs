@@ -1,0 +1,312 @@
+//! Lock-cheap metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! The registry is a single-owner value (`&mut self` on the hot path), so an
+//! update is one indexed add on a `Vec` — no locks, no hashing, no allocation
+//! after registration. Components that need concurrent access own one registry
+//! each (e.g. one per serving replica) and merge at report time.
+//!
+//! Float accumulation (`SumHandle`, histogram sums) happens in observation
+//! order, so values that previously lived as ad-hoc `f64` tallies stay
+//! bit-identical after migrating onto the registry.
+
+/// Handle to a monotone `u64` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// Handle to an `f64` running sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumHandle(usize);
+
+/// Handle to a high-watermark gauge (`u64`, keeps the max ever observed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxGaugeHandle(usize);
+
+/// Handle to a fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
+#[derive(Debug, Clone, PartialEq)]
+struct Metric<T> {
+    name: &'static str,
+    value: T,
+}
+
+/// A histogram over fixed, registration-time bucket bounds. An observation
+/// `v` lands in the first bucket with `v <= bound`; values above the last
+/// bound land in the implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    name: &'static str,
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Upper bucket bounds.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket observation counts (`bounds.len() + 1` entries; the last is
+    /// the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observed values, or `fallback` when empty.
+    pub fn mean_or(&self, fallback: f64) -> f64 {
+        if self.count == 0 {
+            fallback
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One row of [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (histograms expand to `<name>.count` / `.sum` / `.mean`).
+    pub name: String,
+    /// Metric kind: `counter`, `sum`, `max`, or `histogram`.
+    pub kind: &'static str,
+    /// Current value.
+    pub value: f64,
+}
+
+/// Single-owner metrics registry. Register handles up front, then update
+/// through them on the hot path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Metric<u64>>,
+    sums: Vec<Metric<f64>>,
+    maxes: Vec<Metric<u64>>,
+    histograms: Vec<Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter starting at 0.
+    pub fn counter(&mut self, name: &'static str) -> CounterHandle {
+        self.counters.push(Metric { name, value: 0 });
+        CounterHandle(self.counters.len() - 1)
+    }
+
+    /// Register an `f64` sum starting at 0.
+    pub fn sum(&mut self, name: &'static str) -> SumHandle {
+        self.sums.push(Metric { name, value: 0.0 });
+        SumHandle(self.sums.len() - 1)
+    }
+
+    /// Register a high-watermark gauge starting at 0.
+    pub fn max_gauge(&mut self, name: &'static str) -> MaxGaugeHandle {
+        self.maxes.push(Metric { name, value: 0 });
+        MaxGaugeHandle(self.maxes.len() - 1)
+    }
+
+    /// Register a histogram over `bounds` (must be sorted ascending).
+    pub fn histogram(&mut self, name: &'static str, bounds: &'static [f64]) -> HistogramHandle {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        self.histograms.push(Histogram {
+            name,
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        });
+        HistogramHandle(self.histograms.len() - 1)
+    }
+
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, h: CounterHandle) {
+        self.counters[h.0].value += 1;
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, h: CounterHandle, n: u64) {
+        self.counters[h.0].value += n;
+    }
+
+    /// Add `v` to a running sum.
+    #[inline]
+    pub fn add_sum(&mut self, h: SumHandle, v: f64) {
+        self.sums[h.0].value += v;
+    }
+
+    /// Raise a high-watermark gauge to at least `v`.
+    #[inline]
+    pub fn observe_max(&mut self, h: MaxGaugeHandle, v: u64) {
+        let slot = &mut self.maxes[h.0].value;
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    /// Record `v` into a histogram.
+    #[inline]
+    pub fn observe(&mut self, h: HistogramHandle, v: f64) {
+        let hist = &mut self.histograms[h.0];
+        let mut bucket = hist.bounds.len();
+        for (i, bound) in hist.bounds.iter().enumerate() {
+            if v <= *bound {
+                bucket = i;
+                break;
+            }
+        }
+        hist.counts[bucket] += 1;
+        hist.sum += v;
+        hist.count += 1;
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, h: CounterHandle) -> u64 {
+        self.counters[h.0].value
+    }
+
+    /// Current sum value.
+    pub fn sum_value(&self, h: SumHandle) -> f64 {
+        self.sums[h.0].value
+    }
+
+    /// Current high-watermark value.
+    pub fn max_value(&self, h: MaxGaugeHandle) -> u64 {
+        self.maxes[h.0].value
+    }
+
+    /// Histogram state.
+    pub fn histogram_value(&self, h: HistogramHandle) -> &Histogram {
+        &self.histograms[h.0]
+    }
+
+    /// All metrics flattened into display rows, in registration order.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let mut out = Vec::new();
+        for m in &self.counters {
+            out.push(MetricSample {
+                name: m.name.to_string(),
+                kind: "counter",
+                value: m.value as f64,
+            });
+        }
+        for m in &self.sums {
+            out.push(MetricSample {
+                name: m.name.to_string(),
+                kind: "sum",
+                value: m.value,
+            });
+        }
+        for m in &self.maxes {
+            out.push(MetricSample {
+                name: m.name.to_string(),
+                kind: "max",
+                value: m.value as f64,
+            });
+        }
+        for h in &self.histograms {
+            out.push(MetricSample {
+                name: format!("{}.count", h.name),
+                kind: "histogram",
+                value: h.count as f64,
+            });
+            out.push(MetricSample {
+                name: format!("{}.sum", h.name),
+                kind: "histogram",
+                value: h.sum,
+            });
+            out.push(MetricSample {
+                name: format!("{}.mean", h.name),
+                kind: "histogram",
+                value: h.mean_or(0.0),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sums_and_gauges_update_through_handles() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("steps");
+        let s = reg.sum("busy_s");
+        let g = reg.max_gauge("peak_running");
+        reg.inc(c);
+        reg.add(c, 4);
+        reg.add_sum(s, 0.25);
+        reg.add_sum(s, 0.5);
+        reg.observe_max(g, 3);
+        reg.observe_max(g, 2);
+        assert_eq!(reg.counter_value(c), 5);
+        assert_eq!(reg.sum_value(s), 0.75);
+        assert_eq!(reg.max_value(g), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        static BOUNDS: [f64; 3] = [1.0, 4.0, 16.0];
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("accept_len", &BOUNDS);
+        for v in [0.5, 1.0, 3.0, 16.0, 99.0] {
+            reg.observe(h, v);
+        }
+        let hist = reg.histogram_value(h);
+        assert_eq!(hist.counts(), &[2, 1, 1, 1]);
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.sum(), 119.5);
+        assert_eq!(hist.mean_or(0.0), 119.5 / 5.0);
+        assert_eq!(
+            reg.histogram_value(h).bounds(),
+            &BOUNDS[..],
+            "bounds are fixed at registration"
+        );
+    }
+
+    #[test]
+    fn snapshot_flattens_in_registration_order() {
+        static BOUNDS: [f64; 1] = [1.0];
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("completed");
+        let h = reg.histogram("accept_len", &BOUNDS);
+        reg.inc(c);
+        reg.observe(h, 2.0);
+        let names: Vec<String> = reg.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "completed",
+                "accept_len.count",
+                "accept_len.sum",
+                "accept_len.mean"
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_uses_fallback_mean() {
+        static BOUNDS: [f64; 1] = [1.0];
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("accept_len", &BOUNDS);
+        assert_eq!(reg.histogram_value(h).mean_or(1.0), 1.0);
+    }
+}

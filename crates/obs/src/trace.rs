@@ -1,0 +1,200 @@
+//! Trace export: Chrome `trace_event` JSON and readable postmortems.
+//!
+//! The Chrome exporter emits the stable subset of the trace-event format that
+//! `chrome://tracing` and Perfetto both accept: `"X"` complete events for
+//! spans, `"i"` instants, and `"M"` metadata records naming each track.
+//! Timestamps are sim-time microseconds. Rendering goes through
+//! [`JsonValue`], whose output is deterministic, so a trace is byte-identical
+//! across runs with the same seed.
+
+use crate::event::{ObsEvent, Track, NO_REQ};
+use crate::json::JsonValue;
+
+/// Export one run's events as a Chrome trace document.
+pub fn chrome_trace(events: &[ObsEvent]) -> JsonValue {
+    chrome_trace_sections(&[("", events)])
+}
+
+/// Export several labelled runs (e.g. chaos scenarios) into one trace.
+/// Each section's tracks get a disjoint `pid` range and the section label is
+/// prefixed onto the process names so timelines stay distinguishable.
+pub fn chrome_trace_sections(sections: &[(&str, &[ObsEvent])]) -> JsonValue {
+    let mut out = Vec::new();
+    for (index, (label, events)) in sections.iter().enumerate() {
+        let pid_base = index as u64 * 1000;
+        let mut tracks: Vec<Track> = Vec::new();
+        for event in events.iter() {
+            if !tracks.contains(&event.track) {
+                tracks.push(event.track);
+            }
+        }
+        tracks.sort_by_key(|t| t.pid());
+        for track in &tracks {
+            let name = if label.is_empty() {
+                track.label()
+            } else {
+                format!("{label}: {}", track.label())
+            };
+            out.push(JsonValue::object(vec![
+                ("name", JsonValue::string("process_name")),
+                ("ph", JsonValue::string("M")),
+                ("ts", JsonValue::Number(0.0)),
+                ("pid", JsonValue::Number((pid_base + track.pid()) as f64)),
+                ("tid", JsonValue::Number(0.0)),
+                (
+                    "args",
+                    JsonValue::object(vec![("name", JsonValue::string(name))]),
+                ),
+            ]));
+        }
+        for event in events.iter() {
+            out.push(render_event(event, pid_base));
+        }
+    }
+    JsonValue::object(vec![
+        ("traceEvents", JsonValue::Array(out)),
+        ("displayTimeUnit", JsonValue::string("ms")),
+    ])
+}
+
+fn render_event(event: &ObsEvent, pid_base: u64) -> JsonValue {
+    let mut args = vec![("seq", JsonValue::Number(event.seq as f64))];
+    if event.req != NO_REQ {
+        args.push(("req", JsonValue::Number(event.req as f64)));
+    }
+    let (a_name, b_name) = event.kind.arg_names();
+    if !a_name.is_empty() {
+        args.push((a_name, JsonValue::Number(event.a)));
+    }
+    if !b_name.is_empty() {
+        args.push((b_name, JsonValue::Number(event.b)));
+    }
+    let mut fields = vec![
+        ("name", JsonValue::string(event.kind.name())),
+        ("cat", JsonValue::string("tlt")),
+        (
+            "ph",
+            JsonValue::string(if event.kind.is_span() { "X" } else { "i" }),
+        ),
+        ("ts", JsonValue::Number(event.ts_s * 1e6)),
+    ];
+    if event.kind.is_span() {
+        fields.push(("dur", JsonValue::Number(event.dur_s * 1e6)));
+    } else {
+        fields.push(("s", JsonValue::string("t")));
+    }
+    fields.push((
+        "pid",
+        JsonValue::Number((pid_base + event.track.pid()) as f64),
+    ));
+    fields.push(("tid", JsonValue::Number(0.0)));
+    fields.push(("args", JsonValue::object(args)));
+    JsonValue::object(fields)
+}
+
+/// Render retained events as a readable postmortem: a header block followed by
+/// one section per track, events in record order with decoded args.
+pub fn render_postmortem(header: &str, events: &[ObsEvent]) -> String {
+    let mut out = String::new();
+    out.push_str("==== flight recorder postmortem ====\n");
+    for line in header.lines() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    let mut tracks: Vec<Track> = Vec::new();
+    for event in events {
+        if !tracks.contains(&event.track) {
+            tracks.push(event.track);
+        }
+    }
+    tracks.sort_by_key(|t| t.pid());
+    for track in tracks {
+        let on_track: Vec<&ObsEvent> = events.iter().filter(|e| e.track == track).collect();
+        out.push_str(&format!(
+            "-- {} (last {} events) --\n",
+            track.label(),
+            on_track.len()
+        ));
+        for event in on_track {
+            out.push_str(&render_postmortem_line(event));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn render_postmortem_line(event: &ObsEvent) -> String {
+    let mut line = format!("  [{:>12.6}s] {:<13}", event.ts_s, event.kind.name());
+    if event.req != NO_REQ {
+        line.push_str(&format!(" req={}", event.req));
+    }
+    let (a_name, b_name) = event.kind.arg_names();
+    if !a_name.is_empty() {
+        line.push_str(&format!(" {}={}", a_name, event.a));
+    }
+    if !b_name.is_empty() {
+        line.push_str(&format!(" {}={}", b_name, event.b));
+    }
+    if event.dur_s > 0.0 {
+        line.push_str(&format!(" dur={:.6}s", event.dur_s));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn sample_events() -> Vec<ObsEvent> {
+        let mut events = vec![
+            ObsEvent::instant(0.25, Track::Frontend, EventKind::Arrival, 7).with_args(1.0, 96.0),
+            ObsEvent::span(0.5, 0.125, Track::Replica(1), EventKind::Prefill, NO_REQ)
+                .with_args(2.0, 3.0),
+            ObsEvent::instant(2.5, Track::Replica(1), EventKind::Crash, NO_REQ).with_args(2.0, 1.0),
+        ];
+        for (i, e) in events.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        events
+    }
+
+    #[test]
+    fn chrome_trace_emits_metadata_then_typed_events() {
+        let doc = chrome_trace(&sample_events()).to_string();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"process_name\""));
+        assert!(doc.contains("\"frontend\""));
+        assert!(doc.contains("\"replica 1\""));
+        // Prefill is a complete span with a duration in microseconds.
+        assert!(doc.contains("\"name\":\"prefill\",\"cat\":\"tlt\",\"ph\":\"X\""));
+        assert!(doc.contains("\"dur\":125000"));
+        // Arrival is a thread-scoped instant carrying the request id.
+        assert!(doc.contains("\"name\":\"arrival\",\"cat\":\"tlt\",\"ph\":\"i\""));
+        assert!(doc.contains("\"req\":7"));
+        assert!(doc.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn chrome_trace_sections_separate_pid_ranges() {
+        let events = sample_events();
+        let doc = chrome_trace_sections(&[("a", &events), ("b", &events)]).to_string();
+        assert!(doc.contains("\"a: replica 1\""));
+        assert!(doc.contains("\"b: replica 1\""));
+        assert!(doc.contains("\"pid\":11"));
+        assert!(doc.contains("\"pid\":1011"));
+    }
+
+    #[test]
+    fn postmortem_groups_by_track_and_decodes_args() {
+        let text = render_postmortem("invariant: kv-budget\n", &sample_events());
+        assert!(text.contains("==== flight recorder postmortem ===="));
+        assert!(text.contains("invariant: kv-budget"));
+        assert!(text.contains("-- frontend (last 1 events) --"));
+        assert!(text.contains("-- replica 1 (last 2 events) --"));
+        assert!(text.contains("arrival"));
+        assert!(text.contains("req=7"));
+        assert!(text.contains("crash"));
+        assert!(text.contains("running=2 queued=1"));
+    }
+}

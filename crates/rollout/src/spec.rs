@@ -469,6 +469,20 @@ fn speculative_continue<K: KvStore, R: Rng>(
             generated.push(tok);
         }
         accept_lengths.push(accepted + 1);
+        // Round-level observability. The standalone loop has no sim clock, so
+        // its trace uses the SD round index as the time axis (one unit per
+        // round); the hook feeds the global model counters.
+        tlt_obs::hooks::on_sd_round(accepted + 1);
+        tlt_obs::record(
+            tlt_obs::ObsEvent::span(
+                (accept_lengths.len() - 1) as f64,
+                1.0,
+                tlt_obs::Track::Rollout,
+                tlt_obs::EventKind::RolloutRound,
+                tlt_obs::NO_REQ,
+            )
+            .with_args((accepted + 1) as f64, draft_len as f64),
+        );
         if generated.len() < max_new {
             generated.push(next_pending);
         }

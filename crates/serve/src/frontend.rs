@@ -16,6 +16,7 @@ use crate::metrics::ServeReport;
 use crate::replica::{FailoverRequest, Replica};
 use crate::request::ServeRequest;
 use std::collections::VecDeque;
+use tlt_obs::{record, EventKind, ObsEvent, Track};
 use tlt_workload::RequestArrival;
 
 /// Hard cap on processed events; prevents pathological configurations from
@@ -134,6 +135,10 @@ impl ServeSim {
         let eligible = self.eligibility();
         self.events += 1;
         if !eligible.iter().any(|&up| up) {
+            record(
+                ObsEvent::instant(now, Track::Frontend, EventKind::Arrival, req.id)
+                    .with_args(-1.0, req.prompt_len as f64),
+            );
             self.orphans.push_back(FailoverRequest {
                 req,
                 generated: 0.0,
@@ -145,6 +150,10 @@ impl ServeSim {
         }
         let loads: Vec<_> = self.replicas.iter().map(Replica::load).collect();
         let target = self.balancer.pick_among(&loads, Some(&eligible));
+        record(
+            ObsEvent::instant(now, Track::Frontend, EventKind::Arrival, req.id)
+                .with_args(target as f64, req.prompt_len as f64),
+        );
         self.routing.push((req.id, target));
         self.replicas[target].enqueue(req, now);
     }

@@ -19,12 +19,13 @@
 
 use crate::balancer::ReplicaLoad;
 use crate::config::{KvAccounting, ServeConfig};
-use crate::metrics::ReplicaStats;
+use crate::metrics::{ReplicaMetrics, ReplicaStats};
 use crate::request::{CompletedRequest, ServeRequest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use tlt_model::paged_kv::{BlockLedger, PoolStats};
+use tlt_obs::{record, EventKind, ObsEvent, Track, NO_REQ};
 use tlt_rollout::{AdaptiveSdManager, DrafterChoice, SdDecision, SdMode, StepObservation};
 
 /// A request waiting in the admission queue (possibly preempted mid-decode).
@@ -131,8 +132,12 @@ enum PagedAdmission {
 enum StepWork {
     /// A packed prefill over all `prefill_pending` running entries.
     Prefill,
-    /// A decode step committing `tokens_per_seq` tokens to every running sequence.
-    Decode { tokens_per_seq: f64 },
+    /// A decode step committing `tokens_per_seq` tokens to every running sequence
+    /// (`speculative` marks an SD round, for the flight recorder).
+    Decode {
+        tokens_per_seq: f64,
+        speculative: bool,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -161,21 +166,10 @@ pub struct Replica {
     up: bool,
     /// Step-duration multiplier (> 1.0 models a straggler replica).
     slow_factor: f64,
-    // Accounting.
-    busy_s: f64,
-    decode_steps: u64,
-    sd_steps: u64,
-    accept_sum: f64,
-    accept_count: u64,
-    preemptions: u64,
-    crashes: u64,
-    peak_running: usize,
-    peak_kv_tokens: usize,
-    prefix_hit_tokens: u64,
-    admitted_prompt_tokens: u64,
-    dropped: usize,
+    /// Accounting: every scalar tally lives in the per-replica metrics
+    /// registry ([`ReplicaStats`] is materialised from it at report time).
+    metrics: ReplicaMetrics,
     dropped_ids: Vec<u64>,
-    completed_count: usize,
     completed: Vec<CompletedRequest>,
 }
 
@@ -217,22 +211,15 @@ impl Replica {
             admit_seq: 0,
             up: true,
             slow_factor: 1.0,
-            busy_s: 0.0,
-            decode_steps: 0,
-            sd_steps: 0,
-            accept_sum: 0.0,
-            accept_count: 0,
-            preemptions: 0,
-            crashes: 0,
-            peak_running: 0,
-            peak_kv_tokens: 0,
-            prefix_hit_tokens: 0,
-            admitted_prompt_tokens: 0,
-            dropped: 0,
+            metrics: ReplicaMetrics::new(),
             dropped_ids: Vec::new(),
-            completed_count: 0,
             completed: Vec::new(),
         }
+    }
+
+    /// The flight-recorder track for this replica.
+    fn track(&self) -> Track {
+        Track::Replica(self.index as u32)
     }
 
     /// Whether the replica is serving (false between [`Replica::crash`] and
@@ -268,10 +255,14 @@ impl Replica {
     /// Requests keep their arrival / first-token timestamps and `generated`
     /// credit (already-delivered tokens are not re-produced; a survivor
     /// recomputes their KV in one prefill, exactly like a preemption restore).
-    pub fn crash(&mut self, _now: f64) -> Vec<FailoverRequest> {
+    pub fn crash(&mut self, now: f64) -> Vec<FailoverRequest> {
         self.up = false;
         self.step = None;
-        self.crashes += 1;
+        self.metrics.inc_crashes();
+        record(
+            ObsEvent::instant(now, self.track(), EventKind::Crash, NO_REQ)
+                .with_args(self.running.len() as f64, self.queue.len() as f64),
+        );
         // The crash wipes the replica's KV pool: every block — private
         // footprints and the resident prefix cache alike — is freed.
         if let Some(ledger) = self.ledger.as_mut() {
@@ -309,6 +300,12 @@ impl Replica {
     pub fn restart(&mut self, now: f64) {
         assert!(!self.up, "restart requires a crashed replica");
         self.up = true;
+        record(ObsEvent::instant(
+            now,
+            self.track(),
+            EventKind::Restart,
+            NO_REQ,
+        ));
         debug_assert!(self.step.is_none(), "a crashed replica holds no step");
         if !self.queue.is_empty() {
             self.start_step(now);
@@ -318,6 +315,11 @@ impl Replica {
     /// Re-queues a request drained from a crashed replica, preserving its
     /// lifecycle state. Starts a step immediately if the replica is idle.
     pub fn enqueue_failover(&mut self, fo: FailoverRequest, now: f64) {
+        self.metrics.inc_failovers();
+        record(
+            ObsEvent::instant(now, self.track(), EventKind::Failover, fo.req.id)
+                .with_args(fo.generated, 0.0),
+        );
         self.queue.push_back(QueuedEntry {
             req: fo.req,
             generated: fo.generated,
@@ -390,9 +392,21 @@ impl Replica {
     /// immediately starts the next one if work remains.
     pub fn on_step_complete(&mut self, now: f64) {
         let step = self.step.take().expect("a step is in flight");
-        self.busy_s += step.duration_s;
+        self.metrics.observe_step(step.duration_s);
+        let track = self.track();
+        let batch = self.running.len();
         match step.work {
             StepWork::Prefill => {
+                record(
+                    ObsEvent::span(
+                        now - step.duration_s,
+                        step.duration_s,
+                        track,
+                        EventKind::Prefill,
+                        NO_REQ,
+                    )
+                    .with_args(batch as f64, self.queue.len() as f64),
+                );
                 for entry in &mut self.running {
                     if entry.prefill_pending {
                         entry.prefill_pending = false;
@@ -402,7 +416,24 @@ impl Replica {
                     }
                 }
             }
-            StepWork::Decode { tokens_per_seq } => {
+            StepWork::Decode {
+                tokens_per_seq,
+                speculative,
+            } => {
+                record(
+                    ObsEvent::span(
+                        now - step.duration_s,
+                        step.duration_s,
+                        track,
+                        if speculative {
+                            EventKind::SdRound
+                        } else {
+                            EventKind::Decode
+                        },
+                        NO_REQ,
+                    )
+                    .with_args(batch as f64, tokens_per_seq),
+                );
                 // Single in-order pass: finished entries drain straight into the
                 // completed log (in admission order) and survivors keep their
                 // batch order — no per-removal swap_remove shuffling. Finished
@@ -411,13 +442,17 @@ impl Replica {
                 // them.
                 let replica_index = self.index;
                 let completed = &mut self.completed;
-                let completed_count = &mut self.completed_count;
+                let metrics = &mut self.metrics;
                 let ledger = &mut self.ledger;
                 self.running.retain_mut(|entry| {
                     let committed = tokens_per_seq.min(entry.remaining());
                     entry.generated += committed;
                     if entry.remaining() <= 1e-9 {
-                        *completed_count += 1;
+                        metrics.inc_completed();
+                        record(
+                            ObsEvent::instant(now, track, EventKind::Completion, entry.req.id)
+                                .with_args(entry.req.output_len as f64, now - entry.req.arrival_s),
+                        );
                         if entry.shared_tokens > 0 {
                             ledger
                                 .as_mut()
@@ -631,7 +666,7 @@ impl Replica {
                 match plan {
                     PagedAdmission::Impossible => {
                         let entry = self.queue.pop_front().expect("front exists");
-                        self.dropped += 1;
+                        self.metrics.inc_dropped();
                         self.dropped_ids.push(entry.req.id);
                         continue;
                     }
@@ -655,7 +690,7 @@ impl Replica {
                         && front.req.prompt_len + front.req.output_len > self.kv_budget);
                 if impossible {
                     let entry = self.queue.pop_front().expect("front exists");
-                    self.dropped += 1;
+                    self.metrics.inc_dropped();
                     self.dropped_ids.push(entry.req.id);
                     continue;
                 }
@@ -682,8 +717,14 @@ impl Replica {
             // Hit-rate accounting is over *prompt* tokens: preemption-lost
             // output tokens are recomputed by the prefill but can never come
             // from the prefix cache, so they stay out of the denominator.
-            self.prefix_hit_tokens += entry_cached.min(entry.req.prompt_len) as u64;
-            self.admitted_prompt_tokens += entry.req.prompt_len as u64;
+            self.metrics.observe_admission(
+                entry.req.prompt_len as u64,
+                entry_cached.min(entry.req.prompt_len) as u64,
+            );
+            record(
+                ObsEvent::instant(now, self.track(), EventKind::Admission, entry.req.id)
+                    .with_args(chunk as f64, entry_cached as f64),
+            );
             admitted += 1;
             self.running.push(RunningEntry {
                 admitted_s: entry.admitted_s.unwrap_or(now),
@@ -709,7 +750,7 @@ impl Replica {
     /// admitted first) and the resulting queue-front order (victims ascending by
     /// admission sequence, ahead of everything already queued) are pinned by the
     /// `preemption_evicts_most_recent_first` test.
-    fn preempt_until_fitting(&mut self) {
+    fn preempt_until_fitting(&mut self, now: f64) {
         // Under paged accounting the fitting check runs in block units against
         // the ledger. Unreferenced prefix-cache groups stay resident until
         // there is actual pressure; when the batch is over budget they are
@@ -790,7 +831,13 @@ impl Replica {
         }
         for &i in &order[..evicted_count] {
             let victim = slots[i].take().expect("victim slot");
-            self.preemptions += 1;
+            self.metrics.inc_preemptions();
+            record(ObsEvent::instant(
+                now,
+                self.track(),
+                EventKind::Preemption,
+                victim.req.id,
+            ));
             if let Some(ledger) = self.ledger.as_mut() {
                 if victim.shared_tokens > 0 {
                     ledger.release_shared(victim.req.prefix_id);
@@ -815,11 +862,11 @@ impl Replica {
     fn start_step(&mut self, now: f64) {
         debug_assert!(self.step.is_none());
         if self.config.preemption {
-            self.preempt_until_fitting();
+            self.preempt_until_fitting(now);
         }
         let (prefill_tokens, cached_tokens) = self.try_admit(now);
-        self.peak_running = self.peak_running.max(self.running.len());
-        self.peak_kv_tokens = self.peak_kv_tokens.max(self.kv_in_use());
+        let (running, kv_in_use) = (self.running.len(), self.kv_in_use());
+        self.metrics.observe_peaks(running, kv_in_use);
         self.sync_ledger();
         if prefill_tokens > 0 {
             // The prefill computes only the novel tokens; resident prefix
@@ -867,11 +914,12 @@ impl Replica {
                 .decide(live_load, &mut self.rng),
         };
 
-        self.decode_steps += 1;
-        let (duration, tokens_per_seq) = match decision {
+        self.metrics.inc_decode_steps();
+        let (duration, tokens_per_seq, speculative) = match decision {
             SdDecision::Vanilla => (
                 self.config.cost.decode_step_time(batch, avg_context) * self.slow_factor,
                 1.0,
+                false,
             ),
             SdDecision::Speculative { drafter, strategy } => {
                 let profile = match drafter {
@@ -900,14 +948,15 @@ impl Replica {
                         },
                     );
                 }
-                self.sd_steps += 1;
-                self.accept_sum += accept;
-                self.accept_count += 1;
-                (t, accept)
+                self.metrics.observe_sd_step(accept);
+                (t, accept, true)
             }
         };
         self.step = Some(PendingStep {
-            work: StepWork::Decode { tokens_per_seq },
+            work: StepWork::Decode {
+                tokens_per_seq,
+                speculative,
+            },
             finish_s: now + duration,
             duration_s: duration,
         });
@@ -920,7 +969,7 @@ impl Replica {
 
     /// Requests dropped at admission.
     pub fn dropped(&self) -> usize {
-        self.dropped
+        self.metrics.dropped() as usize
     }
 
     /// Ids of the requests dropped at admission (in drop order).
@@ -930,12 +979,22 @@ impl Replica {
 
     /// Times this replica has crashed.
     pub fn crashes(&self) -> u64 {
-        self.crashes
+        self.metrics.crashes()
+    }
+
+    /// Crash-drained requests re-delivered to this replica by the frontend.
+    pub fn failovers(&self) -> u64 {
+        self.metrics.failovers()
     }
 
     /// Largest KV-token footprint observed at a step start (post-preemption).
     pub fn peak_kv_tokens(&self) -> usize {
-        self.peak_kv_tokens
+        self.metrics.peak_kv_tokens()
+    }
+
+    /// The metrics registry backing this replica's accounting.
+    pub fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
     }
 
     /// KV capacity in blocks (0 under token accounting).
@@ -958,11 +1017,7 @@ impl Replica {
 
     /// Fraction of admitted prompt tokens served from resident prefix blocks.
     pub fn prefix_hit_rate(&self) -> f64 {
-        if self.admitted_prompt_tokens == 0 {
-            0.0
-        } else {
-            self.prefix_hit_tokens as f64 / self.admitted_prompt_tokens as f64
-        }
+        self.metrics.prefix_hit_rate()
     }
 
     /// Structural check of the block ledger: shared refcounts must equal the
@@ -998,30 +1053,24 @@ impl Replica {
 
     /// Final accounting for this replica; `makespan_s` normalises utilisation.
     pub fn stats(&self, makespan_s: f64) -> ReplicaStats {
+        let busy_s = self.metrics.busy_s();
         ReplicaStats {
             replica: self.index,
-            completed: self.completed_count,
-            dropped: self.dropped,
-            busy_s: self.busy_s,
+            completed: self.metrics.completed() as usize,
+            dropped: self.metrics.dropped() as usize,
+            busy_s,
             utilization: if makespan_s > 0.0 {
-                (self.busy_s / makespan_s).min(1.0)
+                (busy_s / makespan_s).min(1.0)
             } else {
                 0.0
             },
-            sd_step_fraction: if self.decode_steps == 0 {
-                0.0
-            } else {
-                self.sd_steps as f64 / self.decode_steps as f64
-            },
-            mean_accept_length: if self.accept_count == 0 {
-                1.0
-            } else {
-                self.accept_sum / self.accept_count as f64
-            },
-            preemptions: self.preemptions,
-            crashes: self.crashes,
-            peak_running: self.peak_running,
-            peak_kv_tokens: self.peak_kv_tokens,
+            sd_step_fraction: self.metrics.sd_step_fraction(),
+            mean_accept_length: self.metrics.mean_accept_length_or(1.0),
+            preemptions: self.metrics.preemptions(),
+            failovers: self.metrics.failovers(),
+            crashes: self.metrics.crashes(),
+            peak_running: self.metrics.peak_running(),
+            peak_kv_tokens: self.metrics.peak_kv_tokens(),
             kv_block_budget: self.kv_block_budget(),
             peak_kv_blocks: self.peak_kv_blocks(),
             pool_utilization: self.ledger.as_ref().map_or(0.0, BlockLedger::utilization),
@@ -1118,7 +1167,7 @@ mod tests {
         assert!(replica.running.len() <= fit);
         drain(&mut replica);
         assert_eq!(replica.take_completed().len(), fit + 8);
-        assert!(replica.peak_running <= fit);
+        assert!(replica.metrics().peak_running() <= fit);
     }
 
     #[test]
@@ -1132,7 +1181,7 @@ mod tests {
         let completed = replica.take_completed();
         assert_eq!(completed.len(), 1);
         assert_eq!(completed[0].output_len, 32);
-        assert!(replica.peak_kv_tokens <= 128 + 32);
+        assert!(replica.peak_kv_tokens() <= 128 + 32);
     }
 
     #[test]
@@ -1174,7 +1223,7 @@ mod tests {
         }
         // 4 x 1000 KV tokens against a 3000 budget: exactly one eviction, and it
         // must be the most recently admitted entry.
-        replica.preempt_until_fitting();
+        replica.preempt_until_fitting(0.0);
         assert_eq!(replica.running.len(), 3);
         let seqs: Vec<u64> = replica.running.iter().map(|e| e.admit_seq).collect();
         assert_eq!(seqs, vec![0, 1, 2], "survivors keep batch order");
@@ -1185,12 +1234,12 @@ mod tests {
         // Tighten the budget: two more evictions (seq 2 then seq 1); the queue
         // front ends up ascending by admission sequence, ahead of request 13.
         replica.kv_budget = 1_000;
-        replica.preempt_until_fitting();
+        replica.preempt_until_fitting(0.0);
         assert_eq!(replica.running.len(), 1);
         assert_eq!(replica.running[0].admit_seq, 0);
         let ids: Vec<u64> = replica.queue.iter().map(|e| e.req.id).collect();
         assert_eq!(ids, vec![11, 12, 13]);
-        assert_eq!(replica.preemptions, 3);
+        assert_eq!(replica.metrics().preemptions(), 3);
     }
 
     #[test]
@@ -1214,7 +1263,7 @@ mod tests {
             "all requests finish eventually"
         );
         assert!(
-            replica.preemptions > 0,
+            replica.metrics().preemptions() > 0,
             "KV pressure must trigger preemption"
         );
         assert!(completed.iter().any(|r| r.preemptions > 0));
@@ -1279,7 +1328,7 @@ mod tests {
                 shared_tokens: 0,
             });
         }
-        replica.preempt_until_fitting();
+        replica.preempt_until_fitting(0.0);
         assert_eq!(replica.running.len(), 1);
         assert_eq!(replica.running[0].req.id, 20);
         assert_eq!(replica.queue.len(), 1);
@@ -1460,7 +1509,7 @@ mod tests {
             );
             assert!(replica.kv_pool_check().is_ok());
             assert_eq!(replica.kv_pool_leaked(), 0, "blocks leaked after drain");
-            (replica.peak_running, replica.prefix_hit_rate())
+            (replica.metrics().peak_running(), replica.prefix_hit_rate())
         };
         let (disjoint_admitted, disjoint_hits) = run(false);
         let (shared_admitted, shared_hits) = run(true);
@@ -1578,7 +1627,10 @@ mod tests {
         drain(&mut replica);
         let completed = replica.take_completed();
         assert_eq!(completed.len(), n as usize, "all requests finish");
-        assert!(replica.preemptions > 0, "KV pressure must preempt");
+        assert!(
+            replica.metrics().preemptions() > 0,
+            "KV pressure must preempt"
+        );
         assert!(replica.peak_kv_blocks() <= replica.kv_block_budget());
         assert!(replica.kv_pool_check().is_ok());
         assert_eq!(replica.kv_pool_leaked(), 0);

@@ -107,6 +107,76 @@ fn steady_state_sampling_loop_allocates_nothing() {
     );
 }
 
+#[test]
+fn decode_steps_with_model_hooks_enabled_allocate_nothing() {
+    // The tlt-obs decode-step hooks are relaxed atomic bumps: enabling them
+    // must not introduce a single allocation into the steady-state loop.
+    let model = TinyLm::new(ModelConfig::tiny(), 44);
+    let mut cache = model.new_cache();
+    let mut ws = DecodeWorkspace::new(&model.config);
+    model.forward_into(&[3, 1, 4], &mut cache, &mut ws);
+    let _ = model.decode_step(9, &mut cache, &mut ws);
+
+    tlt::obs::hooks::reset();
+    tlt::obs::hooks::enable();
+    let before = allocation_count();
+    for i in 0..32u32 {
+        let logits = model.decode_step(i % 90, &mut cache, &mut ws);
+        assert_eq!(logits.rows(), 1);
+    }
+    let after = allocation_count();
+    tlt::obs::hooks::disable();
+    assert_eq!(
+        after - before,
+        0,
+        "decode steps with obs hooks enabled must not allocate"
+    );
+    assert!(
+        tlt::obs::hooks::snapshot().decode_steps >= 32,
+        "hooks were enabled but counted nothing"
+    );
+}
+
+#[test]
+fn recording_into_a_warm_flight_recorder_allocates_nothing() {
+    use tlt::obs::{record, EventKind, FlightRecorder, ObsEvent, Track, NO_REQ};
+
+    // With no recorder installed on this thread, record() is a single relaxed
+    // atomic load and an early return — trivially allocation-free.
+    let disabled_event = ObsEvent::instant(0.0, Track::Frontend, EventKind::Decode, NO_REQ);
+    let before = allocation_count();
+    for _ in 0..64 {
+        record(disabled_event);
+    }
+    let after = allocation_count();
+    assert_eq!(after - before, 0, "disabled record() must not allocate");
+
+    // Installed path: each track's ring is preallocated the first time the
+    // track is seen, so after one warm-up event per track every subsequent
+    // record() — including wraparound past capacity — is allocation-free.
+    tlt::obs::install(FlightRecorder::new(16));
+    for track in [Track::Frontend, Track::Replica(0), Track::Coordinator] {
+        record(ObsEvent::instant(0.0, track, EventKind::Decode, NO_REQ));
+    }
+    let before = allocation_count();
+    for i in 0..128u64 {
+        let track = match i % 3 {
+            0 => Track::Frontend,
+            1 => Track::Replica(0),
+            _ => Track::Coordinator,
+        };
+        record(ObsEvent::instant(i as f64, track, EventKind::Decode, i).with_args(1.0, 2.0));
+    }
+    let after = allocation_count();
+    let recorder = tlt::obs::uninstall().expect("recorder installed above");
+    assert_eq!(
+        after - before,
+        0,
+        "record() into warm rings must not allocate, even across wraparound"
+    );
+    assert_eq!(recorder.recorded(), 3 + 128);
+}
+
 /// Sanity check that the counting allocator actually observes allocations (so a
 /// zero count above means "no allocations", not "broken instrumentation").
 #[test]

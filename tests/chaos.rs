@@ -68,6 +68,55 @@ fn killing_any_single_replica_mid_run_loses_and_duplicates_nothing() {
 }
 
 #[test]
+fn invariant_violation_dumps_a_postmortem_naming_the_killed_replica() {
+    // A clean run must not dump; a violated run must produce a readable
+    // postmortem that names the violated invariant and replays the last-N
+    // events per track — including the victim's crash and the failover
+    // re-queues, with request ids attached.
+    let clean = Scenario::builder("postmortem-clean")
+        .seed(500)
+        .replicas(3)
+        .arrivals(18.0, 6.0)
+        .crash(2.5, 1)
+        .build();
+    let outcome = run_scenario(&clean);
+    assert!(outcome.invariants.passed());
+    assert!(
+        outcome.postmortem.is_none(),
+        "clean runs must not dump a postmortem"
+    );
+    assert!(!outcome.trace.is_empty(), "clean runs still record a trace");
+
+    // Crash late in the horizon so the failover re-queues land inside the
+    // survivors' last-N ring windows (the recorder keeps the most recent
+    // events per track; a crash hours before the dump would age out).
+    let broken = Scenario::builder("postmortem-crash")
+        .seed(501)
+        .replicas(3)
+        .arrivals(18.0, 6.0)
+        .crash(5.0, 1)
+        .forced_violation()
+        .build();
+    let outcome = run_scenario(&broken);
+    assert!(!outcome.invariants.passed());
+    let dump = outcome.postmortem.as_deref().expect("violation must dump");
+    assert!(dump.contains("==== flight recorder postmortem ===="));
+    assert!(dump.contains("scenario 'postmortem-crash' (seed 501)"));
+    assert!(dump.contains("violated postmortem-probe"));
+    // The killed replica's track is present and its last event is the crash.
+    assert!(
+        dump.contains("-- replica 1 "),
+        "victim track missing:\n{dump}"
+    );
+    assert!(dump.contains("crash"), "crash event missing:\n{dump}");
+    assert!(
+        dump.contains("failover"),
+        "failover events missing:\n{dump}"
+    );
+    assert!(dump.contains("req="), "request ids missing:\n{dump}");
+}
+
+#[test]
 fn failover_preserves_latency_accounting_across_the_crash() {
     // Requests that streamed tokens before the crash keep their original
     // first-token timestamps: TTFT is measured from arrival, not from the

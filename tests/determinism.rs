@@ -100,6 +100,31 @@ fn serving_runs_are_bit_identical_across_runs() {
 }
 
 #[test]
+fn serving_traces_are_byte_identical_across_runs() {
+    // The flight recorder observes the serving run without perturbing it, and
+    // the Chrome trace rendered from it is a pure function of the seed: two
+    // identically-seeded runs must serialize to byte-identical JSON.
+    let mut config = ServingExperimentConfig::qwen7b_bursty(2, 8.0);
+    config.horizon_s = 20.0;
+    let trace_bytes = || {
+        tlt::obs::install(tlt::obs::FlightRecorder::new(8192));
+        let report = run_serving(&config, ServingSdPolicy::Adaptive);
+        let recorder = tlt::obs::uninstall().expect("recorder installed above");
+        let events = recorder.events();
+        assert!(!events.is_empty(), "serving run recorded no events");
+        (report, tlt::obs::chrome_trace(&events).to_string())
+    };
+    let (report_a, bytes_a) = trace_bytes();
+    let (report_b, bytes_b) = trace_bytes();
+    // The recorder must not have changed the simulation itself either.
+    assert_eq!(report_a.completed, report_b.completed);
+    assert_eq!(
+        bytes_a, bytes_b,
+        "trace bytes differ between identical runs"
+    );
+}
+
+#[test]
 fn arrival_streams_are_bit_identical_across_runs() {
     let config = ArrivalConfig::constant(12.0, 60.0, 2026);
     assert_eq!(generate_arrivals(&config), generate_arrivals(&config));
