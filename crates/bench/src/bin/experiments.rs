@@ -8,7 +8,7 @@
 //! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
 //! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
 //! cargo run -p tlt-bench --release --bin experiments -- serving --trace-out trace.json --metrics
-//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_5.json] \
+//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_6.json] \
 //!     [--autotune | --profile profiles/<target>.json] [--metrics]
 //! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json] \
 //!     [--trace-out chaos_trace.json]
@@ -31,8 +31,9 @@
 //! reproduction target. See EXPERIMENTS.md for the paper-vs-measured comparison.
 
 use tlt::{
-    run_comparison, run_experiment, run_prefix_sharing_comparison, run_serving_comparison,
-    run_token_experiment, ServingExperimentConfig, SystemKind, TokenExperimentConfig,
+    run_comparison, run_disagg_comparison, run_experiment, run_prefix_sharing_comparison,
+    run_serving_comparison, run_token_experiment, ServingExperimentConfig, SystemKind,
+    TokenExperimentConfig,
 };
 use tlt_bench::report::{Report, Table};
 use tlt_bench::setups::{
@@ -45,7 +46,7 @@ use tlt_draft::{
     TrainingStrategy,
 };
 use tlt_gpusim::{ClusterConfig, GpuType, LlmCostModel};
-use tlt_model::{ModelConfig, ModelSpec, SamplingParams, TinyLm};
+use tlt_model::{parallel_map, ModelConfig, ModelSpec, SamplingParams, TinyLm};
 use tlt_rl::{PolicyTrainer, RlConfig, RolloutGroup};
 use tlt_rollout::{
     default_batch_buckets, fixed_batch_speedup, measure_acceptance, simulate_rollout,
@@ -70,7 +71,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: experiments [--quick] [--json <path>] [--prefix-share <0..1>] \
+            "usage: experiments [--quick] [--json <path>] [--prefix-share <0..1>] [--disagg] \
              [--autotune] [--profile <path>] [--trace-out <path>] [--metrics] \
              [all | perf | chaos | {}]",
             EXPERIMENTS.join(" | ")
@@ -86,9 +87,12 @@ fn main() {
     let mut profile_path: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics = false;
+    let mut disagg = false;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--trace-out" {
+        if arg == "--disagg" {
+            disagg = true;
+        } else if arg == "--trace-out" {
             match iter.next() {
                 Some(path) if !path.starts_with("--") => trace_out = Some(path),
                 _ => {
@@ -146,7 +150,7 @@ fn main() {
     }
 
     // `perf` is a standalone subcommand: it runs the pinned perf workloads and
-    // writes the BENCH trajectory JSON (default BENCH_5.json, overridable with
+    // writes the BENCH trajectory JSON (default BENCH_6.json, overridable with
     // --json) instead of regenerating paper tables. `--profile <path>` installs
     // a committed dispatch profile first (how CI runs with a pinned table);
     // `--autotune` re-tunes on this machine, installs the winners, and saves
@@ -201,7 +205,7 @@ fn main() {
         } else {
             "default".to_string()
         };
-        let path = json_path.unwrap_or_else(|| "BENCH_5.json".to_string());
+        let path = json_path.unwrap_or_else(|| "BENCH_6.json".to_string());
         // Both observability taps are strictly opt-in here: the committed perf
         // trajectory (and the CI overhead gate) measures the disabled paths.
         if metrics {
@@ -258,6 +262,10 @@ fn main() {
     // serving study is instrumented.
     if (trace_out.is_some() || metrics) && !want("serving") {
         eprintln!("error: --trace-out/--metrics apply to the serving, chaos and perf subcommands");
+        usage();
+    }
+    if disagg && !want("serving") {
+        eprintln!("error: --disagg applies to the serving subcommand");
         usage();
     }
 
@@ -319,6 +327,7 @@ fn main() {
             scale,
             &mut report,
             prefix_share,
+            disagg,
             trace_out.as_deref(),
             metrics,
         );
@@ -1268,9 +1277,13 @@ fn table8(scale: Scale, report: &mut Report) {
 /// events as one sectioned Chrome trace. Returns the number of failing
 /// scenarios.
 fn chaos(json_path: Option<&str>, trace_out: Option<&str>, metrics: bool) -> usize {
-    use tlt::chaos::{chaos_summary_rows, run_chaos_matrix, CHAOS_SUMMARY_HEADER};
+    use tlt::chaos::{
+        chaos_summary_rows, disagg_summary_rows, run_chaos_matrix, run_disagg_chaos_matrix,
+        CHAOS_SUMMARY_HEADER, DISAGG_SUMMARY_HEADER,
+    };
     println!("TLT chaos suite: pinned fault-injection scenario matrix");
     let outcomes = run_chaos_matrix();
+    let disagg_outcomes = run_disagg_chaos_matrix();
     let mut report = Report::new();
     let mut t = Table::new(
         "Chaos — pinned scenario matrix (invariants: conservation, KV block budget, \
@@ -1282,16 +1295,34 @@ fn chaos(json_path: Option<&str>, trace_out: Option<&str>, metrics: bool) -> usi
         t.add_row(row);
     }
     report.add(t);
+    let mut dt = Table::new(
+        "Chaos — disaggregated cluster matrix (mid-transfer crashes, autoscale drain; \
+         invariants: conservation, KV block budget, KV-pool conservation, \
+         determinism, drain)",
+        &DISAGG_SUMMARY_HEADER,
+    );
+    for row in disagg_summary_rows(&disagg_outcomes) {
+        dt.add_row(row);
+    }
+    report.add(dt);
     if metrics {
         let mut m = Table::new(
             "Chaos — flight recorder (--metrics)",
             &["scenario", "trace events", "postmortem"],
         );
-        for outcome in &outcomes {
+        for (name, trace, postmortem) in outcomes
+            .iter()
+            .map(|o| (&o.scenario.name, &o.trace, &o.postmortem))
+            .chain(
+                disagg_outcomes
+                    .iter()
+                    .map(|o| (&o.scenario.name, &o.trace, &o.postmortem)),
+            )
+        {
             m.add_row(vec![
-                outcome.scenario.name.clone(),
-                format!("{}", outcome.trace.len()),
-                if outcome.postmortem.is_some() {
+                name.clone(),
+                format!("{}", trace.len()),
+                if postmortem.is_some() {
                     "dumped".to_string()
                 } else {
                     "-".to_string()
@@ -1301,16 +1332,21 @@ fn chaos(json_path: Option<&str>, trace_out: Option<&str>, metrics: bool) -> usi
         report.add(m);
     }
     let mut failures = 0usize;
-    for outcome in &outcomes {
-        if !outcome.invariants.passed() {
+    let verdicts = outcomes
+        .iter()
+        .map(|o| (&o.scenario.name, &o.invariants, &o.postmortem))
+        .chain(
+            disagg_outcomes
+                .iter()
+                .map(|o| (&o.scenario.name, &o.invariants, &o.postmortem)),
+        );
+    for (name, invariants, postmortem) in verdicts {
+        if !invariants.passed() {
             failures += 1;
-            for v in &outcome.invariants.violations {
-                eprintln!(
-                    "FAIL {}: [{}] {}",
-                    outcome.scenario.name, v.invariant, v.detail
-                );
+            for v in &invariants.violations {
+                eprintln!("FAIL {}: [{}] {}", name, v.invariant, v.detail);
             }
-            if let Some(postmortem) = &outcome.postmortem {
+            if let Some(postmortem) = postmortem {
                 eprint!("{postmortem}");
             }
         }
@@ -1319,6 +1355,11 @@ fn chaos(json_path: Option<&str>, trace_out: Option<&str>, metrics: bool) -> usi
         let sections: Vec<(&str, &[tlt_obs::ObsEvent])> = outcomes
             .iter()
             .map(|o| (o.scenario.name.as_str(), o.trace.as_slice()))
+            .chain(
+                disagg_outcomes
+                    .iter()
+                    .map(|o| (o.scenario.name.as_str(), o.trace.as_slice())),
+            )
             .collect();
         write_trace(path, &tlt_obs::chrome_trace_sections(&sections));
     }
@@ -1331,10 +1372,13 @@ fn chaos(json_path: Option<&str>, trace_out: Option<&str>, metrics: bool) -> usi
             }
         }
     }
+    let total = outcomes.len() + disagg_outcomes.len();
     println!(
-        "\n{} scenarios, {} passed, {} failed",
+        "\n{} scenarios ({} monolithic + {} disaggregated), {} passed, {} failed",
+        total,
         outcomes.len(),
-        outcomes.len() - failures,
+        disagg_outcomes.len(),
+        total - failures,
         failures
     );
     failures
@@ -1357,6 +1401,7 @@ fn serving(
     scale: Scale,
     report: &mut Report,
     prefix_share: f64,
+    disagg: bool,
     trace_out: Option<&str>,
     metrics: bool,
 ) {
@@ -1413,12 +1458,26 @@ fn serving(
         ],
     );
     let mut totals = ServingTotals::default();
-    for &rate in rates {
+    // One independent, seeded simulation per arrival rate: the sweep fans out
+    // across `TLT_NUM_THREADS` workers and merges back in input order, so the
+    // tables (and any JSON export) are bit-identical at every thread count.
+    // With `--trace-out` the sweep runs sequentially instead — the flight
+    // recorder ring is installed on this thread only, and events emitted from
+    // worker threads would bypass it.
+    let run_rate = |rate: f64| {
         let mut config = ServingExperimentConfig::qwen7b_bursty(replicas, rate);
         if prefix_share > 0.0 {
             config = config.with_prefix_share(prefix_share, prefix_len);
         }
-        for (policy, r) in run_serving_comparison(&config) {
+        run_serving_comparison(&config)
+    };
+    let sweep: Vec<(f64, _)> = if trace_out.is_some() {
+        rates.iter().map(|&rate| (rate, run_rate(rate))).collect()
+    } else {
+        parallel_map(rates.to_vec(), |_, rate| (rate, run_rate(rate)))
+    };
+    for (rate, runs) in sweep {
+        for (policy, r) in runs {
             for s in &r.replicas {
                 per_replica.add_row(vec![
                     format!("{rate:.0}"),
@@ -1455,6 +1514,74 @@ fn serving(
     }
     report.add(t);
     report.add(per_replica);
+    if disagg {
+        // Disaggregated prefill/decode cluster vs an equal-size monolithic
+        // fleet at ~10x the SD-sweep rates: 3 prefill + 5 decode replicas
+        // against 8 monolithic ones, prefill-heavy prompts, 60% sharing a
+        // 768-token system prompt, and a fast-streaming TPOT SLO. Goodput is
+        // normalised per *provisioned* replica (the autoscaler only retires,
+        // so the cluster also wins by paying for less idle capacity).
+        let (p, d) = (3usize, 5usize);
+        let disagg_rates: &[f64] = if scale == Scale::Full {
+            &[20.0, 60.0, 100.0, 160.0, 240.0]
+        } else {
+            &[20.0, 60.0]
+        };
+        let run_pair = |rate: f64| run_disagg_comparison(p, d, rate, 0.6, 768);
+        let pairs: Vec<(f64, _)> = if trace_out.is_some() {
+            disagg_rates
+                .iter()
+                .map(|&rate| (rate, run_pair(rate)))
+                .collect()
+        } else {
+            parallel_map(disagg_rates.to_vec(), |_, rate| (rate, run_pair(rate)))
+        };
+        let mut dt = Table::new(
+            "Serving — disaggregated prefill/decode (3P+5D, KV migration, prefix-affinity \
+             routing, autoscaler) vs 8 monolithic replicas",
+            &[
+                "rate (req/s)",
+                "disagg goodput/replica",
+                "mono goodput/replica",
+                "ratio",
+                "migrations",
+                "aborted",
+                "mean transfer (ms)",
+                "up/down/retire",
+                "avg active",
+                "disagg TPOT p99 (ms)",
+                "mono TPOT p99 (ms)",
+            ],
+        );
+        let mut log_ratio_sum = 0.0f64;
+        for (rate, (cluster, mono)) in &pairs {
+            let mono_per = mono.goodput_rps / (p + d) as f64;
+            let ratio = cluster.goodput_per_replica / mono_per.max(1e-9);
+            log_ratio_sum += ratio.max(1e-9).ln();
+            dt.add_row(vec![
+                format!("{rate:.0}"),
+                format!("{:.3}", cluster.goodput_per_replica),
+                format!("{:.3}", mono_per),
+                format!("{ratio:.2}"),
+                format!("{}", cluster.migrations),
+                format!("{}", cluster.aborted_transfers),
+                format!("{:.2}", cluster.mean_transfer_s * 1e3),
+                format!(
+                    "{}/{}/{}",
+                    cluster.scale_ups, cluster.scale_downs, cluster.retires
+                ),
+                format!("{:.2}", cluster.avg_active_replicas),
+                format!("{:.2}", cluster.serve.tpot.p99_s * 1e3),
+                format!("{:.2}", mono.tpot.p99_s * 1e3),
+            ]);
+        }
+        report.add(dt);
+        println!(
+            "disagg vs monolithic goodput-per-replica: geomean {:.2}x over {} rates",
+            (log_ratio_sum / pairs.len() as f64).exp(),
+            pairs.len()
+        );
+    }
     if prefix_share > 0.0 {
         let (paged, tokens) = run_prefix_sharing_comparison(1, 16.0, prefix_share, 768);
         let mut cmp = Table::new(

@@ -4,7 +4,7 @@
 //! the tiny-model substrate and writes the measured numbers as machine-readable
 //! JSON (via the same [`JsonValue`] writer the experiment tables use), so every
 //! PR can append a comparable point to the repository's perf trajectory
-//! (`BENCH_5.json` for this change). Workload *definitions* are pinned: names,
+//! (`BENCH_6.json` for this change). Workload *definitions* are pinned: names,
 //! shapes, seeds, and token budgets must stay stable across PRs so the series
 //! stays comparable; only the measured values change. Since `tlt-perf-v2` the
 //! report also records the kernel dispatch table the run executed with (and
@@ -264,6 +264,31 @@ pub fn run_perf_workloads(scale: Scale) -> Vec<PerfPoint> {
         reps: 1,
     });
 
+    // --- Disaggregated serving: prefill/decode pools with KV block migration,
+    //     prefix-affinity routing, and a scale-down autoscaler vs an equal-size
+    //     monolithic fleet (deterministic simulation; the recorded value is the
+    //     geomean goodput-per-replica ratio over the rate sweep, > 1 = win) ---
+    // The sweep is identical at both scales: the ratio is a deterministic
+    // simulation output, and keeping it scale-independent lets the CI trend
+    // gate compare a `--quick` run against the committed full-scale baseline.
+    let disagg_rates: &[f64] = &[20.0, 60.0, 100.0, 160.0, 240.0];
+    let log_ratio_sum: f64 = disagg_rates
+        .iter()
+        .map(|&rate| {
+            let (cluster, mono) = tlt::run_disagg_comparison(3, 5, rate, 0.6, 768);
+            let ratio = cluster.goodput_per_replica / (mono.goodput_rps / 8.0).max(1e-9);
+            ratio.max(1e-9).ln()
+        })
+        .sum();
+    points.push(PerfPoint {
+        name: "disagg_vs_monolithic_goodput_ratio",
+        metric: "goodput-per-replica ratio, disaggregated 3P+5D over 8 monolithic \
+                 (geomean over the 20-240 req/s sweep)",
+        value: (log_ratio_sum / disagg_rates.len() as f64).exp(),
+        unit: "x",
+        reps: 1,
+    });
+
     // --- Drafter training: one EAGLE iteration over 4 microbatched samples ---
     let mut rng = StdRng::seed_from_u64(5);
     let samples: Vec<TrainingSample> = (0..4)
@@ -354,7 +379,7 @@ pub fn perf_report_json(points: &[PerfPoint], scale: Scale, dispatch_source: &st
         })
         .collect();
     JsonValue::object(vec![
-        ("bench", JsonValue::Number(5.0)),
+        ("bench", JsonValue::Number(6.0)),
         ("schema", JsonValue::string("tlt-perf-v2")),
         (
             "scale",

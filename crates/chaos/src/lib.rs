@@ -36,5 +36,11 @@ pub mod runner;
 pub mod scenario;
 
 pub use invariants::{InvariantReport, InvariantViolation, INVARIANTS};
-pub use runner::{run_pinned_matrix, run_scenario, ChaosOutcome, DrafterFaultStats};
-pub use scenario::{pinned_matrix, FaultEvent, FaultKind, Scenario, ScenarioBuilder};
+pub use runner::{
+    run_disagg_matrix, run_disagg_scenario, run_pinned_matrix, run_scenario, ChaosOutcome,
+    DisaggChaosOutcome, DrafterFaultStats,
+};
+pub use scenario::{
+    disagg_matrix, pinned_matrix, DisaggScenario, DisaggScenarioBuilder, FaultEvent, FaultKind,
+    Scenario, ScenarioBuilder,
+};

@@ -7,7 +7,7 @@
 //! that consults wall-clock time or unseeded randomness fails the matrix.
 
 use crate::invariants::{check_conservation, check_coordinator, InvariantReport};
-use crate::scenario::{FaultKind, Scenario};
+use crate::scenario::{DisaggScenario, FaultKind, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -25,7 +25,10 @@ use tlt_rollout::{
     speculative_generate_with_swap, vanilla_generate, SdManagerConfig, SdMode, SdStrategy,
     SpecDrafter,
 };
-use tlt_serve::{ServeConfig, ServeReport, ServeRequest, ServeSim};
+use tlt_serve::{
+    AutoscaleConfig, ClusterReport, ClusterSim, DisaggConfig, ServeConfig, ServeReport,
+    ServeRequest, ServeSim, TransferLinkConfig,
+};
 
 /// Drafter checkpoint-pipeline counters observed during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
@@ -644,6 +647,294 @@ pub fn run_pinned_matrix() -> Vec<ChaosOutcome> {
         .collect()
 }
 
+/// Everything one disaggregated-cluster scenario run produced.
+#[derive(Debug)]
+pub struct DisaggChaosOutcome {
+    /// The scenario that ran.
+    pub scenario: DisaggScenario,
+    /// Requests in the (storm-merged) arrival stream.
+    pub arrivals: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests dropped at admission.
+    pub dropped: usize,
+    /// Failed-over requests re-routed through the prefill pool.
+    pub requeued: u64,
+    /// Crash faults applied.
+    pub crashes: u64,
+    /// Restart faults applied.
+    pub restarts: u64,
+    /// The cluster report of the (first) run — migrations, transfer-link and
+    /// autoscaler counters included.
+    pub report: ClusterReport,
+    /// The invariant verdict.
+    pub invariants: InvariantReport,
+    /// Flight-recorder events retained by the (first) run.
+    pub trace: Vec<ObsEvent>,
+    /// The rendered flight-recorder dump; `Some` exactly when an invariant
+    /// broke.
+    pub postmortem: Option<String>,
+}
+
+/// Raw artifacts of a single disaggregated execution.
+struct DisaggRunArtifacts {
+    report: ClusterReport,
+    requeued: u64,
+    crashes: u64,
+    restarts: u64,
+    orphaned: usize,
+    drained: bool,
+    dropped_ids: Vec<u64>,
+    kv_peaks: Vec<(&'static str, usize, usize, usize)>,
+    violations: InvariantReport,
+    events: Vec<ObsEvent>,
+}
+
+fn disagg_config(scenario: &DisaggScenario) -> DisaggConfig {
+    let cost = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1);
+    // Paged accounting is mandatory on the cluster path (migration is a block
+    // handoff); same model/GPU and output cap as the monolithic suite.
+    let mut base = ServeConfig::new(cost, 1).with_paged_kv(16);
+    base.max_output_tokens = 256;
+    base.seed = scenario.seed;
+    let mut config = DisaggConfig::new(base, scenario.prefill_replicas, scenario.decode_replicas)
+        .with_link(TransferLinkConfig {
+            bandwidth_gbps: scenario.link_bandwidth_gbps,
+            latency_s: scenario.link_latency_s,
+        });
+    if scenario.autoscale {
+        // Aggressive thresholds sized to the chaos workload (short prompts,
+        // <=256-token outputs) so a storm provably grows the pools and the
+        // post-storm lull provably drains them.
+        config = config.with_autoscale(AutoscaleConfig {
+            interval_s: 0.5,
+            min_prefill: 1,
+            max_prefill: scenario.prefill_replicas.max(3),
+            min_decode: 1,
+            max_decode: scenario.decode_replicas.max(3),
+            prefill_queue_high: 2.0,
+            prefill_queue_low: 0.25,
+            decode_tokens_high: 4_000.0,
+            decode_tokens_low: 200.0,
+            spawn_delay_s: 0.25,
+        });
+    }
+    config
+}
+
+fn run_disagg_once(scenario: &DisaggScenario) -> DisaggRunArtifacts {
+    let config = disagg_config(scenario);
+    let arrivals = scenario.arrival_stream();
+    let faults = scenario.runtime_faults();
+    let outer_recorder = install(FlightRecorder::new(DEFAULT_CAPACITY_PER_TRACK));
+    let mut sim = ClusterSim::new(config);
+    let mut violations = InvariantReport::new();
+
+    let mut ai = 0usize;
+    let mut fi = 0usize;
+    loop {
+        let t_arrival = arrivals.get(ai).map(|a| a.time_s()).unwrap_or(f64::MAX);
+        let t_fault = faults.get(fi).map(|f| f.at_s).unwrap_or(f64::MAX);
+        if t_arrival == f64::MAX && t_fault == f64::MAX {
+            // Schedule exhausted: drain through the cluster's own loop, which
+            // stops firing autoscaler ticks the moment no work remains.
+            sim.run_until_drained();
+            break;
+        }
+        if sim.event_budget_exhausted() {
+            violations.violate(
+                "drained",
+                "event budget exhausted before the schedule completed".to_string(),
+            );
+            break;
+        }
+        let t_step = sim.next_event_s();
+        // Tie order matches the monolithic runner: faults, then arrivals,
+        // then step completions.
+        if t_fault <= t_arrival && t_fault <= t_step {
+            sim.advance_before(t_fault);
+            match faults[fi].kind {
+                FaultKind::ReplicaCrash { replica } => sim.crash_replica(replica, t_fault),
+                FaultKind::ReplicaRestart { replica } => sim.restart_replica(replica, t_fault),
+                FaultKind::SlowReplica { replica, factor } => {
+                    sim.advance_now(t_fault);
+                    sim.set_slow_factor(replica, factor);
+                }
+                _ => unreachable!("the builder rejects non-serving faults"),
+            }
+            fi += 1;
+        } else if t_arrival <= t_step {
+            sim.advance_before(t_arrival);
+            sim.offer(ServeRequest::from_arrival(&arrivals[ai]));
+            ai += 1;
+        } else {
+            sim.advance_before(t_arrival.min(t_fault));
+        }
+    }
+
+    let (crashes, restarts) = sim.fault_counts();
+    let requeued = sim.requeued();
+    let orphaned = sim.orphaned();
+    let drained = !sim.has_work();
+    let dropped_ids = sim.dropped_ids();
+    let kv_peaks = sim.kv_peaks();
+    // Pool conservation across BOTH pools plus the in-flight migration
+    // charges: refcounts coherent everywhere, and — once drained — no block
+    // left referenced on either side of the link.
+    if let Err(detail) = sim.kv_pool_check() {
+        violations.violate("kv-pool-conservation", detail);
+    }
+    if drained && sim.kv_pool_leaked() > 0 {
+        violations.violate(
+            "kv-pool-conservation",
+            format!(
+                "{} blocks leaked across the pools after the full drain",
+                sim.kv_pool_leaked()
+            ),
+        );
+    }
+    let events = uninstall()
+        .expect("flight recorder installed at run start")
+        .events();
+    if let Some(outer) = outer_recorder {
+        install(outer);
+    }
+    DisaggRunArtifacts {
+        report: sim.into_report(),
+        requeued,
+        crashes,
+        restarts,
+        orphaned,
+        drained,
+        dropped_ids,
+        kv_peaks,
+        violations,
+        events,
+    }
+}
+
+fn check_disagg_determinism(
+    a: &DisaggRunArtifacts,
+    b: &DisaggRunArtifacts,
+    report: &mut InvariantReport,
+) {
+    if a.report.serve.completed != b.report.serve.completed {
+        report.violate(
+            "seed-determinism",
+            "per-request completion records differ between identical runs".to_string(),
+        );
+    }
+    if a.report.serve.makespan_s != b.report.serve.makespan_s
+        || a.report.migrations != b.report.migrations
+        || a.report.migrated_blocks != b.report.migrated_blocks
+        || a.report.aborted_transfers != b.report.aborted_transfers
+    {
+        report.violate(
+            "seed-determinism",
+            "migration accounting differs between identical runs".to_string(),
+        );
+    }
+    if a.report.scale_ups != b.report.scale_ups
+        || a.report.scale_downs != b.report.scale_downs
+        || a.report.retires != b.report.retires
+        || a.report.avg_active_replicas != b.report.avg_active_replicas
+    {
+        report.violate(
+            "seed-determinism",
+            "autoscaler decisions differ between identical runs".to_string(),
+        );
+    }
+    if (a.requeued, a.crashes, a.restarts, a.orphaned)
+        != (b.requeued, b.crashes, b.restarts, b.orphaned)
+    {
+        report.violate(
+            "seed-determinism",
+            "fault accounting differs between identical runs".to_string(),
+        );
+    }
+    if a.events != b.events {
+        report.violate(
+            "seed-determinism",
+            "flight-recorder traces differ between identical runs".to_string(),
+        );
+    }
+}
+
+/// Runs one disaggregated scenario (twice, for the determinism invariant) and
+/// returns the outcome with its invariant verdict.
+pub fn run_disagg_scenario(scenario: &DisaggScenario) -> DisaggChaosOutcome {
+    let arrivals = scenario.arrival_stream();
+    let first = run_disagg_once(scenario);
+    let second = run_disagg_once(scenario);
+
+    let mut invariants = first.violations.clone();
+
+    let arrival_ids: Vec<u64> = arrivals.iter().map(|a| a.id).collect();
+    let completed_ids: Vec<u64> = first.report.serve.completed.iter().map(|r| r.id).collect();
+    check_conservation(
+        &mut invariants,
+        &arrival_ids,
+        &completed_ids,
+        &first.dropped_ids,
+    );
+
+    for &(pool, index, peak, budget) in &first.kv_peaks {
+        if peak > budget {
+            invariants.violate(
+                "kv-budget",
+                format!("{pool} replica {index} peaked at {peak} KV blocks (pool budget {budget})"),
+            );
+        }
+    }
+
+    if !first.drained {
+        invariants.violate(
+            "drained",
+            format!(
+                "work left behind at end of schedule ({} orphaned)",
+                first.orphaned
+            ),
+        );
+    }
+
+    check_disagg_determinism(&first, &second, &mut invariants);
+
+    let postmortem = (!invariants.passed()).then(|| {
+        let mut header = format!(
+            "disagg scenario '{}' (seed {}): {}\n",
+            scenario.name,
+            scenario.seed,
+            invariants.verdict()
+        );
+        for v in &invariants.violations {
+            header.push_str(&format!("violated {}: {}\n", v.invariant, v.detail));
+        }
+        render_postmortem(&header, &first.events)
+    });
+
+    DisaggChaosOutcome {
+        scenario: scenario.clone(),
+        arrivals: arrivals.len(),
+        completed: first.report.serve.completed.len(),
+        dropped: first.report.serve.dropped,
+        requeued: first.requeued,
+        crashes: first.crashes,
+        restarts: first.restarts,
+        report: first.report,
+        invariants,
+        trace: first.events,
+        postmortem,
+    }
+}
+
+/// Runs every scenario in the pinned disaggregated matrix.
+pub fn run_disagg_matrix() -> Vec<DisaggChaosOutcome> {
+    crate::scenario::disagg_matrix()
+        .iter()
+        .map(run_disagg_scenario)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +1000,78 @@ mod tests {
         assert!(outcome.requeued > 0, "the crash must drain live requests");
         assert_eq!(outcome.crashes, 1);
         assert!(outcome.coordinator.workers_failed >= 1);
+    }
+
+    #[test]
+    fn mid_transfer_source_crash_requeues_and_conserves() {
+        let scenario = crate::scenario::disagg_matrix()
+            .into_iter()
+            .find(|s| s.name == "disagg-mid-transfer-source-crash")
+            .expect("pinned disagg matrix names a source-crash scenario");
+        let outcome = run_disagg_scenario(&scenario);
+        assert!(
+            outcome.invariants.passed(),
+            "violations: {:?}",
+            outcome.invariants.violations
+        );
+        assert!(
+            outcome.report.aborted_transfers > 0,
+            "the crash must land inside a KV transfer window \
+             (got {} aborts, {} migrations)",
+            outcome.report.aborted_transfers,
+            outcome.report.migrations
+        );
+        assert!(outcome.requeued > 0, "in-flight work must be re-queued");
+        assert_eq!(outcome.crashes, 1);
+        assert_eq!(outcome.restarts, 1);
+        assert_eq!(outcome.completed + outcome.dropped, outcome.arrivals);
+    }
+
+    #[test]
+    fn mid_transfer_dest_crash_aborts_and_conserves() {
+        let scenario = crate::scenario::disagg_matrix()
+            .into_iter()
+            .find(|s| s.name == "disagg-mid-transfer-dest-crash")
+            .expect("pinned disagg matrix names a dest-crash scenario");
+        let outcome = run_disagg_scenario(&scenario);
+        assert!(
+            outcome.invariants.passed(),
+            "violations: {:?}",
+            outcome.invariants.violations
+        );
+        assert!(
+            outcome.report.aborted_transfers > 0,
+            "the crash must land inside a KV transfer window \
+             (got {} aborts, {} migrations)",
+            outcome.report.aborted_transfers,
+            outcome.report.migrations
+        );
+        assert_eq!(outcome.completed + outcome.dropped, outcome.arrivals);
+    }
+
+    #[test]
+    fn autoscale_storm_scales_up_and_retires_clean() {
+        let scenario = crate::scenario::disagg_matrix()
+            .into_iter()
+            .find(|s| s.name == "disagg-autoscale-drain-storm")
+            .expect("pinned disagg matrix names an autoscale storm scenario");
+        let outcome = run_disagg_scenario(&scenario);
+        assert!(
+            outcome.invariants.passed(),
+            "violations: {:?}",
+            outcome.invariants.violations
+        );
+        assert!(
+            outcome.report.scale_ups > 0,
+            "the storm must trip the autoscaler up (got {} scale-ups)",
+            outcome.report.scale_ups
+        );
+        assert!(
+            outcome.report.retires > 0,
+            "the post-storm lull must drain-and-retire (got {} retires)",
+            outcome.report.retires
+        );
+        assert_eq!(outcome.completed + outcome.dropped, outcome.arrivals);
     }
 
     #[test]

@@ -137,40 +137,13 @@ impl Scenario {
     /// The complete arrival stream: the base Poisson stream merged with every
     /// scheduled storm burst, re-indexed into one timeline.
     pub fn arrival_stream(&self) -> Vec<RequestArrival> {
-        let lengths = LengthDistribution::LongTailMixture {
-            mu: 4.0,
-            sigma: 0.8,
-            truncation_mass: 0.02,
-            max_len: 256,
-        };
-        let base = generate_arrivals(&ArrivalConfig {
-            curve: RateCurve::Constant { rps: self.rps },
-            horizon_s: self.horizon_s,
-            prompt_len_range: (64, 192),
-            output_lengths: lengths.clone(),
-            prefix: self.prefix,
-            seed: self.seed,
-        });
-        let mut streams = vec![base];
-        for (i, fault) in self.faults.iter().enumerate() {
-            if let FaultKind::ArrivalStorm {
-                burst_rps,
-                duration_s,
-            } = fault.kind
-            {
-                let mut burst = generate_arrivals(&ArrivalConfig {
-                    curve: RateCurve::Constant { rps: burst_rps },
-                    horizon_s: duration_s,
-                    prompt_len_range: (64, 192),
-                    output_lengths: lengths.clone(),
-                    prefix: self.prefix,
-                    seed: self.seed ^ (0x0057_0412 + i as u64),
-                });
-                shift_arrivals(&mut burst, fault.at_s);
-                streams.push(burst);
-            }
-        }
-        merge_arrival_streams(streams)
+        chaos_stream(
+            self.seed,
+            self.rps,
+            self.horizon_s,
+            self.prefix,
+            &self.faults,
+        )
     }
 
     /// The faults in schedule order, storms excluded (storms are folded into
@@ -194,6 +167,52 @@ impl Scenario {
             .collect::<Vec<_>>()
             .join(" ")
     }
+}
+
+/// The chaos workload shape shared by the monolithic and the disaggregated
+/// scenarios: short prompts, long-tail outputs capped at 256 tokens, plus one
+/// extra Poisson stream per scheduled storm, merged into a single timeline.
+fn chaos_stream(
+    seed: u64,
+    rps: f64,
+    horizon_s: f64,
+    prefix: Option<SharedPrefixSpec>,
+    faults: &[FaultEvent],
+) -> Vec<RequestArrival> {
+    let lengths = LengthDistribution::LongTailMixture {
+        mu: 4.0,
+        sigma: 0.8,
+        truncation_mass: 0.02,
+        max_len: 256,
+    };
+    let base = generate_arrivals(&ArrivalConfig {
+        curve: RateCurve::Constant { rps },
+        horizon_s,
+        prompt_len_range: (64, 192),
+        output_lengths: lengths.clone(),
+        prefix,
+        seed,
+    });
+    let mut streams = vec![base];
+    for (i, fault) in faults.iter().enumerate() {
+        if let FaultKind::ArrivalStorm {
+            burst_rps,
+            duration_s,
+        } = fault.kind
+        {
+            let mut burst = generate_arrivals(&ArrivalConfig {
+                curve: RateCurve::Constant { rps: burst_rps },
+                horizon_s: duration_s,
+                prompt_len_range: (64, 192),
+                output_lengths: lengths.clone(),
+                prefix,
+                seed: seed ^ (0x0057_0412 + i as u64),
+            });
+            shift_arrivals(&mut burst, fault.at_s);
+            streams.push(burst);
+        }
+    }
+    merge_arrival_streams(streams)
 }
 
 /// Fluent builder for [`Scenario`].
@@ -466,6 +485,293 @@ pub fn pinned_matrix() -> Vec<Scenario> {
     ]
 }
 
+/// A chaos scenario over the disaggregated prefill/decode cluster
+/// (`tlt_serve::ClusterSim`). Faults address replicas by **global fault
+/// index**: `0..prefill_replicas` is the prefill pool, the rest the decode
+/// pool — the same numbering `ClusterSim::crash_replica` uses. Only
+/// serving-path faults (crash / restart / straggler / storm) are legal; the
+/// drafter and coordinator pipelines are monolithic-suite concerns.
+#[derive(Debug, Clone, Serialize)]
+pub struct DisaggScenario {
+    /// Scenario name (unique within the disagg matrix).
+    pub name: String,
+    /// Seed for the arrival stream and replica tuners.
+    pub seed: u64,
+    /// Prefill pool size at t=0.
+    pub prefill_replicas: usize,
+    /// Decode pool size at t=0.
+    pub decode_replicas: usize,
+    /// Base arrival rate in requests per second.
+    pub rps: f64,
+    /// Arrival horizon in simulated seconds.
+    pub horizon_s: f64,
+    /// KV transfer link bandwidth in GB/s (small values serialise transfers,
+    /// widening the mid-transfer crash window).
+    pub link_bandwidth_gbps: f64,
+    /// KV transfer link latency in seconds.
+    pub link_latency_s: f64,
+    /// Run the reactive autoscaler (drain-before-retire) over both pools.
+    pub autoscale: bool,
+    /// Shared system prompt carried by a fraction of the arrivals (exercises
+    /// prefix-affinity routing and shared-block migration accounting).
+    pub prefix: Option<SharedPrefixSpec>,
+    /// Fault schedule, sorted by time.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl DisaggScenario {
+    /// Starts building a disaggregated scenario with sane defaults: 2 prefill
+    /// plus 2 decode replicas, 8 req/s over 8 s, the default NVLink-class
+    /// link, no autoscaler, no faults.
+    pub fn builder(name: &str) -> DisaggScenarioBuilder {
+        DisaggScenarioBuilder {
+            scenario: DisaggScenario {
+                name: name.to_string(),
+                seed: 2026,
+                prefill_replicas: 2,
+                decode_replicas: 2,
+                rps: 8.0,
+                horizon_s: 8.0,
+                link_bandwidth_gbps: 50.0,
+                link_latency_s: 0.002,
+                autoscale: false,
+                prefix: None,
+                faults: Vec::new(),
+            },
+        }
+    }
+
+    /// The complete arrival stream (same workload shape as the monolithic
+    /// suite: base Poisson stream plus storm bursts, one timeline).
+    pub fn arrival_stream(&self) -> Vec<RequestArrival> {
+        chaos_stream(
+            self.seed,
+            self.rps,
+            self.horizon_s,
+            self.prefix,
+            &self.faults,
+        )
+    }
+
+    /// The faults in schedule order, storms excluded.
+    pub fn runtime_faults(&self) -> Vec<FaultEvent> {
+        self.faults
+            .iter()
+            .filter(|f| !matches!(f.kind, FaultKind::ArrivalStorm { .. }))
+            .copied()
+            .collect()
+    }
+
+    /// Compact schedule description, e.g. `crash(r0)@1.5 restart(r0)@3.5`.
+    pub fn schedule_label(&self) -> String {
+        if self.faults.is_empty() {
+            return "none".to_string();
+        }
+        self.faults
+            .iter()
+            .map(|f| format!("{}@{}", f.kind.label(), f.at_s))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Total replicas provisioned at t=0.
+    pub fn total_replicas(&self) -> usize {
+        self.prefill_replicas + self.decode_replicas
+    }
+}
+
+/// Fluent builder for [`DisaggScenario`].
+#[derive(Debug, Clone)]
+pub struct DisaggScenarioBuilder {
+    scenario: DisaggScenario,
+}
+
+impl DisaggScenarioBuilder {
+    /// Sets the scenario seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Sets the initial pool sizes.
+    pub fn pools(mut self, prefill: usize, decode: usize) -> Self {
+        assert!(
+            prefill > 0 && decode > 0,
+            "both pools need at least one replica"
+        );
+        self.scenario.prefill_replicas = prefill;
+        self.scenario.decode_replicas = decode;
+        self
+    }
+
+    /// Sets the base arrival rate and horizon.
+    pub fn arrivals(mut self, rps: f64, horizon_s: f64) -> Self {
+        assert!(
+            rps > 0.0 && horizon_s > 0.0,
+            "rate and horizon must be positive"
+        );
+        self.scenario.rps = rps;
+        self.scenario.horizon_s = horizon_s;
+        self
+    }
+
+    /// Shapes the KV transfer link. A deliberately slow link keeps transfers
+    /// on the wire longer, so mid-transfer crash schedules actually hit one.
+    pub fn link(mut self, bandwidth_gbps: f64, latency_s: f64) -> Self {
+        assert!(
+            bandwidth_gbps > 0.0 && latency_s >= 0.0,
+            "link shape must be positive"
+        );
+        self.scenario.link_bandwidth_gbps = bandwidth_gbps;
+        self.scenario.link_latency_s = latency_s;
+        self
+    }
+
+    /// Enables the reactive autoscaler over both pools.
+    pub fn autoscale(mut self) -> Self {
+        self.scenario.autoscale = true;
+        self
+    }
+
+    /// Gives `share` of the arrivals a shared system prompt of `len` tokens.
+    pub fn prefix_share(mut self, share: f64, len: usize) -> Self {
+        assert!((0.0..=1.0).contains(&share), "share must be in [0, 1]");
+        self.scenario.prefix = Some(SharedPrefixSpec { share, len });
+        self
+    }
+
+    /// Schedules a replica crash (global fault index).
+    pub fn crash(self, at_s: f64, replica: usize) -> Self {
+        self.fault(at_s, FaultKind::ReplicaCrash { replica })
+    }
+
+    /// Schedules a replica restart (global fault index).
+    pub fn restart(self, at_s: f64, replica: usize) -> Self {
+        self.fault(at_s, FaultKind::ReplicaRestart { replica })
+    }
+
+    /// Schedules a slow-down (or, with `factor = 1.0`, a speed restore).
+    pub fn slow(self, at_s: f64, replica: usize, factor: f64) -> Self {
+        self.fault(at_s, FaultKind::SlowReplica { replica, factor })
+    }
+
+    /// Schedules an arrival storm.
+    pub fn storm(self, at_s: f64, burst_rps: f64, duration_s: f64) -> Self {
+        self.fault(
+            at_s,
+            FaultKind::ArrivalStorm {
+                burst_rps,
+                duration_s,
+            },
+        )
+    }
+
+    /// Schedules an arbitrary serving-path fault.
+    pub fn fault(mut self, at_s: f64, kind: FaultKind) -> Self {
+        assert!(at_s >= 0.0, "fault time must be non-negative");
+        self.scenario.faults.push(FaultEvent { at_s, kind });
+        self
+    }
+
+    /// Finalises the scenario: validates fault indices against the initial
+    /// pools, rejects drafter/coordinator faults (not modelled on the cluster
+    /// path), sorts the schedule, and rejects impossible crash/restart orders.
+    pub fn build(mut self) -> DisaggScenario {
+        let total = self.scenario.total_replicas();
+        for fault in &self.scenario.faults {
+            let replica = match fault.kind {
+                FaultKind::ReplicaCrash { replica }
+                | FaultKind::ReplicaRestart { replica }
+                | FaultKind::SlowReplica { replica, .. } => replica,
+                FaultKind::ArrivalStorm { .. } => 0,
+                FaultKind::TrainingPreempt
+                | FaultKind::CheckpointCorrupt
+                | FaultKind::CheckpointStale => {
+                    panic!("drafter faults are not supported in disaggregated scenarios")
+                }
+            };
+            assert!(
+                replica < total,
+                "fault targets replica {replica} but the cluster has {total}"
+            );
+        }
+        self.scenario
+            .faults
+            .sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite fault times"));
+        let mut up = vec![true; total];
+        for fault in &self.scenario.faults {
+            match fault.kind {
+                FaultKind::ReplicaCrash { replica } => {
+                    assert!(
+                        up[replica],
+                        "crash of replica {replica} at t={}: it is already down",
+                        fault.at_s
+                    );
+                    up[replica] = false;
+                }
+                FaultKind::ReplicaRestart { replica } => {
+                    assert!(
+                        !up[replica],
+                        "restart of replica {replica} at t={}: it never crashed",
+                        fault.at_s
+                    );
+                    up[replica] = true;
+                }
+                _ => {}
+            }
+        }
+        self.scenario
+    }
+}
+
+/// The pinned disaggregated-cluster matrix, run alongside [`pinned_matrix`]
+/// by `experiments -- chaos` and the `chaos-suite` CI job. The slow-link
+/// scenarios are timed so a crash provably lands mid-transfer (the runner's
+/// tests assert `aborted_transfers > 0`).
+pub fn disagg_matrix() -> Vec<DisaggScenario> {
+    vec![
+        DisaggScenario::builder("disagg-baseline")
+            .seed(31)
+            .pools(2, 2)
+            .arrivals(8.0, 8.0)
+            .prefix_share(0.5, 96)
+            .build(),
+        DisaggScenario::builder("disagg-mid-transfer-source-crash")
+            .seed(32)
+            .pools(2, 1)
+            .arrivals(10.0, 6.0)
+            .link(1.0, 0.25)
+            .prefix_share(0.5, 96)
+            .crash(1.5, 0)
+            .restart(3.5, 0)
+            .build(),
+        DisaggScenario::builder("disagg-mid-transfer-dest-crash")
+            .seed(33)
+            .pools(1, 2)
+            .arrivals(10.0, 6.0)
+            .link(1.0, 0.25)
+            .crash(1.5, 1)
+            .restart(3.0, 1)
+            .build(),
+        DisaggScenario::builder("disagg-autoscale-drain-storm")
+            .seed(34)
+            .pools(1, 1)
+            .arrivals(4.0, 10.0)
+            .autoscale()
+            .link(2.0, 0.02)
+            .prefix_share(0.4, 96)
+            .storm(2.0, 120.0, 3.0)
+            .build(),
+        DisaggScenario::builder("disagg-decode-straggler")
+            .seed(35)
+            .pools(1, 2)
+            .arrivals(8.0, 8.0)
+            .slow(2.0, 2, 4.0)
+            .slow(6.0, 2, 1.0)
+            .build(),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +829,69 @@ mod tests {
             stormy.runtime_faults().is_empty(),
             "storms are not runtime faults"
         );
+    }
+
+    #[test]
+    fn disagg_builder_validates_global_fault_indices() {
+        let s = DisaggScenario::builder("d")
+            .pools(2, 1)
+            .restart(4.0, 2)
+            .crash(1.0, 2)
+            .build();
+        assert_eq!(s.faults[0].kind, FaultKind::ReplicaCrash { replica: 2 });
+        assert_eq!(s.total_replicas(), 3);
+        assert!(s.schedule_label().contains("crash(r2)@1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault targets replica")]
+    fn disagg_out_of_range_fault_target_panics() {
+        let _ = DisaggScenario::builder("d")
+            .pools(1, 1)
+            .crash(1.0, 2)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "drafter faults are not supported")]
+    fn disagg_rejects_drafter_faults() {
+        let _ = DisaggScenario::builder("d")
+            .fault(1.0, FaultKind::TrainingPreempt)
+            .build();
+    }
+
+    #[test]
+    fn disagg_matrix_covers_the_migration_fault_surface() {
+        let matrix = disagg_matrix();
+        let mut names: Vec<&str> = matrix.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate scenario names");
+        // A prefill-pool crash, a decode-pool crash, an autoscaled storm and a
+        // straggler are all present.
+        let crashed: Vec<usize> = matrix
+            .iter()
+            .flat_map(|s| {
+                let p = s.prefill_replicas;
+                s.faults.iter().filter_map(move |f| match f.kind {
+                    FaultKind::ReplicaCrash { replica } => Some(if replica < p { 0 } else { 1 }),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert!(crashed.contains(&0), "no prefill-pool crash in the matrix");
+        assert!(crashed.contains(&1), "no decode-pool crash in the matrix");
+        assert!(matrix.iter().any(|s| s.autoscale
+            && s.faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::ArrivalStorm { .. }))));
+        assert!(matrix
+            .iter()
+            .flat_map(|s| s.faults.iter())
+            .any(|f| matches!(f.kind, FaultKind::SlowReplica { .. })));
+        // The monolithic pinned matrix is untouched by the disagg suite.
+        assert_eq!(pinned_matrix().len(), 12);
     }
 
     #[test]

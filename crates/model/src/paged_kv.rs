@@ -263,6 +263,25 @@ impl PagedKvPool {
         dst
     }
 
+    /// Imports `src_block` from another pool of identical geometry: allocates
+    /// a fresh local block and copies every row of every layer bit-for-bit.
+    /// Returns `None` when this pool is exhausted (nothing is allocated).
+    pub fn import_block_from(&mut self, src: &PagedKvPool, src_block: BlockId) -> Option<BlockId> {
+        assert!(
+            self.block_size == src.block_size
+                && self.num_layers == src.num_layers
+                && self.hidden == src.hidden,
+            "cross-pool import requires identical block geometry"
+        );
+        let dst = self.alloc()?;
+        let n = self.num_layers * self.block_size * self.hidden;
+        let s = src_block as usize * n;
+        let d = dst as usize * n;
+        self.keys[d..d + n].copy_from_slice(&src.keys[s..s + n]);
+        self.values[d..d + n].copy_from_slice(&src.values[s..s + n]);
+        Some(dst)
+    }
+
     /// Structural conservation check: every block is either free (refcount 0,
     /// on the free list exactly once) or referenced; the free list and the
     /// in-use counter agree with the refcounts.
@@ -447,6 +466,37 @@ impl PagedKvCache {
     /// The full blocks of this sequence (for [`PrefixIndex::insert`]).
     pub fn full_blocks(&self, block_size: usize) -> &[BlockId] {
         &self.blocks[..self.seq_len() / block_size]
+    }
+
+    /// Migrates the whole sequence from `src` into `dst` (two pools of
+    /// identical geometry): every block — shared prefix blocks included — is
+    /// deep-copied into a freshly allocated private `dst` block, then the
+    /// `src` references are dropped. Attention over the migrated cache is
+    /// bit-identical; refcount conservation holds in both pools (the copy is
+    /// all-or-nothing: on `dst` exhaustion the partial allocation is rolled
+    /// back and the cache stays resident in `src`).
+    pub fn migrate(&mut self, src: &mut PagedKvPool, dst: &mut PagedKvPool) -> Result<(), String> {
+        let mut imported = Vec::with_capacity(self.blocks.len());
+        for &b in &self.blocks {
+            match dst.import_block_from(src, b) {
+                Some(nb) => imported.push(nb),
+                None => {
+                    let copied = imported.len();
+                    for nb in imported {
+                        dst.release(nb);
+                    }
+                    return Err(format!(
+                        "destination pool exhausted after {copied} of {} blocks",
+                        self.blocks.len()
+                    ));
+                }
+            }
+        }
+        for b in self.blocks.drain(..) {
+            src.release(b);
+        }
+        self.blocks = imported;
+        Ok(())
     }
 }
 
@@ -664,6 +714,8 @@ pub struct BlockLedger {
     capacity_blocks: usize,
     private_blocks: usize,
     shared: Vec<SharedGroup>,
+    inbound_blocks: usize,
+    outbound_blocks: usize,
     peak_in_use: usize,
     evicted_groups: u64,
 }
@@ -677,6 +729,8 @@ impl BlockLedger {
             capacity_blocks,
             private_blocks: 0,
             shared: Vec::new(),
+            inbound_blocks: 0,
+            outbound_blocks: 0,
             peak_in_use: 0,
             evicted_groups: 0,
         }
@@ -702,9 +756,70 @@ impl BlockLedger {
         self.shared.iter().map(|g| g.blocks).sum()
     }
 
-    /// Blocks charged right now (private + resident shared).
+    /// Blocks reserved for migrations still in flight toward this pool.
+    pub fn inbound_blocks(&self) -> usize {
+        self.inbound_blocks
+    }
+
+    /// Blocks still charged here for migrations in flight away from this pool.
+    pub fn outbound_blocks(&self) -> usize {
+        self.outbound_blocks
+    }
+
+    /// Blocks charged right now (private + resident shared + both migration
+    /// directions). In-flight inbound reservations count as used so admission
+    /// can never hand out blocks a landing transfer already owns.
     pub fn in_use_blocks(&self) -> usize {
-        self.private_blocks + self.shared_blocks()
+        self.private_blocks + self.shared_blocks() + self.inbound_blocks + self.outbound_blocks
+    }
+
+    /// Reserves `blocks` for a migration in flight toward this pool. The
+    /// reservation is charged immediately — admission sees it as used — so a
+    /// transfer landing mid-step can never over-commit the pool.
+    pub fn reserve_inbound(&mut self, blocks: usize) {
+        self.inbound_blocks += blocks;
+        self.touch_peak();
+    }
+
+    /// Converts an inbound reservation into real usage: the transfer landed
+    /// and its entry now counts in the caller's private footprint (the caller
+    /// must follow up with [`BlockLedger::sync_private`]).
+    pub fn commit_inbound(&mut self, blocks: usize) {
+        assert!(
+            self.inbound_blocks >= blocks,
+            "inbound commit of {blocks} blocks exceeds {} reserved",
+            self.inbound_blocks
+        );
+        self.inbound_blocks -= blocks;
+    }
+
+    /// Drops an inbound reservation without landing it (transfer aborted).
+    pub fn cancel_inbound(&mut self, blocks: usize) {
+        assert!(
+            self.inbound_blocks >= blocks,
+            "inbound cancel of {blocks} blocks exceeds {} reserved",
+            self.inbound_blocks
+        );
+        self.inbound_blocks -= blocks;
+    }
+
+    /// Keeps `blocks` charged here while their sequence is in flight away from
+    /// this pool (the entry has left the running set, so `sync_private` no
+    /// longer covers it, but the storage is not free until the transfer lands).
+    pub fn begin_outbound(&mut self, blocks: usize) {
+        self.outbound_blocks += blocks;
+        self.touch_peak();
+    }
+
+    /// Releases an outbound charge: the transfer landed remotely (or was
+    /// aborted and its entry re-queued), so the source-side blocks are free.
+    pub fn complete_outbound(&mut self, blocks: usize) {
+        assert!(
+            self.outbound_blocks >= blocks,
+            "outbound completion of {blocks} blocks exceeds {} charged",
+            self.outbound_blocks
+        );
+        self.outbound_blocks -= blocks;
     }
 
     /// Blocks still free.
@@ -803,6 +918,8 @@ impl BlockLedger {
     /// full drain (with `sync_private(0)`).
     pub fn leaked_blocks(&self) -> usize {
         self.private_blocks
+            + self.inbound_blocks
+            + self.outbound_blocks
             + self
                 .shared
                 .iter()
@@ -827,6 +944,8 @@ impl BlockLedger {
     pub fn reset(&mut self) {
         self.private_blocks = 0;
         self.shared.clear();
+        self.inbound_blocks = 0;
+        self.outbound_blocks = 0;
     }
 
     /// Peak pool utilisation in `[0, 1]`.
@@ -1106,5 +1225,118 @@ mod tests {
         let p = PagedKvPool::with_position_capacity(1, 4, 16, 100);
         assert_eq!(p.capacity_blocks(), 7);
         assert_eq!(p.capacity_positions(), 112);
+    }
+
+    #[test]
+    fn cross_pool_migration_is_bit_identical_and_conserves_refcounts() {
+        let mut src = pool();
+        let mut dst = pool();
+        let mut c = PagedKvCache::new(2);
+        for layer in 0..2 {
+            c.append_rows(&mut src, layer, &rows(6, 3.0 * layer as f32), &rows(6, 9.0));
+        }
+        // A forked sibling keeps a shared reference in the source pool, so the
+        // migration must drop exactly one reference per block, not free them.
+        let mut sibling = c.fork(&mut src);
+        let before: Vec<Vec<f32>> = (0..6)
+            .map(|i| {
+                PagedKv {
+                    pool: &mut src,
+                    cache: &mut c,
+                }
+                .kv_key(1, i)
+                .to_vec()
+            })
+            .collect();
+
+        c.migrate(&mut src, &mut dst).expect("dst has room");
+        assert_eq!(c.seq_len(), 6, "lens survive migration");
+        assert_eq!(dst.blocks_in_use(), 2);
+        assert_eq!(
+            src.blocks_in_use(),
+            2,
+            "sibling still holds the source blocks"
+        );
+        for (i, want) in before.iter().enumerate() {
+            let kv = PagedKv {
+                pool: &mut dst,
+                cache: &mut c,
+            };
+            assert_eq!(kv.kv_key(1, i), &want[..], "row {i} migrated bit-for-bit");
+        }
+        assert!(src.check_conservation().is_ok());
+        assert!(dst.check_conservation().is_ok());
+        c.release(&mut dst);
+        sibling.release(&mut src);
+        assert_eq!(src.blocks_in_use(), 0);
+        assert_eq!(dst.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn migration_into_a_full_pool_rolls_back() {
+        let mut src = pool();
+        let mut dst = PagedKvPool::new(2, 4, 4, 1);
+        let mut c = PagedKvCache::new(2);
+        for layer in 0..2 {
+            c.append_rows(&mut src, layer, &rows(6, 1.0), &rows(6, 2.0));
+        }
+        assert!(c.migrate(&mut src, &mut dst).is_err());
+        assert_eq!(dst.blocks_in_use(), 0, "partial allocation rolled back");
+        assert_eq!(c.num_blocks(), 2, "cache stays resident in the source");
+        assert_eq!(src.blocks_in_use(), 2);
+        c.release(&mut src);
+        assert!(src.check_conservation().is_ok());
+        assert!(dst.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn ledger_charges_in_flight_migrations_in_both_directions() {
+        let mut l = BlockLedger::new(16, 32);
+        l.sync_private(4);
+        l.reserve_inbound(6);
+        assert_eq!(l.inbound_blocks(), 6);
+        assert_eq!(l.in_use_blocks(), 10, "reservation is charged immediately");
+        assert_eq!(l.free_blocks(), 22);
+        assert_eq!(
+            l.leaked_blocks(),
+            10,
+            "in-flight blocks are not reclaimable"
+        );
+        assert!(l.check_conservation(0).is_ok());
+
+        // Landing converts the reservation into private footprint.
+        l.commit_inbound(6);
+        l.sync_private(10);
+        assert_eq!(l.inbound_blocks(), 0);
+        assert_eq!(l.in_use_blocks(), 10);
+
+        // Outbound: the sequence leaves the running set but stays charged
+        // until the transfer lands remotely.
+        l.begin_outbound(6);
+        l.sync_private(4);
+        assert_eq!(l.outbound_blocks(), 6);
+        assert_eq!(l.in_use_blocks(), 10);
+        l.complete_outbound(6);
+        assert_eq!(l.in_use_blocks(), 4);
+
+        // Aborted transfer: the reservation cancels cleanly.
+        l.reserve_inbound(3);
+        l.cancel_inbound(3);
+        assert_eq!(l.inbound_blocks(), 0);
+        assert_eq!(l.peak_in_use_blocks(), 16);
+
+        // A crash wipes in-flight accounting with everything else.
+        l.reserve_inbound(2);
+        l.begin_outbound(2);
+        l.reset();
+        assert_eq!(l.in_use_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn inbound_commit_beyond_reservation_panics() {
+        let mut l = BlockLedger::new(16, 32);
+        l.reserve_inbound(1);
+        l.commit_inbound(2);
     }
 }

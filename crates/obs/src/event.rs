@@ -23,17 +23,31 @@ pub enum Track {
     /// The standalone speculative rollout loop. It has no sim clock, so its
     /// events use the SD round index as the time axis.
     Rollout,
+    /// The KV transfer link between the prefill and decode pools of a
+    /// disaggregated cluster.
+    TransferLink,
+    /// The cluster autoscaler's decision timeline.
+    Autoscaler,
+    /// One prefill-pool replica of a disaggregated cluster, by index.
+    PrefillReplica(u32),
+    /// One decode-pool replica of a disaggregated cluster, by index.
+    DecodeReplica(u32),
 }
 
 impl Track {
     /// Stable Chrome-trace `pid` for this track. Replicas start at 10 so the
-    /// fixed tracks keep their ids as replica count grows.
+    /// fixed tracks keep their ids as replica count grows; the disaggregated
+    /// pools get disjoint ranges well above any realistic replica count.
     pub fn pid(&self) -> u64 {
         match self {
             Track::Frontend => 1,
             Track::Coordinator => 2,
             Track::Rollout => 3,
+            Track::TransferLink => 4,
+            Track::Autoscaler => 5,
             Track::Replica(i) => 10 + u64::from(*i),
+            Track::PrefillReplica(i) => 1_000 + u64::from(*i),
+            Track::DecodeReplica(i) => 2_000 + u64::from(*i),
         }
     }
 
@@ -43,7 +57,11 @@ impl Track {
             Track::Frontend => "frontend".to_string(),
             Track::Coordinator => "coordinator".to_string(),
             Track::Rollout => "rollout".to_string(),
+            Track::TransferLink => "transfer_link".to_string(),
+            Track::Autoscaler => "autoscaler".to_string(),
             Track::Replica(i) => format!("replica {i}"),
+            Track::PrefillReplica(i) => format!("prefill {i}"),
+            Track::DecodeReplica(i) => format!("decode {i}"),
         }
     }
 }
@@ -84,6 +102,21 @@ pub enum EventKind {
     /// A coordinator worker changed state. `a` = worker index, `b` = state code
     /// (0 idle, 1 busy, 2 training, 3 failed).
     WorkerState,
+    /// A KV block migration over the transfer link (span over the simulated
+    /// wire time). `a` = blocks moved, `b` = destination decode replica.
+    Transfer,
+    /// An in-flight migration was abandoned because its source or destination
+    /// crashed. `a` = blocks in flight, `b` = 0 source crash / 1 dest crash.
+    TransferAbort,
+    /// The autoscaler spawned a replica. `a` = replica index, `b` = pool
+    /// (0 prefill, 1 decode).
+    ScaleUp,
+    /// The autoscaler began draining a replica (no new work; retires when
+    /// empty). `a` = replica index, `b` = pool (0 prefill, 1 decode).
+    ScaleDown,
+    /// A draining replica finished its work and left the pool. `a` = replica
+    /// index, `b` = pool (0 prefill, 1 decode).
+    Retire,
     /// Synthetic postmortem probe injected by `tlt-chaos` scenarios built with
     /// `forced_violation()` — a self-test of the alerting path.
     Probe,
@@ -105,6 +138,11 @@ impl EventKind {
             EventKind::Restart => "restart",
             EventKind::RolloutRound => "rollout_round",
             EventKind::WorkerState => "worker_state",
+            EventKind::Transfer => "transfer",
+            EventKind::TransferAbort => "transfer_abort",
+            EventKind::ScaleUp => "scale_up",
+            EventKind::ScaleDown => "scale_down",
+            EventKind::Retire => "retire",
             EventKind::Probe => "probe",
         }
     }
@@ -113,7 +151,11 @@ impl EventKind {
     pub fn is_span(&self) -> bool {
         matches!(
             self,
-            EventKind::Prefill | EventKind::Decode | EventKind::SdRound | EventKind::RolloutRound
+            EventKind::Prefill
+                | EventKind::Decode
+                | EventKind::SdRound
+                | EventKind::RolloutRound
+                | EventKind::Transfer
         )
     }
 
@@ -132,6 +174,11 @@ impl EventKind {
             EventKind::Restart => ("", ""),
             EventKind::RolloutRound => ("accepted", "draft_len"),
             EventKind::WorkerState => ("worker", "state"),
+            EventKind::Transfer => ("blocks", "dest"),
+            EventKind::TransferAbort => ("blocks", "dest_crashed"),
+            EventKind::ScaleUp => ("replica", "pool"),
+            EventKind::ScaleDown => ("replica", "pool"),
+            EventKind::Retire => ("replica", "pool"),
             EventKind::Probe => ("", ""),
         }
     }

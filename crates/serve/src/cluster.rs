@@ -1,0 +1,1324 @@
+//! Disaggregated prefill/decode serving cluster.
+//!
+//! [`ClusterSim`] splits the deployment into a **prefill pool** and a **decode
+//! pool** joined by a serial KV [`TransferLink`]. A request's lifecycle:
+//!
+//! 1. The frontend routes the arrival to a prefill replica by **prefix-cache
+//!    affinity** — the replica whose resident prefix cache holds the most
+//!    blocks of the request's prefix wins; without a hit, least outstanding
+//!    prefill tokens — so shared-prefix traffic concentrates where its KV
+//!    already lives.
+//! 2. The prefill replica runs the (possibly prefix-cached) prefill and hands
+//!    the sequence off as a [`MigratedEntry`]: a block-table handoff whose
+//!    private blocks stay charged on the source as an *outbound* migration.
+//! 3. The handoff is dispatched FIFO to the decode replica with the least
+//!    outstanding decode work that can reserve the sequence's blocks
+//!    (*inbound* charge), and the KV crosses the link at its configured
+//!    bandwidth + latency, costed from block count × block bytes.
+//! 4. On landing, the decode replica merges the sequence into its batch with
+//!    **zero recompute** and streams tokens to completion.
+//!
+//! A reactive autoscaler (optional) ticks on a fixed interval and grows or
+//! drains either pool one replica at a time against queue-depth / outstanding-
+//! token signals, with drain-before-retire semantics: a draining replica takes
+//! no new work and leaves the pool only when it is completely empty and no
+//! in-flight migration references it.
+//!
+//! Everything — routing, dispatch, autoscaling, transfer timing — is a pure
+//! function of the configuration and seed, so cluster runs are bit-identical
+//! per seed (the chaos harness double-runs and compares flight-recorder event
+//! streams).
+
+use crate::balancer::{BalancerPolicy, LoadBalancer};
+use crate::config::ServeConfig;
+use crate::metrics::ServeReport;
+use crate::replica::{FailoverRequest, MigratedEntry, Replica};
+use crate::request::ServeRequest;
+use crate::transfer::{TransferLink, TransferLinkConfig};
+use serde::Serialize;
+use std::collections::VecDeque;
+use tlt_obs::{record, EventKind, ObsEvent, Track, NO_REQ};
+
+/// Reactive autoscaler parameters. Signals are per-*active*-replica averages
+/// sampled at each tick; one scaling action per pool per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AutoscaleConfig {
+    /// Seconds between autoscaler decisions.
+    pub interval_s: f64,
+    /// Prefill-pool size bounds.
+    pub min_prefill: usize,
+    /// Upper bound on prefill replicas.
+    pub max_prefill: usize,
+    /// Decode-pool size bounds.
+    pub min_decode: usize,
+    /// Upper bound on decode replicas.
+    pub max_decode: usize,
+    /// Scale the prefill pool up when mean queued requests per active prefill
+    /// replica exceeds this.
+    pub prefill_queue_high: f64,
+    /// Scale the prefill pool down when the same signal falls below this.
+    pub prefill_queue_low: f64,
+    /// Scale the decode pool up when mean outstanding tokens per active decode
+    /// replica exceeds this.
+    pub decode_tokens_high: f64,
+    /// Scale the decode pool down when the same signal falls below this.
+    pub decode_tokens_low: f64,
+    /// Seconds between a scale-up decision and the new replica taking work.
+    pub spawn_delay_s: f64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            interval_s: 2.0,
+            min_prefill: 1,
+            max_prefill: 8,
+            min_decode: 1,
+            max_decode: 8,
+            prefill_queue_high: 4.0,
+            prefill_queue_low: 0.5,
+            decode_tokens_high: 24_000.0,
+            decode_tokens_low: 4_000.0,
+            spawn_delay_s: 1.0,
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    fn validate(&self) {
+        assert!(
+            self.interval_s.is_finite() && self.interval_s > 0.0,
+            "autoscale interval must be finite and positive"
+        );
+        assert!(
+            self.min_prefill >= 1 && self.min_prefill <= self.max_prefill,
+            "prefill bounds must satisfy 1 <= min <= max"
+        );
+        assert!(
+            self.min_decode >= 1 && self.min_decode <= self.max_decode,
+            "decode bounds must satisfy 1 <= min <= max"
+        );
+        assert!(
+            self.spawn_delay_s.is_finite() && self.spawn_delay_s >= 0.0,
+            "spawn delay must be finite and non-negative"
+        );
+    }
+}
+
+/// Configuration of a disaggregated cluster.
+#[derive(Debug, Clone)]
+pub struct DisaggConfig {
+    /// Per-replica engine configuration shared by both pools. Must use paged
+    /// KV accounting — migration is a block-table handoff.
+    pub base: ServeConfig,
+    /// Initial prefill-pool size.
+    pub prefill_replicas: usize,
+    /// Initial decode-pool size.
+    pub decode_replicas: usize,
+    /// The pool-to-pool KV transfer link.
+    pub link: TransferLinkConfig,
+    /// Optional reactive autoscaler.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl DisaggConfig {
+    /// A cluster of `prefill_replicas` + `decode_replicas` over `base`, with
+    /// the default NVLink-class link and no autoscaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base` uses paged KV accounting and both pools are
+    /// non-empty.
+    pub fn new(base: ServeConfig, prefill_replicas: usize, decode_replicas: usize) -> Self {
+        let config = DisaggConfig {
+            base,
+            prefill_replicas,
+            decode_replicas,
+            link: TransferLinkConfig::default(),
+            autoscale: None,
+        };
+        config.validate();
+        config
+    }
+
+    /// Replaces the transfer-link parameters.
+    pub fn with_link(mut self, link: TransferLinkConfig) -> Self {
+        link.validate();
+        self.link = link;
+        self
+    }
+
+    /// Enables the reactive autoscaler.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        autoscale.validate();
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.base.kv_accounting.block_size().is_some(),
+            "disaggregated serving requires paged KV accounting (the migration \
+             unit is the block)"
+        );
+        assert!(
+            self.prefill_replicas >= 1 && self.decode_replicas >= 1,
+            "both pools need at least one replica"
+        );
+        self.link.validate();
+        if let Some(a) = &self.autoscale {
+            a.validate();
+            assert!(
+                self.prefill_replicas >= a.min_prefill
+                    && self.prefill_replicas <= a.max_prefill
+                    && self.decode_replicas >= a.min_decode
+                    && self.decode_replicas <= a.max_decode,
+                "initial pool sizes must lie within the autoscale bounds"
+            );
+        }
+        // Per-replica block geometry must be identical across pools for the
+        // block-table handoff to be meaningful; both pools share `base`, so
+        // only a zero budget can break this.
+        assert!(
+            self.base.kv_block_budget() > 0,
+            "replica KV budget must hold at least one block"
+        );
+    }
+}
+
+/// Which pool a replica belongs to (event args encode prefill=0, decode=1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pool {
+    Prefill,
+    Decode,
+}
+
+impl Pool {
+    fn arg(self) -> f64 {
+        match self {
+            Pool::Prefill => 0.0,
+            Pool::Decode => 1.0,
+        }
+    }
+}
+
+/// A pool member with its autoscaler lifecycle state.
+#[derive(Debug, Clone)]
+struct PoolReplica {
+    replica: Replica,
+    /// Takes no new work; retires when empty and unreferenced.
+    draining: bool,
+    /// Left the pool (terminal; stops costing replica-seconds).
+    retired: bool,
+    /// Spawn warm-up: takes no work before this time.
+    ready_at_s: f64,
+}
+
+impl PoolReplica {
+    /// Eligible for new work right now.
+    fn accepting(&self, now: f64) -> bool {
+        self.replica.is_up() && !self.retired && !self.draining && now + 1e-12 >= self.ready_at_s
+    }
+
+    /// Counts toward the provisioned-capacity cost.
+    fn provisioned(&self) -> bool {
+        !self.retired
+    }
+}
+
+/// A migration on the wire.
+#[derive(Debug, Clone)]
+struct InFlightTransfer {
+    entry: MigratedEntry,
+    source: usize,
+    dest: usize,
+    reserved_blocks: usize,
+    start_s: f64,
+    finish_s: f64,
+}
+
+/// Event classes for deterministic same-time ordering: transfer landings,
+/// then prefill steps, then decode steps, then autoscaler ticks.
+const CLASS_TRANSFER: u8 = 0;
+const CLASS_PREFILL: u8 = 1;
+const CLASS_DECODE: u8 = 2;
+const CLASS_TICK: u8 = 3;
+
+/// Hard ceiling on processed events, a runaway guard mirroring `ServeSim`.
+const MAX_EVENTS: u64 = 200_000_000;
+
+/// The disaggregated cluster simulator. Mirrors the `ServeSim` step-level API
+/// (offer / advance / crash / restart / report) so the chaos harness drives
+/// both the same way.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: DisaggConfig,
+    prefill: Vec<PoolReplica>,
+    decode: Vec<PoolReplica>,
+    /// Initial prefill-pool size: global fault indices `< this` address the
+    /// prefill pool, the rest the decode pool (stable under autoscaling).
+    initial_prefill: usize,
+    link: TransferLink,
+    /// Migrations on the wire, in landing order (the serial link guarantees
+    /// the front finishes first).
+    in_flight: VecDeque<InFlightTransfer>,
+    /// Handoffs awaiting a feasible decode destination, FIFO.
+    pending: VecDeque<(MigratedEntry, usize)>,
+    /// Requests (or failovers) parked while no prefill replica is up.
+    orphans: VecDeque<FailoverRequest>,
+    fallback: LoadBalancer,
+    now_s: f64,
+    events: u64,
+    requeued: u64,
+    crashes: u64,
+    restarts: u64,
+    aborted_transfers: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    retires: u64,
+    /// Autoscaler ticks already fired.
+    ticks: u64,
+    /// Provisioned-capacity integral: Σ provisioned replicas × dt.
+    replica_seconds: f64,
+    last_account_s: f64,
+}
+
+/// Cluster-level outcome: the standard serving report plus migration, link,
+/// and autoscaler accounting. `goodput_per_replica` is the headline metric —
+/// SLO-meeting completions per second per provisioned replica.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// The standard serving report over both pools' replicas.
+    pub serve: ServeReport,
+    /// Final prefill-pool size (provisioned, i.e. not retired).
+    pub prefill_replicas: usize,
+    /// Final decode-pool size (provisioned).
+    pub decode_replicas: usize,
+    /// Migrations scheduled over the link.
+    pub migrations: u64,
+    /// Blocks moved over the link.
+    pub migrated_blocks: u64,
+    /// Migrations abandoned mid-wire by a crash.
+    pub aborted_transfers: u64,
+    /// Seconds the link was held.
+    pub transfer_busy_s: f64,
+    /// Mean wire time per migration.
+    pub mean_transfer_s: f64,
+    /// Autoscaler scale-up actions.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down (drain) actions.
+    pub scale_downs: u64,
+    /// Drained replicas that left the pool.
+    pub retires: u64,
+    /// Time-averaged provisioned replica count over the makespan.
+    pub avg_active_replicas: f64,
+    /// `serve.goodput_rps / avg_active_replicas`.
+    pub goodput_per_replica: f64,
+}
+
+impl ClusterSim {
+    /// Builds the cluster: prefill replicas `0..P` (tracked as `prefill {i}`)
+    /// and decode replicas (engine indices `1000 + j`, tracked as
+    /// `decode {j}`) with disjoint deterministic RNG streams.
+    pub fn new(config: DisaggConfig) -> Self {
+        config.validate();
+        let block_size = config
+            .base
+            .kv_accounting
+            .block_size()
+            .expect("validated paged");
+        let block_bytes =
+            (config.base.cost.model.kv_bytes_per_token() * block_size as f64).ceil() as usize;
+        let link = TransferLink::new(config.link, block_bytes);
+        let mut sim = ClusterSim {
+            prefill: Vec::new(),
+            decode: Vec::new(),
+            initial_prefill: config.prefill_replicas,
+            link,
+            in_flight: VecDeque::new(),
+            pending: VecDeque::new(),
+            orphans: VecDeque::new(),
+            fallback: LoadBalancer::new(BalancerPolicy::LeastOutstandingTokens),
+            now_s: 0.0,
+            events: 0,
+            requeued: 0,
+            crashes: 0,
+            restarts: 0,
+            aborted_transfers: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            retires: 0,
+            ticks: 0,
+            replica_seconds: 0.0,
+            last_account_s: 0.0,
+            config,
+        };
+        for i in 0..sim.config.prefill_replicas {
+            sim.prefill.push(sim.spawn_prefill(i, 0.0));
+        }
+        for j in 0..sim.config.decode_replicas {
+            sim.decode.push(sim.spawn_decode(j, 0.0));
+        }
+        sim
+    }
+
+    fn spawn_prefill(&self, index: usize, ready_at_s: f64) -> PoolReplica {
+        let mut replica = Replica::new(&self.config.base, index);
+        replica.set_prefill_only(true);
+        replica.set_track(Track::PrefillReplica(index as u32));
+        PoolReplica {
+            replica,
+            draining: false,
+            retired: false,
+            ready_at_s,
+        }
+    }
+
+    fn spawn_decode(&self, index: usize, ready_at_s: f64) -> PoolReplica {
+        // Engine index 1000 + j keeps the decode pool's RNG streams, stats
+        // labels, and any per-replica cost overrides disjoint from prefill's.
+        let mut replica = Replica::new(&self.config.base, 1000 + index);
+        replica.set_track(Track::DecodeReplica(index as u32));
+        PoolReplica {
+            replica,
+            draining: false,
+            retired: false,
+            ready_at_s,
+        }
+    }
+
+    /// Integrates the provisioned-capacity cost up to `t`.
+    fn account_to(&mut self, t: f64) {
+        let dt = t - self.last_account_s;
+        if dt > 0.0 {
+            let provisioned = self
+                .prefill
+                .iter()
+                .chain(self.decode.iter())
+                .filter(|p| p.provisioned())
+                .count();
+            self.replica_seconds += dt * provisioned as f64;
+            self.last_account_s = t;
+        }
+    }
+
+    /// Routes a fresh arrival (the caller feeds arrivals in time order).
+    pub fn offer(&mut self, req: ServeRequest) {
+        let now = self.now_s.max(req.arrival_s);
+        self.account_to(now);
+        self.now_s = now;
+        let target = self.route_prefill(&req);
+        record(
+            ObsEvent::instant(now, Track::Frontend, EventKind::Arrival, req.id).with_args(
+                target.map(|i| i as f64).unwrap_or(-1.0),
+                req.prompt_len as f64,
+            ),
+        );
+        match target {
+            Some(i) => self.prefill[i].replica.enqueue(req, now),
+            None => self.orphans.push_back(FailoverRequest {
+                req,
+                generated: 0.0,
+                first_token_s: None,
+                admitted_s: None,
+                preemptions: 0,
+            }),
+        }
+    }
+
+    /// Prefix-affinity routing over the prefill pool: the accepting replica
+    /// holding the most resident blocks of the request's prefix wins (ties to
+    /// the lowest index); with no resident hit anywhere, least outstanding
+    /// prefill tokens. `None` when no prefill replica is accepting.
+    fn route_prefill(&mut self, req: &ServeRequest) -> Option<usize> {
+        let now = self.now_s;
+        let eligible: Vec<bool> = self.prefill.iter().map(|p| p.accepting(now)).collect();
+        if !eligible.iter().any(|&e| e) {
+            return None;
+        }
+        if req.prefix_id != 0 {
+            let best = self
+                .prefill
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| eligible[*i])
+                .map(|(i, p)| (p.replica.resident_prefix_blocks(req.prefix_id), i))
+                .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+                .expect("an accepting replica exists");
+            if best.0 > 0 {
+                return Some(best.1);
+            }
+        }
+        let loads: Vec<_> = self.prefill.iter().map(|p| p.replica.load()).collect();
+        Some(self.fallback.pick_among(&loads, Some(&eligible)))
+    }
+
+    /// Re-routes a crash-drained (or orphaned) request back through prefill.
+    fn deliver_failover(&mut self, fo: FailoverRequest, now: f64) {
+        match self.route_prefill(&fo.req) {
+            Some(i) => {
+                self.requeued += 1;
+                self.prefill[i].replica.enqueue_failover(fo, now);
+            }
+            None => self.orphans.push_back(fo),
+        }
+    }
+
+    /// Drains fresh handoffs from a prefill replica into the dispatch queue.
+    fn collect_handoffs(&mut self, source: usize) {
+        for entry in self.prefill[source].replica.take_handoffs() {
+            self.pending.push_back((entry, source));
+        }
+    }
+
+    /// Dispatches pending handoffs FIFO onto the link: each goes to the
+    /// accepting decode replica with the least outstanding work (decode load
+    /// plus blocks already bound its way) that can reserve the sequence's
+    /// blocks. Strictly FIFO: an infeasible head blocks the queue (KV ordering
+    /// is part of the determinism contract).
+    fn dispatch_pending(&mut self, now: f64) {
+        while let Some((entry, _source)) = self.pending.front() {
+            let entry = *entry;
+            let mut best: Option<(u64, usize, usize)> = None; // (score, dest, blocks)
+            for (j, p) in self.decode.iter().enumerate() {
+                if !p.accepting(now) {
+                    continue;
+                }
+                let bound = self
+                    .in_flight
+                    .iter()
+                    .filter(|t| t.dest == j)
+                    .collect::<Vec<_>>();
+                let Some(blocks) = p.replica.plan_inbound(&entry, bound.len()) else {
+                    continue;
+                };
+                let bound_tokens: u64 = bound
+                    .iter()
+                    .map(|t| (t.reserved_blocks * self.block_size()) as u64)
+                    .sum();
+                let score = p.replica.load().outstanding_tokens + bound_tokens;
+                if best.map(|(s, d, _)| (score, j) < (s, d)).unwrap_or(true) {
+                    best = Some((score, j, blocks));
+                }
+            }
+            let Some((_score, dest, blocks)) = best else {
+                break;
+            };
+            let (entry, source) = self.pending.pop_front().expect("front exists");
+            self.decode[dest].replica.reserve_inbound(blocks);
+            let (start_s, finish_s) = self.link.schedule(now, entry.wire_blocks);
+            self.in_flight.push_back(InFlightTransfer {
+                entry,
+                source,
+                dest,
+                reserved_blocks: blocks,
+                start_s,
+                finish_s,
+            });
+        }
+    }
+
+    fn block_size(&self) -> usize {
+        self.config
+            .base
+            .kv_accounting
+            .block_size()
+            .expect("validated paged")
+    }
+
+    /// Lands the front in-flight transfer (its `finish_s` is due now).
+    fn land_transfer(&mut self, now: f64) {
+        let t = self.in_flight.pop_front().expect("a transfer is due");
+        record(
+            ObsEvent::span(
+                t.start_s,
+                t.finish_s - t.start_s,
+                Track::TransferLink,
+                EventKind::Transfer,
+                t.entry.req.id,
+            )
+            .with_args(t.entry.wire_blocks as f64, t.dest as f64),
+        );
+        // The source stayed up (a source crash aborts its transfers), so its
+        // outbound charge releases exactly as the destination's reservation
+        // converts into a running footprint.
+        self.prefill[t.source]
+            .replica
+            .complete_outbound(t.entry.source_blocks);
+        self.prefill[t.source].replica.kick(now);
+        self.decode[t.dest]
+            .replica
+            .deliver_migrated(t.entry, t.reserved_blocks, now);
+        self.check_retirements(now);
+        self.dispatch_pending(now);
+    }
+
+    /// Crashes prefill replica `i`: its held requests (queue, running batch,
+    /// un-dispatched handoffs) fail over, its pending and in-flight migrations
+    /// are aborted — the KV lived in the crashed pool — and every affected
+    /// request is re-routed through the surviving prefill replicas for a fresh
+    /// prefill.
+    fn crash_prefill(&mut self, i: usize, now: f64) {
+        self.crashes += 1;
+        let mut failovers = self.prefill[i].replica.crash(now);
+        // Pending handoffs whose KV died with the source.
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        for (entry, source) in std::mem::take(&mut self.pending) {
+            if source == i {
+                failovers.push(Self::migration_failover(entry));
+            } else {
+                kept.push_back((entry, source));
+            }
+        }
+        self.pending = kept;
+        // In-flight transfers from the dead source: release the destination's
+        // reservation and re-queue the request.
+        let mut kept = VecDeque::with_capacity(self.in_flight.len());
+        for t in std::mem::take(&mut self.in_flight) {
+            if t.source == i {
+                self.aborted_transfers += 1;
+                self.link.note_abort();
+                record(
+                    ObsEvent::instant(
+                        now,
+                        Track::TransferLink,
+                        EventKind::TransferAbort,
+                        t.entry.req.id,
+                    )
+                    .with_args(t.entry.wire_blocks as f64, 0.0),
+                );
+                if self.decode[t.dest].replica.is_up() {
+                    self.decode[t.dest]
+                        .replica
+                        .cancel_inbound(t.reserved_blocks);
+                }
+                failovers.push(Self::migration_failover(t.entry));
+            } else {
+                kept.push_back(t);
+            }
+        }
+        self.in_flight = kept;
+        for fo in failovers {
+            self.deliver_failover(fo, now);
+        }
+        self.dispatch_pending(now);
+    }
+
+    /// Crashes decode replica `j`: running/arriving sequences fail over for a
+    /// fresh prefill; in-flight transfers to it are aborted with the request
+    /// going back to the *front* of the dispatch queue — its KV is still
+    /// intact on the source, which keeps the outbound charge until a retry
+    /// lands elsewhere.
+    fn crash_decode(&mut self, j: usize, now: f64) {
+        self.crashes += 1;
+        let failovers = self.decode[j].replica.crash(now);
+        let mut retry: Vec<(MigratedEntry, usize)> = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.in_flight.len());
+        for t in std::mem::take(&mut self.in_flight) {
+            if t.dest == j {
+                self.aborted_transfers += 1;
+                self.link.note_abort();
+                record(
+                    ObsEvent::instant(
+                        now,
+                        Track::TransferLink,
+                        EventKind::TransferAbort,
+                        t.entry.req.id,
+                    )
+                    .with_args(t.entry.wire_blocks as f64, 1.0),
+                );
+                retry.push((t.entry, t.source));
+            } else {
+                kept.push_back(t);
+            }
+        }
+        self.in_flight = kept;
+        for item in retry.into_iter().rev() {
+            self.pending.push_front(item);
+        }
+        for fo in failovers {
+            self.deliver_failover(fo, now);
+        }
+        self.dispatch_pending(now);
+    }
+
+    /// A migration whose KV was lost: back through prefill, with the
+    /// preemption counter charged for the forced recompute.
+    fn migration_failover(entry: MigratedEntry) -> FailoverRequest {
+        FailoverRequest {
+            req: entry.req,
+            generated: entry.generated,
+            first_token_s: None,
+            admitted_s: Some(entry.admitted_s),
+            preemptions: entry.preemptions + 1,
+        }
+    }
+
+    /// Crashes the replica at global fault index `idx` (`< initial prefill
+    /// size` → prefill pool, else decode pool, both by initial numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn crash_replica(&mut self, idx: usize, now: f64) {
+        self.advance_now(now);
+        if idx < self.initial_prefill {
+            self.crash_prefill(idx, now);
+        } else {
+            self.crash_decode(idx - self.initial_prefill, now);
+        }
+    }
+
+    /// Restarts the replica at global fault index `idx` and drains any parked
+    /// orphans back into routing.
+    pub fn restart_replica(&mut self, idx: usize, now: f64) {
+        self.advance_now(now);
+        self.restarts += 1;
+        if idx < self.initial_prefill {
+            self.prefill[idx].replica.restart(now);
+        } else {
+            self.decode[idx - self.initial_prefill].replica.restart(now);
+        }
+        while let Some(fo) = self.orphans.pop_front() {
+            match self.route_prefill(&fo.req) {
+                Some(i) => {
+                    self.requeued += 1;
+                    self.prefill[i].replica.enqueue_failover(fo, now);
+                }
+                None => {
+                    self.orphans.push_front(fo);
+                    break;
+                }
+            }
+        }
+        self.dispatch_pending(now);
+    }
+
+    /// Sets the straggler factor of the replica at global fault index `idx`.
+    pub fn set_slow_factor(&mut self, idx: usize, factor: f64) {
+        if idx < self.initial_prefill {
+            self.prefill[idx].replica.set_slow_factor(factor);
+        } else {
+            self.decode[idx - self.initial_prefill]
+                .replica
+                .set_slow_factor(factor);
+        }
+    }
+
+    /// Whether any request is still queued, running, on the wire, or parked.
+    pub fn has_work(&self) -> bool {
+        !self.in_flight.is_empty()
+            || !self.pending.is_empty()
+            || !self.orphans.is_empty()
+            || self
+                .prefill
+                .iter()
+                .chain(self.decode.iter())
+                .any(|p| p.replica.has_work())
+    }
+
+    /// The next event due: `(time, class, index)` with the deterministic
+    /// same-time order transfer < prefill step < decode step < tick.
+    fn next_event(&self, include_ticks: bool) -> Option<(f64, u8, usize)> {
+        let mut best: Option<(f64, u8, usize)> = None;
+        let mut consider = |t: f64, class: u8, idx: usize| {
+            if t == f64::MAX {
+                return;
+            }
+            let better = match best {
+                None => true,
+                Some((bt, bc, bi)) => t < bt || (t == bt && (class, idx) < (bc, bi)),
+            };
+            if better {
+                best = Some((t, class, idx));
+            }
+        };
+        if let Some(t) = self.in_flight.front() {
+            consider(t.finish_s, CLASS_TRANSFER, 0);
+        }
+        for (i, p) in self.prefill.iter().enumerate() {
+            consider(p.replica.next_event_s(), CLASS_PREFILL, i);
+        }
+        for (j, p) in self.decode.iter().enumerate() {
+            consider(p.replica.next_event_s(), CLASS_DECODE, j);
+        }
+        if include_ticks {
+            if let Some(a) = &self.config.autoscale {
+                consider((self.ticks + 1) as f64 * a.interval_s, CLASS_TICK, 0);
+            }
+        }
+        best
+    }
+
+    /// Simulated time of the next due event — transfer landing, pool step, or
+    /// autoscaler tick — or infinity when the cluster is idle (the external
+    /// driver loop's clock, mirroring `ServeSim::next_event_s`).
+    pub fn next_event_s(&self) -> f64 {
+        self.next_event(self.has_work())
+            .map(|(t, _, _)| t)
+            .unwrap_or(f64::MAX)
+    }
+
+    /// Advances the clock without processing events (the caller guarantees no
+    /// event lies in between — used when injecting faults).
+    pub fn advance_now(&mut self, t: f64) {
+        if t > self.now_s {
+            self.account_to(t);
+            self.now_s = t;
+        }
+    }
+
+    /// Processes every event strictly before `t`, then advances to `t`.
+    pub fn advance_before(&mut self, t: f64) {
+        while let Some((et, class, idx)) = self.next_event(true) {
+            if et >= t || self.events >= MAX_EVENTS {
+                break;
+            }
+            self.events += 1;
+            self.account_to(et);
+            self.now_s = self.now_s.max(et);
+            match class {
+                CLASS_TRANSFER => self.land_transfer(et),
+                CLASS_PREFILL => {
+                    self.prefill[idx].replica.on_step_complete(et);
+                    self.collect_handoffs(idx);
+                    self.check_retirements(et);
+                    self.dispatch_pending(et);
+                }
+                CLASS_DECODE => {
+                    self.decode[idx].replica.on_step_complete(et);
+                    self.check_retirements(et);
+                    self.dispatch_pending(et);
+                }
+                _ => self.autoscale_tick(et),
+            }
+        }
+        self.advance_now(t);
+    }
+
+    /// Runs until every request has drained (autoscaler ticks stop firing once
+    /// the cluster is idle, so this terminates).
+    pub fn run_until_drained(&mut self) {
+        loop {
+            let include_ticks = self.has_work();
+            let Some((et, class, idx)) = self.next_event(include_ticks) else {
+                break;
+            };
+            if self.events >= MAX_EVENTS {
+                break;
+            }
+            self.events += 1;
+            self.account_to(et);
+            self.now_s = self.now_s.max(et);
+            match class {
+                CLASS_TRANSFER => self.land_transfer(et),
+                CLASS_PREFILL => {
+                    self.prefill[idx].replica.on_step_complete(et);
+                    self.collect_handoffs(idx);
+                    self.check_retirements(et);
+                    self.dispatch_pending(et);
+                }
+                CLASS_DECODE => {
+                    self.decode[idx].replica.on_step_complete(et);
+                    self.check_retirements(et);
+                    self.dispatch_pending(et);
+                }
+                _ => self.autoscale_tick(et),
+            }
+        }
+    }
+
+    /// One autoscaler decision: at most one action per pool, driven by
+    /// per-active-replica signals. Scale-up first re-activates a draining
+    /// replica (free), else spawns a fresh one after the warm-up delay;
+    /// scale-down drains the highest-index active replica.
+    fn autoscale_tick(&mut self, now: f64) {
+        self.ticks += 1;
+        let a = *self.config.autoscale.as_ref().expect("ticks imply config");
+
+        // Prefill pool: queue-depth signal.
+        let active: Vec<usize> = (0..self.prefill.len())
+            .filter(|&i| self.prefill[i].accepting(now))
+            .collect();
+        if !active.is_empty() {
+            let queued: usize = active
+                .iter()
+                .map(|&i| self.prefill[i].replica.load().queued)
+                .sum();
+            let per = queued as f64 / active.len() as f64;
+            let provisioned = self.prefill.iter().filter(|p| p.provisioned()).count();
+            if per > a.prefill_queue_high && provisioned < a.max_prefill {
+                self.scale_up(Pool::Prefill, now);
+            } else if per < a.prefill_queue_low && active.len() > a.min_prefill {
+                self.scale_down(Pool::Prefill, &active, now);
+            }
+        }
+
+        // Decode pool: outstanding-token signal (decode work plus blocks
+        // already bound over the link).
+        let active: Vec<usize> = (0..self.decode.len())
+            .filter(|&j| self.decode[j].accepting(now))
+            .collect();
+        if !active.is_empty() {
+            let mut outstanding: u64 = active
+                .iter()
+                .map(|&j| self.decode[j].replica.load().outstanding_tokens)
+                .sum();
+            outstanding += self
+                .in_flight
+                .iter()
+                .map(|t| (t.reserved_blocks * self.block_size()) as u64)
+                .sum::<u64>();
+            let per = outstanding as f64 / active.len() as f64;
+            let provisioned = self.decode.iter().filter(|p| p.provisioned()).count();
+            if per > a.decode_tokens_high && provisioned < a.max_decode {
+                self.scale_up(Pool::Decode, now);
+            } else if per < a.decode_tokens_low && active.len() > a.min_decode {
+                self.scale_down(Pool::Decode, &active, now);
+            }
+        }
+
+        self.check_retirements(now);
+        self.dispatch_pending(now);
+    }
+
+    fn scale_up(&mut self, pool: Pool, now: f64) {
+        self.scale_ups += 1;
+        let a = self.config.autoscale.as_ref().expect("autoscale on");
+        let members = match pool {
+            Pool::Prefill => &mut self.prefill,
+            Pool::Decode => &mut self.decode,
+        };
+        // Cheapest capacity first: cancel an in-progress drain.
+        if let Some(i) = (0..members.len()).find(|&i| members[i].draining && !members[i].retired) {
+            members[i].draining = false;
+            members[i].replica.kick(now);
+            record(
+                ObsEvent::instant(now, Track::Autoscaler, EventKind::ScaleUp, NO_REQ)
+                    .with_args(i as f64, pool.arg()),
+            );
+            return;
+        }
+        let index = members.len();
+        let ready = now + a.spawn_delay_s;
+        let fresh = match pool {
+            Pool::Prefill => self.spawn_prefill(index, ready),
+            Pool::Decode => self.spawn_decode(index, ready),
+        };
+        match pool {
+            Pool::Prefill => self.prefill.push(fresh),
+            Pool::Decode => self.decode.push(fresh),
+        }
+        record(
+            ObsEvent::instant(now, Track::Autoscaler, EventKind::ScaleUp, NO_REQ)
+                .with_args(index as f64, pool.arg()),
+        );
+    }
+
+    fn scale_down(&mut self, pool: Pool, active: &[usize], now: f64) {
+        self.scale_downs += 1;
+        let victim = *active.last().expect("non-empty active set");
+        let members = match pool {
+            Pool::Prefill => &mut self.prefill,
+            Pool::Decode => &mut self.decode,
+        };
+        members[victim].draining = true;
+        record(
+            ObsEvent::instant(now, Track::Autoscaler, EventKind::ScaleDown, NO_REQ)
+                .with_args(victim as f64, pool.arg()),
+        );
+    }
+
+    /// Retires draining replicas that are empty and unreferenced by any
+    /// pending or in-flight migration (drain-before-retire).
+    fn check_retirements(&mut self, now: f64) {
+        for i in 0..self.prefill.len() {
+            let p = &self.prefill[i];
+            if p.draining
+                && !p.retired
+                && !p.replica.has_work()
+                && !self.in_flight.iter().any(|t| t.source == i)
+                && !self.pending.iter().any(|(_, s)| *s == i)
+            {
+                self.retires += 1;
+                self.prefill[i].retired = true;
+                record(
+                    ObsEvent::instant(now, Track::Autoscaler, EventKind::Retire, NO_REQ)
+                        .with_args(i as f64, Pool::Prefill.arg()),
+                );
+            }
+        }
+        for j in 0..self.decode.len() {
+            let p = &self.decode[j];
+            if p.draining
+                && !p.retired
+                && !p.replica.has_work()
+                && !self.in_flight.iter().any(|t| t.dest == j)
+            {
+                self.retires += 1;
+                self.decode[j].retired = true;
+                record(
+                    ObsEvent::instant(now, Track::Autoscaler, EventKind::Retire, NO_REQ)
+                        .with_args(j as f64, Pool::Decode.arg()),
+                );
+            }
+        }
+    }
+
+    /// Requests still parked because no prefill replica is up.
+    pub fn orphaned(&self) -> usize {
+        self.orphans.len()
+    }
+
+    /// Crash-drained requests successfully re-routed.
+    pub fn requeued(&self) -> u64 {
+        self.requeued
+    }
+
+    /// `(crashes injected, restarts injected)`.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        (self.crashes, self.restarts)
+    }
+
+    /// Migrations abandoned mid-wire by crashes.
+    pub fn aborted_transfers(&self) -> u64 {
+        self.aborted_transfers
+    }
+
+    /// Ids of requests dropped at admission, across both pools.
+    pub fn dropped_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .prefill
+            .iter()
+            .chain(self.decode.iter())
+            .flat_map(|p| p.replica.dropped_ids().iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether the event-budget runaway guard tripped.
+    pub fn event_budget_exhausted(&self) -> bool {
+        self.events >= MAX_EVENTS
+    }
+
+    /// Per-pool structural conservation check (the chaos invariant), plus the
+    /// cross-pool in-flight balance: every inbound reservation in the decode
+    /// pool belongs to a scheduled transfer, and every outbound charge in the
+    /// prefill pool to a transfer or a not-yet-dispatched handoff.
+    pub fn kv_pool_check(&self) -> Result<(), String> {
+        for (i, p) in self.prefill.iter().enumerate() {
+            p.replica
+                .kv_pool_check()
+                .map_err(|e| format!("prefill {i}: {e}"))?;
+        }
+        for (j, p) in self.decode.iter().enumerate() {
+            p.replica
+                .kv_pool_check()
+                .map_err(|e| format!("decode {j}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Blocks neither free nor reclaimable across both pools (0 after drain).
+    pub fn kv_pool_leaked(&self) -> usize {
+        self.prefill
+            .iter()
+            .chain(self.decode.iter())
+            .map(|p| p.replica.kv_pool_leaked())
+            .sum()
+    }
+
+    /// Peak KV blocks and budget per replica, for the budget invariant:
+    /// `(pool label, index, peak blocks, budget blocks)`.
+    pub fn kv_peaks(&self) -> Vec<(&'static str, usize, usize, usize)> {
+        let mut out = Vec::new();
+        for (i, p) in self.prefill.iter().enumerate() {
+            out.push((
+                "prefill",
+                i,
+                p.replica.peak_kv_blocks(),
+                p.replica.kv_block_budget(),
+            ));
+        }
+        for (j, p) in self.decode.iter().enumerate() {
+            out.push((
+                "decode",
+                j,
+                p.replica.peak_kv_blocks(),
+                p.replica.kv_block_budget(),
+            ));
+        }
+        out
+    }
+
+    /// Final report over both pools (SLO from the base config).
+    pub fn into_report(mut self) -> ClusterReport {
+        let slo = self.config.base.slo;
+        let mut completed = Vec::new();
+        let mut dropped = 0usize;
+        for p in self.prefill.iter_mut().chain(self.decode.iter_mut()) {
+            completed.extend(p.replica.take_completed());
+            dropped += p.replica.dropped();
+        }
+        let makespan = completed.iter().map(|r| r.finish_s).fold(0.0f64, f64::max);
+        self.account_to(makespan.max(self.now_s));
+        let stats: Vec<_> = self
+            .prefill
+            .iter()
+            .chain(self.decode.iter())
+            .map(|p| p.replica.stats(makespan))
+            .collect();
+        let serve = ServeReport::build(completed, dropped, stats, slo);
+        let span = self.last_account_s.max(1e-9);
+        let avg_active_replicas = self.replica_seconds / span;
+        let goodput_per_replica = serve.goodput_rps / avg_active_replicas.max(1e-9);
+        ClusterReport {
+            prefill_replicas: self.prefill.iter().filter(|p| p.provisioned()).count(),
+            decode_replicas: self.decode.iter().filter(|p| p.provisioned()).count(),
+            migrations: self.link.transfers(),
+            migrated_blocks: self.link.blocks_moved(),
+            aborted_transfers: self.aborted_transfers,
+            transfer_busy_s: self.link.busy_s(),
+            mean_transfer_s: self.link.mean_transfer_s(),
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            retires: self.retires,
+            avg_active_replicas,
+            goodput_per_replica,
+            serve,
+        }
+    }
+}
+
+/// Runs a full disaggregated simulation over a pre-sorted arrival stream,
+/// mirroring [`crate::frontend::simulate_serving`].
+pub fn simulate_disagg(
+    config: DisaggConfig,
+    arrivals: &[tlt_workload::RequestArrival],
+) -> ClusterReport {
+    let mut sim = ClusterSim::new(config);
+    for arrival in arrivals {
+        sim.advance_before(arrival.time_s());
+        sim.offer(ServeRequest::from_arrival(arrival));
+    }
+    sim.run_until_drained();
+    sim.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlt_gpusim::{GpuType, LlmCostModel};
+    use tlt_model::ModelSpec;
+    use tlt_workload::{generate_arrivals, ArrivalConfig};
+
+    fn base_config(seed: u64) -> ServeConfig {
+        let cost = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1);
+        let mut config = ServeConfig::new(cost, 1).with_paged_kv(16);
+        config.kv_memory_fraction = 0.25;
+        config.max_output_tokens = 256;
+        config.seed = seed;
+        config
+    }
+
+    fn request(id: u64, arrival_s: f64, prompt: usize, output: usize) -> ServeRequest {
+        ServeRequest {
+            id,
+            arrival_s,
+            prompt_len: prompt,
+            output_len: output,
+            prefix_id: 0,
+            prefix_len: 0,
+        }
+    }
+
+    #[test]
+    fn disagg_serves_everything_with_zero_recompute_and_no_leaks() {
+        let arrivals = generate_arrivals(&ArrivalConfig::constant(6.0, 8.0, 42));
+        let mut sim = ClusterSim::new(DisaggConfig::new(base_config(42), 2, 2));
+        for a in &arrivals {
+            sim.advance_before(a.time_s());
+            sim.offer(ServeRequest::from_arrival(a));
+        }
+        sim.run_until_drained();
+        assert!(!sim.has_work(), "cluster drained");
+        assert!(sim.kv_pool_check().is_ok());
+        assert_eq!(sim.kv_pool_leaked(), 0, "all blocks free after drain");
+        let report = sim.into_report();
+        assert_eq!(
+            report.serve.completed.len() + report.serve.dropped,
+            arrivals.len()
+        );
+        assert_eq!(report.aborted_transfers, 0);
+        // Every completion crossed the link exactly once (no crash retries).
+        assert_eq!(report.migrations, report.serve.completed.len() as u64);
+        let (prefill_out, prefill_done): (u64, usize) = report
+            .serve
+            .replicas
+            .iter()
+            .filter(|r| r.replica < 1000)
+            .map(|r| (r.migrations_out, r.completed))
+            .fold((0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1));
+        assert_eq!(prefill_done, 0, "prefill replicas never decode");
+        assert_eq!(prefill_out, report.migrations);
+        let decode_in: u64 = report
+            .serve
+            .replicas
+            .iter()
+            .filter(|r| r.replica >= 1000)
+            .map(|r| r.migrations_in)
+            .sum();
+        assert_eq!(decode_in, report.migrations);
+        // Zero recompute: nothing that only migrated is charged a preemption.
+        assert!(report.serve.completed.iter().all(|r| r.preemptions == 0));
+        assert!(report.avg_active_replicas > 3.9 && report.avg_active_replicas < 4.1);
+        assert!(report.goodput_per_replica > 0.0);
+    }
+
+    #[test]
+    fn disagg_runs_are_bit_identical_per_seed() {
+        let arrivals =
+            generate_arrivals(&ArrivalConfig::constant(8.0, 6.0, 7).with_prefix(0.5, 256));
+        let run = || simulate_disagg(DisaggConfig::new(base_config(7), 2, 2), &arrivals);
+        let (a, b) = (run(), run());
+        assert_eq!(a.serve.completed, b.serve.completed);
+        assert_eq!(a.serve.replicas, b.serve.replicas);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.migrated_blocks, b.migrated_blocks);
+        assert_eq!(a.transfer_busy_s.to_bits(), b.transfer_busy_s.to_bits());
+        assert_eq!(
+            a.goodput_per_replica.to_bits(),
+            b.goodput_per_replica.to_bits()
+        );
+    }
+
+    #[test]
+    fn prefix_affinity_concentrates_a_shared_prefix_on_one_prefill_replica() {
+        // All requests share prefix group 1; once the first prefill leaves the
+        // group's blocks resident on the replica that ran it, every later
+        // arrival must follow them there, whatever the load spread says.
+        let mut sim = ClusterSim::new(DisaggConfig::new(base_config(3), 2, 2));
+        for i in 0..12u64 {
+            let mut req = request(i, i as f64 * 0.4, 512, 32);
+            req.prefix_id = 1;
+            req.prefix_len = 256;
+            sim.advance_before(req.arrival_s);
+            sim.offer(req);
+        }
+        sim.run_until_drained();
+        let report = sim.into_report();
+        assert_eq!(report.serve.completed.len(), 12);
+        let outs: Vec<u64> = report
+            .serve
+            .replicas
+            .iter()
+            .filter(|r| r.replica < 1000)
+            .map(|r| r.migrations_out)
+            .collect();
+        assert_eq!(outs, vec![12, 0], "affinity pins the group to replica 0");
+        let hit = report
+            .serve
+            .replicas
+            .iter()
+            .find(|r| r.replica == 0)
+            .expect("prefill 0")
+            .prefix_hit_rate;
+        assert!(hit > 0.3, "resident prefix served repeatedly, got {hit}");
+    }
+
+    #[test]
+    fn source_crash_mid_transfer_fails_over_losslessly() {
+        let config = DisaggConfig::new(base_config(11), 2, 1).with_link(TransferLinkConfig {
+            bandwidth_gbps: 50.0,
+            latency_s: 0.5, // long enough to crash mid-wire
+        });
+        let mut sim = ClusterSim::new(config);
+        sim.offer(request(0, 0.0, 512, 32));
+        sim.advance_before(0.3); // prefill done, transfer on the wire
+        assert_eq!(sim.in_flight.len(), 1, "transfer must be in flight");
+        sim.crash_replica(0, 0.3); // the source (least-tokens routing picks 0)
+        sim.run_until_drained();
+        assert_eq!(sim.aborted_transfers(), 1);
+        assert_eq!(sim.kv_pool_leaked(), 0);
+        let report = sim.into_report();
+        assert_eq!(
+            report.serve.completed.len(),
+            1,
+            "request survives the crash"
+        );
+        assert_eq!(
+            report.serve.completed[0].preemptions, 1,
+            "the lost KV costs one recompute"
+        );
+    }
+
+    #[test]
+    fn dest_crash_mid_transfer_retries_without_recompute() {
+        let config = DisaggConfig::new(base_config(13), 1, 1).with_link(TransferLinkConfig {
+            bandwidth_gbps: 50.0,
+            latency_s: 0.5,
+        });
+        let mut sim = ClusterSim::new(config);
+        sim.offer(request(0, 0.0, 512, 32));
+        sim.advance_before(0.3);
+        assert_eq!(sim.in_flight.len(), 1, "transfer must be in flight");
+        sim.crash_replica(1, 0.3); // global index 1 = decode 0
+        assert_eq!(sim.pending.len(), 1, "entry back at the dispatch front");
+        sim.restart_replica(1, 0.6); // retry dispatches on restart
+        sim.run_until_drained();
+        assert_eq!(sim.aborted_transfers(), 1);
+        assert_eq!(sim.kv_pool_leaked(), 0);
+        let report = sim.into_report();
+        assert_eq!(report.serve.completed.len(), 1);
+        assert_eq!(
+            report.serve.completed[0].preemptions, 0,
+            "the KV never left the source: the retry needs no recompute"
+        );
+        assert_eq!(report.migrations, 2, "original transfer plus the retry");
+    }
+
+    #[test]
+    fn autoscaler_grows_under_load_and_drains_back_to_the_floor() {
+        let autoscale = AutoscaleConfig {
+            interval_s: 0.5,
+            min_prefill: 1,
+            max_prefill: 4,
+            min_decode: 1,
+            max_decode: 4,
+            prefill_queue_high: 2.0,
+            prefill_queue_low: 0.25,
+            decode_tokens_high: 4_000.0,
+            decode_tokens_low: 200.0,
+            spawn_delay_s: 0.25,
+        };
+        let config = DisaggConfig::new(base_config(5), 1, 1).with_autoscale(autoscale);
+        // 40 rps floods a 1+1 cluster (one H100 decode replica sustains about
+        // a third of that), so both pools must grow, then drain on the tail.
+        let arrivals = generate_arrivals(&ArrivalConfig::constant(40.0, 4.0, 5));
+        let report = simulate_disagg(config, &arrivals);
+        assert_eq!(
+            report.serve.completed.len() + report.serve.dropped,
+            arrivals.len()
+        );
+        assert!(report.scale_ups > 0, "the burst must trigger growth");
+        assert!(
+            report.scale_downs > 0 && report.retires > 0,
+            "the drain tail must shrink the pools again (downs {}, retires {})",
+            report.scale_downs,
+            report.retires
+        );
+        assert!(
+            report.avg_active_replicas > 2.0,
+            "capacity grew, got {}",
+            report.avg_active_replicas
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "paged KV accounting")]
+    fn token_accounting_is_rejected() {
+        let cost = LlmCostModel::new(ModelSpec::qwen2_5_7b(), GpuType::H100.spec(), 1);
+        DisaggConfig::new(ServeConfig::new(cost, 1), 1, 1);
+    }
+}

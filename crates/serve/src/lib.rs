@@ -35,15 +35,19 @@
 #![forbid(unsafe_code)]
 
 pub mod balancer;
+pub mod cluster;
 pub mod config;
 pub mod frontend;
 pub mod metrics;
 pub mod replica;
 pub mod request;
+pub mod transfer;
 
 pub use balancer::{BalancerPolicy, LoadBalancer, ReplicaLoad};
+pub use cluster::{simulate_disagg, AutoscaleConfig, ClusterReport, ClusterSim, DisaggConfig};
 pub use config::{KvAccounting, ServeConfig};
 pub use frontend::{simulate_serving, simulate_serving_traced, ServeSim};
 pub use metrics::{percentile_f64, LatencySummary, ReplicaStats, ServeReport, SloSpec};
-pub use replica::{FailoverRequest, Replica};
+pub use replica::{FailoverRequest, MigratedEntry, Replica};
 pub use request::{CompletedRequest, ServeRequest};
+pub use transfer::{TransferLink, TransferLinkConfig};

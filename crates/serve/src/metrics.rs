@@ -144,6 +144,11 @@ pub struct ReplicaStats {
     pub pool_utilization: f64,
     /// Fraction of admitted prompt tokens served from resident prefix blocks.
     pub prefix_hit_rate: f64,
+    /// Sequences handed off to a decode replica after prefill (disaggregated
+    /// serving; 0 on monolithic replicas).
+    pub migrations_out: u64,
+    /// Migrated sequences landed on this replica (disaggregated serving).
+    pub migrations_in: u64,
 }
 
 /// Aggregate result of one serving simulation.
@@ -282,6 +287,8 @@ pub struct ReplicaMetrics {
     failovers: CounterHandle,
     prefix_hit_tokens: CounterHandle,
     admitted_prompt_tokens: CounterHandle,
+    migrations_out: CounterHandle,
+    migrations_in: CounterHandle,
     busy_s: SumHandle,
     peak_running: MaxGaugeHandle,
     peak_kv_tokens: MaxGaugeHandle,
@@ -309,6 +316,8 @@ impl ReplicaMetrics {
             failovers: registry.counter("failovers"),
             prefix_hit_tokens: registry.counter("prefix_hit_tokens"),
             admitted_prompt_tokens: registry.counter("admitted_prompt_tokens"),
+            migrations_out: registry.counter("migrations_out"),
+            migrations_in: registry.counter("migrations_in"),
             busy_s: registry.sum("busy_s"),
             peak_running: registry.max_gauge("peak_running"),
             peak_kv_tokens: registry.max_gauge("peak_kv_tokens"),
@@ -352,6 +361,16 @@ impl ReplicaMetrics {
     /// A crash-drained request was re-delivered to this replica.
     pub fn inc_failovers(&mut self) {
         self.registry.inc(self.failovers);
+    }
+
+    /// One prefilled sequence was handed off toward the decode pool.
+    pub fn inc_migrations_out(&mut self) {
+        self.registry.inc(self.migrations_out);
+    }
+
+    /// One migrated sequence landed on this replica.
+    pub fn inc_migrations_in(&mut self) {
+        self.registry.inc(self.migrations_in);
     }
 
     /// A step of `duration_s` completed.
@@ -407,6 +426,16 @@ impl ReplicaMetrics {
     /// Failover deliveries received.
     pub fn failovers(&self) -> u64 {
         self.registry.counter_value(self.failovers)
+    }
+
+    /// Sequences handed off toward the decode pool.
+    pub fn migrations_out(&self) -> u64 {
+        self.registry.counter_value(self.migrations_out)
+    }
+
+    /// Migrated sequences landed here.
+    pub fn migrations_in(&self) -> u64 {
+        self.registry.counter_value(self.migrations_in)
     }
 
     /// Seconds spent executing steps.

@@ -75,6 +75,27 @@ pub struct FailoverRequest {
     pub preemptions: u32,
 }
 
+/// A prefilled sequence handed off by a prefill-pool replica, to be migrated
+/// over the KV transfer link and resumed on a decode-pool replica with zero
+/// recompute. The source replica keeps `source_blocks` charged as outbound
+/// until the transfer lands (or aborts); `wire_blocks` is the full block
+/// footprint that physically crosses the link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigratedEntry {
+    /// The original request.
+    pub req: ServeRequest,
+    /// Output tokens already produced (normally 0 at a post-prefill handoff).
+    pub generated: f64,
+    /// When the request was first admitted into a prefill batch.
+    pub admitted_s: f64,
+    /// Preemption count carried across the handoff.
+    pub preemptions: u32,
+    /// Private blocks the source keeps charged as outbound while in flight.
+    pub source_blocks: usize,
+    /// Blocks transferred over the link (the sequence's whole footprint).
+    pub wire_blocks: usize,
+}
+
 /// A request in the running batch.
 #[derive(Debug, Clone)]
 struct RunningEntry {
@@ -171,6 +192,16 @@ pub struct Replica {
     metrics: ReplicaMetrics,
     dropped_ids: Vec<u64>,
     completed: Vec<CompletedRequest>,
+    /// Prefill-pool member of a disaggregated cluster: sequences are handed
+    /// off for migration when their prefill completes instead of decoding here.
+    prefill_only: bool,
+    /// Relabels the flight-recorder track for disaggregated pool replicas.
+    track_override: Option<Track>,
+    /// Prefilled sequences awaiting migration (drained by the cluster).
+    handoffs: Vec<MigratedEntry>,
+    /// Landed migrations waiting to join the batch at the next step boundary,
+    /// each with the inbound block reservation it converts on merge.
+    arriving: Vec<(RunningEntry, usize)>,
 }
 
 impl Replica {
@@ -214,12 +245,30 @@ impl Replica {
             metrics: ReplicaMetrics::new(),
             dropped_ids: Vec::new(),
             completed: Vec::new(),
+            prefill_only: false,
+            track_override: None,
+            handoffs: Vec::new(),
+            arriving: Vec::new(),
         }
     }
 
     /// The flight-recorder track for this replica.
     fn track(&self) -> Track {
-        Track::Replica(self.index as u32)
+        self.track_override
+            .unwrap_or(Track::Replica(self.index as u32))
+    }
+
+    /// Overrides the flight-recorder track (disaggregated pools relabel their
+    /// replicas as `prefill {i}` / `decode {j}`).
+    pub fn set_track(&mut self, track: Track) {
+        self.track_override = Some(track);
+    }
+
+    /// Marks this replica as a prefill-pool member: every sequence is handed
+    /// off for migration the moment its prefill completes, and admission
+    /// reserves only the prefill footprint (no decode-output reservation).
+    pub fn set_prefill_only(&mut self, prefill_only: bool) {
+        self.prefill_only = prefill_only;
     }
 
     /// Whether the replica is serving (false between [`Replica::crash`] and
@@ -288,6 +337,27 @@ impl Replica {
                 preemptions: entry.preemptions,
             });
         }
+        // Disaggregated state is lost with the pool: landed-but-unmerged
+        // migrations and prefilled sequences still awaiting handoff both need
+        // a fresh prefill elsewhere.
+        for (entry, _reserved) in std::mem::take(&mut self.arriving) {
+            drained.push(FailoverRequest {
+                req: entry.req,
+                generated: entry.generated,
+                first_token_s: entry.first_token_s,
+                admitted_s: Some(entry.admitted_s),
+                preemptions: entry.preemptions + 1,
+            });
+        }
+        for m in std::mem::take(&mut self.handoffs) {
+            drained.push(FailoverRequest {
+                req: m.req,
+                generated: m.generated,
+                first_token_s: None,
+                admitted_s: Some(m.admitted_s),
+                preemptions: m.preemptions + 1,
+            });
+        }
         drained
     }
 
@@ -339,6 +409,22 @@ impl Replica {
 
     /// Load snapshot for the balancer.
     pub fn load(&self) -> ReplicaLoad {
+        if self.prefill_only {
+            // A prefill-pool replica only owes prefill compute: the decode
+            // tokens belong to whichever decode replica the sequence lands on.
+            let queued: u64 = self.queue.iter().map(|e| e.prefill_tokens() as u64).sum();
+            let running: u64 = self
+                .running
+                .iter()
+                .filter(|e| e.prefill_pending)
+                .map(|e| e.req.prompt_len as u64)
+                .sum();
+            return ReplicaLoad {
+                queued: self.queue.len(),
+                running: self.running.len(),
+                outstanding_tokens: queued + running,
+            };
+        }
         let queued_tokens: u64 = self
             .queue
             .iter()
@@ -367,9 +453,14 @@ impl Replica {
         }
     }
 
-    /// Whether any work (queued, running, or in flight) remains.
+    /// Whether any work (queued, running, in flight, or awaiting a
+    /// disaggregated handoff / merge) remains.
     pub fn has_work(&self) -> bool {
-        self.step.is_some() || !self.queue.is_empty() || !self.running.is_empty()
+        self.step.is_some()
+            || !self.queue.is_empty()
+            || !self.running.is_empty()
+            || !self.arriving.is_empty()
+            || !self.handoffs.is_empty()
     }
 
     /// Accepts a request at time `now`, starting a step immediately if idle (and
@@ -407,12 +498,45 @@ impl Replica {
                     )
                     .with_args(batch as f64, self.queue.len() as f64),
                 );
+                let prefill_only = self.prefill_only;
                 for entry in &mut self.running {
                     if entry.prefill_pending {
                         entry.prefill_pending = false;
-                        if entry.first_token_s.is_none() {
+                        // A prefill-pool replica never produces an output
+                        // token: the first token arrives on the decode side,
+                        // after the migration.
+                        if !prefill_only && entry.first_token_s.is_none() {
                             entry.first_token_s = Some(now);
                         }
+                    }
+                }
+                if self.prefill_only {
+                    // Every running entry has now completed its prefill: hand
+                    // the whole batch off for migration. The shared-prefix
+                    // reference drops (the blocks stay resident as the
+                    // affinity cache) and the private footprint converts into
+                    // an outbound charge held until the transfer lands.
+                    for entry in std::mem::take(&mut self.running) {
+                        let (source_blocks, wire_blocks) = match self.ledger.as_mut() {
+                            Some(ledger) => {
+                                if entry.shared_tokens > 0 {
+                                    ledger.release_shared(entry.req.prefix_id);
+                                }
+                                let src = ledger.blocks_for(entry.private_tokens());
+                                ledger.begin_outbound(src);
+                                (src, ledger.blocks_for(entry.kv_tokens()))
+                            }
+                            None => (0, 0),
+                        };
+                        self.metrics.inc_migrations_out();
+                        self.handoffs.push(MigratedEntry {
+                            req: entry.req,
+                            generated: entry.generated,
+                            admitted_s: entry.admitted_s,
+                            preemptions: entry.preemptions,
+                            source_blocks,
+                            wire_blocks,
+                        });
                     }
                 }
             }
@@ -447,6 +571,11 @@ impl Replica {
                 self.running.retain_mut(|entry| {
                     let committed = tokens_per_seq.min(entry.remaining());
                     entry.generated += committed;
+                    // Migrated entries skip the local prefill, so their first
+                    // token is produced by their first decode commit here.
+                    if entry.first_token_s.is_none() {
+                        entry.first_token_s = Some(now);
+                    }
                     if entry.remaining() <= 1e-9 {
                         metrics.inc_completed();
                         record(
@@ -516,7 +645,7 @@ impl Replica {
     /// KV tokens a queued entry needs at admission time: its current footprint under
     /// optimistic admission, or the worst case under conservative admission.
     fn admission_need(&self, entry: &QueuedEntry) -> usize {
-        if self.config.preemption {
+        if self.prefill_only || self.config.preemption {
             entry.prefill_tokens()
         } else {
             entry.req.prompt_len + self.config.max_output_tokens
@@ -528,7 +657,7 @@ impl Replica {
         self.running
             .iter()
             .map(|e| {
-                if self.config.preemption {
+                if self.prefill_only || self.config.preemption {
                     e.kv_tokens()
                 } else {
                     e.req.prompt_len + self.config.max_output_tokens
@@ -551,7 +680,7 @@ impl Replica {
         self.running
             .iter()
             .map(|e| {
-                let tokens = if self.config.preemption {
+                let tokens = if self.prefill_only || self.config.preemption {
                     e.private_tokens()
                 } else {
                     e.req.prompt_len - e.shared_tokens + self.config.max_output_tokens
@@ -564,7 +693,10 @@ impl Replica {
     /// Actual blocks charged right now: per-entry private footprints (rounded
     /// up to whole blocks) plus the resident shared groups, charged once.
     fn blocks_in_use(&self, ledger: &BlockLedger) -> usize {
-        self.private_blocks_in_use(ledger) + ledger.shared_blocks()
+        self.private_blocks_in_use(ledger)
+            + ledger.shared_blocks()
+            + ledger.inbound_blocks()
+            + ledger.outbound_blocks()
     }
 
     /// Plans the paged admission of `entry` against the current reservations
@@ -582,7 +714,9 @@ impl Replica {
         // be admittable: drop it instead of wedging the queue (the paged
         // analogue of the token-mode impossibility rule, with the shared
         // prefix charged once).
-        let lone_private = if self.config.preemption {
+        let lone_private = if self.prefill_only {
+            entry.prefill_tokens() - shared
+        } else if self.config.preemption {
             entry.req.prompt_len - shared + entry.req.output_len
         } else {
             entry.req.prompt_len - shared + self.config.max_output_tokens
@@ -598,14 +732,24 @@ impl Replica {
         } else {
             0
         };
-        let private_need = if self.config.preemption {
+        let private_need = if self.prefill_only || self.config.preemption {
             entry.prefill_tokens() - shared
         } else {
             entry.req.prompt_len - shared + self.config.max_output_tokens
         };
         let private_blocks = ledger.blocks_for(private_need);
         let need = private_blocks + (shared_blocks - reused_blocks);
-        if reserved_private_blocks + ledger.shared_blocks() + need > budget {
+        // In-flight migrations hold real blocks: inbound reservations must not
+        // be handed out twice (a transfer landing mid-step would over-commit
+        // the pool) and outbound charges keep the source's KV pinned until the
+        // wire copy finishes.
+        if reserved_private_blocks
+            + ledger.shared_blocks()
+            + ledger.inbound_blocks()
+            + ledger.outbound_blocks()
+            + need
+            > budget
+        {
             return PagedAdmission::OverBudget;
         }
         // Reused resident blocks mean their KV is already materialised: the
@@ -861,6 +1005,15 @@ impl Replica {
     /// Chooses and schedules the next step at time `now` (idle if no work).
     fn start_step(&mut self, now: f64) {
         debug_assert!(self.step.is_none());
+        // Landed migrations join the batch at a step boundary: the inbound
+        // reservation converts into a regular private footprint (picked up by
+        // `sync_ledger` below) the moment the entry starts decoding.
+        for (entry, reserved) in std::mem::take(&mut self.arriving) {
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.commit_inbound(reserved);
+            }
+            self.running.push(entry);
+        }
         if self.config.preemption {
             self.preempt_until_fitting(now);
         }
@@ -1045,9 +1198,124 @@ impl Replica {
                     .filter(|g| g.refs > 0)
                     .map(|g| g.blocks)
                     .sum();
-                self.private_blocks_in_use(ledger) + referenced
+                self.private_blocks_in_use(ledger)
+                    + referenced
+                    + ledger.inbound_blocks()
+                    + ledger.outbound_blocks()
             }
             None => 0,
+        }
+    }
+
+    /// Drains the prefilled sequences awaiting migration to the decode pool.
+    pub fn take_handoffs(&mut self) -> Vec<MigratedEntry> {
+        std::mem::take(&mut self.handoffs)
+    }
+
+    /// Blocks of `prefix_id` resident in this replica's prefix cache (0 under
+    /// token accounting) — the affinity signal the cluster router uses.
+    pub fn resident_prefix_blocks(&self, prefix_id: u64) -> usize {
+        match &self.ledger {
+            Some(ledger) if prefix_id != 0 => ledger.resident_blocks_of(prefix_id),
+            _ => 0,
+        }
+    }
+
+    /// Plans the landing of a migrated sequence on this replica without
+    /// mutating anything: `Some(blocks)` is the inbound reservation to charge
+    /// via [`Replica::reserve_inbound`], `None` means the migration does not
+    /// fit right now. `pending_entries` counts migrations already bound for
+    /// this replica (reserved or on the wire) so the running-batch cap holds.
+    /// Mirrors the paged-admission arithmetic: worst case under conservative
+    /// admission, actual footprint under optimistic admission.
+    pub fn plan_inbound(&self, entry: &MigratedEntry, pending_entries: usize) -> Option<usize> {
+        if !self.up {
+            return None;
+        }
+        let ledger = self.ledger.as_ref()?;
+        if self.running.len() + self.arriving.len() + pending_entries
+            >= self.config.max_running_requests
+        {
+            return None;
+        }
+        let need_tokens = if self.config.preemption {
+            entry.req.prompt_len + entry.generated.ceil() as usize
+        } else {
+            entry.req.prompt_len + self.config.max_output_tokens
+        };
+        let blocks = ledger.blocks_for(need_tokens);
+        let charged = self.reserved_private_blocks(ledger)
+            + ledger.shared_blocks()
+            + ledger.inbound_blocks()
+            + ledger.outbound_blocks();
+        (charged + blocks <= ledger.capacity_blocks()).then_some(blocks)
+    }
+
+    /// Charges an inbound migration reservation (from [`Replica::plan_inbound`])
+    /// while the transfer is on the wire.
+    pub fn reserve_inbound(&mut self, blocks: usize) {
+        self.ledger
+            .as_mut()
+            .expect("paged accounting")
+            .reserve_inbound(blocks);
+    }
+
+    /// Releases an inbound reservation whose transfer was aborted. A crash
+    /// already wiped the ledger, so this is only for a live destination losing
+    /// its *source* mid-transfer.
+    pub fn cancel_inbound(&mut self, blocks: usize) {
+        self.ledger
+            .as_mut()
+            .expect("paged accounting")
+            .cancel_inbound(blocks);
+    }
+
+    /// Releases the source-side outbound charge once its transfer lands.
+    pub fn complete_outbound(&mut self, blocks: usize) {
+        self.ledger
+            .as_mut()
+            .expect("paged accounting")
+            .complete_outbound(blocks);
+    }
+
+    /// Restarts the step loop if the replica sits idle with work. A prefill
+    /// replica that handed off its whole batch can go idle with a non-empty
+    /// queue when admission is blocked by its own outbound charges; the
+    /// cluster kicks it when a landed transfer (or an autoscaler undrain)
+    /// frees that capacity, since no step-completion event would.
+    pub fn kick(&mut self, now: f64) {
+        if self.up && self.step.is_none() && self.has_work() {
+            self.start_step(now);
+        }
+    }
+
+    /// Lands a migrated sequence: it joins the batch at the next step boundary
+    /// with zero recompute (`prefill_pending` stays false), converting the
+    /// `reserved_blocks` charged at transfer start into its private footprint.
+    pub fn deliver_migrated(&mut self, entry: MigratedEntry, reserved_blocks: usize, now: f64) {
+        debug_assert!(self.up, "migrations only land on live replicas");
+        let kv_tokens = entry.req.prompt_len + entry.generated.ceil() as usize;
+        self.metrics.inc_migrations_in();
+        // The admission event of a migrated sequence: zero novel tokens to
+        // compute, the whole context arrives materialised over the wire.
+        record(
+            ObsEvent::instant(now, self.track(), EventKind::Admission, entry.req.id)
+                .with_args(0.0, kv_tokens as f64),
+        );
+        let running = RunningEntry {
+            req: entry.req,
+            generated: entry.generated,
+            first_token_s: None,
+            admitted_s: entry.admitted_s,
+            preemptions: entry.preemptions,
+            prefill_pending: false,
+            admit_seq: self.admit_seq,
+            shared_tokens: 0,
+        };
+        self.admit_seq += 1;
+        self.arriving.push((running, reserved_blocks));
+        if self.step.is_none() {
+            self.start_step(now);
         }
     }
 
@@ -1075,6 +1343,8 @@ impl Replica {
             peak_kv_blocks: self.peak_kv_blocks(),
             pool_utilization: self.ledger.as_ref().map_or(0.0, BlockLedger::utilization),
             prefix_hit_rate: self.prefix_hit_rate(),
+            migrations_out: self.metrics.migrations_out(),
+            migrations_in: self.metrics.migrations_in(),
         }
     }
 }
@@ -1678,5 +1948,108 @@ mod tests {
         let (end_b, completed_b) = run();
         assert_eq!(end_a, end_b);
         assert_eq!(completed_a, completed_b);
+    }
+
+    #[test]
+    fn inbound_migration_reservation_blocks_admission_until_released() {
+        // Pinned regression for in-flight-migration-aware admission: blocks
+        // reserved for a transfer still on the wire must be invisible to the
+        // admission planner, so a landing mid-step can never over-commit the
+        // pool. Before the fix, `plan_paged_admission` ignored the inbound
+        // charge and handed the same blocks to a queued request.
+        let cfg = config().with_paged_kv(16).with_preemption();
+        let mut replica = Replica::new(&cfg, 0);
+        let budget = replica.kv_block_budget();
+        assert!(budget > 8, "test needs a few blocks of headroom");
+        // A migration big enough to leave fewer blocks than the next request
+        // needs (under optimistic admission a 64+16 request takes 5 blocks).
+        let inbound = MigratedEntry {
+            req: request(100, 0.0, (budget - 2) * 16, 16),
+            generated: 0.0,
+            admitted_s: 0.0,
+            preemptions: 0,
+            source_blocks: budget - 2,
+            wire_blocks: budget - 2,
+        };
+        let reserved = replica
+            .plan_inbound(&inbound, 0)
+            .expect("migration fits an empty replica");
+        assert_eq!(reserved, budget - 2);
+        replica.reserve_inbound(reserved);
+        replica.enqueue(request(0, 0.0, 64, 16), 0.0);
+        let load = replica.load();
+        assert_eq!(
+            (load.running, load.queued),
+            (0, 1),
+            "the reservation must block admission"
+        );
+        // A second migration that would overflow must be refused outright.
+        assert_eq!(replica.plan_inbound(&inbound, 0), None);
+        // Releasing the reservation (the transfer aborted) frees the blocks.
+        replica.cancel_inbound(reserved);
+        replica.enqueue(request(1, 0.1, 64, 16), 0.1);
+        let load = replica.load();
+        assert_eq!((load.running, load.queued), (2, 0));
+        drain(&mut replica);
+        assert_eq!(replica.kv_pool_leaked(), 0);
+        assert_eq!(replica.take_completed().len(), 2);
+    }
+
+    #[test]
+    fn prefill_only_replica_hands_off_after_prefill() {
+        let cfg = config().with_paged_kv(16);
+        let mut replica = Replica::new(&cfg, 0);
+        replica.set_prefill_only(true);
+        replica.enqueue(request(0, 0.0, 256, 64), 0.0);
+        let t = replica.next_event_s();
+        assert!(t.is_finite());
+        replica.on_step_complete(t);
+        let handoffs = replica.take_handoffs();
+        assert_eq!(handoffs.len(), 1);
+        let m = &handoffs[0];
+        assert_eq!(m.req.id, 0);
+        assert_eq!(m.wire_blocks, 256usize.div_ceil(16));
+        assert_eq!(m.source_blocks, m.wire_blocks, "no shared prefix");
+        // The handed-off KV stays charged as outbound until the wire copy
+        // lands; completing the transfer frees it.
+        let stats = replica.pool_stats().expect("paged");
+        assert_eq!(stats.in_use_blocks, m.source_blocks);
+        assert!(replica.take_completed().is_empty(), "prefill never decodes");
+        replica.complete_outbound(m.source_blocks);
+        assert_eq!(replica.pool_stats().expect("paged").in_use_blocks, 0);
+        assert_eq!(replica.kv_pool_leaked(), 0);
+    }
+
+    #[test]
+    fn migrated_entry_decodes_with_zero_recompute() {
+        let cfg = config().with_paged_kv(16);
+        let mut replica = Replica::new(&cfg, 0);
+        let entry = MigratedEntry {
+            req: request(7, 0.0, 256, 32),
+            generated: 0.0,
+            admitted_s: 0.05,
+            preemptions: 0,
+            source_blocks: 16,
+            wire_blocks: 16,
+        };
+        let reserved = replica.plan_inbound(&entry, 0).expect("fits");
+        replica.reserve_inbound(reserved);
+        replica.deliver_migrated(entry, reserved, 0.2);
+        // The first step is a decode, not a prefill: zero recompute.
+        let t1 = replica.next_event_s();
+        assert!(t1.is_finite());
+        let end = drain(&mut replica);
+        let completed = replica.take_completed();
+        assert_eq!(completed.len(), 1);
+        let r = &completed[0];
+        assert_eq!(r.preemptions, 0);
+        assert_eq!(r.admitted_s, 0.05, "prefill-side admission time is kept");
+        assert_eq!(
+            r.first_token_s, t1,
+            "first token at the first decode commit"
+        );
+        assert!(end > 0.2);
+        assert_eq!(replica.kv_pool_leaked(), 0);
+        assert!(replica.kv_pool_check().is_ok());
     }
 }

@@ -1,0 +1,187 @@
+//! The simulated KV transfer link between the prefill and decode pools of a
+//! disaggregated cluster.
+//!
+//! A migration's wire time is costed from its physical size — block count ×
+//! block bytes — over a configurable bandwidth, plus a fixed per-transfer
+//! setup latency. The link is a single serial resource: transfers queue behind
+//! each other (`free_at_s`), which is what makes the link a real bottleneck a
+//! cluster can saturate, and what keeps transfer completion times a pure
+//! function of the schedule (bit-identical per seed).
+
+use serde::Serialize;
+
+/// Bandwidth/latency parameters of the pool-to-pool KV link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TransferLinkConfig {
+    /// Sustained link bandwidth in gigabytes per second.
+    pub bandwidth_gbps: f64,
+    /// Fixed per-transfer setup latency in seconds (handshake + block-table
+    /// exchange), paid before the first byte moves.
+    pub latency_s: f64,
+}
+
+impl Default for TransferLinkConfig {
+    /// An NVLink-class interconnect: 50 GB/s sustained, 2 ms setup.
+    fn default() -> Self {
+        TransferLinkConfig {
+            bandwidth_gbps: 50.0,
+            latency_s: 0.002,
+        }
+    }
+}
+
+impl TransferLinkConfig {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless bandwidth is finite and positive and latency is finite
+    /// and non-negative.
+    pub fn validate(&self) {
+        assert!(
+            self.bandwidth_gbps.is_finite() && self.bandwidth_gbps > 0.0,
+            "link bandwidth must be finite and positive"
+        );
+        assert!(
+            self.latency_s.is_finite() && self.latency_s >= 0.0,
+            "link latency must be finite and non-negative"
+        );
+    }
+}
+
+/// The serial transfer link, with its accounting.
+#[derive(Debug, Clone)]
+pub struct TransferLink {
+    config: TransferLinkConfig,
+    /// Bytes per KV block (all layers, keys + values), from the model spec.
+    block_bytes: f64,
+    /// Sim time at which the wire is next free.
+    free_at_s: f64,
+    transfers: u64,
+    blocks_moved: u64,
+    busy_s: f64,
+    aborted: u64,
+}
+
+impl TransferLink {
+    /// A link moving blocks of `block_bytes` bytes each.
+    pub fn new(config: TransferLinkConfig, block_bytes: usize) -> Self {
+        config.validate();
+        assert!(block_bytes > 0, "block bytes must be non-zero");
+        TransferLink {
+            config,
+            block_bytes: block_bytes as f64,
+            free_at_s: 0.0,
+            transfers: 0,
+            blocks_moved: 0,
+            busy_s: 0.0,
+            aborted: 0,
+        }
+    }
+
+    /// Wire time for one migration of `blocks` blocks.
+    pub fn transfer_time_s(&self, blocks: usize) -> f64 {
+        self.config.latency_s
+            + (blocks as f64 * self.block_bytes) / (self.config.bandwidth_gbps * 1e9)
+    }
+
+    /// Schedules a migration submitted at `now`: it starts when the wire frees
+    /// up and holds it for the whole transfer. Returns `(start_s, finish_s)`.
+    pub fn schedule(&mut self, now: f64, blocks: usize) -> (f64, f64) {
+        let start = now.max(self.free_at_s);
+        let duration = self.transfer_time_s(blocks);
+        let finish = start + duration;
+        self.free_at_s = finish;
+        self.transfers += 1;
+        self.blocks_moved += blocks as u64;
+        self.busy_s += duration;
+        (start, finish)
+    }
+
+    /// Records an in-flight migration abandoned by a source/destination crash.
+    /// The wire time already allocated is wasted, not reclaimed.
+    pub fn note_abort(&mut self) {
+        self.aborted += 1;
+    }
+
+    /// Migrations scheduled (including later-aborted ones).
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total blocks scheduled over the wire.
+    pub fn blocks_moved(&self) -> u64 {
+        self.blocks_moved
+    }
+
+    /// Total seconds the wire was held.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Migrations abandoned mid-wire by a crash.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Mean wire time per scheduled migration (0 when none ran).
+    pub fn mean_transfer_s(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.busy_s / self.transfers as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_bytes_over_bandwidth() {
+        let link = TransferLink::new(
+            TransferLinkConfig {
+                bandwidth_gbps: 10.0,
+                latency_s: 0.001,
+            },
+            1_000_000, // 1 MB blocks
+        );
+        // 100 blocks = 100 MB at 10 GB/s = 10 ms, plus 1 ms latency.
+        let t = link.transfer_time_s(100);
+        assert!((t - 0.011).abs() < 1e-12, "got {t}");
+    }
+
+    #[test]
+    fn link_serialises_concurrent_transfers() {
+        let mut link = TransferLink::new(
+            TransferLinkConfig {
+                bandwidth_gbps: 10.0,
+                latency_s: 0.0,
+            },
+            1_000_000,
+        );
+        let (s1, f1) = link.schedule(0.0, 100); // 10 ms
+        let (s2, f2) = link.schedule(0.001, 100); // submitted mid-wire
+        assert_eq!(s1, 0.0);
+        assert!((f1 - 0.010).abs() < 1e-12);
+        assert_eq!(s2, f1, "second transfer waits for the wire");
+        assert!((f2 - 0.020).abs() < 1e-12);
+        assert_eq!(link.transfers(), 2);
+        assert_eq!(link.blocks_moved(), 200);
+        assert!((link.busy_s() - 0.020).abs() < 1e-12);
+        assert!((link.mean_transfer_s() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_is_rejected() {
+        TransferLink::new(
+            TransferLinkConfig {
+                bandwidth_gbps: 0.0,
+                latency_s: 0.0,
+            },
+            1,
+        );
+    }
+}

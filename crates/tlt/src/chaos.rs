@@ -4,14 +4,21 @@
 //! job.
 
 pub use tlt_chaos::{
-    pinned_matrix, run_scenario, ChaosOutcome, FaultKind, InvariantReport, Scenario,
-    ScenarioBuilder, INVARIANTS,
+    disagg_matrix, pinned_matrix, run_disagg_scenario, run_scenario, ChaosOutcome,
+    DisaggChaosOutcome, DisaggScenario, DisaggScenarioBuilder, FaultKind, InvariantReport,
+    Scenario, ScenarioBuilder, INVARIANTS,
 };
 
 /// Runs every scenario in the pinned matrix and returns the outcomes in matrix
 /// order.
 pub fn run_chaos_matrix() -> Vec<ChaosOutcome> {
     tlt_chaos::run_pinned_matrix()
+}
+
+/// Runs every scenario in the pinned disaggregated-cluster matrix and returns
+/// the outcomes in matrix order.
+pub fn run_disagg_chaos_matrix() -> Vec<DisaggChaosOutcome> {
+    tlt_chaos::run_disagg_matrix()
 }
 
 /// One summary row per scenario: name, schedule, request accounting, fault
@@ -58,6 +65,53 @@ pub const CHAOS_SUMMARY_HEADER: [&str; 12] = [
     "verdict",
 ];
 
+/// One summary row per disaggregated-cluster scenario: name, schedule, pool
+/// shape, request and fault accounting, migration/transfer counters, the
+/// autoscaler decision log, and the invariant verdict.
+pub fn disagg_summary_rows(outcomes: &[DisaggChaosOutcome]) -> Vec<Vec<String>> {
+    outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.scenario.name.clone(),
+                o.scenario.schedule_label(),
+                format!(
+                    "{}P+{}D",
+                    o.scenario.prefill_replicas, o.scenario.decode_replicas
+                ),
+                format!("{}", o.arrivals),
+                format!("{}", o.completed),
+                format!("{}", o.dropped),
+                format!("{}", o.requeued),
+                format!("{}/{}", o.crashes, o.restarts),
+                format!("{}", o.report.migrations),
+                format!("{}", o.report.aborted_transfers),
+                format!(
+                    "{}/{}/{}",
+                    o.report.scale_ups, o.report.scale_downs, o.report.retires
+                ),
+                o.invariants.verdict(),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`disagg_summary_rows`].
+pub const DISAGG_SUMMARY_HEADER: [&str; 12] = [
+    "scenario",
+    "schedule",
+    "pools",
+    "arrivals",
+    "completed",
+    "dropped",
+    "requeued",
+    "crash/restart",
+    "migrations",
+    "aborted",
+    "up/down/retire",
+    "verdict",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +128,23 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].len(), CHAOS_SUMMARY_HEADER.len());
         assert_eq!(rows[0][0], "summary-probe");
+        assert_eq!(rows[0].last().unwrap(), "PASS");
+    }
+
+    #[test]
+    fn disagg_summary_rows_carry_a_verdict_per_scenario() {
+        let outcome = run_disagg_scenario(
+            &DisaggScenario::builder("disagg-summary-probe")
+                .seed(6)
+                .pools(1, 1)
+                .arrivals(4.0, 4.0)
+                .build(),
+        );
+        let rows = disagg_summary_rows(&[outcome]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), DISAGG_SUMMARY_HEADER.len());
+        assert_eq!(rows[0][0], "disagg-summary-probe");
+        assert_eq!(rows[0][2], "1P+1D");
         assert_eq!(rows[0].last().unwrap(), "PASS");
     }
 }

@@ -59,10 +59,10 @@ pub use tlt_obs as obs;
 pub use adaptive::{
     run_token_experiment, DrafterAccuracyPoint, TokenExperimentConfig, TokenExperimentReport,
 };
-pub use chaos::run_chaos_matrix;
+pub use chaos::{run_chaos_matrix, run_disagg_chaos_matrix};
 pub use config::{ExperimentConfig, SystemKind};
 pub use pipeline::{run_comparison, run_experiment, ExperimentResult, StepBreakdown};
 pub use serve::{
-    run_heterogeneous_comparison, run_prefix_sharing_comparison, run_serving,
-    run_serving_comparison, ServingExperimentConfig, ServingSdPolicy,
+    run_disagg_comparison, run_heterogeneous_comparison, run_prefix_sharing_comparison,
+    run_serving, run_serving_comparison, ServingExperimentConfig, ServingSdPolicy,
 };

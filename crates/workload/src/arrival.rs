@@ -90,6 +90,43 @@ impl RateCurve {
         }
     }
 
+    /// The same curve with every rate multiplied by `factor`, keeping the
+    /// temporal shape (period, amplitude, burst fraction) intact — the knob
+    /// rate-sweep experiments turn to push one workload shape to 10x load.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "rate scale factor must be finite and positive"
+        );
+        match *self {
+            RateCurve::Constant { rps } => RateCurve::Constant { rps: rps * factor },
+            RateCurve::Diurnal {
+                mean_rps,
+                amplitude,
+                period_s,
+            } => RateCurve::Diurnal {
+                mean_rps: mean_rps * factor,
+                amplitude,
+                period_s,
+            },
+            RateCurve::Bursty {
+                base_rps,
+                burst_rps,
+                burst_fraction,
+                period_s,
+            } => RateCurve::Bursty {
+                base_rps: base_rps * factor,
+                burst_rps: burst_rps * factor,
+                burst_fraction,
+                period_s,
+            },
+        }
+    }
+
     /// Exact integral of the rate over `[0, horizon_s]`: the expected number of
     /// arrivals of the (non-homogeneous) Poisson process over that window.
     pub fn expected_requests(&self, horizon_s: f64) -> f64 {
@@ -291,6 +328,40 @@ pub fn merge_arrival_streams(streams: Vec<Vec<RequestArrival>>) -> Vec<RequestAr
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaled_multiplies_rates_and_keeps_the_shape() {
+        let bursty = RateCurve::Bursty {
+            base_rps: 2.0,
+            burst_rps: 20.0,
+            burst_fraction: 0.25,
+            period_s: 8.0,
+        };
+        let x10 = bursty.scaled(10.0);
+        for t in [0.0, 1.0, 3.0, 7.9, 12.5] {
+            assert!((x10.rate_at(t) - 10.0 * bursty.rate_at(t)).abs() < 1e-9);
+        }
+        assert!((x10.expected_requests(20.0) - 10.0 * bursty.expected_requests(20.0)).abs() < 1e-6);
+        let diurnal = RateCurve::Diurnal {
+            mean_rps: 4.0,
+            amplitude: 0.5,
+            period_s: 60.0,
+        };
+        assert_eq!(
+            diurnal.scaled(2.5),
+            RateCurve::Diurnal {
+                mean_rps: 10.0,
+                amplitude: 0.5,
+                period_s: 60.0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_scale_factor_is_rejected() {
+        RateCurve::Constant { rps: 1.0 }.scaled(0.0);
+    }
 
     fn count_for(curve: RateCurve, horizon_s: f64, seed: u64) -> usize {
         generate_arrivals(&ArrivalConfig {

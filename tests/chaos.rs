@@ -145,3 +145,69 @@ fn failover_preserves_latency_accounting_across_the_crash() {
         assert!(r.finish_s >= r.first_token_s, "request {}", r.id);
     }
 }
+
+#[test]
+fn disagg_matrix_passes_every_invariant() {
+    let outcomes = tlt::run_disagg_chaos_matrix();
+    assert!(
+        outcomes.len() >= 5,
+        "disagg matrix shrank to {}",
+        outcomes.len()
+    );
+    for outcome in &outcomes {
+        assert!(
+            outcome.invariants.passed(),
+            "{}: {:?}",
+            outcome.scenario.name,
+            outcome.invariants.violations
+        );
+        assert_eq!(
+            outcome.completed + outcome.dropped,
+            outcome.arrivals,
+            "{}: request accounting broken",
+            outcome.scenario.name
+        );
+    }
+    // The matrix must actually exercise the migration fault surface: at least
+    // one scenario aborts an in-flight KV transfer, and the autoscaled storm
+    // both grows the pools and drains them back down.
+    assert!(
+        outcomes.iter().any(|o| o.report.aborted_transfers > 0),
+        "no scenario aborted a mid-flight transfer"
+    );
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| o.report.scale_ups > 0 && o.report.retires > 0),
+        "no scenario scaled up and retired"
+    );
+}
+
+#[test]
+fn committed_bench_trajectory_pins_the_disagg_win() {
+    // The committed BENCH_6.json is the headline artifact of the
+    // disaggregation change: the recorded goodput-per-replica ratio must show
+    // the cluster strictly beating the monolithic fleet.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    let doc = std::fs::read_to_string(path).expect("BENCH_6.json is committed at the repo root");
+    let needle = "\"disagg_vs_monolithic_goodput_ratio\"";
+    let at = doc
+        .find(needle)
+        .expect("BENCH_6.json records the disagg workload");
+    let tail = &doc[at..];
+    let value_key = "\"value\":";
+    let v = tail
+        .find(value_key)
+        .map(|i| &tail[i + value_key.len()..])
+        .expect("workload entry carries a value");
+    let num: f64 = v
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect::<String>()
+        .parse()
+        .expect("value parses as a number");
+    assert!(
+        num > 1.0,
+        "committed disagg/monolithic goodput-per-replica ratio {num} must beat 1.0"
+    );
+}
