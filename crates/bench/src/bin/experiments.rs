@@ -12,6 +12,8 @@
 //!     [--autotune | --profile profiles/<target>.json] [--metrics]
 //! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json] \
 //!     [--trace-out chaos_trace.json]
+//! cargo run -p tlt-bench --release --bin experiments -- replay [--trace corpus/chat.tltr] \
+//!     [--rate-scale 2.0] [--write-corpus corpus] [--json replay.json]
 //! ```
 //!
 //! `--json <path>` additionally writes every produced table as machine-readable
@@ -73,7 +75,8 @@ fn main() {
         eprintln!(
             "usage: experiments [--quick] [--json <path>] [--prefix-share <0..1>] [--disagg] \
              [--autotune] [--profile <path>] [--trace-out <path>] [--metrics] \
-             [all | perf | chaos | {}]",
+             [--trace <path>] [--rate-scale <f>] [--write-corpus <dir>] \
+             [all | perf | chaos | replay | {}]",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(2);
@@ -88,10 +91,37 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics = false;
     let mut disagg = false;
+    let mut replay_trace: Option<String> = None;
+    let mut write_corpus: Option<String> = None;
+    let mut rate_scale: Option<f64> = None;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         if arg == "--disagg" {
             disagg = true;
+        } else if arg == "--trace" {
+            match iter.next() {
+                Some(path) if !path.starts_with("--") => replay_trace = Some(path),
+                _ => {
+                    eprintln!("error: --trace requires a path");
+                    usage();
+                }
+            }
+        } else if arg == "--write-corpus" {
+            match iter.next() {
+                Some(dir) if !dir.starts_with("--") => write_corpus = Some(dir),
+                _ => {
+                    eprintln!("error: --write-corpus requires a directory");
+                    usage();
+                }
+            }
+        } else if arg == "--rate-scale" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => rate_scale = Some(v),
+                _ => {
+                    eprintln!("error: --rate-scale requires a positive factor");
+                    usage();
+                }
+            }
         } else if arg == "--trace-out" {
             match iter.next() {
                 Some(path) if !path.starts_with("--") => trace_out = Some(path),
@@ -250,6 +280,28 @@ fn main() {
         std::process::exit(if failures == 0 { 0 } else { 1 });
     }
 
+    // `replay` is a standalone subcommand: it re-drives the pinned replay
+    // deployment from recorded workload traces (a `.tltr` file via --trace, or
+    // the whole in-memory corpus) and emits the cbp-style size/throughput
+    // table. `--write-corpus <dir>` regenerates the committed corpus instead.
+    if selected.iter().any(|s| s == "replay") {
+        if selected.len() > 1 {
+            eprintln!("error: 'replay' cannot be combined with other selectors");
+            usage();
+        }
+        let code = replay_cmd(
+            replay_trace.as_deref(),
+            write_corpus.as_deref(),
+            rate_scale,
+            json_path.as_deref(),
+        );
+        std::process::exit(code);
+    }
+    if replay_trace.is_some() || write_corpus.is_some() || rate_scale.is_some() {
+        eprintln!("error: --trace/--write-corpus/--rate-scale only apply to 'replay'");
+        usage();
+    }
+
     for sel in &selected {
         if sel != "all" && !EXPERIMENTS.contains(&sel.as_str()) {
             eprintln!("error: unknown experiment '{sel}'");
@@ -394,10 +446,11 @@ fn fig2(scale: Scale, report: &mut Report) {
     let config = TraceConfig {
         num_steps: if scale == Scale::Full { 385 } else { 60 },
         responses_per_step: if scale == Scale::Full { 512 } else { 128 },
+        length_cap: 20_480,
         seed: 2026,
     };
     let trace = synthesize_bytedance_trace(config);
-    let summary = TraceSummary::from_trace(&trace);
+    let summary = TraceSummary::from_trace(&trace, config.length_cap);
     let mut t = Table::new(
         "Figure 2 — synthesised production trace (per-step percentiles, every 32nd step)",
         &["step", "p50", "p75", "max"],
@@ -412,7 +465,8 @@ fn fig2(scale: Scale, report: &mut Report) {
     }
     report.add(t);
     println!(
-        "steps hitting the 20,480-token cap: {:.0}% | mean under-utilised fraction: {:.2}",
+        "steps hitting the {}-token cap: {:.0}% | mean under-utilised fraction: {:.2}",
+        config.length_cap,
         summary.steps_hitting_cap * 100.0,
         summary.mean_underutilized
     );
@@ -1382,6 +1436,173 @@ fn chaos(json_path: Option<&str>, trace_out: Option<&str>, metrics: bool) -> usi
         failures
     );
     failures
+}
+
+/// Replicas behind the pinned replay deployment (see [`tlt::replay_deployment`]).
+const REPLAY_REPLICAS: usize = 2;
+
+/// Trace-driven replay: re-drives the pinned deployment from recorded `.tltr`
+/// workload traces and prints the cbp-style size/throughput table. The table
+/// (and its `--json` export) contains only sim-deterministic numbers, so a
+/// double run is byte-identical — wall-clock overhead goes to a separate
+/// print-only table.
+fn replay_cmd(
+    trace_path: Option<&str>,
+    write_corpus: Option<&str>,
+    rate_scale: Option<f64>,
+    json_path: Option<&str>,
+) -> i32 {
+    use std::time::Instant;
+    use tlt_trace::{CorpusPreset, Trace};
+
+    // --write-corpus: regenerate the committed corpus files and exit.
+    if let Some(dir) = write_corpus {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return 1;
+        }
+        for preset in CorpusPreset::all() {
+            let trace = preset.build();
+            let stats = trace.stats();
+            let path = format!("{dir}/{}", preset.file_name());
+            if let Err(e) = trace.write_file(&path) {
+                eprintln!("error: failed to write {path}: {e}");
+                return 1;
+            }
+            println!(
+                "wrote {path}: {} requests, {} bytes ({:.2} B/req, budget {})",
+                stats.requests,
+                stats.total_bytes,
+                stats.bytes_per_request(),
+                preset.size_budget_bytes()
+            );
+        }
+        return 0;
+    }
+
+    println!(
+        "TLT trace replay (pinned deployment: {REPLAY_REPLICAS} replicas, adaptive SD, paged KV)"
+    );
+    // Workloads to replay: one trace file, or the whole in-memory corpus.
+    // Each entry: (trace, decode seconds, synthesis seconds if known).
+    let mut runs: Vec<(Trace, f64, Option<f64>)> = Vec::new();
+    match trace_path {
+        Some(path) => {
+            let t0 = Instant::now();
+            let trace = match Trace::read_file(path) {
+                Ok(trace) => trace,
+                Err(e) => {
+                    eprintln!("error: failed to read {path}: {e}");
+                    return 1;
+                }
+            };
+            let decode_s = t0.elapsed().as_secs_f64();
+            let synth_s = CorpusPreset::from_name(trace.name()).map(|preset| {
+                let t0 = Instant::now();
+                let _ = preset.build();
+                t0.elapsed().as_secs_f64()
+            });
+            runs.push((trace, decode_s, synth_s));
+        }
+        None => {
+            for preset in CorpusPreset::all() {
+                let t0 = Instant::now();
+                let trace = preset.build();
+                let synth_s = t0.elapsed().as_secs_f64();
+                let bytes = trace.to_bytes();
+                let t0 = Instant::now();
+                let trace = Trace::from_bytes(&bytes).expect("self-encoded trace decodes");
+                let decode_s = t0.elapsed().as_secs_f64();
+                runs.push((trace, decode_s, Some(synth_s)));
+            }
+        }
+    }
+    if let Some(factor) = rate_scale {
+        runs = runs
+            .into_iter()
+            .map(|(trace, decode_s, _)| (trace.rate_scaled(factor), decode_s, None))
+            .collect();
+    }
+
+    let mut report = Report::new();
+    let mut table = Table::new(
+        "Trace replay — recorded workloads on the pinned deployment",
+        &[
+            "workload",
+            "requests",
+            "size B",
+            "B/req",
+            "bits/event",
+            "tok/s",
+            "goodput rps",
+            "SLO %",
+            "makespan s",
+        ],
+    );
+    let mut timing = Table::new(
+        "Replay overhead vs synthesis (wall clock; print-only, not exported)",
+        &[
+            "workload",
+            "synth ms",
+            "decode ms",
+            "replay ms",
+            "decode/synth",
+        ],
+    );
+    let mut total_bytes = 0usize;
+    let mut total_requests = 0usize;
+    for (trace, decode_s, synth_s) in &runs {
+        let stats = trace.stats();
+        let t0 = Instant::now();
+        let result = tlt::run_replay(trace, REPLAY_REPLICAS);
+        let replay_s = t0.elapsed().as_secs_f64();
+        total_bytes += stats.total_bytes;
+        total_requests += stats.requests;
+        table.add_row(vec![
+            trace.name().to_string(),
+            format!("{}", stats.requests),
+            format!("{}", stats.total_bytes),
+            format!("{:.2}", stats.bytes_per_request()),
+            format!("{:.2}", stats.bits_per_event()),
+            format!("{:.1}", result.throughput_tokens_per_s),
+            format!("{:.3}", result.goodput_rps),
+            format!("{:.1}", result.slo_attainment * 100.0),
+            format!("{:.2}", result.makespan_s),
+        ]);
+        timing.add_row(vec![
+            trace.name().to_string(),
+            synth_s.map_or_else(|| "-".to_string(), |s| format!("{:.3}", s * 1e3)),
+            format!("{:.3}", decode_s * 1e3),
+            format!("{:.1}", replay_s * 1e3),
+            synth_s.map_or_else(|| "-".to_string(), |s| format!("{:.3}", decode_s / s)),
+        ]);
+    }
+    if runs.len() > 1 {
+        table.add_row(vec![
+            "TOTAL".to_string(),
+            format!("{total_requests}"),
+            format!("{total_bytes}"),
+            format!("{:.2}", total_bytes as f64 / total_requests.max(1) as f64),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    report.add(table);
+    timing.print();
+
+    if let Some(path) = json_path {
+        match report.write_json(path) {
+            Ok(()) => println!("\nwrote the replay report as JSON to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write JSON to {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
 }
 
 /// Serving study: throughput-latency trade-off of SD policies across arrival

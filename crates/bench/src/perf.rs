@@ -351,6 +351,24 @@ pub fn run_perf_workloads(scale: Scale) -> Vec<PerfPoint> {
         reps: sim_reps,
     });
 
+    // --- Trace replay: decode the pinned chat trace and re-drive the replay
+    // deployment through it (the `experiments -- replay` hot path) ---
+    let chat_bytes = tlt_trace::CorpusPreset::Chat.build().to_bytes();
+    let mut requests = 0usize;
+    let replay_reps = reps;
+    let t = time_per_rep(replay_reps, || {
+        let trace = tlt_trace::Trace::from_bytes(&chat_bytes).expect("pinned trace decodes");
+        requests = trace.arrivals().len();
+        let _ = tlt::run_replay(&trace, 2);
+    });
+    points.push(PerfPoint {
+        name: "trace_replay_chat",
+        metric: "replayed requests per second (decode + simulate, chat corpus trace)",
+        value: requests as f64 / t,
+        unit: "req/s",
+        reps: replay_reps,
+    });
+
     points
 }
 

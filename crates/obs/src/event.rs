@@ -120,6 +120,10 @@ pub enum EventKind {
     /// Synthetic postmortem probe injected by `tlt-chaos` scenarios built with
     /// `forced_violation()` — a self-test of the alerting path.
     Probe,
+    /// The frontend is being re-driven from a recorded workload trace
+    /// (`tlt-trace`) rather than a live synthesiser. `a` = requests in the
+    /// trace, `b` = trace tick in nanoseconds.
+    Replay,
 }
 
 impl EventKind {
@@ -144,6 +148,7 @@ impl EventKind {
             EventKind::ScaleDown => "scale_down",
             EventKind::Retire => "retire",
             EventKind::Probe => "probe",
+            EventKind::Replay => "replay",
         }
     }
 
@@ -180,6 +185,7 @@ impl EventKind {
             EventKind::ScaleDown => ("replica", "pool"),
             EventKind::Retire => ("replica", "pool"),
             EventKind::Probe => ("", ""),
+            EventKind::Replay => ("requests", "tick_ns"),
         }
     }
 }

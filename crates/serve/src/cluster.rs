@@ -796,6 +796,21 @@ impl ClusterSim {
         self.advance_now(t);
     }
 
+    /// Concatenated SD accept-length log across both pools — prefill replicas
+    /// first, then decode replicas, each in pool order with speculative steps
+    /// in step order. Mirrors [`ServeSim::sd_accept_trace`] for the trace
+    /// recorder; prefill-only replicas never speculate, so in practice the
+    /// stream comes from the decode pool.
+    ///
+    /// [`ServeSim::sd_accept_trace`]: crate::ServeSim::sd_accept_trace
+    pub fn sd_accept_trace(&self) -> Vec<u8> {
+        self.prefill
+            .iter()
+            .chain(self.decode.iter())
+            .flat_map(|p| p.replica.sd_accept_trace().iter().copied())
+            .collect()
+    }
+
     /// Runs until every request has drained (autoscaler ticks stop firing once
     /// the cluster is idle, so this terminates).
     pub fn run_until_drained(&mut self) {

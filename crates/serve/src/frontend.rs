@@ -89,6 +89,17 @@ impl ServeSim {
         &self.replicas
     }
 
+    /// Concatenated SD accept-length log of every replica, in replica order
+    /// (each replica's speculative steps stay in step order). Since the sim is
+    /// a pure function of (config, arrivals), this stream is bit-deterministic
+    /// and the trace recorder persists it as a unary bitstream.
+    pub fn sd_accept_trace(&self) -> Vec<u8> {
+        self.replicas
+            .iter()
+            .flat_map(|r| r.sd_accept_trace().iter().copied())
+            .collect()
+    }
+
     /// Per-request routing decisions in offer order. Failover re-deliveries are
     /// not recorded here (they are counted by [`ServeSim::requeued`]), so the
     /// trace pins exactly the balancer's arrival-routing behaviour.

@@ -28,8 +28,15 @@ pub fn sort_latencies(values: &mut [f64]) {
     values.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
 }
 
-/// Percentile of an already ascending-sorted sample.
+/// Percentile of an already ascending-sorted sample. `q` is clamped to
+/// `[0, 100]`; a non-finite `q` is rejected rather than silently resolving to
+/// the first element (`NaN.floor() as usize` is 0).
+///
+/// # Panics
+///
+/// Panics if `q` is NaN or infinite.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(q.is_finite(), "percentile rank must be finite, got {q}");
     if sorted.is_empty() {
         return 0.0;
     }
@@ -573,5 +580,69 @@ mod tests {
         assert_eq!(report.slo_attainment, 0.0);
         assert_eq!(report.mean_utilization(), 0.0);
         assert_eq!(report.mean_sd_fraction(), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element_for_every_rank() {
+        for q in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_sorted(&[7.5], q), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_of_two_elements_interpolates_linearly() {
+        let sorted = [10.0, 20.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 20.0);
+        assert!((percentile_sorted(&sorted, 50.0) - 15.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 25.0) - 12.5).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 75.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_ranks() {
+        let sorted = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&sorted, -10.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 250.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_series_is_zero() {
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+        assert_eq!(percentile_f64(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile rank must be finite")]
+    fn nan_rank_is_rejected() {
+        percentile_sorted(&[1.0, 2.0], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "latencies are finite")]
+    fn nan_value_is_rejected_by_the_sorter() {
+        percentile_f64(&[1.0, f64::NAN, 2.0], 50.0);
+    }
+
+    #[test]
+    fn summary_of_single_element_collapses_every_field() {
+        let s = LatencySummary::from_values(&[3.25]);
+        assert_eq!(s.p50_s, 3.25);
+        assert_eq!(s.p95_s, 3.25);
+        assert_eq!(s.p99_s, 3.25);
+        assert_eq!(s.mean_s, 3.25);
+        assert_eq!(s.max_s, 3.25);
+    }
+
+    #[test]
+    fn summary_of_two_elements_is_consistent() {
+        let s = LatencySummary::from_values(&[2.0, 4.0]);
+        assert!((s.p50_s - 3.0).abs() < 1e-12);
+        assert!((s.p95_s - 3.9).abs() < 1e-12);
+        assert!((s.p99_s - 3.98).abs() < 1e-12);
+        assert_eq!(s.mean_s, 3.0);
+        assert_eq!(s.max_s, 4.0);
+        // Percentiles are monotone in rank and bounded by the maximum.
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s && s.p99_s <= s.max_s);
     }
 }

@@ -192,6 +192,11 @@ pub struct Replica {
     metrics: ReplicaMetrics,
     dropped_ids: Vec<u64>,
     completed: Vec<CompletedRequest>,
+    /// Per-step expected accept lengths of every speculative decode step, in
+    /// step order, quantised to whole tokens. This is the raw material for the
+    /// trace recorder's SD bitstream (`tlt-trace`); it stays empty on replicas
+    /// that never speculate.
+    sd_accepts: Vec<u8>,
     /// Prefill-pool member of a disaggregated cluster: sequences are handed
     /// off for migration when their prefill completes instead of decoding here.
     prefill_only: bool,
@@ -245,6 +250,7 @@ impl Replica {
             metrics: ReplicaMetrics::new(),
             dropped_ids: Vec::new(),
             completed: Vec::new(),
+            sd_accepts: Vec::new(),
             prefill_only: false,
             track_override: None,
             handoffs: Vec::new(),
@@ -1102,6 +1108,10 @@ impl Replica {
                     );
                 }
                 self.metrics.observe_sd_step(accept);
+                // Quantise for the trace recorder: at least the bonus token is
+                // always produced, and the unary SD bitstream caps one step's
+                // accept length at 63 tokens.
+                self.sd_accepts.push(accept.round().clamp(1.0, 63.0) as u8);
                 (t, accept, true)
             }
         };
@@ -1118,6 +1128,12 @@ impl Replica {
     /// Drains the completed-request records accumulated so far.
     pub fn take_completed(&mut self) -> Vec<CompletedRequest> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Expected accept length (whole tokens, clamped to `1..=63`) of every
+    /// speculative decode step this replica has executed, in step order.
+    pub fn sd_accept_trace(&self) -> &[u8] {
+        &self.sd_accepts
     }
 
     /// Requests dropped at admission.

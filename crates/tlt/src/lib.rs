@@ -63,6 +63,7 @@ pub use chaos::{run_chaos_matrix, run_disagg_chaos_matrix};
 pub use config::{ExperimentConfig, SystemKind};
 pub use pipeline::{run_comparison, run_experiment, ExperimentResult, StepBreakdown};
 pub use serve::{
-    run_disagg_comparison, run_heterogeneous_comparison, run_prefix_sharing_comparison,
-    run_serving, run_serving_comparison, ServingExperimentConfig, ServingSdPolicy,
+    replay_deployment, run_disagg_comparison, run_heterogeneous_comparison,
+    run_prefix_sharing_comparison, run_replay, run_serving, run_serving_comparison,
+    ServingExperimentConfig, ServingSdPolicy,
 };

@@ -203,6 +203,24 @@ pub fn run_serving(config: &ServingExperimentConfig, policy: ServingSdPolicy) ->
     simulate_serving(&config.serve_config(policy), &arrivals)
 }
 
+/// The pinned deployment every trace replay runs against: the Qwen-7B bursty
+/// testbed with adaptive SD and paged KV. Replay compares *workloads* under
+/// one fixed scheduler, so the deployment must not drift with the workload —
+/// only `replicas` is a knob.
+pub fn replay_deployment(replicas: usize) -> ServeConfig {
+    let mut config = ServingExperimentConfig::qwen7b_bursty(replicas, 8.0)
+        .serve_config(ServingSdPolicy::Adaptive);
+    config.kv_accounting = KvAccounting::Paged { block_size: 16 };
+    config
+}
+
+/// Replays a recorded workload trace against [`replay_deployment`],
+/// bit-deterministically: the same trace and replica count always produce the
+/// same report.
+pub fn run_replay(trace: &tlt_trace::Trace, replicas: usize) -> ServeReport {
+    tlt_trace::replay_serving(trace, &replay_deployment(replicas))
+}
+
 /// Runs the same arrival stream under all three SD policies.
 pub fn run_serving_comparison(
     config: &ServingExperimentConfig,

@@ -1,0 +1,219 @@
+//! The committed workload-trace corpus.
+//!
+//! Four pinned serving workloads, each a pure function of hard-coded seeds, so
+//! the `.tltr` files committed under `corpus/` can be regenerated bit for bit
+//! (CI checks exactly that). Corpus traces are pure *workload* traces — no SD
+//! section — so scheduler comparisons across PRs replay identical arrivals
+//! while each scheduler makes its own speculation decisions.
+
+use crate::format::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tlt_workload::{
+    generate_arrivals, ArrivalConfig, LengthDistribution, RateCurve, RequestArrival,
+    SharedPrefixSpec,
+};
+
+/// Time quantum of every corpus trace: 1 ms. Coarse enough that arrival
+/// deltas fit in 1–2 varint bytes, fine enough that scheduling behaviour is
+/// indistinguishable from the nanosecond stream.
+pub const CORPUS_TICK_NS: u64 = 1_000_000;
+
+/// One pinned corpus workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusPreset {
+    /// Interactive chat: steady 8 rps, short prompts, half the requests share
+    /// a system prompt.
+    Chat,
+    /// Agentic long-context sessions: low rate, multi-thousand-token prompts,
+    /// almost all sharing a long scaffold prefix.
+    AgenticLongContext,
+    /// Batch-RL rollouts from the Figure-2 synthesiser: 8 generation steps of
+    /// 96 simultaneous requests, lengths following the ByteDance-style
+    /// long-tail at increasing training progress.
+    BatchRl,
+    /// Bursty mobile traffic: short prompts/outputs with 15x rate spikes.
+    BurstyMobile,
+}
+
+impl CorpusPreset {
+    /// All corpus presets, in corpus order.
+    pub fn all() -> [CorpusPreset; 4] {
+        [
+            CorpusPreset::Chat,
+            CorpusPreset::AgenticLongContext,
+            CorpusPreset::BatchRl,
+            CorpusPreset::BurstyMobile,
+        ]
+    }
+
+    /// The workload name stored in the trace header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorpusPreset::Chat => "chat",
+            CorpusPreset::AgenticLongContext => "agentic",
+            CorpusPreset::BatchRl => "batch_rl",
+            CorpusPreset::BurstyMobile => "bursty_mobile",
+        }
+    }
+
+    /// File name of the committed trace under `corpus/`.
+    pub fn file_name(&self) -> String {
+        format!("{}.tltr", self.name())
+    }
+
+    /// The preset whose trace header carries `name`, if any.
+    pub fn from_name(name: &str) -> Option<CorpusPreset> {
+        CorpusPreset::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Pinned on-disk size budget in bytes; CI fails if the committed trace
+    /// ever exceeds it. Budgets sit ~15% above the current encoded size so
+    /// accidental format regressions trip the gate while intentional corpus
+    /// changes have headroom.
+    pub fn size_budget_bytes(&self) -> usize {
+        match self {
+            CorpusPreset::Chat => 3_600,
+            CorpusPreset::AgenticLongContext => 2_150,
+            CorpusPreset::BatchRl => 6_250,
+            CorpusPreset::BurstyMobile => 4_400,
+        }
+    }
+
+    /// Synthesises the preset's trace (deterministic, no SD section).
+    pub fn build(&self) -> Trace {
+        match self {
+            CorpusPreset::Chat => {
+                let config = ArrivalConfig {
+                    curve: RateCurve::Constant { rps: 8.0 },
+                    horizon_s: 60.0,
+                    prompt_len_range: (256, 768),
+                    output_lengths: LengthDistribution::LongTailMixture {
+                        mu: 5.3,
+                        sigma: 0.9,
+                        truncation_mass: 0.02,
+                        max_len: 2048,
+                    },
+                    prefix: Some(SharedPrefixSpec {
+                        share: 0.5,
+                        len: 256,
+                    }),
+                    seed: 42,
+                };
+                Trace::from_arrivals(self.name(), CORPUS_TICK_NS, &generate_arrivals(&config))
+            }
+            CorpusPreset::AgenticLongContext => {
+                let config = ArrivalConfig {
+                    curve: RateCurve::Constant { rps: 2.0 },
+                    horizon_s: 120.0,
+                    prompt_len_range: (2048, 6144),
+                    output_lengths: LengthDistribution::LongTailMixture {
+                        mu: 5.8,
+                        sigma: 0.8,
+                        truncation_mass: 0.03,
+                        max_len: 4096,
+                    },
+                    prefix: Some(SharedPrefixSpec {
+                        share: 0.85,
+                        len: 1024,
+                    }),
+                    seed: 43,
+                };
+                Trace::from_arrivals(self.name(), CORPUS_TICK_NS, &generate_arrivals(&config))
+            }
+            CorpusPreset::BatchRl => {
+                // 8 rollout generation steps, 30 s apart, of 96 simultaneous
+                // requests each: the serving-side view of the Figure-2 trace.
+                let mut rng = StdRng::seed_from_u64(44);
+                let mut arrivals = Vec::new();
+                for step in 0..8u64 {
+                    let progress = step as f64 / 7.0;
+                    let dist = LengthDistribution::bytedance_step(progress).with_max_len(2048);
+                    for _ in 0..96 {
+                        let prompt_len = rng.gen_range(512..=1024);
+                        arrivals.push(RequestArrival {
+                            id: arrivals.len() as u64,
+                            time_ns: step * 30_000_000_000,
+                            prompt_len,
+                            output_len: dist.sample(&mut rng),
+                            // Every request of a step shares that step's
+                            // prompt-template prefix.
+                            prefix_id: step + 1,
+                            prefix_len: 256,
+                        });
+                    }
+                }
+                Trace::from_arrivals(self.name(), CORPUS_TICK_NS, &arrivals)
+            }
+            CorpusPreset::BurstyMobile => {
+                let config = ArrivalConfig {
+                    curve: RateCurve::Bursty {
+                        base_rps: 2.0,
+                        burst_rps: 30.0,
+                        burst_fraction: 0.2,
+                        period_s: 15.0,
+                    },
+                    horizon_s: 90.0,
+                    prompt_len_range: (64, 256),
+                    output_lengths: LengthDistribution::LongTailMixture {
+                        mu: 4.5,
+                        sigma: 0.7,
+                        truncation_mass: 0.01,
+                        max_len: 512,
+                    },
+                    prefix: None,
+                    seed: 45,
+                };
+                Trace::from_arrivals(self.name(), CORPUS_TICK_NS, &generate_arrivals(&config))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_builds_are_deterministic_and_round_trip() {
+        for preset in CorpusPreset::all() {
+            let a = preset.build();
+            let b = preset.build();
+            assert_eq!(a, b, "{} must be deterministic", preset.name());
+            assert_eq!(a.to_bytes(), b.to_bytes());
+            let decoded = Trace::from_bytes(&a.to_bytes()).unwrap();
+            assert_eq!(decoded, a);
+            assert!(!a.arrivals().is_empty());
+            assert!(a.sd_accepts().is_none(), "corpus traces are workload-only");
+            assert_eq!(CorpusPreset::from_name(a.name()), Some(preset));
+        }
+    }
+
+    #[test]
+    fn corpus_traces_fit_their_size_budgets_and_average_under_8_bytes_per_request() {
+        let mut total_bytes = 0usize;
+        let mut total_requests = 0usize;
+        for preset in CorpusPreset::all() {
+            let stats = preset.build().stats();
+            eprintln!(
+                "{}: {} bytes / {} requests = {:.2} B/req ({:.2} bits/event)",
+                preset.name(),
+                stats.total_bytes,
+                stats.requests,
+                stats.bytes_per_request(),
+                stats.bits_per_event()
+            );
+            assert!(
+                stats.total_bytes <= preset.size_budget_bytes(),
+                "{}: {} bytes exceeds budget {}",
+                preset.name(),
+                stats.total_bytes,
+                preset.size_budget_bytes()
+            );
+            total_bytes += stats.total_bytes;
+            total_requests += stats.requests;
+        }
+        let avg = total_bytes as f64 / total_requests as f64;
+        assert!(avg <= 8.0, "corpus averages {avg:.2} bytes/request");
+    }
+}

@@ -1,0 +1,41 @@
+//! # tlt-trace
+//!
+//! Trace-driven workload record & replay for the TLT serving subsystem.
+//!
+//! Every scheduler comparison before this crate re-synthesised its arrival
+//! stream, so cross-PR comparisons conflated scheduler changes with workload
+//! drift. This crate makes the workload a first-class, versioned artifact:
+//!
+//! - [`Trace`] — the **TLTR v1** compact binary format (delta-encoded arrival
+//!   ticks, varint token counts, prefix-relation back-references, an optional
+//!   unary SD accept bitstream, FNV-1a 64 checksum), a few bytes per request
+//!   in the spirit of cbp-experiments' 0.1–1.2 bits/branch traces.
+//! - [`record_serving`] / [`record_disagg`] — run a simulation while
+//!   capturing its workload (and SD accept stream) into a trace.
+//! - [`replay_serving`] / [`replay_disagg`] — re-drive a frontend from a
+//!   trace, bit-deterministically; an unmodified recording reproduces the
+//!   recorder's report exactly.
+//! - Transforms ([`Trace::rate_scaled`], [`Trace::storm_injected`],
+//!   [`Trace::tenant_shuffled`]) — deterministic workload variants.
+//! - [`CorpusPreset`] — the four pinned workloads committed under `corpus/`.
+//!
+//! ```
+//! use tlt_trace::{CorpusPreset, Trace};
+//!
+//! let trace = CorpusPreset::Chat.build();
+//! let decoded = Trace::from_bytes(&trace.to_bytes()).unwrap();
+//! assert_eq!(decoded, trace);
+//! assert!(decoded.stats().bytes_per_request() <= 8.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod format;
+pub mod record;
+pub mod transform;
+
+pub use corpus::{CorpusPreset, CORPUS_TICK_NS};
+pub use format::{Trace, TraceError, TraceStats, MAGIC, MAX_SD_ACCEPT, VERSION};
+pub use record::{record_disagg, record_serving, replay_disagg, replay_serving};

@@ -536,6 +536,70 @@ mod tests {
         assert_eq!(merged, merge_arrival_streams(vec![base, burst]));
     }
 
+    fn arrival_at(id: u64, time_ns: u64, prompt_len: usize) -> RequestArrival {
+        RequestArrival {
+            id,
+            time_ns,
+            prompt_len,
+            output_len: 5,
+            prefix_id: 0,
+            prefix_len: 0,
+        }
+    }
+
+    #[test]
+    fn merge_reassigns_colliding_ids_uniquely() {
+        // Regression: both streams carry ids 0 and 1; the merged timeline must
+        // not — ids are reassigned sequentially in merged arrival order.
+        let s0 = vec![arrival_at(0, 100, 10), arrival_at(1, 300, 11)];
+        let s1 = vec![arrival_at(0, 200, 20), arrival_at(1, 400, 21)];
+        let merged = merge_arrival_streams(vec![s0, s1]);
+        assert_eq!(merged.len(), 4);
+        for (i, a) in merged.iter().enumerate() {
+            assert_eq!(a.id, i as u64, "ids must be unique and sequential");
+        }
+        // Payloads interleave by timestamp: s0[0], s1[0], s0[1], s1[1].
+        assert_eq!(
+            merged.iter().map(|a| a.prompt_len).collect::<Vec<_>>(),
+            vec![10, 20, 11, 21]
+        );
+    }
+
+    #[test]
+    fn merge_breaks_timestamp_ties_by_stream_index_then_original_id() {
+        // Regression: equal-timestamp ties are ordered by (stream index,
+        // original id), pinning the previously unspecified merge order.
+        let s0 = vec![arrival_at(5, 1000, 10)];
+        let s1 = vec![arrival_at(3, 1000, 20), arrival_at(4, 1000, 21)];
+        let s2 = vec![arrival_at(0, 1000, 30)];
+        let merged = merge_arrival_streams(vec![s0, s1, s2]);
+        assert_eq!(
+            merged.iter().map(|a| a.prompt_len).collect::<Vec<_>>(),
+            vec![10, 20, 21, 30],
+            "ties must order by stream index first, then original id"
+        );
+        assert!(merged.iter().all(|a| a.time_ns == 1000));
+        // Determinism under repetition.
+        let again = merge_arrival_streams(vec![
+            vec![arrival_at(5, 1000, 10)],
+            vec![arrival_at(3, 1000, 20), arrival_at(4, 1000, 21)],
+            vec![arrival_at(0, 1000, 30)],
+        ]);
+        assert_eq!(merged, again);
+    }
+
+    #[test]
+    fn shift_arrivals_is_exact_in_integer_nanoseconds() {
+        let mut arrivals = vec![arrival_at(0, 0, 10), arrival_at(1, 123_456_789, 11)];
+        shift_arrivals(&mut arrivals, 4.0);
+        assert_eq!(arrivals[0].time_ns, 4_000_000_000);
+        assert_eq!(arrivals[1].time_ns, 4_123_456_789);
+        // Zero offset is the identity.
+        let mut same = vec![arrival_at(0, 777, 10)];
+        shift_arrivals(&mut same, 0.0);
+        assert_eq!(same[0].time_ns, 777);
+    }
+
     #[test]
     fn bursty_peak_dominates_rate_everywhere() {
         let curve = RateCurve::Bursty {

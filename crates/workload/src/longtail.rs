@@ -75,6 +75,37 @@ impl LengthDistribution {
         }
     }
 
+    /// The same distribution with its length cap replaced by `max_len`. For
+    /// [`LengthDistribution::Constant`] the fixed length itself is clamped to
+    /// the cap.
+    pub fn with_max_len(self, max_len: usize) -> Self {
+        assert!(max_len >= 1, "length cap must be at least 1 token");
+        match self {
+            LengthDistribution::LogNormal { mu, sigma, .. } => {
+                LengthDistribution::LogNormal { mu, sigma, max_len }
+            }
+            LengthDistribution::Pareto { scale, alpha, .. } => LengthDistribution::Pareto {
+                scale,
+                alpha,
+                max_len,
+            },
+            LengthDistribution::LongTailMixture {
+                mu,
+                sigma,
+                truncation_mass,
+                ..
+            } => LengthDistribution::LongTailMixture {
+                mu,
+                sigma,
+                truncation_mass,
+                max_len,
+            },
+            LengthDistribution::Constant { len } => LengthDistribution::Constant {
+                len: len.min(max_len),
+            },
+        }
+    }
+
     /// Maximum possible sampled length.
     pub fn max_len(&self) -> usize {
         match *self {
@@ -323,6 +354,17 @@ mod tests {
         let stats = LengthStats::from_lengths(&[]);
         assert_eq!(stats.count, 0);
         assert_eq!(stats.max, 0);
+    }
+
+    #[test]
+    fn with_max_len_replaces_the_cap_and_keeps_the_body() {
+        let dist = LengthDistribution::paper_fig1().with_max_len(512);
+        assert_eq!(dist.max_len(), 512);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(dist.sample_many(2000, &mut rng).iter().all(|&l| l <= 512));
+        // Constant lengths clamp to the new cap rather than exceeding it.
+        let c = LengthDistribution::Constant { len: 1000 }.with_max_len(300);
+        assert_eq!(c.max_len(), 300);
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub struct TraceConfig {
     pub num_steps: usize,
     /// Responses generated per step (prompts x group size).
     pub responses_per_step: usize,
+    /// Generation length cap in tokens; responses are truncated here and the
+    /// cap-hit fraction of [`TraceSummary`] is measured against this value.
+    pub length_cap: usize,
     /// Random seed.
     pub seed: u64,
 }
@@ -37,6 +40,7 @@ impl Default for TraceConfig {
         TraceConfig {
             num_steps: 385,
             responses_per_step: 512,
+            length_cap: 20_480,
             seed: 2026,
         }
     }
@@ -53,7 +57,7 @@ pub fn synthesize_bytedance_trace(config: TraceConfig) -> Vec<TraceStep> {
         } else {
             step as f64 / (config.num_steps - 1) as f64
         };
-        let dist = LengthDistribution::bytedance_step(progress);
+        let dist = LengthDistribution::bytedance_step(progress).with_max_len(config.length_cap);
         let lengths = dist.sample_many(config.responses_per_step, &mut rng);
         steps.push(TraceStep {
             step,
@@ -79,8 +83,14 @@ pub struct TraceSummary {
 }
 
 impl TraceSummary {
-    /// Summarises a trace. Returns zeros for an empty trace.
-    pub fn from_trace(trace: &[TraceStep]) -> Self {
+    /// Summarises a trace against the *configured* generation cap (the
+    /// `length_cap` the trace was synthesised with). Returns zeros for an
+    /// empty trace.
+    ///
+    /// The cap must be passed in rather than inferred: measuring against the
+    /// trace's own observed maximum would guarantee a cap-hit fraction of at
+    /// least `1/num_steps` even for traces that never reach the cap at all.
+    pub fn from_trace(trace: &[TraceStep], length_cap: usize) -> Self {
         if trace.is_empty() {
             return TraceSummary {
                 num_steps: 0,
@@ -90,11 +100,11 @@ impl TraceSummary {
                 mean_underutilized: 0.0,
             };
         }
-        let cap = trace.iter().map(|s| s.stats.max).max().unwrap_or(0);
         let n = trace.len() as f64;
         TraceSummary {
             num_steps: trace.len(),
-            steps_hitting_cap: trace.iter().filter(|s| s.stats.max >= cap).count() as f64 / n,
+            steps_hitting_cap: trace.iter().filter(|s| s.stats.max >= length_cap).count() as f64
+                / n,
             mean_p75: trace.iter().map(|s| s.stats.p75).sum::<f64>() / n,
             mean_p50: trace.iter().map(|s| s.stats.p50).sum::<f64>() / n,
             mean_underutilized: trace
@@ -116,6 +126,7 @@ mod tests {
             num_steps: 50,
             responses_per_step: 128,
             seed: 1,
+            ..TraceConfig::default()
         };
         let a = synthesize_bytedance_trace(config);
         let b = synthesize_bytedance_trace(config);
@@ -127,12 +138,14 @@ mod tests {
     fn persistent_long_tail_across_steps() {
         // Figure 2's key property: in most steps a few responses reach the cap while
         // the p75 stays far below it.
-        let trace = synthesize_bytedance_trace(TraceConfig {
+        let config = TraceConfig {
             num_steps: 100,
             responses_per_step: 512,
             seed: 7,
-        });
-        let summary = TraceSummary::from_trace(&trace);
+            ..TraceConfig::default()
+        };
+        let trace = synthesize_bytedance_trace(config);
+        let summary = TraceSummary::from_trace(&trace, config.length_cap);
         assert!(
             summary.steps_hitting_cap > 0.5,
             "cap-hit fraction {}",
@@ -148,6 +161,7 @@ mod tests {
             num_steps: 200,
             responses_per_step: 256,
             seed: 3,
+            ..TraceConfig::default()
         });
         let early: f64 = trace[..20].iter().map(|s| s.stats.p50).sum::<f64>() / 20.0;
         let late: f64 = trace[180..].iter().map(|s| s.stats.p50).sum::<f64>() / 20.0;
@@ -159,8 +173,45 @@ mod tests {
 
     #[test]
     fn empty_trace_summary_is_zero() {
-        let s = TraceSummary::from_trace(&[]);
+        let s = TraceSummary::from_trace(&[], 20_480);
         assert_eq!(s.num_steps, 0);
         assert_eq!(s.mean_p75, 0.0);
+    }
+
+    #[test]
+    fn cap_fraction_is_zero_when_no_step_reaches_the_cap() {
+        // Regression: steps_hitting_cap used to compare each step against the
+        // trace's own observed maximum, so some step always "hit the cap" —
+        // this trace tops out at 5000 tokens, far below the 20,480 cap, and
+        // the fraction must be exactly zero.
+        let trace: Vec<TraceStep> = (0..10)
+            .map(|step| TraceStep {
+                step,
+                stats: LengthStats::from_lengths(&[100, 400, 1200, 5000]),
+            })
+            .collect();
+        let summary = TraceSummary::from_trace(&trace, 20_480);
+        assert_eq!(summary.steps_hitting_cap, 0.0);
+        // Against a cap the trace does reach, every step hits it.
+        assert_eq!(
+            TraceSummary::from_trace(&trace, 5000).steps_hitting_cap,
+            1.0
+        );
+    }
+
+    #[test]
+    fn length_cap_is_plumbed_through_synthesis() {
+        let config = TraceConfig {
+            num_steps: 40,
+            responses_per_step: 256,
+            length_cap: 512,
+            seed: 11,
+        };
+        let trace = synthesize_bytedance_trace(config);
+        assert!(trace.iter().all(|s| s.stats.max <= 512));
+        // With the cap pulled into the body of the distribution, most steps
+        // have at least one truncated response.
+        let summary = TraceSummary::from_trace(&trace, config.length_cap);
+        assert!(summary.steps_hitting_cap > 0.5);
     }
 }

@@ -29,12 +29,14 @@ fn main() {
         println!("  <= {e:>6}: {bar}");
     }
 
-    let trace = synthesize_bytedance_trace(TraceConfig {
+    let config = TraceConfig {
         num_steps: 100,
         responses_per_step: 256,
+        length_cap: 20_480,
         seed: 2,
-    });
-    let summary = TraceSummary::from_trace(&trace);
+    };
+    let trace = synthesize_bytedance_trace(config);
+    let summary = TraceSummary::from_trace(&trace, config.length_cap);
     println!("\nsynthesised production trace (100 steps):");
     println!(
         "  steps hitting the cap: {:.0}%  mean p75: {:.0}  mean p50: {:.0}  mean under-utilised: {:.2}",

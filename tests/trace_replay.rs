@@ -1,0 +1,164 @@
+//! Round-trip suite for `tlt-trace`: recording a run, writing the trace,
+//! reading it back and replaying it must reproduce the recorded run's
+//! per-request completion stream **bit for bit** — for the monolithic and the
+//! disaggregated frontends, over random seeds — and damaged trace files must
+//! be rejected with typed errors, never panics or silently-wrong traces.
+
+use proptest::prelude::*;
+use tlt::replay_deployment;
+use tlt_serve::DisaggConfig;
+use tlt_trace::{
+    record_disagg, record_serving, replay_disagg, replay_serving, CorpusPreset, Trace, TraceError,
+};
+use tlt_workload::{generate_arrivals, ArrivalConfig};
+
+fn arrivals_for(seed: u64, rps: f64, horizon_s: f64) -> Vec<tlt_workload::RequestArrival> {
+    generate_arrivals(&ArrivalConfig::constant(rps, horizon_s, seed).with_prefix(0.4, 128))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Monolithic frontend: record → encode → decode → replay equals the
+    /// recorded run bit for bit, at nanosecond and at millisecond ticks.
+    #[test]
+    fn monolithic_record_replay_round_trips(seed in 0u64..10_000) {
+        // Alternate between nanosecond (lossless) and millisecond ticks.
+        let tick = if seed % 2 == 0 { 1u64 } else { 1_000_000 };
+        let arrivals = arrivals_for(seed, 6.0, 15.0);
+        let config = replay_deployment(2);
+        let (recorded, trace) = record_serving("prop", tick, &config, &arrivals);
+
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("round trip");
+        prop_assert_eq!(&decoded, &trace);
+
+        let replayed = replay_serving(&decoded, &config);
+        prop_assert_eq!(&replayed.completed, &recorded.completed);
+        prop_assert_eq!(replayed.goodput_rps, recorded.goodput_rps);
+        prop_assert_eq!(replayed.slo_attainment, recorded.slo_attainment);
+        prop_assert_eq!(replayed.throughput_tokens_per_s, recorded.throughput_tokens_per_s);
+    }
+
+    /// Disaggregated frontend: the same round trip holds through the
+    /// prefill/decode cluster, including the recorded SD bitstream.
+    #[test]
+    fn disagg_record_replay_round_trips(seed in 0u64..10_000) {
+        let arrivals = arrivals_for(seed, 4.0, 10.0);
+        let config = || DisaggConfig::new(replay_deployment(1), 1, 2);
+        let (recorded, trace) = record_disagg("prop-disagg", 1_000, config(), &arrivals);
+
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("round trip");
+        prop_assert_eq!(&decoded, &trace);
+
+        let replayed = replay_disagg(&decoded, config());
+        prop_assert_eq!(&replayed.serve.completed, &recorded.serve.completed);
+        prop_assert_eq!(replayed.serve.goodput_rps, recorded.serve.goodput_rps);
+        prop_assert_eq!(replayed.migrations, recorded.migrations);
+    }
+}
+
+/// Replaying the *same decoded bytes* twice yields identical reports — the
+/// bit-determinism the CI double-run `cmp` gate relies on.
+#[test]
+fn double_replay_is_bit_identical() {
+    let trace = CorpusPreset::Chat.build();
+    let a = tlt::run_replay(&trace, 2);
+    let b = tlt::run_replay(&trace, 2);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.goodput_rps, b.goodput_rps);
+    assert_eq!(a.slo_attainment, b.slo_attainment);
+}
+
+/// A recorded trace survives an actual filesystem round trip.
+#[test]
+fn file_round_trip_preserves_the_trace() {
+    let arrivals = arrivals_for(7, 5.0, 10.0);
+    let (_, trace) = record_serving("file-rt", 1_000, &replay_deployment(2), &arrivals);
+    let path = std::env::temp_dir().join("tlt_trace_file_rt.tltr");
+    let path = path.to_str().expect("utf-8 temp path");
+    trace.write_file(path).expect("write");
+    let read = Trace::read_file(path).expect("read");
+    std::fs::remove_file(path).ok();
+    assert_eq!(read, trace);
+}
+
+/// Damaged traces are rejected with typed errors.
+#[test]
+fn damaged_traces_are_rejected_with_typed_errors() {
+    let bytes = CorpusPreset::BurstyMobile.build().to_bytes();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'Z';
+    assert_eq!(Trace::from_bytes(&bad_magic), Err(TraceError::BadMagic));
+
+    let mut bad_version = bytes.clone();
+    bad_version[4] = 200;
+    assert_eq!(
+        Trace::from_bytes(&bad_version),
+        Err(TraceError::UnsupportedVersion(200))
+    );
+
+    for cut in [0, 3, 10, bytes.len() / 3, bytes.len() - 1] {
+        let err = Trace::from_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Truncated | TraceError::Corrupt { .. }),
+            "cut {cut}: {err:?}"
+        );
+    }
+
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    assert!(matches!(
+        Trace::from_bytes(&corrupt),
+        Err(TraceError::Corrupt { .. })
+    ));
+
+    // Reading a missing file is a typed IO error, not a panic.
+    assert!(matches!(
+        Trace::read_file("/nonexistent/definitely-missing.tltr"),
+        Err(TraceError::Io(_))
+    ));
+}
+
+/// The committed corpus meets the acceptance criterion: ≤ 8 bytes/request on
+/// average, every trace within its pinned budget.
+#[test]
+fn corpus_meets_the_size_budget() {
+    let mut total_bytes = 0usize;
+    let mut total_requests = 0usize;
+    for preset in CorpusPreset::all() {
+        let stats = preset.build().stats();
+        assert!(stats.total_bytes <= preset.size_budget_bytes());
+        total_bytes += stats.total_bytes;
+        total_requests += stats.requests;
+    }
+    assert!(total_bytes as f64 / total_requests as f64 <= 8.0);
+}
+
+/// Transforms are deterministic per seed and replayable.
+#[test]
+fn transformed_variants_replay_deterministically() {
+    let base = CorpusPreset::Chat.build();
+    let variants = [
+        base.rate_scaled(2.0),
+        base.storm_injected(20.0, 5.0, 50.0, 9),
+        base.tenant_shuffled(9),
+    ];
+    for variant in &variants {
+        assert!(variant.sd_accepts().is_none());
+        let decoded = Trace::from_bytes(&variant.to_bytes()).expect("round trip");
+        let a = tlt::run_replay(&decoded, 2);
+        let b = tlt::run_replay(&decoded, 2);
+        assert_eq!(a.completed, b.completed);
+    }
+    // Same seed, same variant — different seed, different workload.
+    assert_eq!(
+        base.storm_injected(20.0, 5.0, 50.0, 9),
+        base.storm_injected(20.0, 5.0, 50.0, 9)
+    );
+    assert_ne!(
+        base.storm_injected(20.0, 5.0, 50.0, 9).arrivals(),
+        base.storm_injected(20.0, 5.0, 50.0, 10).arrivals()
+    );
+}
