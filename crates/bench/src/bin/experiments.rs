@@ -8,12 +8,13 @@
 //! cargo run -p tlt-bench --release --bin experiments -- fig11 table4 serving ...
 //! cargo run -p tlt-bench --release --bin experiments -- serving --json out.json
 //! cargo run -p tlt-bench --release --bin experiments -- serving --trace-out trace.json --metrics
-//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_6.json] \
+//! cargo run -p tlt-bench --release --bin experiments -- perf [--quick] [--json BENCH_7.json] \
 //!     [--autotune | --profile profiles/<target>.json] [--metrics]
 //! cargo run -p tlt-bench --release --bin experiments -- chaos [--json chaos.json] \
 //!     [--trace-out chaos_trace.json]
 //! cargo run -p tlt-bench --release --bin experiments -- replay [--trace corpus/chat.tltr] \
-//!     [--rate-scale 2.0] [--write-corpus corpus] [--json replay.json]
+//!     [--stream] [--rate-scale 2.0] [--write-corpus corpus] [--json replay.json]
+//! cargo run -p tlt-bench --release --bin experiments -- replay --write-million trace.tltr
 //! ```
 //!
 //! `--json <path>` additionally writes every produced table as machine-readable
@@ -75,8 +76,8 @@ fn main() {
         eprintln!(
             "usage: experiments [--quick] [--json <path>] [--prefix-share <0..1>] [--disagg] \
              [--autotune] [--profile <path>] [--trace-out <path>] [--metrics] \
-             [--trace <path>] [--rate-scale <f>] [--write-corpus <dir>] \
-             [all | perf | chaos | replay | {}]",
+             [--trace <path>] [--stream] [--rate-scale <f>] [--write-corpus <dir>] \
+             [--write-million <path>] [all | perf | chaos | replay | {}]",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(2);
@@ -93,6 +94,8 @@ fn main() {
     let mut disagg = false;
     let mut replay_trace: Option<String> = None;
     let mut write_corpus: Option<String> = None;
+    let mut write_million: Option<String> = None;
+    let mut stream = false;
     let mut rate_scale: Option<f64> = None;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
@@ -111,6 +114,16 @@ fn main() {
                 Some(dir) if !dir.starts_with("--") => write_corpus = Some(dir),
                 _ => {
                     eprintln!("error: --write-corpus requires a directory");
+                    usage();
+                }
+            }
+        } else if arg == "--stream" {
+            stream = true;
+        } else if arg == "--write-million" {
+            match iter.next() {
+                Some(path) if !path.starts_with("--") => write_million = Some(path),
+                _ => {
+                    eprintln!("error: --write-million requires a path");
                     usage();
                 }
             }
@@ -180,7 +193,7 @@ fn main() {
     }
 
     // `perf` is a standalone subcommand: it runs the pinned perf workloads and
-    // writes the BENCH trajectory JSON (default BENCH_6.json, overridable with
+    // writes the BENCH trajectory JSON (default BENCH_7.json, overridable with
     // --json) instead of regenerating paper tables. `--profile <path>` installs
     // a committed dispatch profile first (how CI runs with a pinned table);
     // `--autotune` re-tunes on this machine, installs the winners, and saves
@@ -235,7 +248,7 @@ fn main() {
         } else {
             "default".to_string()
         };
-        let path = json_path.unwrap_or_else(|| "BENCH_6.json".to_string());
+        let path = json_path.unwrap_or_else(|| "BENCH_7.json".to_string());
         // Both observability taps are strictly opt-in here: the committed perf
         // trajectory (and the CI overhead gate) measures the disabled paths.
         if metrics {
@@ -292,13 +305,23 @@ fn main() {
         let code = replay_cmd(
             replay_trace.as_deref(),
             write_corpus.as_deref(),
+            write_million.as_deref(),
+            stream,
             rate_scale,
             json_path.as_deref(),
         );
         std::process::exit(code);
     }
-    if replay_trace.is_some() || write_corpus.is_some() || rate_scale.is_some() {
-        eprintln!("error: --trace/--write-corpus/--rate-scale only apply to 'replay'");
+    if replay_trace.is_some()
+        || write_corpus.is_some()
+        || write_million.is_some()
+        || stream
+        || rate_scale.is_some()
+    {
+        eprintln!(
+            "error: --trace/--stream/--write-corpus/--write-million/--rate-scale only apply \
+             to 'replay'"
+        );
         usage();
     }
 
@@ -1449,11 +1472,57 @@ const REPLAY_REPLICAS: usize = 2;
 fn replay_cmd(
     trace_path: Option<&str>,
     write_corpus: Option<&str>,
+    write_million: Option<&str>,
+    stream: bool,
     rate_scale: Option<f64>,
     json_path: Option<&str>,
 ) -> i32 {
     use std::time::Instant;
     use tlt_trace::{CorpusPreset, Trace};
+
+    // --write-million: derive the pinned million-request trace to a file,
+    // verify it against the pinned checksum, and exit (CI regenerates it on
+    // every run instead of committing the ~6.5 MB artifact).
+    if let Some(path) = write_million {
+        let file = match std::fs::File::create(path) {
+            Ok(file) => file,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return 1;
+            }
+        };
+        let t0 = Instant::now();
+        let checksum = match tlt_trace::write_derived_trace(
+            std::io::BufWriter::new(file),
+            tlt_trace::MILLION_REQUESTS,
+        ) {
+            Ok(checksum) => checksum,
+            Err(e) => {
+                eprintln!("error: failed to derive the million-request trace: {e}");
+                return 1;
+            }
+        };
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "wrote {path}: {} requests, {bytes} bytes ({:.2} B/req) in {:.2} s, \
+             checksum {checksum:#018x}",
+            tlt_trace::MILLION_REQUESTS,
+            bytes as f64 / tlt_trace::MILLION_REQUESTS as f64,
+            t0.elapsed().as_secs_f64(),
+        );
+        if checksum != tlt_trace::MILLION_CHECKSUM {
+            eprintln!(
+                "error: derived trace checksum {checksum:#018x} does not match the pinned \
+                 {:#018x}",
+                tlt_trace::MILLION_CHECKSUM
+            );
+            return 1;
+        }
+        return 0;
+    }
+    if stream {
+        return replay_streamed_cmd(trace_path, rate_scale, json_path);
+    }
 
     // --write-corpus: regenerate the committed corpus files and exit.
     if let Some(dir) = write_corpus {
@@ -1596,6 +1665,115 @@ fn replay_cmd(
     if let Some(path) = json_path {
         match report.write_json(path) {
             Ok(()) => println!("\nwrote the replay report as JSON to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write JSON to {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// `replay --stream`: drives the pinned deployment from a chunked TLTR
+/// decode ([`tlt_trace::TraceReader`]) instead of a materialised arrival
+/// vector — constant decode memory regardless of trace length. The exported
+/// table contains only sim-deterministic numbers (sizes, counts, report
+/// metrics), so a double run is byte-identical; CI diffs two runs' JSON.
+fn replay_streamed_cmd(
+    trace_path: Option<&str>,
+    rate_scale: Option<f64>,
+    json_path: Option<&str>,
+) -> i32 {
+    use std::io::Cursor;
+    use std::time::Instant;
+    use tlt_trace::{CorpusPreset, TraceReader};
+
+    if rate_scale.is_some() {
+        // Transforms are whole-trace rewrites; apply them in-memory and
+        // re-encode before streaming.
+        eprintln!("error: --rate-scale requires the in-memory replay path");
+        return 1;
+    }
+    println!(
+        "TLT trace replay, streamed (pinned deployment: {REPLAY_REPLICAS} replicas, \
+         adaptive SD, paged KV)"
+    );
+    // Workloads: one trace file, or the whole corpus re-encoded to bytes and
+    // streamed back through the chunked reader.
+    let mut report = Report::new();
+    let mut table = Table::new(
+        "Trace replay (streamed) — chunked decode on the pinned deployment",
+        &[
+            "workload",
+            "requests",
+            "size B",
+            "B/req",
+            "tok/s",
+            "goodput rps",
+            "SLO %",
+            "makespan s",
+        ],
+    );
+    let mut run_streamed =
+        |label: &str,
+         result: Result<(u64, u64, tlt_serve::ServeReport), tlt_trace::TraceError>|
+         -> bool {
+            match result {
+                Ok((requests, bytes, report)) => {
+                    table.add_row(vec![
+                        label.to_string(),
+                        format!("{requests}"),
+                        format!("{bytes}"),
+                        format!("{:.2}", bytes as f64 / requests.max(1) as f64),
+                        format!("{:.1}", report.throughput_tokens_per_s),
+                        format!("{:.3}", report.goodput_rps),
+                        format!("{:.1}", report.slo_attainment * 100.0),
+                        format!("{:.2}", report.makespan_s),
+                    ]);
+                    true
+                }
+                Err(e) => {
+                    eprintln!("error: streamed replay of {label} failed: {e}");
+                    false
+                }
+            }
+        };
+    match trace_path {
+        Some(path) => {
+            let t0 = Instant::now();
+            let result = TraceReader::<std::fs::File>::open_file(path).and_then(|mut reader| {
+                let report = tlt::run_replay_streamed(&mut reader, REPLAY_REPLICAS)?;
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                Ok((reader.decoded(), bytes, report))
+            });
+            let ok = run_streamed(path, result);
+            println!(
+                "streamed replay of {path} took {:.2} s",
+                t0.elapsed().as_secs_f64()
+            );
+            if !ok {
+                return 1;
+            }
+        }
+        None => {
+            for preset in CorpusPreset::all() {
+                let bytes = preset.build().to_bytes();
+                let size = bytes.len() as u64;
+                let result = TraceReader::open(Cursor::new(bytes)).and_then(|mut reader| {
+                    let report = tlt::run_replay_streamed(&mut reader, REPLAY_REPLICAS)?;
+                    Ok((reader.decoded(), size, report))
+                });
+                if !run_streamed(preset.name(), result) {
+                    return 1;
+                }
+            }
+        }
+    }
+    report.add(table);
+
+    if let Some(path) = json_path {
+        match report.write_json(path) {
+            Ok(()) => println!("\nwrote the streamed replay report as JSON to {path}"),
             Err(e) => {
                 eprintln!("error: failed to write JSON to {path}: {e}");
                 return 1;
@@ -1936,6 +2114,11 @@ fn perf_metrics_table() -> Table {
     t.add_row(vec![
         "mean_accept_per_round".to_string(),
         format!("{:.3}", c.mean_accept_per_round()),
+    ]);
+    t.add_row(vec!["sim_events".to_string(), format!("{}", c.sim_events)]);
+    t.add_row(vec![
+        "sim_stale_events".to_string(),
+        format!("{}", c.sim_stale_events),
     ]);
     t
 }

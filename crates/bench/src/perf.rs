@@ -4,7 +4,7 @@
 //! the tiny-model substrate and writes the measured numbers as machine-readable
 //! JSON (via the same [`JsonValue`] writer the experiment tables use), so every
 //! PR can append a comparable point to the repository's perf trajectory
-//! (`BENCH_6.json` for this change). Workload *definitions* are pinned: names,
+//! (`BENCH_7.json` for this change). Workload *definitions* are pinned: names,
 //! shapes, seeds, and token budgets must stay stable across PRs so the series
 //! stays comparable; only the measured values change. Since `tlt-perf-v2` the
 //! report also records the kernel dispatch table the run executed with (and
@@ -22,6 +22,7 @@ use tlt_rollout::{
     generate_batch, generate_group, simulate_rollout_batch, speculative_generate, vanilla_generate,
     SdManagerConfig, SdMode, SdStrategy, SimRolloutConfig, SpecDrafter,
 };
+use tlt_trace::MILLION_REQUESTS;
 
 /// One measured workload.
 #[derive(Debug, Clone)]
@@ -369,6 +370,86 @@ pub fn run_perf_workloads(scale: Scale) -> Vec<PerfPoint> {
         reps: replay_reps,
     });
 
+    // --- Streamed million-request replay: derive the pinned 1M-request trace
+    // to a file, then re-drive the replay deployment straight from a chunked
+    // decode — peak memory is the reader's 64 KiB window plus live sim state,
+    // never the million-arrival vector. One rep: the workload is macro-scale.
+    let million_path = std::env::temp_dir().join("tlt_derived_million.tltr");
+    let file = std::fs::File::create(&million_path).expect("temp trace file creates");
+    let checksum = tlt_trace::write_derived_trace(std::io::BufWriter::new(file), MILLION_REQUESTS)
+        .expect("derived trace generates");
+    assert_eq!(
+        checksum,
+        tlt_trace::MILLION_CHECKSUM,
+        "derived million-request trace drifted from its pinned checksum"
+    );
+    let t = time_per_rep(1, || {
+        let mut reader =
+            tlt_trace::TraceReader::<std::fs::File>::open_file(million_path.to_str().unwrap())
+                .expect("derived trace opens");
+        let report = tlt::run_replay_streamed(&mut reader, 4).expect("derived trace replays");
+        assert_eq!(report.completed.len() as u64, MILLION_REQUESTS);
+    });
+    let _ = std::fs::remove_file(&million_path);
+    points.push(PerfPoint {
+        name: "trace_replay_1m_streamed",
+        metric: "replayed requests per second (streamed decode + simulate, derived 1M trace)",
+        value: MILLION_REQUESTS as f64 / t,
+        unit: "req/s",
+        reps: 1,
+    });
+
+    // --- Event core: indexed-heap speedup over the linear next-event scan on
+    // a 64-replica serving sweep (same seeds, bit-identical reports — the
+    // ratio isolates pure event-selection cost) ---
+    // Best-of-7 per core: the ratio of two ~100ms walls jitters several
+    // percent run-to-run, so both minima need enough reps to converge before
+    // the CI floor on the committed ratio is meaningful.
+    let speedup_reps = if scale == Scale::Full { 7 } else { 1 };
+    let cost64 = tlt_gpusim::LlmCostModel::new(
+        tlt_model::ModelSpec::qwen2_5_7b(),
+        tlt_gpusim::GpuType::H100.spec(),
+        1,
+    );
+    let config64 = tlt_serve::ServeConfig::new(cost64, 64);
+    // Light per-replica load (~1.5 req/s each): small decode batches keep the
+    // per-step simulation cost low, so the measured ratio isolates event
+    // *selection* — the O(replicas) scan vs the O(log live) heap — rather
+    // than batch arithmetic both cores share.
+    let arrivals64 =
+        tlt_workload::generate_arrivals(&tlt_workload::ArrivalConfig::constant(100.0, 120.0, 21));
+    let run_core = |core: tlt_serve::EventCore| {
+        let mut sim = tlt_serve::ServeSim::new(&config64);
+        sim.set_event_core(core);
+        for a in &arrivals64 {
+            sim.advance_before(a.time_s());
+            sim.offer(tlt_serve::ServeRequest::from_arrival(a));
+        }
+        sim.run_until_drained();
+        sim.into_report()
+    };
+    let mut heap_wall = f64::INFINITY;
+    let mut scan_wall = f64::INFINITY;
+    for _ in 0..speedup_reps {
+        let start = Instant::now();
+        let heap_report = run_core(tlt_serve::EventCore::IndexedHeap);
+        heap_wall = heap_wall.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let scan_report = run_core(tlt_serve::EventCore::LinearScan);
+        scan_wall = scan_wall.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            heap_report.completed, scan_report.completed,
+            "event cores must stay bit-identical"
+        );
+    }
+    points.push(PerfPoint {
+        name: "sim_event_core_speedup",
+        metric: "serving-sim wall-clock ratio, linear scan over indexed heap (64 replicas)",
+        value: scan_wall / heap_wall.max(1e-12),
+        unit: "x",
+        reps: speedup_reps,
+    });
+
     points
 }
 
@@ -397,7 +478,7 @@ pub fn perf_report_json(points: &[PerfPoint], scale: Scale, dispatch_source: &st
         })
         .collect();
     JsonValue::object(vec![
-        ("bench", JsonValue::Number(6.0)),
+        ("bench", JsonValue::Number(7.0)),
         ("schema", JsonValue::string("tlt-perf-v2")),
         (
             "scale",

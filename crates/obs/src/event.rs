@@ -124,6 +124,10 @@ pub enum EventKind {
     /// (`tlt-trace`) rather than a live synthesiser. `a` = requests in the
     /// trace, `b` = trace tick in nanoseconds.
     Replay,
+    /// A simulation hit its hard event budget and stopped making progress
+    /// (a runaway-configuration guard, reported once per sim). `a` = events
+    /// processed, `b` = the budget.
+    BudgetExhausted,
 }
 
 impl EventKind {
@@ -149,6 +153,7 @@ impl EventKind {
             EventKind::Retire => "retire",
             EventKind::Probe => "probe",
             EventKind::Replay => "replay",
+            EventKind::BudgetExhausted => "budget_exhausted",
         }
     }
 
@@ -186,6 +191,7 @@ impl EventKind {
             EventKind::Retire => ("replica", "pool"),
             EventKind::Probe => ("", ""),
             EventKind::Replay => ("requests", "tick_ns"),
+            EventKind::BudgetExhausted => ("events", "budget"),
         }
     }
 }

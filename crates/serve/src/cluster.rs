@@ -31,13 +31,14 @@
 
 use crate::balancer::{BalancerPolicy, LoadBalancer};
 use crate::config::ServeConfig;
+use crate::events::{DriveOutcome, EventCore, EventKey, EventQueue};
 use crate::metrics::ServeReport;
 use crate::replica::{FailoverRequest, MigratedEntry, Replica};
 use crate::request::ServeRequest;
 use crate::transfer::{TransferLink, TransferLinkConfig};
 use serde::Serialize;
 use std::collections::VecDeque;
-use tlt_obs::{record, EventKind, ObsEvent, Track, NO_REQ};
+use tlt_obs::{hooks, record, EventKind, ObsEvent, Track, NO_REQ};
 
 /// Reactive autoscaler parameters. Signals are per-*active*-replica averages
 /// sampled at each tick; one scaling action per pool per tick.
@@ -281,6 +282,10 @@ pub struct ClusterSim {
     /// Provisioned-capacity integral: Σ provisioned replicas × dt.
     replica_seconds: f64,
     last_account_s: f64,
+    event_budget: u64,
+    budget_reported: bool,
+    core: EventCore,
+    queue: EventQueue,
 }
 
 /// Cluster-level outcome: the standard serving report plus migration, link,
@@ -351,6 +356,10 @@ impl ClusterSim {
             ticks: 0,
             replica_seconds: 0.0,
             last_account_s: 0.0,
+            event_budget: MAX_EVENTS,
+            budget_reported: false,
+            core: EventCore::default(),
+            queue: EventQueue::new(),
             config,
         };
         for i in 0..sim.config.prefill_replicas {
@@ -359,7 +368,82 @@ impl ClusterSim {
         for j in 0..sim.config.decode_replicas {
             sim.decode.push(sim.spawn_decode(j, 0.0));
         }
+        sim.touch_tick();
         sim
+    }
+
+    /// Switches the next-event implementation, re-seeding the heap from the
+    /// cluster's current state (pool replicas, link front, next tick). The two
+    /// cores are bit-identical; the scan stays as the oracle and benchmark
+    /// baseline.
+    pub fn set_event_core(&mut self, core: EventCore) {
+        self.core = core;
+        self.queue.clear();
+        if core == EventCore::IndexedHeap {
+            for i in 0..self.prefill.len() {
+                self.queue
+                    .push(self.prefill[i].replica.next_event_s(), CLASS_PREFILL, i);
+            }
+            for j in 0..self.decode.len() {
+                self.queue
+                    .push(self.decode[j].replica.next_event_s(), CLASS_DECODE, j);
+            }
+            self.touch_link();
+            self.touch_tick();
+        }
+    }
+
+    /// The next-event implementation in use.
+    pub fn event_core(&self) -> EventCore {
+        self.core
+    }
+
+    /// Overrides the hard event budget (default 200M). Exposed so tests can
+    /// exercise the typed [`DriveOutcome::BudgetExhausted`] path cheaply.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Re-pushes prefill replica `i`'s key after a mutation that started from
+    /// next-event time `before_s` (unchanged keys push nothing).
+    fn touch_prefill(&mut self, i: usize, before_s: f64) {
+        if self.core == EventCore::IndexedHeap {
+            let now = self.prefill[i].replica.next_event_s();
+            if now.to_bits() != before_s.to_bits() {
+                self.queue.push(now, CLASS_PREFILL, i);
+            }
+        }
+    }
+
+    /// Re-pushes decode replica `j`'s key; see [`ClusterSim::touch_prefill`].
+    fn touch_decode(&mut self, j: usize, before_s: f64) {
+        if self.core == EventCore::IndexedHeap {
+            let now = self.decode[j].replica.next_event_s();
+            if now.to_bits() != before_s.to_bits() {
+                self.queue.push(now, CLASS_DECODE, j);
+            }
+        }
+    }
+
+    /// Pushes the current link-front landing time (called whenever the front
+    /// of `in_flight` may have changed; duplicates are discarded lazily).
+    fn touch_link(&mut self) {
+        if self.core == EventCore::IndexedHeap {
+            if let Some(t) = self.in_flight.front() {
+                self.queue.push(t.finish_s, CLASS_TRANSFER, 0);
+            }
+        }
+    }
+
+    /// Pushes the next autoscaler tick's key (exactly one per fired tick, so
+    /// tick keys are never duplicated).
+    fn touch_tick(&mut self) {
+        if self.core == EventCore::IndexedHeap {
+            if let Some(a) = &self.config.autoscale {
+                self.queue
+                    .push((self.ticks + 1) as f64 * a.interval_s, CLASS_TICK, 0);
+            }
+        }
     }
 
     fn spawn_prefill(&self, index: usize, ready_at_s: f64) -> PoolReplica {
@@ -415,7 +499,11 @@ impl ClusterSim {
             ),
         );
         match target {
-            Some(i) => self.prefill[i].replica.enqueue(req, now),
+            Some(i) => {
+                let before = self.prefill[i].replica.next_event_s();
+                self.prefill[i].replica.enqueue(req, now);
+                self.touch_prefill(i, before);
+            }
             None => self.orphans.push_back(FailoverRequest {
                 req,
                 generated: 0.0,
@@ -458,7 +546,9 @@ impl ClusterSim {
         match self.route_prefill(&fo.req) {
             Some(i) => {
                 self.requeued += 1;
+                let before = self.prefill[i].replica.next_event_s();
                 self.prefill[i].replica.enqueue_failover(fo, now);
+                self.touch_prefill(i, before);
             }
             None => self.orphans.push_back(fo),
         }
@@ -477,6 +567,7 @@ impl ClusterSim {
     /// blocks. Strictly FIFO: an infeasible head blocks the queue (KV ordering
     /// is part of the determinism contract).
     fn dispatch_pending(&mut self, now: f64) {
+        let link_was_idle = self.in_flight.is_empty();
         while let Some((entry, _source)) = self.pending.front() {
             let entry = *entry;
             let mut best: Option<(u64, usize, usize)> = None; // (score, dest, blocks)
@@ -516,6 +607,11 @@ impl ClusterSim {
                 finish_s,
             });
         }
+        // The serial link only grows at the back; the front key changes only
+        // when a dispatch lands on a previously idle link.
+        if link_was_idle {
+            self.touch_link();
+        }
     }
 
     fn block_size(&self) -> usize {
@@ -529,6 +625,7 @@ impl ClusterSim {
     /// Lands the front in-flight transfer (its `finish_s` is due now).
     fn land_transfer(&mut self, now: f64) {
         let t = self.in_flight.pop_front().expect("a transfer is due");
+        self.touch_link();
         record(
             ObsEvent::span(
                 t.start_s,
@@ -542,13 +639,18 @@ impl ClusterSim {
         // The source stayed up (a source crash aborts its transfers), so its
         // outbound charge releases exactly as the destination's reservation
         // converts into a running footprint.
+        let before = self.prefill[t.source].replica.next_event_s();
         self.prefill[t.source]
             .replica
             .complete_outbound(t.entry.source_blocks);
         self.prefill[t.source].replica.kick(now);
+        self.touch_prefill(t.source, before);
+        let before = self.decode[t.dest].replica.next_event_s();
+        let dest = t.dest;
         self.decode[t.dest]
             .replica
             .deliver_migrated(t.entry, t.reserved_blocks, now);
+        self.touch_decode(dest, before);
         self.check_retirements(now);
         self.dispatch_pending(now);
     }
@@ -598,6 +700,7 @@ impl ClusterSim {
             }
         }
         self.in_flight = kept;
+        self.touch_link();
         for fo in failovers {
             self.deliver_failover(fo, now);
         }
@@ -633,6 +736,7 @@ impl ClusterSim {
             }
         }
         self.in_flight = kept;
+        self.touch_link();
         for item in retry.into_iter().rev() {
             self.pending.push_front(item);
         }
@@ -675,15 +779,22 @@ impl ClusterSim {
         self.advance_now(now);
         self.restarts += 1;
         if idx < self.initial_prefill {
+            let before = self.prefill[idx].replica.next_event_s();
             self.prefill[idx].replica.restart(now);
+            self.touch_prefill(idx, before);
         } else {
-            self.decode[idx - self.initial_prefill].replica.restart(now);
+            let j = idx - self.initial_prefill;
+            let before = self.decode[j].replica.next_event_s();
+            self.decode[j].replica.restart(now);
+            self.touch_decode(j, before);
         }
         while let Some(fo) = self.orphans.pop_front() {
             match self.route_prefill(&fo.req) {
                 Some(i) => {
                     self.requeued += 1;
+                    let before = self.prefill[i].replica.next_event_s();
                     self.prefill[i].replica.enqueue_failover(fo, now);
+                    self.touch_prefill(i, before);
                 }
                 None => {
                     self.orphans.push_front(fo);
@@ -768,32 +879,120 @@ impl ClusterSim {
         }
     }
 
-    /// Processes every event strictly before `t`, then advances to `t`.
-    pub fn advance_before(&mut self, t: f64) {
-        while let Some((et, class, idx)) = self.next_event(true) {
-            if et >= t || self.events >= MAX_EVENTS {
-                break;
+    /// Processes the event described by a validated `(time, class, index)`
+    /// triple — the single dispatch shared by both event cores and both drive
+    /// loops.
+    fn dispatch_event(&mut self, et: f64, class: u8, idx: usize) {
+        match class {
+            CLASS_TRANSFER => self.land_transfer(et),
+            CLASS_PREFILL => {
+                self.prefill[idx].replica.on_step_complete(et);
+                self.touch_prefill(idx, et);
+                self.collect_handoffs(idx);
+                self.check_retirements(et);
+                self.dispatch_pending(et);
             }
-            self.events += 1;
-            self.account_to(et);
-            self.now_s = self.now_s.max(et);
-            match class {
-                CLASS_TRANSFER => self.land_transfer(et),
+            CLASS_DECODE => {
+                self.decode[idx].replica.on_step_complete(et);
+                self.touch_decode(idx, et);
+                self.check_retirements(et);
+                self.dispatch_pending(et);
+            }
+            _ => self.autoscale_tick(et),
+        }
+    }
+
+    /// Pops the earliest *valid* due event strictly before `t`, discarding
+    /// stale keys along the way. A due-but-suppressed tick (when
+    /// `include_ticks` is false) is stashed and re-pushed on exit so the
+    /// one-sided heap invariant survives drain loops that exclude ticks.
+    fn pop_due_event(&mut self, t: f64, include_ticks: bool) -> Option<(f64, u8, usize)> {
+        let mut deferred_tick: Option<EventKey> = None;
+        let due = loop {
+            let Some(key) = self.queue.peek() else {
+                break None;
+            };
+            if key.time_s() >= t {
+                break None;
+            }
+            let key = self.queue.pop().expect("peeked");
+            let (class, idx) = (key.class(), key.index());
+            let valid = match class {
+                CLASS_TRANSFER => {
+                    self.in_flight.front().map(|f| f.finish_s.to_bits()) == Some(key.time_bits())
+                }
                 CLASS_PREFILL => {
-                    self.prefill[idx].replica.on_step_complete(et);
-                    self.collect_handoffs(idx);
-                    self.check_retirements(et);
-                    self.dispatch_pending(et);
+                    self.prefill[idx].replica.next_event_s().to_bits() == key.time_bits()
                 }
                 CLASS_DECODE => {
-                    self.decode[idx].replica.on_step_complete(et);
-                    self.check_retirements(et);
-                    self.dispatch_pending(et);
+                    self.decode[idx].replica.next_event_s().to_bits() == key.time_bits()
                 }
-                _ => self.autoscale_tick(et),
+                _ => {
+                    self.config
+                        .autoscale
+                        .as_ref()
+                        .map(|a| ((self.ticks + 1) as f64 * a.interval_s).to_bits())
+                        == Some(key.time_bits())
+                }
+            };
+            if !valid {
+                hooks::on_sim_stale_event();
+                continue;
+            }
+            if class == CLASS_TICK && !include_ticks {
+                // Tick keys are never duplicated, so one stash slot suffices.
+                deferred_tick = Some(key);
+                continue;
+            }
+            break Some((key.time_s(), class, idx));
+        };
+        if let Some(key) = deferred_tick {
+            self.queue.push_key(key);
+        }
+        due
+    }
+
+    /// Processes every event strictly before `t`, then advances to `t`.
+    /// Returns [`DriveOutcome::BudgetExhausted`] — reported once through the
+    /// flight recorder — if the hard event budget tripped with an event still
+    /// due.
+    pub fn advance_before(&mut self, t: f64) -> DriveOutcome {
+        let mut outcome = DriveOutcome::Completed;
+        match self.core {
+            EventCore::IndexedHeap => {
+                while let Some((et, class, idx)) = self.pop_due_event(t, true) {
+                    if self.events >= self.event_budget {
+                        // Put the valid key back and stop.
+                        self.queue.push(et, class, idx);
+                        outcome = self.budget_outcome();
+                        break;
+                    }
+                    self.events += 1;
+                    hooks::on_sim_event();
+                    self.account_to(et);
+                    self.now_s = self.now_s.max(et);
+                    self.dispatch_event(et, class, idx);
+                }
+            }
+            EventCore::LinearScan => {
+                while let Some((et, class, idx)) = self.next_event(true) {
+                    if et >= t {
+                        break;
+                    }
+                    if self.events >= self.event_budget {
+                        outcome = self.budget_outcome();
+                        break;
+                    }
+                    self.events += 1;
+                    hooks::on_sim_event();
+                    self.account_to(et);
+                    self.now_s = self.now_s.max(et);
+                    self.dispatch_event(et, class, idx);
+                }
             }
         }
         self.advance_now(t);
+        outcome
     }
 
     /// Concatenated SD accept-length log across both pools — prefill replicas
@@ -812,35 +1011,46 @@ impl ClusterSim {
     }
 
     /// Runs until every request has drained (autoscaler ticks stop firing once
-    /// the cluster is idle, so this terminates).
-    pub fn run_until_drained(&mut self) {
+    /// the cluster is idle, so this terminates). Returns
+    /// [`DriveOutcome::BudgetExhausted`] if the event budget tripped first.
+    pub fn run_until_drained(&mut self) -> DriveOutcome {
         loop {
             let include_ticks = self.has_work();
-            let Some((et, class, idx)) = self.next_event(include_ticks) else {
-                break;
+            let next = match self.core {
+                EventCore::IndexedHeap => self.pop_due_event(f64::MAX, include_ticks),
+                EventCore::LinearScan => self.next_event(include_ticks),
             };
-            if self.events >= MAX_EVENTS {
-                break;
+            let Some((et, class, idx)) = next else {
+                return DriveOutcome::Completed;
+            };
+            if self.events >= self.event_budget {
+                if self.core == EventCore::IndexedHeap {
+                    self.queue.push(et, class, idx);
+                }
+                return self.budget_outcome();
             }
             self.events += 1;
+            hooks::on_sim_event();
             self.account_to(et);
             self.now_s = self.now_s.max(et);
-            match class {
-                CLASS_TRANSFER => self.land_transfer(et),
-                CLASS_PREFILL => {
-                    self.prefill[idx].replica.on_step_complete(et);
-                    self.collect_handoffs(idx);
-                    self.check_retirements(et);
-                    self.dispatch_pending(et);
-                }
-                CLASS_DECODE => {
-                    self.decode[idx].replica.on_step_complete(et);
-                    self.check_retirements(et);
-                    self.dispatch_pending(et);
-                }
-                _ => self.autoscale_tick(et),
-            }
+            self.dispatch_event(et, class, idx);
         }
+    }
+
+    fn budget_outcome(&mut self) -> DriveOutcome {
+        if !self.budget_reported {
+            self.budget_reported = true;
+            record(
+                ObsEvent::instant(
+                    self.now_s,
+                    Track::Frontend,
+                    EventKind::BudgetExhausted,
+                    NO_REQ,
+                )
+                .with_args(self.events as f64, self.event_budget as f64),
+            );
+        }
+        DriveOutcome::BudgetExhausted
     }
 
     /// One autoscaler decision: at most one action per pool, driven by
@@ -849,6 +1059,7 @@ impl ClusterSim {
     /// scale-down drains the highest-index active replica.
     fn autoscale_tick(&mut self, now: f64) {
         self.ticks += 1;
+        self.touch_tick();
         let a = *self.config.autoscale.as_ref().expect("ticks imply config");
 
         // Prefill pool: queue-depth signal.
@@ -907,7 +1118,12 @@ impl ClusterSim {
         // Cheapest capacity first: cancel an in-progress drain.
         if let Some(i) = (0..members.len()).find(|&i| members[i].draining && !members[i].retired) {
             members[i].draining = false;
+            let before = members[i].replica.next_event_s();
             members[i].replica.kick(now);
+            match pool {
+                Pool::Prefill => self.touch_prefill(i, before),
+                Pool::Decode => self.touch_decode(i, before),
+            }
             record(
                 ObsEvent::instant(now, Track::Autoscaler, EventKind::ScaleUp, NO_REQ)
                     .with_args(i as f64, pool.arg()),
@@ -1014,7 +1230,7 @@ impl ClusterSim {
 
     /// Whether the event-budget runaway guard tripped.
     pub fn event_budget_exhausted(&self) -> bool {
-        self.events >= MAX_EVENTS
+        self.events >= self.event_budget
     }
 
     /// Per-pool structural conservation check (the chaos invariant), plus the

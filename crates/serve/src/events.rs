@@ -1,0 +1,224 @@
+//! Indexed event core: a lazy-invalidation binary-heap scheduler shared by
+//! [`ServeSim`] and [`ClusterSim`].
+//!
+//! Both simulators used to find their next event with a linear scan over every
+//! replica (plus the transfer link and the autoscaler tick), making a long run
+//! O(events × replicas). The event core replaces the scan with a min-heap of
+//! [`EventKey`]s ordered by `(time, class, index)` — exactly the tie-break the
+//! scans used — so event selection is O(log n) and, after a step completes,
+//! only the stepped source's key is re-pushed (the scan re-derived the minimum
+//! from scratch every iteration).
+//!
+//! **Lazy invalidation.** Keys are never removed or updated in place: every
+//! mutation that changes a source's next-event time pushes a fresh key, and a
+//! popped key is validated against the source's *current* time (compared as
+//! raw f64 bits) — a mismatch means the key is stale and it is discarded. The
+//! invariant is one-sided: every live event source always has its current key
+//! somewhere in the heap; the heap may additionally hold any number of stale
+//! keys. Because a source mutates at most a constant number of times per
+//! processed event (a step completion, an enqueue, a crash/restart, a
+//! dispatch), the heap holds at most O(live sources + events processed since
+//! the last drain) entries and the amortized cost per event is O(log n) —
+//! stale pops are paid for by the push that created them.
+//!
+//! **Determinism.** `f64::to_bits` is order-preserving for non-negative
+//! floats, and every simulated timestamp is non-negative and finite
+//! (`f64::MAX` keys are never pushed), so the integer heap order equals the
+//! float order the scans used — event order, and therefore every metric,
+//! trace, and chaos invariant, is bit-identical between the two cores (the
+//! `event_core` test suite enforces this).
+//!
+//! [`ServeSim`]: crate::ServeSim
+//! [`ClusterSim`]: crate::ClusterSim
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which next-event implementation a simulator uses. The linear scan is kept
+/// both as the bit-identity oracle for the heap and for the
+/// `sim_event_core_speedup` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventCore {
+    /// Lazy-invalidation binary heap keyed on each source's next-event time
+    /// (the default).
+    #[default]
+    IndexedHeap,
+    /// The original O(sources) scan per event.
+    LinearScan,
+}
+
+/// A scheduled event key, ordered by `(time, class, index)`. Time is stored as
+/// `f64::to_bits`, which is monotonic for the non-negative finite timestamps
+/// the simulators produce, so integer comparison reproduces float comparison
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    time_bits: u64,
+    class: u8,
+    index: usize,
+}
+
+impl EventKey {
+    /// Builds a key for an event of `class` on source `index` due at `time_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `time_s` is negative or not finite — such a
+    /// timestamp would break the `to_bits` ordering argument.
+    pub fn new(time_s: f64, class: u8, index: usize) -> Self {
+        debug_assert!(
+            time_s >= 0.0 && time_s.is_finite(),
+            "event times must be non-negative and finite, got {time_s}"
+        );
+        EventKey {
+            time_bits: time_s.to_bits(),
+            class,
+            index,
+        }
+    }
+
+    /// The event's due time in seconds.
+    pub fn time_s(&self) -> f64 {
+        f64::from_bits(self.time_bits)
+    }
+
+    /// The due time as raw bits, for exact staleness comparison.
+    pub fn time_bits(&self) -> u64 {
+        self.time_bits
+    }
+
+    /// The event class (same-time ordering rank).
+    pub fn class(&self) -> u8 {
+        self.class
+    }
+
+    /// The event source index within its class.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// Min-heap of [`EventKey`]s with lazy invalidation. Pushing a key whose time
+/// is `f64::MAX` is a no-op (idle sources schedule nothing), so callers can
+/// push a source's `next_event_s()` unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<EventKey>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event (no-op for `f64::MAX`, the idle sentinel).
+    pub fn push(&mut self, time_s: f64, class: u8, index: usize) {
+        if time_s < f64::MAX {
+            self.heap.push(Reverse(EventKey::new(time_s, class, index)));
+        }
+    }
+
+    /// Re-schedules an already-built key (used to put back a popped key that
+    /// could not be processed, e.g. on budget exhaustion or tick deferral).
+    pub fn push_key(&mut self, key: EventKey) {
+        self.heap.push(Reverse(key));
+    }
+
+    /// The earliest key, without removing it. May be stale — the caller
+    /// validates after popping.
+    pub fn peek(&self) -> Option<EventKey> {
+        self.heap.peek().map(|Reverse(k)| *k)
+    }
+
+    /// Removes and returns the earliest key.
+    pub fn pop(&mut self) -> Option<EventKey> {
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+
+    /// Drops every key (used when re-seeding after an event-core switch).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Number of keys currently held, stale ones included.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Typed outcome of a simulation drive call (`advance_before` /
+/// `run_until_drained`): either every due event was processed, or the hard
+/// event budget tripped and the drive stopped early with events still due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveOutcome {
+    /// All events due in the driven window were processed.
+    Completed,
+    /// The event budget was exhausted with at least one event still due; the
+    /// simulator reports it once through the flight recorder and refuses
+    /// further progress.
+    BudgetExhausted,
+}
+
+impl DriveOutcome {
+    /// Whether this drive stopped on budget exhaustion.
+    pub fn budget_exhausted(&self) -> bool {
+        matches!(self, DriveOutcome::BudgetExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_order_by_time_then_class_then_index() {
+        let mut q = EventQueue::new();
+        q.push(2.0, 0, 0);
+        q.push(1.0, 3, 9);
+        q.push(1.0, 1, 2);
+        q.push(1.0, 1, 1);
+        q.push(f64::MAX, 0, 0); // idle sentinel: dropped
+        let order: Vec<(f64, u8, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|k| (k.time_s(), k.class(), k.index()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(1.0, 1, 1), (1.0, 1, 2), (1.0, 3, 9), (2.0, 0, 0)]
+        );
+    }
+
+    #[test]
+    fn to_bits_order_matches_float_order_for_sim_times() {
+        let times = [0.0, 1e-12, 0.5, 1.0, 1.0 + f64::EPSILON, 3600.0, 1e300];
+        for w in times.windows(2) {
+            assert!(w[0].to_bits() < w[1].to_bits(), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn push_key_round_trips_exact_bits() {
+        let mut q = EventQueue::new();
+        let t = 0.1 + 0.2; // not exactly representable as 0.3
+        q.push(t, 2, 7);
+        let k = q.pop().unwrap();
+        assert_eq!(k.time_bits(), t.to_bits());
+        q.push_key(k);
+        assert_eq!(q.peek(), Some(k));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drive_outcome_reports_exhaustion() {
+        assert!(!DriveOutcome::Completed.budget_exhausted());
+        assert!(DriveOutcome::BudgetExhausted.budget_exhausted());
+    }
+}

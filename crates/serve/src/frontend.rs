@@ -12,16 +12,22 @@
 
 use crate::balancer::LoadBalancer;
 use crate::config::ServeConfig;
+use crate::events::{DriveOutcome, EventCore, EventQueue};
 use crate::metrics::ServeReport;
 use crate::replica::{FailoverRequest, Replica};
 use crate::request::ServeRequest;
 use std::collections::VecDeque;
-use tlt_obs::{record, EventKind, ObsEvent, Track};
+use tlt_obs::{hooks, record, EventKind, ObsEvent, Track, NO_REQ};
 use tlt_workload::RequestArrival;
 
 /// Hard cap on processed events; prevents pathological configurations from
 /// spinning forever.
 const MAX_EVENTS: u64 = 200_000_000;
+
+/// Event class of a replica step completion — `ServeSim`'s only internal
+/// event, so heap order reduces to `(time, replica index)`, exactly the
+/// first-minimum tie-break of the old linear scan.
+const CLASS_STEP: u8 = 0;
 
 /// A steppable multi-replica serving simulation with failure semantics.
 #[derive(Debug)]
@@ -38,6 +44,10 @@ pub struct ServeSim {
     crashes: u64,
     restarts: u64,
     events: u64,
+    event_budget: u64,
+    budget_reported: bool,
+    core: EventCore,
+    queue: EventQueue,
 }
 
 impl ServeSim {
@@ -56,6 +66,48 @@ impl ServeSim {
             crashes: 0,
             restarts: 0,
             events: 0,
+            event_budget: MAX_EVENTS,
+            budget_reported: false,
+            core: EventCore::default(),
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Switches the next-event implementation, re-seeding the heap from every
+    /// replica's current state. The two cores are bit-identical (enforced by
+    /// the `event_core` test suite); the scan is kept as the oracle and for
+    /// the `sim_event_core_speedup` benchmark.
+    pub fn set_event_core(&mut self, core: EventCore) {
+        self.core = core;
+        self.queue.clear();
+        if core == EventCore::IndexedHeap {
+            for i in 0..self.replicas.len() {
+                self.queue
+                    .push(self.replicas[i].next_event_s(), CLASS_STEP, i);
+            }
+        }
+    }
+
+    /// The next-event implementation in use.
+    pub fn event_core(&self) -> EventCore {
+        self.core
+    }
+
+    /// Overrides the hard event budget (default 200M). Exposed so tests can
+    /// exercise the typed [`DriveOutcome::BudgetExhausted`] path cheaply.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Re-pushes `replica`'s current next-event key after a mutation that may
+    /// have changed it; `before_s` is the pre-mutation time, so unchanged keys
+    /// (e.g. enqueueing onto an already-busy replica) push nothing.
+    fn touch(&mut self, replica: usize, before_s: f64) {
+        if self.core == EventCore::IndexedHeap {
+            let now = self.replicas[replica].next_event_s();
+            if now.to_bits() != before_s.to_bits() {
+                self.queue.push(now, CLASS_STEP, replica);
+            }
         }
     }
 
@@ -81,7 +133,7 @@ impl ServeSim {
     /// [`ServeSim::advance_before`] makes no further progress — callers driving
     /// their own event loop must stop instead of re-polling forever.
     pub fn event_budget_exhausted(&self) -> bool {
-        self.events > MAX_EVENTS
+        self.events > self.event_budget
     }
 
     /// The replicas, for inspection (peak KV, drop ids, health).
@@ -166,7 +218,9 @@ impl ServeSim {
                 .with_args(target as f64, req.prompt_len as f64),
         );
         self.routing.push((req.id, target));
+        let before = self.replicas[target].next_event_s();
         self.replicas[target].enqueue(req, now);
+        self.touch(target, before);
     }
 
     /// Advances the clock to `t` without processing events. External actors
@@ -179,23 +233,88 @@ impl ServeSim {
 
     /// Processes every replica step event strictly before `t` (arrivals and
     /// faults at `t` therefore win ties, matching the original frontend rule).
-    pub fn advance_before(&mut self, t: f64) {
+    /// Returns [`DriveOutcome::BudgetExhausted`] — reported once through the
+    /// flight recorder — if the hard event budget tripped with an event still
+    /// due.
+    pub fn advance_before(&mut self, t: f64) -> DriveOutcome {
+        match self.core {
+            EventCore::IndexedHeap => self.advance_before_heap(t),
+            EventCore::LinearScan => self.advance_before_scan(t),
+        }
+    }
+
+    fn advance_before_heap(&mut self, t: f64) -> DriveOutcome {
+        loop {
+            let Some(key) = self.queue.peek() else {
+                // Every live key is in the heap, so an empty heap means every
+                // replica is idle.
+                return DriveOutcome::Completed;
+            };
+            if key.time_s() >= t {
+                // The heap minimum bounds every live key from below: nothing
+                // (stale or not) is due before `t`.
+                return DriveOutcome::Completed;
+            }
+            let key = self.queue.pop().expect("peeked");
+            let idx = key.index();
+            if self.replicas[idx].next_event_s().to_bits() != key.time_bits() {
+                hooks::on_sim_stale_event();
+                continue;
+            }
+            if self.events > self.event_budget {
+                // Put the still-valid key back so the one-sided heap invariant
+                // holds if the budget is ever raised.
+                self.queue.push_key(key);
+                return self.budget_outcome();
+            }
+            let t_step = key.time_s();
+            self.now_s = t_step;
+            self.replicas[idx].on_step_complete(t_step);
+            self.events += 1;
+            hooks::on_sim_event();
+            // Only the just-stepped replica's key is dirty: re-push it alone
+            // instead of re-deriving the global minimum.
+            self.touch(idx, t_step);
+        }
+    }
+
+    fn advance_before_scan(&mut self, t: f64) -> DriveOutcome {
         loop {
             let (idx, t_step) = self.soonest_step();
-            if t_step >= t || self.events > MAX_EVENTS {
-                break;
+            if t_step >= t {
+                return DriveOutcome::Completed;
+            }
+            if self.events > self.event_budget {
+                return self.budget_outcome();
             }
             self.now_s = t_step;
             self.replicas[idx].on_step_complete(t_step);
             self.events += 1;
+            hooks::on_sim_event();
         }
     }
 
     /// Runs every remaining step event until the deployment drains (or the event
     /// budget is exhausted). Orphans can only be re-delivered by a restart, so
     /// they are left untouched here.
-    pub fn run_until_drained(&mut self) {
-        self.advance_before(f64::MAX);
+    pub fn run_until_drained(&mut self) -> DriveOutcome {
+        self.advance_before(f64::MAX)
+    }
+
+    fn budget_outcome(&mut self) -> DriveOutcome {
+        if !self.budget_reported {
+            self.budget_reported = true;
+            record(
+                ObsEvent::instant(
+                    self.now_s,
+                    Track::Frontend,
+                    EventKind::BudgetExhausted,
+                    NO_REQ,
+                )
+                .with_args(self.events as f64, self.event_budget as f64),
+            );
+        }
+        DriveOutcome::BudgetExhausted
     }
 
     fn soonest_step(&self) -> (usize, f64) {
@@ -225,7 +344,9 @@ impl ServeSim {
     /// orphaned requests through the balancer (which can now see it).
     pub fn restart_replica(&mut self, replica: usize) {
         let now = self.now_s;
+        let before = self.replicas[replica].next_event_s();
         self.replicas[replica].restart(now);
+        self.touch(replica, before);
         self.restarts += 1;
         while let Some(fo) = self.orphans.pop_front() {
             self.deliver_failover(fo, now);
@@ -246,7 +367,9 @@ impl ServeSim {
         }
         let loads: Vec<_> = self.replicas.iter().map(Replica::load).collect();
         let target = self.balancer.pick_among(&loads, Some(&eligible));
+        let before = self.replicas[target].next_event_s();
         self.replicas[target].enqueue_failover(fo, now);
+        self.touch(target, before);
         self.requeued += 1;
         self.events += 1;
     }

@@ -37,6 +37,7 @@
 pub mod balancer;
 pub mod cluster;
 pub mod config;
+pub mod events;
 pub mod frontend;
 pub mod metrics;
 pub mod replica;
@@ -46,6 +47,7 @@ pub mod transfer;
 pub use balancer::{BalancerPolicy, LoadBalancer, ReplicaLoad};
 pub use cluster::{simulate_disagg, AutoscaleConfig, ClusterReport, ClusterSim, DisaggConfig};
 pub use config::{KvAccounting, ServeConfig};
+pub use events::{DriveOutcome, EventCore, EventKey, EventQueue};
 pub use frontend::{simulate_serving, simulate_serving_traced, ServeSim};
 pub use metrics::{percentile_f64, LatencySummary, ReplicaStats, ServeReport, SloSpec};
 pub use replica::{FailoverRequest, MigratedEntry, Replica};

@@ -64,6 +64,6 @@ pub use config::{ExperimentConfig, SystemKind};
 pub use pipeline::{run_comparison, run_experiment, ExperimentResult, StepBreakdown};
 pub use serve::{
     replay_deployment, run_disagg_comparison, run_heterogeneous_comparison,
-    run_prefix_sharing_comparison, run_replay, run_serving, run_serving_comparison,
-    ServingExperimentConfig, ServingSdPolicy,
+    run_prefix_sharing_comparison, run_replay, run_replay_streamed, run_serving,
+    run_serving_comparison, ServingExperimentConfig, ServingSdPolicy,
 };

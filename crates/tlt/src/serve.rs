@@ -221,6 +221,16 @@ pub fn run_replay(trace: &tlt_trace::Trace, replicas: usize) -> ServeReport {
     tlt_trace::replay_serving(trace, &replay_deployment(replicas))
 }
 
+/// Streamed counterpart of [`run_replay`]: drives the same pinned deployment
+/// straight from a chunked TLTR decode, so the arrival vector is never held
+/// in memory. Bit-identical to [`run_replay`] on the same trace bytes.
+pub fn run_replay_streamed<R: std::io::Read>(
+    reader: &mut tlt_trace::TraceReader<R>,
+    replicas: usize,
+) -> Result<ServeReport, tlt_trace::TraceError> {
+    tlt_trace::replay_serving_streamed(reader, &replay_deployment(replicas))
+}
+
 /// Runs the same arrival stream under all three SD policies.
 pub fn run_serving_comparison(
     config: &ServingExperimentConfig,

@@ -44,11 +44,12 @@ pub const MAGIC: [u8; 4] = *b"TLTR";
 pub const VERSION: u8 = 1;
 
 /// Flag bit 0: an SD accept-length bitstream section follows the requests.
-const FLAG_SD: u8 = 1;
+pub(crate) const FLAG_SD: u8 = 1;
 
 /// How far back the encoder searches for a prefix back-reference. Bounds
-/// encoder cost; longer gaps fall back to re-stating the group id.
-const PREFIX_WINDOW: usize = 63;
+/// encoder cost (and the streaming reader's prefix ring); longer gaps fall
+/// back to re-stating the group id.
+pub const PREFIX_WINDOW: usize = 63;
 
 /// Largest accept length one SD step can carry in the unary bitstream.
 pub const MAX_SD_ACCEPT: u8 = 63;
@@ -460,7 +461,7 @@ impl Trace {
 }
 
 /// LEB128 unsigned varint encoder.
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -473,7 +474,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// LEB128 unsigned varint decoder.
-fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+pub(crate) fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     let mut value = 0u64;
     for shift in 0..10 {
         let byte = take_u8(bytes, pos)?;
@@ -488,25 +489,33 @@ fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     Err(TraceError::Malformed("varint longer than 10 bytes"))
 }
 
-fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, TraceError> {
+pub(crate) fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, TraceError> {
     let b = *bytes.get(*pos).ok_or(TraceError::Truncated)?;
     *pos += 1;
     Ok(b)
 }
 
 /// Zigzag-encodes a signed value so small magnitudes stay small varints.
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// FNV-1a 64-bit hash, the trace checksum.
-fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
+    fnv1a_64_update(FNV_OFFSET_BASIS, bytes)
+}
+
+/// FNV-1a 64 initial state, for incremental (streaming) hashing.
+pub(crate) const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a 64 state (the streaming reader and
+/// writer hash bytes as they pass instead of re-walking the whole buffer).
+pub(crate) fn fnv1a_64_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);

@@ -15,9 +15,15 @@
 //! - [`replay_serving`] / [`replay_disagg`] — re-drive a frontend from a
 //!   trace, bit-deterministically; an unmodified recording reproduces the
 //!   recorder's report exactly.
+//! - [`TraceReader`] / [`TraceWriter`] / [`replay_serving_streamed`] —
+//!   chunked, constant-memory TLTR I/O: replay a million-request trace
+//!   through a fixed 64 KiB window without ever materialising the arrival
+//!   vector.
 //! - Transforms ([`Trace::rate_scaled`], [`Trace::storm_injected`],
 //!   [`Trace::tenant_shuffled`]) — deterministic workload variants.
-//! - [`CorpusPreset`] — the four pinned workloads committed under `corpus/`.
+//! - [`CorpusPreset`] — the four pinned workloads committed under `corpus/`;
+//!   [`write_derived_trace`] scales them to a derived million-request stream
+//!   with a pinned checksum.
 //!
 //! ```
 //! use tlt_trace::{CorpusPreset, Trace};
@@ -33,9 +39,17 @@
 
 pub mod corpus;
 pub mod format;
+pub mod million;
 pub mod record;
+pub mod stream;
 pub mod transform;
 
 pub use corpus::{CorpusPreset, CORPUS_TICK_NS};
-pub use format::{Trace, TraceError, TraceStats, MAGIC, MAX_SD_ACCEPT, VERSION};
-pub use record::{record_disagg, record_serving, replay_disagg, replay_serving};
+pub use format::{Trace, TraceError, TraceStats, MAGIC, MAX_SD_ACCEPT, PREFIX_WINDOW, VERSION};
+pub use million::{
+    derived_trace_checksum, write_derived_trace, MILLION_CHECKSUM, MILLION_REQUESTS,
+};
+pub use record::{
+    record_disagg, record_serving, replay_disagg, replay_serving, replay_serving_streamed,
+};
+pub use stream::{TraceReader, TraceWriter, DEFAULT_CHUNK_BYTES};

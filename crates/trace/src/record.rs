@@ -7,11 +7,14 @@
 //! recorder's run bit for bit — completions, goodput, SLO attainment and the
 //! SD accept bitstream all match exactly.
 
-use crate::format::Trace;
+use crate::format::{Trace, TraceError};
+use crate::stream::TraceReader;
+use std::io::Read;
 use tlt_obs::{record, EventKind, ObsEvent, Track, NO_REQ};
 use tlt_serve::{
     ClusterReport, ClusterSim, DisaggConfig, ServeConfig, ServeReport, ServeRequest, ServeSim,
 };
+use tlt_workload::ArrivalFeed;
 
 /// Drives a monolithic [`ServeSim`] over `arrivals` while recording the
 /// workload (and the run's SD accept stream) into a trace named `name` with
@@ -68,6 +71,44 @@ pub fn replay_serving(trace: &Trace, config: &ServeConfig) -> ServeReport {
     }
     sim.run_until_drained();
     sim.into_report()
+}
+
+/// Streamed counterpart of [`replay_serving`]: drives the frontend straight
+/// from a [`TraceReader`], so peak memory is the reader's fixed chunk buffer
+/// plus the live simulator state — the arrival vector is never materialised.
+///
+/// The drive loop and the [`EventKind::Replay`] marker are identical to the
+/// in-memory path (the marker's request count comes from the header, which the
+/// reader verifies against the stream), so replaying the same trace streamed
+/// or in-memory produces bit-identical reports and observability streams. A
+/// decode or checksum error surfaces as `Err` after the simulator has consumed
+/// the arrivals seen so far.
+pub fn replay_serving_streamed<R: Read>(
+    reader: &mut TraceReader<R>,
+    config: &ServeConfig,
+) -> Result<ServeReport, TraceError> {
+    record(
+        ObsEvent::instant(0.0, Track::Frontend, EventKind::Replay, NO_REQ)
+            .with_args(reader.request_count() as f64, reader.tick_ns() as f64),
+    );
+    let mut sim = ServeSim::new(config);
+    let mut decode_err = None;
+    let mut feed = std::iter::from_fn(|| match reader.next_arrival() {
+        Ok(next) => next,
+        Err(e) => {
+            decode_err = Some(e);
+            None
+        }
+    });
+    while let Some(arrival) = feed.next_arrival() {
+        sim.advance_before(arrival.time_s());
+        sim.offer(ServeRequest::from_arrival(&arrival));
+    }
+    if let Some(e) = decode_err {
+        return Err(e);
+    }
+    sim.run_until_drained();
+    Ok(sim.into_report())
 }
 
 /// Disaggregated counterpart of [`replay_serving`].

@@ -245,6 +245,29 @@ impl RequestArrival {
     }
 }
 
+/// A pull-based source of time-ordered arrivals.
+///
+/// The serving frontends consume arrivals strictly one at a time (advance the
+/// clock to the arrival, offer it, repeat), so a replay driver never needs the
+/// whole stream in memory — any feed with bounded per-pull state gives a
+/// bounded-memory replay. Every in-memory iterator of arrivals is a feed via
+/// the blanket impl; `tlt-trace` feeds a streamed TLTR decode through the same
+/// trait.
+pub trait ArrivalFeed {
+    /// The next arrival, in non-decreasing time order, or `None` at the end
+    /// of the stream.
+    fn next_arrival(&mut self) -> Option<RequestArrival>;
+}
+
+impl<I> ArrivalFeed for I
+where
+    I: Iterator<Item = RequestArrival>,
+{
+    fn next_arrival(&mut self) -> Option<RequestArrival> {
+        self.next()
+    }
+}
+
 /// Generates the arrival stream described by `config` via Poisson thinning:
 /// candidate arrivals are drawn from a homogeneous process at the peak rate and
 /// kept with probability `rate(t) / peak`, yielding a non-homogeneous Poisson

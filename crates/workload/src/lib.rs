@@ -26,8 +26,8 @@ pub mod tasks;
 pub mod trace;
 
 pub use arrival::{
-    generate_arrivals, merge_arrival_streams, shift_arrivals, ArrivalConfig, RateCurve,
-    RequestArrival, SharedPrefixSpec,
+    generate_arrivals, merge_arrival_streams, shift_arrivals, ArrivalConfig, ArrivalFeed,
+    RateCurve, RequestArrival, SharedPrefixSpec,
 };
 pub use longtail::{length_histogram, percentile, LengthDistribution, LengthStats};
 pub use tasks::{ReasoningTask, TaskGenerator, Vocabulary};

@@ -188,3 +188,37 @@ fn counting_allocator_observes_allocations() {
     assert!(after > before, "allocator instrumentation must count");
     drop(v);
 }
+
+#[test]
+fn steady_state_streamed_trace_decode_allocates_nothing() {
+    // The chunked TLTR reader decodes through a fixed buffer and a fixed
+    // prefix ring: after open() (which allocates the buffer and name once),
+    // pulling every record of a prefix-heavy trace performs zero allocations —
+    // the constant-memory guarantee behind million-request streamed replay.
+    use std::io::Cursor;
+    use tlt_trace::{Trace, TraceReader};
+    use tlt_workload::{generate_arrivals, ArrivalConfig};
+
+    let arrivals = generate_arrivals(&ArrivalConfig::constant(20.0, 20.0, 11).with_prefix(0.6, 96));
+    let trace = Trace::from_arrivals("alloc-free", 1_000, &arrivals);
+    let bytes = trace.to_bytes();
+    let total = arrivals.len();
+
+    // A small capacity forces many shift-and-refill cycles through the
+    // measured section; refills reuse the fixed buffer.
+    let mut reader = TraceReader::open_with_capacity(Cursor::new(&bytes[..]), 64).expect("opens");
+
+    let before = allocation_count();
+    let mut decoded = 0usize;
+    while let Some(a) = reader.next_arrival().expect("clean stream") {
+        std::hint::black_box(&a);
+        decoded += 1;
+    }
+    let after = allocation_count();
+    assert_eq!(decoded, total);
+    assert_eq!(
+        after - before,
+        0,
+        "streamed trace decode must not allocate after open()"
+    );
+}

@@ -162,3 +162,95 @@ fn transformed_variants_replay_deterministically() {
         base.storm_injected(20.0, 5.0, 50.0, 10).arrivals()
     );
 }
+
+/// Streamed decode must equal the in-memory decoder on arbitrary traces and
+/// arbitrary (tiny) chunk capacities — records and prefix back-references
+/// straddle refill boundaries at capacity 16.
+mod streamed {
+    use super::*;
+    use std::io::Cursor;
+    use tlt_trace::{replay_serving_streamed, TraceReader, TraceWriter};
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// Reader equivalence: every arrival, any chunk size.
+        #[test]
+        fn streamed_reader_matches_in_memory_decode(
+            seed in 0u64..10_000,
+            capacity_idx in 0usize..5,
+        ) {
+            let capacity = [16usize, 17, 63, 256, 65_536][capacity_idx];
+            let arrivals = generate_arrivals(
+                &ArrivalConfig::constant(8.0, 12.0, seed).with_prefix(0.7, 128),
+            );
+            let trace = Trace::from_arrivals("stream-prop", 1_000, &arrivals);
+            let bytes = trace.to_bytes();
+
+            let in_memory = Trace::from_bytes(&bytes).expect("decodes");
+            let mut reader = TraceReader::open_with_capacity(&bytes[..], capacity).expect("opens");
+            prop_assert_eq!(reader.request_count() as usize, in_memory.arrivals().len());
+            let mut streamed = Vec::new();
+            while let Some(a) = reader.next_arrival().expect("clean stream") {
+                streamed.push(a);
+            }
+            prop_assert_eq!(&streamed[..], in_memory.arrivals());
+        }
+
+        /// Writer equivalence: streaming canonical arrivals produces the exact
+        /// bytes of the in-memory encoder.
+        #[test]
+        fn streamed_writer_matches_in_memory_encode(seed in 0u64..10_000) {
+            let arrivals = generate_arrivals(
+                &ArrivalConfig::constant(6.0, 10.0, seed).with_prefix(0.5, 96),
+            );
+            let trace = Trace::from_arrivals("stream-prop", 1_000, &arrivals);
+            let mut out = Vec::new();
+            let mut writer = TraceWriter::new(
+                &mut out,
+                trace.name(),
+                trace.tick_ns(),
+                trace.arrivals().len() as u64,
+            )
+            .expect("header writes");
+            for a in trace.arrivals() {
+                writer.push(a).expect("record writes");
+            }
+            writer.finish().expect("trailer writes");
+            prop_assert_eq!(out, trace.to_bytes());
+        }
+    }
+
+    /// Streamed replay reproduces the in-memory replay bit for bit across the
+    /// whole committed corpus (completions, goodput, SLO attainment).
+    #[test]
+    fn streamed_replay_matches_in_memory_replay_on_the_corpus() {
+        for preset in CorpusPreset::all() {
+            let trace = preset.build();
+            let in_memory = tlt::run_replay(&trace, 2);
+            let mut reader = TraceReader::open(Cursor::new(trace.to_bytes())).expect("opens");
+            let streamed = tlt::run_replay_streamed(&mut reader, 2).expect("replays");
+            assert_eq!(streamed.completed, in_memory.completed, "{}", preset.name());
+            assert_eq!(streamed.goodput_rps, in_memory.goodput_rps);
+            assert_eq!(streamed.slo_attainment, in_memory.slo_attainment);
+            assert_eq!(
+                streamed.throughput_tokens_per_s,
+                in_memory.throughput_tokens_per_s
+            );
+        }
+    }
+
+    /// Streamed replay surfaces decode errors typed, after the fact, and a
+    /// truncated stream never panics the simulator.
+    #[test]
+    fn streamed_replay_reports_typed_errors() {
+        let bytes = CorpusPreset::Chat.build().to_bytes();
+        let cut = &bytes[..bytes.len() - 9]; // inside the trailer
+        let mut reader = TraceReader::open(cut).expect("header is intact");
+        let err = replay_serving_streamed(&mut reader, &replay_deployment(2)).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Truncated),
+            "expected Truncated, got {err:?}"
+        );
+    }
+}
